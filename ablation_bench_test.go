@@ -1,0 +1,135 @@
+// Ablation benchmarks for the design choices DESIGN.md §8 calls out.
+// Each reports its quality effect via b.ReportMetric alongside the cost.
+package sequence_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	sequence "repro"
+	"repro/internal/core"
+	"repro/internal/evaluate"
+	"repro/internal/loghub"
+	"repro/internal/token"
+	"repro/internal/workload"
+)
+
+// BenchmarkAblationConstantFolding compares pattern quality with and
+// without constant folding (the Sequence-RTG response to "too many
+// variables", limitation 4). The workload mixes genuinely variable fields
+// with fixed numeric fields (ports, versions, fixed sizes) — the case
+// folding exists for. The metric is the fraction of pattern positions
+// that are variables; lower is better.
+func BenchmarkAblationConstantFolding(b *testing.B) {
+	recs := make([]sequence.Record, 0, 12000)
+	for i := 0; i < 3000; i++ {
+		recs = append(recs,
+			// Fixed port and protocol version next to a variable peer.
+			sequence.Record{Service: "web", Message: fmt.Sprintf(
+				"served request on port 443 proto 2 for 10.0.%d.%d", i%200, i%250+1)},
+			// Fixed buffer size next to a variable duration.
+			sequence.Record{Service: "db", Message: fmt.Sprintf(
+				"checkpoint of 16384 pages finished in %d ms", 10+i%500)},
+			// Fully variable control group.
+			sequence.Record{Service: "app", Message: fmt.Sprintf(
+				"job %d finished with code %d", i, i%7)},
+			sequence.Record{Service: "app", Message: fmt.Sprintf(
+				"job %d started by user%02d", i, i%40)},
+		)
+	}
+	for _, fold := range []struct {
+		name string
+		cfg  sequence.Config
+	}{
+		{"fold", sequence.Config{}},
+		{"nofold", sequence.Config{KeepAllVariables: true}},
+	} {
+		b.Run(fold.name, func(b *testing.B) {
+			var varFrac float64
+			for i := 0; i < b.N; i++ {
+				rtg, err := sequence.Open("", fold.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := rtg.AnalyzeByService(recs, time.Now()); err != nil {
+					b.Fatal(err)
+				}
+				vars, words := 0, 0
+				for _, p := range rtg.Patterns() {
+					for _, e := range p.Elements {
+						if e.Var {
+							vars++
+						}
+						words++
+					}
+				}
+				if words > 0 {
+					varFrac = float64(vars) / float64(words)
+				}
+				rtg.Close()
+			}
+			b.ReportMetric(varFrac, "var-fraction")
+		})
+	}
+}
+
+// BenchmarkAblationConcurrency measures the §IV scaling note: service
+// partitions are independent, so AnalyzeByService parallelises across
+// services.
+func BenchmarkAblationConcurrency(b *testing.B) {
+	gen := workload.New(workload.Config{Services: 241, Seed: 4})
+	recs := gen.Records(40000)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "1worker", 2: "2workers", 4: "4workers"}[workers], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				rtg, err := sequence.Open("", sequence.Config{Concurrency: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := rtg.AnalyzeByService(recs, time.Now()); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				rtg.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationUnpaddedTimes quantifies the §VI datetime fix on the
+// dataset that motivated it: raw HealthApp grouping accuracy with the
+// published FSM versus the extended one.
+func BenchmarkAblationUnpaddedTimes(b *testing.B) {
+	ds, err := loghub.Generate("HealthApp", loghub.DefaultLines, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw := make([]string, len(ds.Lines))
+	truth := make([]string, len(ds.Lines))
+	for i, l := range ds.Lines {
+		raw[i] = l.Raw
+		truth[i] = l.EventID
+	}
+	for _, mode := range []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"published", core.Config{}},
+		{"unpadded", core.Config{Scanner: token.Config{UnpaddedTimes: true}}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				acc, err = evaluate.SequenceRTGWith(mode.cfg, "HealthApp", raw, truth)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(acc, "accuracy")
+		})
+	}
+}

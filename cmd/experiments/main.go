@@ -1,0 +1,100 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§IV):
+//
+//	experiments fig5    Sequence Analyze vs Sequence-RTG AnalyzeByService
+//	                    runtime against data-set size (Fig 5)
+//	experiments table2  Sequence-RTG accuracy, pre-processed vs raw, vs
+//	                    best baseline, on the 16 LogHub datasets (Table II)
+//	experiments table3  AEL / IPLoM / Spell / Drain accuracy (Table III)
+//	experiments fig7    production workflow simulation: unmatched-message
+//	                    fraction over 60 days (Fig 7), plus the §IV
+//	                    batch-timing numbers with -detail
+//	experiments figs34  the export formats of Figs 3 and 4 for the
+//	                    paper's running example
+//	experiments all     everything above
+//
+// Absolute numbers depend on the host and on the synthetic data-set
+// substitution (see DESIGN.md §5); the shapes — who wins, where curves
+// bend, which datasets collapse — are the reproduction target. Paper
+// reference values are printed alongside for comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "table1":
+		err = runTable1(args)
+	case "fig5":
+		err = runFig5(args)
+	case "table2":
+		err = runTable2(args)
+	case "table3":
+		err = runTable3(args)
+	case "fig7":
+		err = runFig7(args)
+	case "figs34":
+		err = runFigs34(args)
+	case "artifact":
+		err = runArtifact(args)
+	case "all":
+		err = runAll(args)
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: experiments table1|fig5|table2|table3|fig7|figs34|artifact|all [flags]
+
+  table1             scan the Table I element classes and show their types
+  fig5    -scale F   fraction of the paper's 0.25M..13.25M sizes (default 0.02)
+          -services N  number of services (default 241)
+  table2  -n N       lines per dataset (default 2000), -seed S
+  table3  -n N       lines per dataset (default 2000), -seed S
+  fig7    -days N    simulated days (default 60), -volume N msgs/day,
+          -detail    also print the §IV batch-timing numbers
+  figs34             print the patterndb and Grok exports of the running example
+  artifact -dir D    write the per-dataset pattern-id/label mapping CSVs
+                     (the paper's experimental artifact)
+  all                run everything with defaults`)
+}
+
+func runArtifact(args []string) error {
+	fs := flag.NewFlagSet("artifact", flag.ExitOnError)
+	dir := fs.String("dir", "artifact", "output directory")
+	n := fs.Int("n", 2000, "lines per dataset")
+	seed := fs.Int64("seed", 11, "dataset seed")
+	fs.Parse(args)
+	return writeArtifact(*dir, *n, *seed)
+}
+
+func runAll(args []string) error {
+	fs := flag.NewFlagSet("all", flag.ExitOnError)
+	fs.Parse(args)
+	for _, f := range []func([]string) error{runTable1, runFigs34, runTable2, runTable3, runFig5, runFig7} {
+		if err := f(nil); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,322 @@
+// Command seqrtg is the Sequence-RTG production tool: it mines patterns
+// from a stream of log messages on standard input, keeps them in a
+// persistent pattern database, and exports them for syslog-ng, YAML or
+// Logstash pipelines.
+//
+// In the deployment the paper describes (§IV, Fig 6), syslog-ng starts
+// seqrtg as a child process and pipes the messages that its pattern
+// database could not match into seqrtg's standard input as JSON lines:
+//
+//	{"service": "sshd", "message": "Failed password for root from 10.0.0.1 port 22 ssh2"}
+//
+// Usage:
+//
+//	seqrtg analyze   -db DIR [-batch N] [-classic] [-plain -service S]
+//	seqrtg parse     -db DIR [-plain -service S]
+//	seqrtg export    -db DIR -format patterndb|yaml|grok [-min-count N] [-max-complexity F] [-service S]
+//	seqrtg stats     -db DIR
+//	seqrtg purge     -db DIR -min-count N [-older-than DAYS]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	sequence "repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "parse":
+		err = cmdParse(os.Args[2:])
+	case "export":
+		err = cmdExport(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "purge":
+		err = cmdPurge(os.Args[2:])
+	case "merge":
+		err = cmdMerge(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "seqrtg: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seqrtg:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: seqrtg <command> [flags]
+
+commands:
+  analyze   mine patterns from the JSON-lines stream on stdin
+  parse     match stdin messages against the pattern database
+  export    write stored patterns as patterndb XML, YAML or Grok
+  stats     summarise the pattern database
+  purge     delete weak patterns (save threshold)
+  merge     fold other instances' databases into one (horizontal scaling)`)
+}
+
+func openDB(db string, cfg sequence.Config) (*sequence.RTG, error) {
+	rtg, err := sequence.Open(db, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("open pattern database: %w", err)
+	}
+	return rtg, nil
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	db := fs.String("db", "", "pattern database directory (empty = in-memory)")
+	batch := fs.Int("batch", sequence.DefaultBatchSize, "batch size")
+	classic := fs.Bool("classic", false, "use the original Sequence Analyze (no service partitioning)")
+	plain := fs.Bool("plain", false, "treat input as plain text lines, not JSON")
+	service := fs.String("service", "unknown", "service name for plain-text input")
+	threshold := fs.Int64("save-threshold", 0, "drop patterns matched fewer times in their discovery batch")
+	concurrency := fs.Int("concurrency", 1, "services analysed in parallel")
+	quiet := fs.Bool("quiet", false, "suppress per-batch progress")
+	fs.Parse(args)
+
+	rtg, err := openDB(*db, sequence.Config{SaveThreshold: *threshold, Concurrency: *concurrency})
+	if err != nil {
+		return err
+	}
+	defer rtg.Close()
+
+	report := func(r sequence.BatchResult) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "batch: %d messages, %d matched, %d new patterns, %d services, %v\n",
+				r.Messages, r.Matched, r.NewPatterns, r.Services, r.Duration.Round(time.Millisecond))
+		}
+	}
+
+	if *classic {
+		// Classic mode reads everything, then runs one mixed analysis.
+		recs, err := readAll(os.Stdin, *plain, *service)
+		if err != nil {
+			return err
+		}
+		res, err := rtg.Analyze(recs, time.Now())
+		if err != nil {
+			return err
+		}
+		report(res)
+		fmt.Fprintf(os.Stderr, "total: %d messages, %d patterns stored\n", res.Messages, rtg.PatternCount())
+		return nil
+	}
+
+	total, err := rtg.Run(os.Stdin, sequence.StreamOptions{
+		BatchSize:      *batch,
+		PlainText:      *plain,
+		DefaultService: *service,
+		Report:         report,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "total: %d messages, %d matched, %d new patterns, %d patterns stored\n",
+		total.Messages, total.Matched, total.NewPatterns, rtg.PatternCount())
+	return nil
+}
+
+func readAll(f *os.File, plain bool, service string) ([]sequence.Record, error) {
+	var recs []sequence.Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if plain {
+			recs = append(recs, sequence.Record{Service: service, Message: line})
+			continue
+		}
+		var r sequence.Record
+		if err := json.Unmarshal([]byte(line), &r); err != nil || r.Message == "" {
+			continue
+		}
+		if r.Service == "" {
+			r.Service = service
+		}
+		recs = append(recs, r)
+	}
+	return recs, sc.Err()
+}
+
+func cmdParse(args []string) error {
+	fs := flag.NewFlagSet("parse", flag.ExitOnError)
+	db := fs.String("db", "", "pattern database directory")
+	plain := fs.Bool("plain", false, "treat input as plain text lines")
+	service := fs.String("service", "unknown", "service name for plain-text input")
+	fs.Parse(args)
+
+	rtg, err := openDB(*db, sequence.Config{})
+	if err != nil {
+		return err
+	}
+	defer rtg.Close()
+
+	recs, err := readAll(os.Stdin, *plain, *service)
+	if err != nil {
+		return err
+	}
+	out := json.NewEncoder(os.Stdout)
+	matched := 0
+	for _, r := range recs {
+		p, vals, ok := rtg.Parse(r.Service, r.Message)
+		type result struct {
+			Service string            `json:"service"`
+			Message string            `json:"message"`
+			Matched bool              `json:"matched"`
+			Pattern string            `json:"pattern,omitempty"`
+			ID      string            `json:"pattern_id,omitempty"`
+			Values  map[string]string `json:"values,omitempty"`
+		}
+		res := result{Service: r.Service, Message: r.Message, Matched: ok}
+		if ok {
+			matched++
+			res.Pattern = p.Text()
+			res.ID = p.ID
+			res.Values = vals
+		}
+		if err := out.Encode(res); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%d/%d messages matched\n", matched, len(recs))
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	db := fs.String("db", "", "pattern database directory")
+	format := fs.String("format", "patterndb", "patterndb | yaml | grok")
+	minCount := fs.Int64("min-count", 0, "export only patterns matched at least this often")
+	maxComplexity := fs.Float64("max-complexity", 0, "export only patterns at or below this complexity (0 = all)")
+	service := fs.String("service", "", "restrict to one service")
+	fs.Parse(args)
+
+	rtg, err := openDB(*db, sequence.Config{})
+	if err != nil {
+		return err
+	}
+	defer rtg.Close()
+
+	opts := sequence.ExportOptions{MinCount: *minCount, MaxComplexity: *maxComplexity}
+	if *service != "" {
+		opts.Services = []string{*service}
+	}
+	return rtg.Export(os.Stdout, sequence.Format(*format), opts)
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	db := fs.String("db", "", "pattern database directory")
+	top := fs.Int("top", 10, "show the N most-matched patterns")
+	fs.Parse(args)
+
+	rtg, err := openDB(*db, sequence.Config{})
+	if err != nil {
+		return err
+	}
+	defer rtg.Close()
+
+	all := rtg.Patterns()
+	perService := map[string]int{}
+	var total int64
+	for _, p := range all {
+		perService[p.Service]++
+		total += p.Count
+	}
+	fmt.Printf("patterns: %d across %d services, %d matches recorded\n", len(all), len(perService), total)
+	services := rtg.Services()
+	for _, s := range services {
+		fmt.Printf("  %-24s %d patterns\n", s, perService[s])
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Count > all[j].Count })
+	if *top > len(all) {
+		*top = len(all)
+	}
+	if *top > 0 {
+		fmt.Printf("top %d patterns by match count:\n", *top)
+		for _, p := range all[:*top] {
+			fmt.Printf("  %8d  c=%.2f  [%s] %s\n", p.Count, p.Complexity(), p.Service, p.Text())
+		}
+	}
+	return nil
+}
+
+// cmdMerge folds shard databases into a target database — the recombine
+// step of the paper's horizontal scaling: services are sharded over any
+// number of Sequence-RTG instances with private databases, and since
+// patterns never cross services, merging is lossless.
+func cmdMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	db := fs.String("db", "", "target pattern database directory")
+	fs.Parse(args)
+	if *db == "" {
+		return fmt.Errorf("merge: -db target is required")
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("merge: give at least one source database directory as an argument")
+	}
+	target, err := openDB(*db, sequence.Config{})
+	if err != nil {
+		return err
+	}
+	defer target.Close()
+	for _, srcDir := range fs.Args() {
+		src, err := openDB(srcDir, sequence.Config{})
+		if err != nil {
+			return fmt.Errorf("merge: open source %s: %w", srcDir, err)
+		}
+		if err := target.MergeFrom(src); err != nil {
+			src.Close()
+			return err
+		}
+		src.Close()
+		fmt.Fprintf(os.Stderr, "merged %s\n", srcDir)
+	}
+	fmt.Fprintf(os.Stderr, "target now holds %d patterns\n", target.PatternCount())
+	return nil
+}
+
+func cmdPurge(args []string) error {
+	fs := flag.NewFlagSet("purge", flag.ExitOnError)
+	db := fs.String("db", "", "pattern database directory")
+	minCount := fs.Int64("min-count", 2, "delete patterns matched fewer times")
+	olderThan := fs.Int("older-than", 0, "only delete patterns idle for at least this many days")
+	fs.Parse(args)
+
+	rtg, err := openDB(*db, sequence.Config{})
+	if err != nil {
+		return err
+	}
+	defer rtg.Close()
+
+	cutoff := time.Now().AddDate(0, 0, -*olderThan)
+	n, err := rtg.Purge(*minCount, cutoff)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "purged %d patterns, %d remain\n", n, rtg.PatternCount())
+	return nil
+}

@@ -1,0 +1,96 @@
+package sequence_test
+
+// Runnable godoc examples for the public API.
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	sequence "repro"
+)
+
+func ExampleOpen() {
+	rtg, err := sequence.Open("") // in-memory; pass a directory to persist
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer rtg.Close()
+
+	records := []sequence.Record{
+		{Service: "sshd", Message: "Failed password for root from 10.0.0.1 port 22 ssh2"},
+		{Service: "sshd", Message: "Failed password for root from 10.9.0.7 port 4711 ssh2"},
+		{Service: "sshd", Message: "Failed password for root from 172.16.0.3 port 2222 ssh2"},
+	}
+	res, _ := rtg.AnalyzeByService(records, time.Date(2021, 9, 1, 0, 0, 0, 0, time.UTC))
+	fmt.Printf("%d messages, %d pattern(s)\n", res.Messages, res.NewPatterns)
+	for _, p := range rtg.Patterns() {
+		fmt.Println(p.Text())
+	}
+	// Output:
+	// 3 messages, 1 pattern(s)
+	// Failed password for root from %srcip% port %srcport% ssh2
+}
+
+func ExampleRTG_Parse() {
+	rtg, _ := sequence.Open("")
+	defer rtg.Close()
+	recs := []sequence.Record{
+		{Service: "sshd", Message: "session opened for user alice from 10.0.0.1"},
+		{Service: "sshd", Message: "session opened for user bob from 10.0.0.2"},
+		{Service: "sshd", Message: "session opened for user carol from 10.0.9.9"},
+	}
+	rtg.AnalyzeByService(recs, time.Date(2021, 9, 1, 0, 0, 0, 0, time.UTC))
+
+	p, values, ok := rtg.Parse("sshd", "session opened for user mallory from 192.168.1.1")
+	fmt.Println(ok, p.Text())
+	fmt.Println(values["user"], values["srcip"])
+	// Output:
+	// true session opened for user %user% from %srcip%
+	// mallory 192.168.1.1
+}
+
+func ExampleRTG_Export() {
+	rtg, _ := sequence.Open("")
+	defer rtg.Close()
+	recs := []sequence.Record{
+		{Service: "cron", Message: "job backup finished in 12 s"},
+		{Service: "cron", Message: "job backup finished in 7 s"},
+		{Service: "cron", Message: "job backup finished in 44 s"},
+	}
+	rtg.AnalyzeByService(recs, time.Date(2021, 9, 1, 0, 0, 0, 0, time.UTC))
+	rtg.Export(os.Stdout, sequence.FormatGrok, sequence.ExportOptions{})
+	// Output:
+	// # service: cron
+	// filter {
+	//   grok {
+	//     match => {"message" => "job backup finished in %{INT:integer} s"}
+	//     add_tag => ["81156ac4cefb544a7f7d5f71272cdc4836c7be0c", "pattern_id"]
+	//   }
+	// }
+}
+
+func ExampleScan() {
+	for _, tok := range sequence.Scan("Failed password from 10.0.0.1 port 22") {
+		fmt.Printf("%s %q\n", tok.Type, tok.Value)
+	}
+	// Output:
+	// literal "Failed"
+	// literal "password"
+	// literal "from"
+	// ipv4 "10.0.0.1"
+	// literal "port"
+	// integer "22"
+}
+
+func ExamplePatternFromText() {
+	p, _ := sequence.PatternFromText("%action% from %srcip% port %srcport%", "sshd")
+	fmt.Println(p.Service)
+	fmt.Println(p.Text())
+	fmt.Println(len(p.ID))
+	// Output:
+	// sshd
+	// %action% from %srcip% port %srcport%
+	// 40
+}

@@ -1,0 +1,81 @@
+// Anomaly: the paper's future-work direction in action — statistical
+// anomaly detection over the pattern-matched log stream, distinguishing a
+// genuine incident from routine extra load.
+//
+//	go run ./examples/anomaly
+//
+// Patterns are mined first; the detector then watches the per-pattern
+// message rate. Routine growth is absorbed by the EWMA baseline, a
+// brute-force burst raises a rate-spike alert, and a service going silent
+// raises rate-drop alerts.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	sequence "repro"
+)
+
+func main() {
+	rtg, err := sequence.Open("")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rtg.Close()
+
+	// Learn two sshd patterns.
+	var learn []sequence.Record
+	for i := 0; i < 20; i++ {
+		learn = append(learn,
+			sequence.Record{Service: "sshd", Message: fmt.Sprintf(
+				"Failed password for root from 10.0.%d.%d port %d ssh2", i, i*3+1, 1024+i)},
+			sequence.Record{Service: "sshd", Message: fmt.Sprintf(
+				"Accepted publickey for deploy from 10.1.%d.%d port %d ssh2", i, i*7+1, 2048+i)},
+		)
+	}
+	start := time.Date(2021, 9, 1, 0, 0, 0, 0, time.UTC)
+	if _, err := rtg.AnalyzeByService(learn, start); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("learned patterns:")
+	for _, p := range rtg.Patterns() {
+		fmt.Printf("  %s  %s\n", p.ID[:8], p.Text())
+	}
+
+	det := sequence.NewAnomalyDetector(sequence.AnomalyConfig{Bucket: time.Minute})
+	observe := func(t time.Time, msg string, n int64) {
+		p, _, ok := rtg.Parse("sshd", msg)
+		if !ok {
+			return
+		}
+		det.Observe(p.ID, p.Service, t, n)
+	}
+
+	// 60 minutes of normal traffic: ~40 failed and ~200 accepted logins
+	// per minute, with gentle growth (routine extra load).
+	clock := start
+	for m := 0; m < 60; m++ {
+		observe(clock, "Failed password for root from 10.0.0.1 port 22 ssh2", int64(40+m/6))
+		observe(clock, "Accepted publickey for deploy from 10.1.0.1 port 2048 ssh2", int64(200+m))
+		clock = clock.Add(time.Minute)
+	}
+
+	// Minute 60: a brute-force burst hammers the failed-password pattern,
+	// and the deploy logins stop entirely for ten minutes.
+	observe(clock, "Failed password for root from 10.0.0.1 port 22 ssh2", 25000)
+	clock = clock.Add(time.Minute)
+	for m := 0; m < 10; m++ {
+		observe(clock, "Failed password for root from 10.0.0.1 port 22 ssh2", 45)
+		clock = clock.Add(time.Minute)
+	}
+
+	fmt.Println("\nalerts:")
+	for _, a := range det.Flush(clock) {
+		fmt.Printf("  %s  %-10s pattern %s  observed %.0f (baseline %.0f, %.1f sigma)\n",
+			a.Bucket.Format("15:04"), a.Kind, a.PatternID[:8], a.Observed, a.Expected, a.Score)
+	}
+	fmt.Println("\nnote: the 60 minutes of gentle growth raised no alerts — that is the")
+	fmt.Println("\"routine extra load\" the paper wants separated from real anomalies.")
+}

@@ -1,0 +1,59 @@
+// Quickstart: mine patterns from a handful of messages, parse a new
+// message against them, and export the result for syslog-ng.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	sequence "repro"
+)
+
+func main() {
+	// An empty directory path keeps the pattern database in memory; pass
+	// a real path to persist patterns between runs.
+	rtg, err := sequence.Open("")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rtg.Close()
+
+	// A small batch of sshd messages: two events, variable values.
+	records := []sequence.Record{
+		{Service: "sshd", Message: "Failed password for root from 10.0.0.1 port 22 ssh2"},
+		{Service: "sshd", Message: "Failed password for root from 10.9.0.7 port 4711 ssh2"},
+		{Service: "sshd", Message: "Failed password for root from 172.16.0.3 port 2222 ssh2"},
+		{Service: "sshd", Message: "Connection closed by 10.0.0.1 [preauth]"},
+		{Service: "sshd", Message: "Connection closed by 192.168.4.4 [preauth]"},
+		{Service: "sshd", Message: "Connection closed by 172.16.9.1 [preauth]"},
+	}
+	res, err := rtg.AnalyzeByService(records, time.Now())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analysed %d messages, discovered %d patterns:\n", res.Messages, res.NewPatterns)
+	for _, p := range rtg.Patterns() {
+		fmt.Printf("  [%s] %s  (id %s..., %d matches)\n", p.Service, p.Text(), p.ID[:8], p.Count)
+	}
+
+	// Parse a message the miner has never seen: it matches the learned
+	// pattern and the variable values are extracted.
+	msg := "Failed password for root from 192.168.7.9 port 22022 ssh2"
+	p, values, ok := rtg.Parse("sshd", msg)
+	if !ok {
+		log.Fatalf("no match for %q", msg)
+	}
+	fmt.Printf("\nnew message:  %s\nmatched:      %s\nextracted:    srcip=%s srcport=%s\n",
+		msg, p.Text(), values["srcip"], values["srcport"])
+
+	// Export the patterns as a syslog-ng pattern database, test cases
+	// included, ready for review and promotion.
+	fmt.Println("\nsyslog-ng patterndb export:")
+	if err := rtg.Export(os.Stdout, sequence.FormatPatternDB, sequence.ExportOptions{}); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+package sequence_test
+
+// Public-API tests for the §VI future-work extensions.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	sequence "repro"
+)
+
+// TestUnpaddedTimesFixesHealthApp demonstrates that enabling the
+// extension repairs the raw HealthApp failure mode: messages whose
+// timestamps differ in zero padding mine into a single pattern.
+func TestUnpaddedTimesFixesHealthApp(t *testing.T) {
+	msgs := []sequence.Record{
+		{Service: "health", Message: "20171224-0:7:20:444|Step_LSC|30002312|onStandStepChanged 3579"},
+		{Service: "health", Message: "20171224-11:37:10:213|Step_LSC|30002312|onStandStepChanged 4021"},
+		{Service: "health", Message: "20171224-9:2:45:999|Step_LSC|30002312|onStandStepChanged 120"},
+		{Service: "health", Message: "20171224-23:59:59:001|Step_LSC|30002312|onStandStepChanged 77"},
+	}
+
+	// Published scanner: the zero-less timestamps split the event.
+	plain, err := sequence.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if _, err := plain.AnalyzeByService(msgs, now); err != nil {
+		t.Fatal(err)
+	}
+	if n := plain.PatternCount(); n < 2 {
+		t.Fatalf("default scanner should split on padding, got %d patterns", n)
+	}
+
+	// With the fix: one pattern, as the messages are one event.
+	fixed, err := sequence.Open("", sequence.Config{UnpaddedTimes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fixed.Close()
+	if _, err := fixed.AnalyzeByService(msgs, now); err != nil {
+		t.Fatal(err)
+	}
+	if n := fixed.PatternCount(); n != 1 {
+		for _, p := range fixed.Patterns() {
+			t.Logf("pattern: %q", p.Text())
+		}
+		t.Fatalf("unpadded scanner should mine one pattern, got %d", n)
+	}
+}
+
+// TestPathFSMMakesPathsVariables shows the fourth FSM turning path-only
+// differences into a single pattern from just two examples.
+func TestPathFSMMakesPathsVariables(t *testing.T) {
+	msgs := []sequence.Record{
+		{Service: "fs", Message: "deleting /data/d01/a.dat now"},
+		{Service: "fs", Message: "deleting /data/d02/b.dat now"},
+	}
+	rtg, err := sequence.Open("", sequence.Config{PathFSM: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rtg.Close()
+	if _, err := rtg.AnalyzeByService(msgs, now); err != nil {
+		t.Fatal(err)
+	}
+	if n := rtg.PatternCount(); n != 1 {
+		t.Fatalf("path FSM should unify path-only differences, got %d patterns", n)
+	}
+	p := rtg.Patterns()[0]
+	if !strings.Contains(p.Text(), "%path%") {
+		t.Fatalf("pattern should carry a path variable: %q", p.Text())
+	}
+}
+
+func TestSplitSemiConstantsPublicAPI(t *testing.T) {
+	var msgs []sequence.Record
+	for i := 0; i < 12; i++ {
+		state := []string{"up", "down"}[i%2]
+		msgs = append(msgs, sequence.Record{Service: "net", Message: "link eth0 state " + state})
+	}
+	rtg, err := sequence.Open("", sequence.Config{SplitSemiConstants: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rtg.Close()
+	if _, err := rtg.AnalyzeByService(msgs, now); err != nil {
+		t.Fatal(err)
+	}
+	if n := rtg.PatternCount(); n != 2 {
+		for _, p := range rtg.Patterns() {
+			t.Logf("pattern: %q", p.Text())
+		}
+		t.Fatalf("want 2 per-state patterns, got %d", n)
+	}
+}
+
+func TestAnomalyDetectorPublicAPI(t *testing.T) {
+	det := sequence.NewAnomalyDetector(sequence.AnomalyConfig{})
+	base := time.Date(2021, 9, 1, 0, 0, 0, 0, time.UTC)
+	for b := 0; b < 30; b++ {
+		det.Observe("pat1", "sshd", base.Add(time.Duration(b)*time.Minute), 100)
+	}
+	det.Observe("pat1", "sshd", base.Add(30*time.Minute), 9000)
+	alerts := det.Flush(base.Add(32 * time.Minute))
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %+v", alerts)
+	}
+	if alerts[0].Kind.String() != "rate-spike" {
+		t.Errorf("kind = %v", alerts[0].Kind)
+	}
+}
+
+// TestExtensionsEndToEnd runs the matched stream of a mined workload
+// through the anomaly detector, the full future-work pipeline.
+func TestExtensionsEndToEnd(t *testing.T) {
+	rtg, err := sequence.Open("", sequence.Config{PathFSM: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rtg.Close()
+
+	var learn []sequence.Record
+	for i := 0; i < 30; i++ {
+		learn = append(learn, sequence.Record{
+			Service: "app",
+			Message: fmt.Sprintf("wrote snapshot /data/s%02d.img in %d ms", i, 10+i),
+		})
+	}
+	if _, err := rtg.AnalyzeByService(learn, now); err != nil {
+		t.Fatal(err)
+	}
+
+	det := sequence.NewAnomalyDetector(sequence.AnomalyConfig{Bucket: time.Minute})
+	clock := now
+	for b := 0; b < 20; b++ {
+		for k := 0; k < 10; k++ {
+			msg := fmt.Sprintf("wrote snapshot /data/s%02d.img in %d ms", k, 10+k)
+			p, _, ok := rtg.Parse("app", msg)
+			if !ok {
+				t.Fatalf("unparsed message %q", msg)
+			}
+			det.Observe(p.ID, p.Service, clock, 1)
+		}
+		clock = clock.Add(time.Minute)
+	}
+	if alerts := det.Flush(clock); len(alerts) != 0 {
+		t.Fatalf("steady stream should not alert: %+v", alerts)
+	}
+}

@@ -1,0 +1,69 @@
+package sequence_test
+
+// Cross-system integration: every synthetic dataset is mined by
+// Sequence-RTG, exported as patterndb XML, loaded into the built-in
+// syslog-ng engine, and the source messages are re-matched through the
+// exported rules. This exercises scanner -> analyzer -> store -> exporter
+// -> patterndb compiler -> matcher in one pass per dataset, the complete
+// §III pipeline.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	sequence "repro"
+	"repro/internal/loghub"
+	"repro/internal/syslogng"
+)
+
+func TestPatterndbRoundTripAllDatasets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all sixteen datasets")
+	}
+	when := time.Date(2021, 9, 1, 0, 0, 0, 0, time.UTC)
+	for _, name := range loghub.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			ds, err := loghub.Generate(name, 800, 31)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rtg, err := sequence.Open("")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rtg.Close()
+
+			recs := make([]sequence.Record, len(ds.Lines))
+			for i, l := range ds.Lines {
+				recs[i] = sequence.Record{Service: name, Message: l.Content}
+			}
+			if _, err := rtg.AnalyzeByService(recs, when); err != nil {
+				t.Fatal(err)
+			}
+
+			var buf bytes.Buffer
+			if err := rtg.Export(&buf, sequence.FormatPatternDB, sequence.ExportOptions{}); err != nil {
+				t.Fatal(err)
+			}
+			db := syslogng.NewDB()
+			if err := db.Load(bytes.NewReader(buf.Bytes())); err != nil {
+				t.Fatalf("exported XML failed to load: %v", err)
+			}
+
+			matched := 0
+			for _, l := range ds.Lines {
+				if _, ok := db.Match(name, l.Content); ok {
+					matched++
+				}
+			}
+			rate := float64(matched) / float64(len(ds.Lines))
+			t.Logf("%s: %d/%d source messages re-matched through exported patterndb (%.1f%%)",
+				name, matched, len(ds.Lines), 100*rate)
+			if rate < 0.85 {
+				t.Errorf("%s: exported patterndb re-matches only %.1f%% of its source messages", name, 100*rate)
+			}
+		})
+	}
+}

@@ -1,0 +1,99 @@
+// Package accuracy implements the parsing accuracy metric of Zhu et al.
+// (ICSE-SEIP 2019), used by the paper for Table II and Table III: the
+// ratio of correctly parsed log messages over the total number of log
+// messages, where a message is correctly parsed if and only if the set of
+// messages its parser groups it with is exactly the set of messages
+// sharing its ground-truth event id.
+package accuracy
+
+// Grouping computes the grouping accuracy of a predicted grouping against
+// ground-truth event labels. pred assigns each line an arbitrary group
+// id; truth assigns each line its labelled event id. The slices must have
+// equal length.
+func Grouping(pred []int, truth []string) float64 {
+	if len(pred) != len(truth) || len(pred) == 0 {
+		return 0
+	}
+	predSize := make(map[int]int)
+	truthSize := make(map[string]int)
+	for i := range pred {
+		predSize[pred[i]]++
+		truthSize[truth[i]]++
+	}
+	// A predicted group is correct iff it is label-pure and covers the
+	// whole truth group; then all its members are correctly parsed.
+	type pair struct {
+		label string
+		pure  bool
+	}
+	groupLabel := make(map[int]*pair)
+	for i := range pred {
+		g := pred[i]
+		p := groupLabel[g]
+		if p == nil {
+			groupLabel[g] = &pair{label: truth[i], pure: true}
+			continue
+		}
+		if p.label != truth[i] {
+			p.pure = false
+		}
+	}
+	correct := 0
+	for g, p := range groupLabel {
+		if p.pure && predSize[g] == truthSize[p.label] {
+			correct += predSize[g]
+		}
+	}
+	return float64(correct) / float64(len(pred))
+}
+
+// Confusion summarises how a predicted grouping deviates from the truth.
+type Confusion struct {
+	// Messages is the number of lines scored.
+	Messages int
+	// TruthEvents and PredGroups count the distinct labels on each side.
+	TruthEvents int
+	PredGroups  int
+	// SplitEvents counts ground-truth events whose messages were spread
+	// over several predicted groups (under-generalisation, e.g. the
+	// paper's Proxifier case).
+	SplitEvents int
+	// MergedGroups counts predicted groups containing several events
+	// (over-generalisation).
+	MergedGroups int
+	// Accuracy is the grouping accuracy.
+	Accuracy float64
+}
+
+// Analyze computes the full confusion summary.
+func Analyze(pred []int, truth []string) Confusion {
+	c := Confusion{Messages: len(pred), Accuracy: Grouping(pred, truth)}
+	if len(pred) != len(truth) {
+		return c
+	}
+	truthGroups := make(map[string]map[int]bool)
+	predGroups := make(map[int]map[string]bool)
+	for i := range pred {
+		if truthGroups[truth[i]] == nil {
+			truthGroups[truth[i]] = make(map[int]bool)
+		}
+		truthGroups[truth[i]][pred[i]] = true
+		if predGroups[pred[i]] == nil {
+			predGroups[pred[i]] = make(map[string]bool)
+		}
+		predGroups[pred[i]][truth[i]] = true
+	}
+	c.TruthEvents = len(truthGroups)
+	c.PredGroups = len(predGroups)
+	for _, gs := range truthGroups {
+		if len(gs) > 1 {
+			c.SplitEvents++
+		}
+	}
+	for _, ls := range predGroups {
+		if len(ls) > 1 {
+			c.MergedGroups++
+		}
+	}
+	return c
+}

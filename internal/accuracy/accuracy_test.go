@@ -1,0 +1,111 @@
+package accuracy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPerfectGrouping(t *testing.T) {
+	pred := []int{0, 0, 1, 1, 2}
+	truth := []string{"E1", "E1", "E2", "E2", "E3"}
+	if got := Grouping(pred, truth); !almost(got, 1.0) {
+		t.Fatalf("got %v, want 1.0", got)
+	}
+}
+
+func TestSplitEventPenalisesAllItsMessages(t *testing.T) {
+	// E1 split over two groups: all four E1 messages are wrong.
+	pred := []int{0, 0, 1, 1, 2}
+	truth := []string{"E1", "E1", "E1", "E1", "E2"}
+	if got := Grouping(pred, truth); !almost(got, 0.2) {
+		t.Fatalf("got %v, want 0.2", got)
+	}
+}
+
+func TestMergedGroupPenalisesAllItsMessages(t *testing.T) {
+	// One predicted group swallows E1 and E2: all its messages are wrong.
+	pred := []int{0, 0, 0, 1}
+	truth := []string{"E1", "E1", "E2", "E3"}
+	if got := Grouping(pred, truth); !almost(got, 0.25) {
+		t.Fatalf("got %v, want 0.25", got)
+	}
+}
+
+func TestGroupIDsAreArbitrary(t *testing.T) {
+	pred := []int{42, 42, 7}
+	truth := []string{"E9", "E9", "E1"}
+	if got := Grouping(pred, truth); !almost(got, 1.0) {
+		t.Fatalf("renumbered groups must still score 1.0, got %v", got)
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	if got := Grouping(nil, nil); got != 0 {
+		t.Errorf("empty input: %v", got)
+	}
+	if got := Grouping([]int{1}, []string{"a", "b"}); got != 0 {
+		t.Errorf("length mismatch: %v", got)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	pred := []int{0, 0, 1, 2, 2}
+	truth := []string{"E1", "E1", "E2", "E2", "E3"}
+	c := Analyze(pred, truth)
+	if c.TruthEvents != 3 || c.PredGroups != 3 {
+		t.Errorf("events=%d groups=%d", c.TruthEvents, c.PredGroups)
+	}
+	if c.SplitEvents != 1 { // E2 spread over groups 1 and 2
+		t.Errorf("SplitEvents = %d, want 1", c.SplitEvents)
+	}
+	if c.MergedGroups != 1 { // group 2 holds E2 and E3
+		t.Errorf("MergedGroups = %d, want 1", c.MergedGroups)
+	}
+	if !almost(c.Accuracy, 0.4) { // only the two E1 messages are correct
+		t.Errorf("Accuracy = %v, want 0.4", c.Accuracy)
+	}
+}
+
+// Property: accuracy is 1.0 exactly when the predicted grouping is a
+// relabelling of the truth.
+func TestIdentityProperty(t *testing.T) {
+	f := func(labels []uint8) bool {
+		if len(labels) == 0 {
+			return true
+		}
+		pred := make([]int, len(labels))
+		truth := make([]string, len(labels))
+		for i, l := range labels {
+			pred[i] = int(l % 5)
+			truth[i] = string(rune('A' + l%5))
+		}
+		return almost(Grouping(pred, truth), 1.0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: accuracy is within [0, 1] for arbitrary groupings.
+func TestBoundedProperty(t *testing.T) {
+	f := func(pred []uint8, truth []uint8) bool {
+		n := len(pred)
+		if len(truth) < n {
+			n = len(truth)
+		}
+		p := make([]int, n)
+		tr := make([]string, n)
+		for i := 0; i < n; i++ {
+			p[i] = int(pred[i] % 7)
+			tr[i] = string(rune('A' + truth[i]%7))
+		}
+		got := Grouping(p, tr)
+		return got >= 0 && got <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,244 @@
+package analyzer
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/token"
+)
+
+// The merge pass.
+//
+// After insertion the trie is exact: every distinct literal value is its
+// own node. The merge pass walks the trie bottom-up and, at every node,
+// groups the literal-valued children by the structural signature of the
+// subtree *below* them. A group whose members agree structurally all the
+// way down — the paper's "tokens positioned at the same level that share
+// the same parent and child nodes" — is collapsed into a single "string"
+// variable node when it has at least MinDistinctValues members covering at
+// least MinGroupMessages messages.
+
+type merger struct {
+	cfg     Config
+	sigs    map[*node]uint64 // value-sensitive subtree signatures
+	shapes  map[*node]uint64 // value-insensitive (shape) signatures
+	changed bool
+}
+
+func (m *merger) merge(n *node) {
+	m.mergeAt(n, 0)
+}
+
+func (m *merger) mergeAt(n *node, depth int) {
+	for _, c := range n.children {
+		m.mergeAt(c, depth+1)
+	}
+
+	// Primary criterion, straight from the paper: tokens at the same
+	// level merge when they "share the same parent and child nodes" —
+	// sibling literals under this parent whose immediate child key sets
+	// are identical. One level of lookahead keeps genuinely different
+	// events apart (their continuations differ immediately) while letting
+	// variable values with a common continuation collapse; the fixpoint
+	// iteration in Patterns propagates the effect level by level.
+	//
+	// The first message token is exempt: leading words discriminate
+	// events ("Starting ..." vs "Stopping ...") and only the
+	// high-cardinality fallback below may turn them into a variable.
+	if depth > 0 {
+		groups := make(map[uint64][]*node)
+		for k, c := range n.children {
+			if k.v || k.typ != token.Literal {
+				continue
+			}
+			s := m.childKeySet(c)
+			groups[s] = append(groups[s], c)
+		}
+		for _, g := range groups {
+			if len(g) < m.cfg.MinDistinctValues {
+				continue
+			}
+			var total int64
+			for _, c := range g {
+				total += c.msgs
+			}
+			if total < int64(m.cfg.MinGroupMessages) {
+				continue
+			}
+			m.collapse(n, g)
+		}
+	}
+
+	// High-cardinality fallback: when a position holds many distinct,
+	// rarely-repeating values of the same shape (independent identifiers
+	// such as BGL location codes), the exact-tail criterion can never
+	// line up; the cardinality itself marks the position as variable.
+	byShape := make(map[uint64][]*node)
+	for k, c := range n.children {
+		if k.v || k.typ != token.Literal {
+			continue
+		}
+		byShape[m.shape(c)] = append(byShape[m.shape(c)], c)
+	}
+	for _, g := range byShape {
+		if len(g) < m.cfg.VariableMinValues {
+			continue
+		}
+		var total int64
+		for _, c := range g {
+			total += c.msgs
+		}
+		if float64(total)/float64(len(g)) > m.cfg.VariableMaxMeanCount {
+			continue
+		}
+		m.collapse(n, g)
+	}
+}
+
+// collapse merges a group of sibling literal nodes into one string
+// variable node.
+func (m *merger) collapse(n *node, g []*node) {
+	// Deterministic member order so that example selection and key hints
+	// do not depend on map iteration.
+	sort.Slice(g, func(i, j int) bool { return g[i].key.val < g[j].key.val })
+
+	vk := nodeKey{typ: token.Literal, v: true, space: g[0].key.space}
+	target := n.children[vk]
+	if target == nil {
+		target = &node{
+			key:         vk,
+			children:    make(map[nodeKey]*node),
+			spaceBefore: g[0].spaceBefore,
+			kvKey:       g[0].kvKey,
+		}
+		n.children[vk] = target
+	}
+	for _, c := range g {
+		if c.kvKey != target.kvKey {
+			target.kvKey = ""
+		}
+		delete(n.children, c.key)
+		target.observe(c.key.val, c.msgs) // census of the merged values
+		combine(target, c)
+	}
+	m.changed = true
+}
+
+// combine unions src into dst, aligning children by key recursively.
+func combine(dst, src *node) {
+	dst.msgs += src.msgs
+	if src.overflow {
+		dst.overflow = true
+		dst.values = nil
+	}
+	if src.key.v { // variable nodes carry their own value census
+		for v, c := range src.values {
+			dst.observe(v, c)
+		}
+	}
+	for _, x := range src.examples {
+		if len(dst.examples) >= cap3 {
+			break
+		}
+		if !contains(dst.examples, x) {
+			dst.examples = append(dst.examples, x)
+		}
+	}
+	for k, sc := range src.children {
+		if dc, ok := dst.children[k]; ok {
+			combine(dc, sc)
+		} else {
+			dst.children[k] = sc
+		}
+	}
+}
+
+const cap3 = 3
+
+// childKeySet hashes the immediate child keys of n (one level only, the
+// paper's "same child nodes" criterion). Memoized per pass.
+func (m *merger) childKeySet(n *node) uint64 {
+	if s, ok := m.sigs[n]; ok {
+		return s
+	}
+	reprs := make([]string, 0, len(n.children))
+	for k := range n.children {
+		reprs = append(reprs, keyRepr(k))
+	}
+	sort.Strings(reprs)
+	h := fnv.New64a()
+	for _, r := range reprs {
+		h.Write([]byte(r))
+		h.Write([]byte{0})
+	}
+	s := h.Sum64()
+	m.sigs[n] = s
+	return s
+}
+
+// shape is sig with literal values erased: only the token-class skeleton
+// of the subtree remains.
+func (m *merger) shape(n *node) uint64 {
+	return m.hashSubtree(n, m.shapes, shapeRepr)
+}
+
+func (m *merger) hashSubtree(n *node, memo map[*node]uint64, repr func(nodeKey) string) uint64 {
+	if s, ok := memo[n]; ok {
+		return s
+	}
+	type entry struct {
+		repr string
+		sub  uint64
+	}
+	entries := make([]entry, 0, len(n.children))
+	for k, c := range n.children {
+		entries = append(entries, entry{repr: repr(k), sub: m.hashSubtree(c, memo, repr)})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].repr != entries[j].repr {
+			return entries[i].repr < entries[j].repr
+		}
+		return entries[i].sub < entries[j].sub
+	})
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, e := range entries {
+		h.Write([]byte(e.repr))
+		h.Write([]byte{0})
+		binary.LittleEndian.PutUint64(buf[:], e.sub)
+		h.Write(buf[:])
+	}
+	s := h.Sum64()
+	memo[n] = s
+	return s
+}
+
+func keyRepr(k nodeKey) string {
+	sp := "-"
+	if k.space {
+		sp = "_"
+	}
+	if k.v {
+		return "V" + sp + k.typ.String()
+	}
+	if k.typ == token.TailAny {
+		return "T"
+	}
+	return "L" + sp + k.val
+}
+
+// shapeRepr erases literal values, keeping type, variability and spacing.
+func shapeRepr(k nodeKey) string {
+	sp := "-"
+	if k.space {
+		sp = "_"
+	}
+	if k.v {
+		return "V" + sp + k.typ.String()
+	}
+	if k.typ == token.TailAny {
+		return "T"
+	}
+	return "L" + sp
+}

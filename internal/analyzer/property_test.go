@@ -1,0 +1,118 @@
+package analyzer
+
+// Property tests for the analyzer's core guarantees.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/patterns"
+	"repro/internal/token"
+)
+
+// TestCompletenessProperty: every message fed to the analyzer matches at
+// least one extracted pattern — analysis never loses a message.
+func TestCompletenessProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	verbs := []string{"open", "close", "read", "write", "sync"}
+	objs := []string{"file", "socket", "pipe", "device"}
+
+	for trial := 0; trial < 20; trial++ {
+		var msgs []string
+		n := 5 + rng.Intn(100)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(5) {
+			case 0:
+				msgs = append(msgs, fmt.Sprintf("%s %s %d ok", verbs[rng.Intn(5)], objs[rng.Intn(4)], rng.Intn(1000)))
+			case 1:
+				msgs = append(msgs, fmt.Sprintf("error %d on %s from 10.0.%d.%d",
+					rng.Intn(100), objs[rng.Intn(4)], rng.Intn(256), rng.Intn(256)))
+			case 2:
+				msgs = append(msgs, fmt.Sprintf("%s took %d.%02d s", verbs[rng.Intn(5)], rng.Intn(10), rng.Intn(100)))
+			case 3:
+				msgs = append(msgs, fmt.Sprintf("id-%08x state=%s", rng.Uint32(), []string{"up", "down"}[rng.Intn(2)]))
+			case 4:
+				msgs = append(msgs, fmt.Sprintf("multi %d\n tail %d", rng.Intn(9), rng.Intn(9)))
+			}
+		}
+
+		for _, cfg := range []Config{{}, {SplitSemiConstants: 4}, {FoldConstants: true}} {
+			a := New("svc", cfg)
+			var s token.Scanner
+			for _, m := range msgs {
+				a.Add(token.Enrich(s.ScanCopy(m)), m)
+			}
+			ps := a.Patterns(time.Unix(0, 0))
+			for _, m := range msgs {
+				toks := token.Enrich(s.ScanCopy(m))
+				if !anyMatch(ps, toks) {
+					for _, p := range ps {
+						t.Logf("pattern: %q", p.Text())
+					}
+					t.Fatalf("trial %d cfg %+v: message %q matches no pattern", trial, cfg, m)
+				}
+			}
+		}
+	}
+}
+
+func anyMatch(ps []*patterns.Pattern, toks []token.Token) bool {
+	for _, p := range ps {
+		if _, ok := p.Match(toks); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCountConservationProperty: pattern counts sum to the number of
+// analysed messages (semi-constant splitting redistributes, everything
+// else preserves).
+func TestCountConservationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		a := New("svc", Config{})
+		var s token.Scanner
+		n := 1 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			m := fmt.Sprintf("evt%d value %d", rng.Intn(6), rng.Intn(1000))
+			a.Add(token.Enrich(s.ScanCopy(m)), m)
+		}
+		var total int64
+		for _, p := range a.Patterns(time.Unix(0, 0)) {
+			total += p.Count
+		}
+		if total != int64(n) {
+			t.Fatalf("trial %d: counts sum to %d, want %d", trial, total, n)
+		}
+	}
+}
+
+// TestIDStabilityProperty: the same message population mined twice yields
+// byte-identical pattern IDs (reproducibility is a §III requirement).
+func TestIDStabilityProperty(t *testing.T) {
+	build := func() map[string]bool {
+		a := New("svc", Config{})
+		var s token.Scanner
+		for i := 0; i < 150; i++ {
+			m := fmt.Sprintf("request %d from host%02d done", i*37%997, i%7)
+			a.Add(token.Enrich(s.ScanCopy(m)), m)
+		}
+		out := map[string]bool{}
+		for _, p := range a.Patterns(time.Unix(0, 0)) {
+			out[p.ID] = true
+		}
+		return out
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatalf("pattern sets differ in size: %d vs %d", len(a), len(b))
+	}
+	for id := range a {
+		if !b[id] {
+			t.Fatalf("id %s missing from second run", id)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package analyzer
+
+// Tests for the semi-constant splitting extension (§VI future work):
+// "it would be more interesting to create as many patterns as there are
+// variations of this semi-constant variable, each pattern having a
+// constant value at its position."
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/token"
+)
+
+func TestSplitSemiConstantsOff(t *testing.T) {
+	// Published behaviour: one pattern with a variable.
+	got := mine(t, "net", Config{},
+		"link eth0 went up", "link eth0 went down",
+		"link eth1 went up", "link eth1 went down",
+		"link eth2 went up", "link eth2 went down",
+	)
+	if len(got) != 1 {
+		t.Fatalf("default config: want 1 pattern, got %v", texts(got))
+	}
+	if want := "link %string% went %string2%"; got[0].Text() != want {
+		t.Fatalf("pattern = %q, want %q", got[0].Text(), want)
+	}
+}
+
+func TestSplitSemiConstantsOn(t *testing.T) {
+	got := mine(t, "net", Config{SplitSemiConstants: 4},
+		"link eth0 went up", "link eth0 went down",
+		"link eth1 went up", "link eth1 went down",
+		"link eth2 went up", "link eth2 went down",
+	)
+	// Both positions are semi-constant (3 interfaces x 2 states) -> 6
+	// patterns, each fully constant.
+	if len(got) != 6 {
+		t.Fatalf("want 6 split patterns, got %d: %v", len(got), texts(got))
+	}
+	ts := texts(got)
+	sort.Strings(ts)
+	for _, text := range ts {
+		if strings.Contains(text, "%") {
+			t.Errorf("split pattern still has a variable: %q", text)
+		}
+	}
+	var total int64
+	for _, p := range got {
+		total += p.Count
+	}
+	if total != 6 {
+		t.Errorf("split counts should sum to the leaf count: %d", total)
+	}
+}
+
+func TestSplitLeavesHighCardinalityAlone(t *testing.T) {
+	var msgs []string
+	for i := 0; i < 40; i++ {
+		msgs = append(msgs, fmt.Sprintf("request served in %d ms by worker-%d", i*7, i%2))
+	}
+	got := mine(t, "web", Config{SplitSemiConstants: 4}, msgs...)
+	// The duration (40 distinct integers) must stay a variable; the
+	// worker field (2 values) splits.
+	if len(got) != 2 {
+		t.Fatalf("want 2 patterns (split on worker only), got %v", texts(got))
+	}
+	for _, p := range got {
+		if !strings.Contains(p.Text(), "%") {
+			t.Errorf("duration variable was wrongly constantised: %q", p.Text())
+		}
+	}
+}
+
+func TestSplitCrossProductCapped(t *testing.T) {
+	// Three positions with 8 values each would be 512 variants; the cap
+	// must keep expansion bounded.
+	var msgs []string
+	for a := 0; a < 8; a++ {
+		for b := 0; b < 8; b++ {
+			for c := 0; c < 8; c++ {
+				msgs = append(msgs, fmt.Sprintf("s a%d b%d c%d", a, b, c))
+			}
+		}
+	}
+	got := mine(t, "svc", Config{SplitSemiConstants: 8}, msgs...)
+	if len(got) > maxSplitVariants {
+		t.Fatalf("expansion unbounded: %d patterns", len(got))
+	}
+	if len(got) < 2 {
+		t.Fatalf("some splitting should still happen: %v", texts(got))
+	}
+}
+
+func TestSplitPatternsMatchTheirMessages(t *testing.T) {
+	msgs := []string{
+		"power state changed to on", "power state changed to off",
+		"power state changed to on", "power state changed to off",
+		"power state changed to standby", "power state changed to on",
+	}
+	got := mine(t, "ipmi", Config{SplitSemiConstants: 4}, msgs...)
+	if len(got) != 3 {
+		t.Fatalf("want 3 per-value patterns, got %v", texts(got))
+	}
+	var s token.Scanner
+	for _, m := range msgs {
+		matched := 0
+		for _, p := range got {
+			if _, ok := p.Match(token.Enrich(s.Scan(m))); ok {
+				matched++
+			}
+		}
+		if matched != 1 {
+			t.Errorf("message %q matched %d split patterns, want exactly 1", m, matched)
+		}
+	}
+	// Examples stay consistent: each split pattern's examples match it.
+	for _, p := range got {
+		for _, ex := range p.Examples {
+			if _, ok := p.Match(token.Enrich(s.Scan(ex))); !ok {
+				t.Errorf("pattern %q carries non-matching example %q", p.Text(), ex)
+			}
+		}
+	}
+}

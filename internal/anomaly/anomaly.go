@@ -1,0 +1,227 @@
+// Package anomaly implements the paper's final future-work direction:
+// applying statistical detection to the pattern-matched log stream "to
+// distinguish what could be an anomaly from what is likely to be routine
+// extra load when there are important variations in the number of issued
+// system log entries" (§VI).
+//
+// The detector tracks the per-pattern message rate in fixed time buckets
+// and maintains an exponentially weighted moving average (EWMA) of the
+// rate and of its variance. When a closed bucket deviates from the
+// baseline by more than a configurable number of standard deviations, an
+// alert is raised — a spike (routine extra load looks like a gentle rise;
+// a malfunction hammers one pattern), a drop (a service that stopped
+// logging is often a service that stopped), or a brand-new pattern
+// (something never seen before started happening).
+//
+// The detector is deliberately stream-oriented: Observe is called once
+// per matched message (or batch of messages) with the pattern ID the
+// parser assigned, exactly the hook the production workflow of Fig 6
+// provides for free.
+package anomaly
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Kind classifies an alert.
+type Kind int
+
+// The alert kinds.
+const (
+	// RateSpike: a bucket far above the learned rate baseline.
+	RateSpike Kind = iota
+	// RateDrop: a bucket far below the baseline (often silence).
+	RateDrop
+	// NewPattern: first sighting of a pattern after warm-up.
+	NewPattern
+)
+
+func (k Kind) String() string {
+	switch k {
+	case RateSpike:
+		return "rate-spike"
+	case RateDrop:
+		return "rate-drop"
+	case NewPattern:
+		return "new-pattern"
+	}
+	return "unknown"
+}
+
+// Alert is one detected deviation.
+type Alert struct {
+	// PatternID identifies the pattern whose rate deviated.
+	PatternID string
+	// Service is the pattern's source system.
+	Service string
+	// Kind is the deviation class.
+	Kind Kind
+	// Bucket is the start of the offending time bucket.
+	Bucket time.Time
+	// Observed is the bucket's message count.
+	Observed float64
+	// Expected is the EWMA baseline at the time.
+	Expected float64
+	// Score is the deviation in baseline standard deviations.
+	Score float64
+}
+
+// Config tunes the detector. The zero value selects the defaults.
+type Config struct {
+	// Bucket is the aggregation window (default 1 minute).
+	Bucket time.Duration
+	// Alpha is the EWMA smoothing factor in (0,1] (default 0.3).
+	Alpha float64
+	// Threshold is the alerting deviation in standard deviations
+	// (default 3).
+	Threshold float64
+	// WarmupBuckets is how many buckets a pattern must be observed for
+	// before it can alert (default 5); it also gates new-pattern alerts
+	// on detector age.
+	WarmupBuckets int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Bucket <= 0 {
+		c.Bucket = time.Minute
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.3
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.WarmupBuckets <= 0 {
+		c.WarmupBuckets = 5
+	}
+	return c
+}
+
+// Detector tracks per-pattern rates and raises alerts. It is safe for
+// concurrent use.
+type Detector struct {
+	mu      sync.Mutex
+	cfg     Config
+	series  map[string]*series
+	alerts  []Alert
+	started time.Time
+}
+
+type series struct {
+	service string
+	bucket  time.Time // start of the open bucket
+	count   float64
+	mean    float64
+	vari    float64
+	buckets int
+}
+
+// New returns a detector.
+func New(cfg Config) *Detector {
+	return &Detector{cfg: cfg.withDefaults(), series: make(map[string]*series)}
+}
+
+// Observe records n messages matched to a pattern at time t. Out-of-order
+// timestamps within the open bucket are fine; a t before the open bucket
+// is counted into the open bucket (late data does not rewrite history).
+func (d *Detector) Observe(patternID, service string, t time.Time, n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.started.IsZero() {
+		d.started = t
+	}
+	s := d.series[patternID]
+	if s == nil {
+		s = &series{service: service, bucket: t.Truncate(d.cfg.Bucket)}
+		d.series[patternID] = s
+		if t.Sub(d.started) >= time.Duration(d.cfg.WarmupBuckets)*d.cfg.Bucket {
+			d.alerts = append(d.alerts, Alert{
+				PatternID: patternID, Service: service, Kind: NewPattern,
+				Bucket: s.bucket, Observed: float64(n),
+			})
+		}
+	}
+	d.rollLocked(s, patternID, t)
+	s.count += float64(n)
+}
+
+// rollLocked closes every bucket older than t's bucket, feeding each
+// (including empty gap buckets) to the baseline and testing for
+// deviations.
+func (d *Detector) rollLocked(s *series, id string, t time.Time) {
+	cur := t.Truncate(d.cfg.Bucket)
+	for s.bucket.Before(cur) {
+		d.closeBucketLocked(s, id)
+		s.bucket = s.bucket.Add(d.cfg.Bucket)
+		s.count = 0
+	}
+}
+
+func (d *Detector) closeBucketLocked(s *series, id string) {
+	x := s.count
+	if s.buckets >= d.cfg.WarmupBuckets {
+		sd := math.Sqrt(s.vari)
+		if sd < 1 {
+			sd = 1 // rate floors: tiny baselines alert on absolute jumps only
+		}
+		z := (x - s.mean) / sd
+		if z > d.cfg.Threshold {
+			d.alerts = append(d.alerts, Alert{
+				PatternID: id, Service: s.service, Kind: RateSpike,
+				Bucket: s.bucket, Observed: x, Expected: s.mean, Score: z,
+			})
+		} else if -z > d.cfg.Threshold {
+			d.alerts = append(d.alerts, Alert{
+				PatternID: id, Service: s.service, Kind: RateDrop,
+				Bucket: s.bucket, Observed: x, Expected: s.mean, Score: -z,
+			})
+		}
+	}
+	// Update the baseline after testing so the anomaly does not mask
+	// itself; variance uses the EWMA of squared deviations.
+	delta := x - s.mean
+	s.mean += d.cfg.Alpha * delta
+	s.vari = (1-d.cfg.Alpha)*s.vari + d.cfg.Alpha*delta*delta
+	s.buckets++
+}
+
+// Flush closes all buckets up to now and returns (and clears) the pending
+// alerts, ordered by bucket then pattern ID.
+func (d *Detector) Flush(now time.Time) []Alert {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for id, s := range d.series {
+		d.rollLocked(s, id, now)
+	}
+	out := d.alerts
+	d.alerts = nil
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Bucket.Equal(out[j].Bucket) {
+			return out[i].Bucket.Before(out[j].Bucket)
+		}
+		return out[i].PatternID < out[j].PatternID
+	})
+	return out
+}
+
+// Baseline reports the learned rate baseline of a pattern (mean messages
+// per bucket) and whether the pattern is past warm-up.
+func (d *Detector) Baseline(patternID string) (mean float64, warm bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.series[patternID]
+	if s == nil {
+		return 0, false
+	}
+	return s.mean, s.buckets >= d.cfg.WarmupBuckets
+}
+
+// Patterns returns how many patterns the detector is tracking.
+func (d *Detector) Patterns() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.series)
+}

@@ -1,0 +1,166 @@
+package anomaly
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2021, 9, 1, 0, 0, 0, 0, time.UTC)
+
+func feedSteady(d *Detector, id string, buckets int, perBucket int64) {
+	for b := 0; b < buckets; b++ {
+		d.Observe(id, "svc", t0.Add(time.Duration(b)*time.Minute), perBucket)
+	}
+}
+
+func TestNoAlertsOnSteadyRate(t *testing.T) {
+	d := New(Config{})
+	feedSteady(d, "p1", 60, 100)
+	alerts := d.Flush(t0.Add(time.Hour))
+	if len(alerts) != 0 {
+		t.Fatalf("steady rate should not alert: %+v", alerts)
+	}
+}
+
+func TestRateSpike(t *testing.T) {
+	d := New(Config{})
+	feedSteady(d, "p1", 30, 100)
+	// A 50x burst in one bucket.
+	d.Observe("p1", "svc", t0.Add(30*time.Minute), 5000)
+	alerts := d.Flush(t0.Add(32 * time.Minute))
+	if len(alerts) != 1 || alerts[0].Kind != RateSpike {
+		t.Fatalf("want one RateSpike, got %+v", alerts)
+	}
+	a := alerts[0]
+	if a.Observed != 5000 || a.Score <= 3 {
+		t.Errorf("alert = %+v", a)
+	}
+	if a.PatternID != "p1" || a.Service != "svc" {
+		t.Errorf("alert identity = %+v", a)
+	}
+}
+
+func TestRateDropOnSilence(t *testing.T) {
+	d := New(Config{Threshold: 3})
+	feedSteady(d, "p1", 30, 1000)
+	// Silence: the next observation is 10 minutes later, creating nine
+	// empty buckets in between.
+	d.Observe("p1", "svc", t0.Add(40*time.Minute), 1000)
+	alerts := d.Flush(t0.Add(41 * time.Minute))
+	drops := 0
+	for _, a := range alerts {
+		if a.Kind == RateDrop {
+			drops++
+		}
+	}
+	if drops == 0 {
+		t.Fatalf("silence should raise RateDrop alerts, got %+v", alerts)
+	}
+}
+
+func TestNoAlertsDuringWarmup(t *testing.T) {
+	d := New(Config{WarmupBuckets: 10})
+	// Erratic from the start, but fewer buckets than warm-up.
+	for b := 0; b < 9; b++ {
+		d.Observe("p1", "svc", t0.Add(time.Duration(b)*time.Minute), int64(1+b*1000))
+	}
+	if alerts := d.Flush(t0.Add(9 * time.Minute)); len(alerts) != 0 {
+		t.Fatalf("warm-up must suppress alerts: %+v", alerts)
+	}
+}
+
+func TestNewPatternAlert(t *testing.T) {
+	d := New(Config{})
+	feedSteady(d, "old", 30, 10)
+	d.Observe("fresh", "svc", t0.Add(30*time.Minute), 1)
+	alerts := d.Flush(t0.Add(31 * time.Minute))
+	found := false
+	for _, a := range alerts {
+		if a.Kind == NewPattern && a.PatternID == "fresh" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want a NewPattern alert, got %+v", alerts)
+	}
+	// A pattern appearing during detector warm-up is not news.
+	d2 := New(Config{})
+	d2.Observe("first", "svc", t0, 1)
+	for _, a := range d2.Flush(t0.Add(time.Minute)) {
+		if a.Kind == NewPattern {
+			t.Fatalf("no NewPattern during warm-up: %+v", a)
+		}
+	}
+}
+
+func TestSlowGrowthDoesNotAlert(t *testing.T) {
+	// Routine extra load: a gentle 1% per bucket increase tracks into the
+	// baseline without alerting — the distinction §VI asks for.
+	d := New(Config{})
+	rate := 1000.0
+	for b := 0; b < 120; b++ {
+		d.Observe("p1", "svc", t0.Add(time.Duration(b)*time.Minute), int64(rate))
+		rate *= 1.01
+	}
+	// Flush right at the end of the fed window (a later flush would
+	// close genuinely empty buckets and correctly report silence).
+	if alerts := d.Flush(t0.Add(2 * time.Hour)); len(alerts) != 0 {
+		t.Fatalf("slow growth should be absorbed by the EWMA: %+v", alerts)
+	}
+}
+
+func TestBaselineAndPatternCount(t *testing.T) {
+	d := New(Config{})
+	feedSteady(d, "p1", 20, 50)
+	mean, warm := d.Baseline("p1")
+	if !warm {
+		t.Fatal("p1 should be warm after 20 buckets")
+	}
+	if mean < 40 || mean > 60 {
+		t.Errorf("baseline mean = %v, want ~50", mean)
+	}
+	if _, warm := d.Baseline("nope"); warm {
+		t.Error("unknown pattern cannot be warm")
+	}
+	if d.Patterns() != 1 {
+		t.Errorf("Patterns = %d", d.Patterns())
+	}
+}
+
+func TestFlushClearsAndOrders(t *testing.T) {
+	d := New(Config{})
+	feedSteady(d, "a", 30, 10)
+	feedSteady(d, "b", 30, 10)
+	d.Observe("a", "svc", t0.Add(30*time.Minute), 9000)
+	d.Observe("b", "svc", t0.Add(30*time.Minute), 9000)
+	alerts := d.Flush(t0.Add(31 * time.Minute))
+	if len(alerts) != 2 {
+		t.Fatalf("want 2 alerts, got %+v", alerts)
+	}
+	if alerts[0].PatternID != "a" || alerts[1].PatternID != "b" {
+		t.Errorf("alerts not ordered: %+v", alerts)
+	}
+	if again := d.Flush(t0.Add(31 * time.Minute)); len(again) != 0 {
+		t.Errorf("Flush must clear pending alerts, got %+v", again)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if RateSpike.String() != "rate-spike" || RateDrop.String() != "rate-drop" ||
+		NewPattern.String() != "new-pattern" || Kind(99).String() != "unknown" {
+		t.Error("Kind.String broken")
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	d := New(Config{})
+	ids := make([]string, 100)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("pat%03d", i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Observe(ids[i%100], "svc", t0.Add(time.Duration(i)*time.Second), 1)
+	}
+}

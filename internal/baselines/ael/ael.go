@@ -1,0 +1,107 @@
+// Package ael implements the AEL log abstraction algorithm (Z. M. Jiang,
+// A. E. Hassan, P. Flora, G. Hamann: "Abstracting Execution Logs to
+// Execution Events for Enterprise Applications", QSIC 2008).
+//
+// AEL works in three steps: Anonymize replaces obvious dynamic values
+// (assignments, numbers, addresses) with a $v marker using simple
+// heuristics; Tokenize bins messages by their word and $v counts;
+// Categorize compares messages inside each bin and folds together those
+// that differ only at anonymized positions.
+package ael
+
+import (
+	"strings"
+
+	"repro/internal/baselines"
+)
+
+// Parser is an offline AEL instance.
+type Parser struct{}
+
+// New returns an AEL parser.
+func New() *Parser { return &Parser{} }
+
+// Name implements baselines.Parser.
+func (p *Parser) Name() string { return "AEL" }
+
+// Fit implements baselines.Parser.
+func (p *Parser) Fit(lines []string) []int {
+	type binKey struct{ words, vars int }
+	type event struct {
+		id       int
+		template []string
+	}
+	bins := map[binKey][]*event{}
+	out := make([]int, len(lines))
+	next := 0
+
+	for i, line := range lines {
+		tokens := anonymize(line)
+		vars := 0
+		for _, t := range tokens {
+			if t == "$v" {
+				vars++
+			}
+		}
+		key := binKey{words: len(tokens), vars: vars}
+		var match *event
+		for _, ev := range bins[key] {
+			if compatible(ev.template, tokens) {
+				match = ev
+				break
+			}
+		}
+		if match == nil {
+			match = &event{id: next, template: append([]string(nil), tokens...)}
+			next++
+			bins[key] = append(bins[key], match)
+		} else {
+			// Fold differing positions into $v (the Categorize merge).
+			for j := range match.template {
+				if match.template[j] != tokens[j] {
+					match.template[j] = "$v"
+				}
+			}
+		}
+		out[i] = match.id
+	}
+	return out
+}
+
+// compatible reports whether a message can belong to an event: equal
+// everywhere except positions where either side is anonymized.
+func compatible(template, tokens []string) bool {
+	if len(template) != len(tokens) {
+		return false
+	}
+	for i := range template {
+		if template[i] == tokens[i] || template[i] == "$v" || tokens[i] == "$v" {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// anonymize tokenizes and applies AEL's heuristics as realised in the
+// logparser benchmark toolkit: values following '=' become key=$v, the
+// benchmark's <*> marker becomes $v, and any remaining digit-bearing
+// token is anonymised to $v.
+func anonymize(line string) []string {
+	tokens := baselines.Tokenize(line)
+	out := make([]string, len(tokens))
+	for i, t := range tokens {
+		switch {
+		case t == "<*>":
+			out[i] = "$v"
+		case strings.Contains(t, "="):
+			k := strings.IndexByte(t, '=')
+			out[i] = t[:k+1] + "$v"
+		case baselines.HasDigit(t):
+			out[i] = "$v"
+		default:
+			out[i] = t
+		}
+	}
+	return out
+}

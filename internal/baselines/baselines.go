@@ -1,0 +1,61 @@
+// Package baselines defines the common interface of the comparison log
+// parsers from Zhu et al., "Tools and Benchmarks for Automated Log
+// Parsing" (ICSE-SEIP 2019) — the study the paper's Table III reproduces
+// and the source of Table II's "Best" column.
+//
+// The four top performers of that study are implemented as subpackages:
+//
+//	drain  — fixed-depth parse tree, online (He et al., ICWS 2017)
+//	iplom  — iterative partitioning, offline (Makanju et al., KDD 2009)
+//	spell  — longest common subsequence, online (Du & Li, ICDM 2016)
+//	ael    — Anonymize/Tokenize/Categorize (Jiang et al., QSIC 2008)
+//
+// All of them consume pre-processed message content (the benchmark's
+// regex pass replaces common fields with <*> before parsing; Sequence-RTG
+// is the only tool in the comparison that also works on raw logs).
+package baselines
+
+// Parser groups a slice of log message contents into events. The returned
+// slice assigns a group number to each input line; lines with the same
+// number were parsed into the same event template. Group numbers are
+// arbitrary but stable within one call.
+type Parser interface {
+	// Name returns the parser's short name as used in the paper's tables.
+	Name() string
+	// Fit groups the lines.
+	Fit(lines []string) []int
+}
+
+// Tokenize splits a message on runs of spaces and tabs, the tokenization
+// all four baseline papers share.
+func Tokenize(line string) []string {
+	var out []string
+	start := -1
+	for i := 0; i < len(line); i++ {
+		if line[i] == ' ' || line[i] == '\t' {
+			if start >= 0 {
+				out = append(out, line[start:i])
+				start = -1
+			}
+			continue
+		}
+		if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		out = append(out, line[start:])
+	}
+	return out
+}
+
+// HasDigit reports whether s contains a decimal digit; several baseline
+// heuristics treat digit-bearing tokens as variables.
+func HasDigit(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= '0' && s[i] <= '9' {
+			return true
+		}
+	}
+	return false
+}

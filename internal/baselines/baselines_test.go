@@ -1,0 +1,237 @@
+package baselines_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/accuracy"
+	"repro/internal/baselines"
+	"repro/internal/baselines/ael"
+	"repro/internal/baselines/drain"
+	"repro/internal/baselines/iplom"
+	"repro/internal/baselines/spell"
+)
+
+func parsers() []baselines.Parser {
+	return []baselines.Parser{
+		drain.New(drain.Config{}),
+		iplom.New(iplom.Config{}),
+		spell.New(spell.Config{}),
+		ael.New(),
+	}
+}
+
+// synthetic workload: five clearly-shaped events with variable fields
+// pre-processed to <*> (the benchmark regime all four baselines expect).
+func preprocessedWorkload(n int, seed int64) (lines []string, truth []string) {
+	rng := rand.New(rand.NewSource(seed))
+	events := []struct {
+		id   string
+		line string
+	}{
+		{"E1", "Received block <*> of size <*> from <*>"},
+		{"E2", "Deleting block <*> file <*>"},
+		{"E3", "Verification succeeded for <*>"},
+		{"E4", "Served block <*> to <*>"},
+		{"E5", "Exception in receiveBlock for block <*>"},
+	}
+	for i := 0; i < n; i++ {
+		e := events[rng.Intn(len(events))]
+		lines = append(lines, e.line)
+		truth = append(truth, e.id)
+	}
+	return lines, truth
+}
+
+// rawishWorkload keeps variables as concrete values, stressing each
+// parser's own variable detection.
+func rawishWorkload(n int, seed int64) (lines []string, truth []string) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			lines = append(lines, fmt.Sprintf("Received block blk_%d of size %d from 10.0.%d.%d",
+				rng.Int63(), 1024+rng.Intn(1<<20), rng.Intn(256), rng.Intn(256)))
+			truth = append(truth, "E1")
+		case 1:
+			lines = append(lines, fmt.Sprintf("Deleting block blk_%d file /data/%d.dat", rng.Int63(), rng.Intn(100)))
+			truth = append(truth, "E2")
+		case 2:
+			lines = append(lines, fmt.Sprintf("PacketResponder %d for block blk_%d terminating", rng.Intn(3), rng.Int63()))
+			truth = append(truth, "E3")
+		case 3:
+			lines = append(lines, "Starting thread to transfer block")
+			truth = append(truth, "E4")
+		}
+	}
+	return lines, truth
+}
+
+func TestPerfectOnPreprocessed(t *testing.T) {
+	lines, truth := preprocessedWorkload(400, 1)
+	for _, p := range parsers() {
+		pred := p.Fit(lines)
+		if got := accuracy.Grouping(pred, truth); got != 1.0 {
+			t.Errorf("%s on fully pre-processed events: accuracy %v, want 1.0", p.Name(), got)
+		}
+	}
+}
+
+func TestReasonableOnRawish(t *testing.T) {
+	lines, truth := rawishWorkload(600, 2)
+	for _, p := range parsers() {
+		pred := p.Fit(lines)
+		got := accuracy.Grouping(pred, truth)
+		if got < 0.6 {
+			c := accuracy.Analyze(pred, truth)
+			t.Errorf("%s on raw-ish logs: accuracy %v (confusion %+v), want >= 0.6", p.Name(), got, c)
+		}
+	}
+}
+
+func TestFitLengthAndDeterminism(t *testing.T) {
+	lines, _ := rawishWorkload(200, 3)
+	for _, mk := range []func() baselines.Parser{
+		func() baselines.Parser { return drain.New(drain.Config{}) },
+		func() baselines.Parser { return iplom.New(iplom.Config{}) },
+		func() baselines.Parser { return spell.New(spell.Config{}) },
+		func() baselines.Parser { return ael.New() },
+	} {
+		a := mk().Fit(lines)
+		b := mk().Fit(lines)
+		if len(a) != len(lines) {
+			t.Fatalf("Fit returned %d assignments for %d lines", len(a), len(lines))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: non-deterministic grouping at line %d", mk().Name(), i)
+			}
+		}
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	for _, p := range parsers() {
+		if got := p.Fit(nil); len(got) != 0 {
+			t.Errorf("%s.Fit(nil) = %v", p.Name(), got)
+		}
+	}
+	for _, p := range parsers() {
+		got := p.Fit([]string{"only one message"})
+		if len(got) != 1 {
+			t.Errorf("%s singleton: %v", p.Name(), got)
+		}
+	}
+}
+
+func TestDrainTemplates(t *testing.T) {
+	p := drain.New(drain.Config{})
+	lines := []string{
+		"open file a.txt ok",
+		"open file b.txt ok",
+		"open file c.txt ok",
+	}
+	groups := p.Fit(lines)
+	for _, g := range groups {
+		if g != groups[0] {
+			t.Fatalf("same-shape lines split: %v", groups)
+		}
+	}
+	tpl := p.Templates()[groups[0]]
+	if tpl != "open file <*> ok" {
+		t.Errorf("template = %q, want wildcarded file position", tpl)
+	}
+}
+
+func TestSpellLCSMerging(t *testing.T) {
+	p := spell.New(spell.Config{})
+	a := p.Learn("Command Failed on: node-127")
+	b := p.Learn("Command Failed on: node-234")
+	if a != b {
+		t.Fatalf("LCS should group near-identical messages: %d vs %d", a, b)
+	}
+	c := p.Learn("boot (command 1818) Error: connection lost")
+	if c == a {
+		t.Fatal("unrelated message must found a new object")
+	}
+}
+
+func TestIPLoMTemplates(t *testing.T) {
+	lines := []string{
+		"session opened for user root",
+		"session opened for user alice",
+		"session opened for user bob",
+		"connection reset by peer now",
+		"connection reset by peer now",
+	}
+	p := iplom.New(iplom.Config{})
+	groups := p.Fit(lines)
+	if groups[0] != groups[1] || groups[1] != groups[2] {
+		t.Fatalf("session lines split: %v", groups)
+	}
+	if groups[3] != groups[4] || groups[3] == groups[0] {
+		t.Fatalf("connection lines misgrouped: %v", groups)
+	}
+	tpls := iplom.Templates(lines, groups)
+	if tpls[groups[0]] != "session opened for user <*>" {
+		t.Errorf("template = %q", tpls[groups[0]])
+	}
+}
+
+func TestAELAnonymization(t *testing.T) {
+	p := ael.New()
+	groups := p.Fit([]string{
+		"user=root uid=0 logged in from 10.0.0.1",
+		"user=alice uid=1001 logged in from 10.0.0.2",
+		"disk full on /dev/sda1",
+	})
+	if groups[0] != groups[1] {
+		t.Fatalf("assignments with different values must group: %v", groups)
+	}
+	if groups[2] == groups[0] {
+		t.Fatalf("unrelated message grouped: %v", groups)
+	}
+}
+
+func TestTokenizeHelper(t *testing.T) {
+	got := baselines.Tokenize("  a  b\tc ")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("Tokenize = %v", got)
+	}
+	if got := baselines.Tokenize(""); len(got) != 0 {
+		t.Fatalf("Tokenize(empty) = %v", got)
+	}
+}
+
+func BenchmarkDrain2k(b *testing.B) {
+	lines, _ := rawishWorkload(2000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drain.New(drain.Config{}).Fit(lines)
+	}
+}
+
+func BenchmarkSpell2k(b *testing.B) {
+	lines, _ := rawishWorkload(2000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spell.New(spell.Config{}).Fit(lines)
+	}
+}
+
+func BenchmarkIPLoM2k(b *testing.B) {
+	lines, _ := rawishWorkload(2000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		iplom.New(iplom.Config{}).Fit(lines)
+	}
+}
+
+func BenchmarkAEL2k(b *testing.B) {
+	lines, _ := rawishWorkload(2000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ael.New().Fit(lines)
+	}
+}

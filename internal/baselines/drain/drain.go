@@ -1,0 +1,179 @@
+// Package drain implements the Drain log parser (P. He, J. Zhu, Z. Zheng,
+// M. R. Lyu: "Drain: An Online Log Parsing Approach with Fixed Depth
+// Tree", ICWS 2017) — the best-ranked algorithm in the Zhu et al.
+// benchmark that the paper compares Sequence-RTG against.
+//
+// Drain routes each message through a fixed-depth tree: the first level
+// splits by token count, the next depth-2 levels by the leading tokens
+// (digit-bearing tokens collapse to <*>), and the leaves hold log groups.
+// The group whose template is most similar to the message (simSeq ≥ st)
+// absorbs it, updating the template by wildcarding disagreeing positions;
+// otherwise a new group is born.
+package drain
+
+import "repro/internal/baselines"
+
+// Config holds Drain's hyper-parameters; the defaults are the ones used
+// throughout the benchmark study.
+type Config struct {
+	// Depth is the fixed tree depth (internal token levels = Depth-2).
+	Depth int
+	// SimilarityThreshold is st, the minimum token-level similarity for a
+	// message to join an existing group.
+	SimilarityThreshold float64
+	// MaxChildren bounds the fan-out of every internal node; overflow
+	// tokens route through a shared <*> child.
+	MaxChildren int
+}
+
+// DefaultConfig returns depth 4, st 0.4, maxChildren 100.
+func DefaultConfig() Config {
+	return Config{Depth: 4, SimilarityThreshold: 0.4, MaxChildren: 100}
+}
+
+// Parser is an online Drain instance.
+type Parser struct {
+	cfg    Config
+	root   map[int]*node // token count -> first token level
+	groups []*group
+}
+
+type node struct {
+	children map[string]*node
+	groups   []*group // only at leaf level
+}
+
+type group struct {
+	id       int
+	template []string
+}
+
+// New returns a Drain parser. A zero Config selects the defaults.
+func New(cfg Config) *Parser {
+	if cfg.Depth < 3 {
+		cfg.Depth = 4
+	}
+	if cfg.SimilarityThreshold <= 0 {
+		cfg.SimilarityThreshold = 0.4
+	}
+	if cfg.MaxChildren <= 0 {
+		cfg.MaxChildren = 100
+	}
+	return &Parser{cfg: cfg, root: make(map[int]*node)}
+}
+
+// Name implements baselines.Parser.
+func (p *Parser) Name() string { return "Drain" }
+
+// Fit implements baselines.Parser.
+func (p *Parser) Fit(lines []string) []int {
+	out := make([]int, len(lines))
+	for i, line := range lines {
+		out[i] = p.Learn(line)
+	}
+	return out
+}
+
+// Learn routes one message online and returns its group id.
+func (p *Parser) Learn(line string) int {
+	tokens := baselines.Tokenize(line)
+	leaf := p.route(tokens)
+	g := p.bestGroup(leaf, tokens)
+	if g == nil {
+		g = &group{id: len(p.groups), template: append([]string(nil), tokens...)}
+		p.groups = append(p.groups, g)
+		leaf.groups = append(leaf.groups, g)
+		return g.id
+	}
+	// Update template: disagreeing positions become wildcards.
+	for i := range g.template {
+		if g.template[i] != tokens[i] {
+			g.template[i] = "<*>"
+		}
+	}
+	return g.id
+}
+
+// Templates returns the final event templates, indexed by group id.
+func (p *Parser) Templates() []string {
+	out := make([]string, len(p.groups))
+	for i, g := range p.groups {
+		t := ""
+		for j, tok := range g.template {
+			if j > 0 {
+				t += " "
+			}
+			t += tok
+		}
+		out[i] = t
+	}
+	return out
+}
+
+func (p *Parser) route(tokens []string) *node {
+	n := p.root[len(tokens)]
+	if n == nil {
+		n = &node{children: make(map[string]*node)}
+		p.root[len(tokens)] = n
+	}
+	levels := p.cfg.Depth - 2
+	for d := 0; d < levels; d++ {
+		key := "<*>"
+		if d < len(tokens) && !baselines.HasDigit(tokens[d]) {
+			key = tokens[d]
+		}
+		child := n.children[key]
+		if child == nil {
+			if len(n.children) >= p.cfg.MaxChildren {
+				key = "<*>"
+				if child = n.children[key]; child == nil {
+					child = &node{children: make(map[string]*node)}
+					n.children[key] = child
+				}
+			} else {
+				child = &node{children: make(map[string]*node)}
+				n.children[key] = child
+			}
+		}
+		n = child
+	}
+	return n
+}
+
+func (p *Parser) bestGroup(leaf *node, tokens []string) *group {
+	var best *group
+	bestSim := -1.0
+	for _, g := range leaf.groups {
+		sim, params := simSeq(g.template, tokens)
+		if sim > bestSim || (sim == bestSim && params > 0) {
+			best, bestSim = g, sim
+		}
+	}
+	if best != nil && bestSim >= p.cfg.SimilarityThreshold {
+		return best
+	}
+	return nil
+}
+
+// simSeq is Drain's sequence similarity: the fraction of positions where
+// template and message agree; wildcard positions count as parameters, not
+// as matches.
+func simSeq(template, tokens []string) (sim float64, params int) {
+	if len(template) != len(tokens) {
+		return 0, 0
+	}
+	if len(template) == 0 {
+		return 1, 0
+	}
+	eq := 0
+	for i := range template {
+		if template[i] == "<*>" {
+			params++
+			continue
+		}
+		if template[i] == tokens[i] {
+			eq++
+		}
+	}
+	return float64(eq) / float64(len(template)), params
+}

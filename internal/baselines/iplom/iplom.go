@@ -1,0 +1,292 @@
+// Package iplom implements the IPLoM log parser (A. Makanju,
+// A. Zincir-Heywood, E. Milios: "Clustering Event Logs Using Iterative
+// Partitioning", KDD 2009), the second-ranked algorithm in the Zhu et al.
+// benchmark.
+//
+// IPLoM partitions the log in three steps — by event size (token count),
+// by the token position with the lowest value cardinality, and by
+// searching for bijective relationships between the two most salient
+// positions — then derives one template per leaf partition.
+package iplom
+
+import "repro/internal/baselines"
+
+// Config holds IPLoM's hyper-parameters (benchmark defaults from the
+// logparser toolkit).
+type Config struct {
+	// ClusterGoodness skips step 3 for partitions that are already mostly
+	// constant (fraction of cardinality-1 positions ≥ this value).
+	ClusterGoodness float64
+	// PartitionSupport sends partitions smaller than this fraction of
+	// their parent to an outlier partition (0 disables).
+	PartitionSupport float64
+}
+
+// DefaultConfig returns cluster goodness 0.35 and no partition support
+// threshold.
+func DefaultConfig() Config { return Config{ClusterGoodness: 0.35} }
+
+// lowerBound is the benchmark's step-2 rank threshold: a position whose
+// unique-value count exceeds this fraction of the partition is considered
+// variable and unusable as a split key.
+const lowerBound = 0.25
+
+// Parser is an offline IPLoM instance.
+type Parser struct{ cfg Config }
+
+// New returns an IPLoM parser. A zero Config selects the defaults.
+func New(cfg Config) *Parser {
+	if cfg.ClusterGoodness <= 0 {
+		cfg.ClusterGoodness = 0.35
+	}
+	return &Parser{cfg: cfg}
+}
+
+// Name implements baselines.Parser.
+func (p *Parser) Name() string { return "IPLoM" }
+
+type partition struct {
+	lines  []int // indexes into the input
+	tokens [][]string
+}
+
+// Fit implements baselines.Parser.
+func (p *Parser) Fit(lines []string) []int {
+	all := partition{lines: make([]int, len(lines)), tokens: make([][]string, len(lines))}
+	for i, l := range lines {
+		all.lines[i] = i
+		all.tokens[i] = baselines.Tokenize(l)
+	}
+
+	// Step 1: partition by event size.
+	step1 := splitBy(all, func(t []string) string { return itoa(len(t)) })
+
+	// Step 2: partition by the position with the lowest cardinality.
+	var step2 []partition
+	for _, q := range step1 {
+		step2 = append(step2, p.splitByLowestCardinality(q)...)
+	}
+
+	// Step 3: partition by search for bijection.
+	var leaves []partition
+	for _, q := range step2 {
+		leaves = append(leaves, p.splitByBijection(q)...)
+	}
+
+	out := make([]int, len(lines))
+	for gid, q := range leaves {
+		for _, idx := range q.lines {
+			out[idx] = gid
+		}
+	}
+	return out
+}
+
+func (p *Parser) splitByLowestCardinality(q partition) []partition {
+	if len(q.tokens) == 0 || len(q.tokens[0]) == 0 {
+		return []partition{q}
+	}
+	width := len(q.tokens[0])
+	// Split on the position with the lowest cardinality above one: a
+	// cardinality-1 position cannot separate anything, so the most stable
+	// *varying* position drives the split. Positions whose unique-value
+	// ratio exceeds the lower bound are variable-dominated (free text,
+	// ids) and must not shatter the partition — the rank heuristic of the
+	// IPLoM paper.
+	bestPos, bestCard := -1, 1<<31
+	for pos := 0; pos < width; pos++ {
+		card := cardinality(q, pos)
+		if card > 1 && card < bestCard {
+			bestPos, bestCard = pos, card
+		}
+	}
+	if bestPos < 0 || float64(bestCard)/float64(len(q.lines)) > lowerBound {
+		return []partition{q}
+	}
+	return p.applySupport(q, splitBy(q, func(t []string) string { return t[bestPos] }))
+}
+
+func (p *Parser) splitByBijection(q partition) []partition {
+	if len(q.tokens) < 2 {
+		return []partition{q}
+	}
+	width := len(q.tokens[0])
+	if width < 2 {
+		return []partition{q}
+	}
+	// Cluster goodness: skip partitions that are already mostly constant.
+	ones := 0
+	cards := make([]int, width)
+	for pos := 0; pos < width; pos++ {
+		cards[pos] = cardinality(q, pos)
+		if cards[pos] == 1 {
+			ones++
+		}
+	}
+	if float64(ones)/float64(width) >= p.cfg.ClusterGoodness {
+		return []partition{q}
+	}
+	// Determine P1, P2: the first two positions whose cardinality equals
+	// the most frequent cardinality value greater than one.
+	freq := map[int]int{}
+	for _, c := range cards {
+		if c > 1 {
+			freq[c]++
+		}
+	}
+	bestCard, bestFreq := 0, 0
+	for c, f := range freq {
+		if f > bestFreq || (f == bestFreq && c < bestCard) {
+			bestCard, bestFreq = c, f
+		}
+	}
+	if bestCard == 0 {
+		return []partition{q}
+	}
+	p1, p2 := -1, -1
+	for pos := 0; pos < width; pos++ {
+		if cards[pos] == bestCard {
+			if p1 < 0 {
+				p1 = pos
+			} else if p2 < 0 {
+				p2 = pos
+				break
+			}
+		}
+	}
+	if p2 < 0 {
+		return []partition{q}
+	}
+	// Mapping type between the value sets at p1 and p2.
+	fwd := map[string]map[string]bool{}
+	rev := map[string]map[string]bool{}
+	for _, t := range q.tokens {
+		a, b := t[p1], t[p2]
+		if fwd[a] == nil {
+			fwd[a] = map[string]bool{}
+		}
+		if rev[b] == nil {
+			rev[b] = map[string]bool{}
+		}
+		fwd[a][b] = true
+		rev[b][a] = true
+	}
+	oneToB := allSingletons(fwd)
+	oneToA := allSingletons(rev)
+	switch {
+	case oneToB && oneToA: // 1-1: split by the value pair
+		return p.applySupport(q, splitBy(q, func(t []string) string { return t[p1] + "\x00" + t[p2] }))
+	case oneToB: // 1-M seen from p2's side is M-1; split on the 1 side
+		return p.applySupport(q, splitBy(q, func(t []string) string { return t[p1] }))
+	case oneToA:
+		return p.applySupport(q, splitBy(q, func(t []string) string { return t[p2] }))
+	default: // M-M: leave together
+		return []partition{q}
+	}
+}
+
+// applySupport folds partitions below the support threshold into one
+// outlier partition.
+func (p *Parser) applySupport(parent partition, parts []partition) []partition {
+	if p.cfg.PartitionSupport <= 0 {
+		return parts
+	}
+	min := int(p.cfg.PartitionSupport * float64(len(parent.lines)))
+	var kept []partition
+	var outlier partition
+	for _, q := range parts {
+		if len(q.lines) < min {
+			outlier.lines = append(outlier.lines, q.lines...)
+			outlier.tokens = append(outlier.tokens, q.tokens...)
+		} else {
+			kept = append(kept, q)
+		}
+	}
+	if len(outlier.lines) > 0 {
+		kept = append(kept, outlier)
+	}
+	return kept
+}
+
+// Templates derives the event template of each final partition: positions
+// with a single unique value stay constant, the rest become <*>.
+func Templates(lines []string, groups []int) map[int]string {
+	byGroup := map[int][][]string{}
+	for i, g := range groups {
+		byGroup[g] = append(byGroup[g], baselines.Tokenize(lines[i]))
+	}
+	out := make(map[int]string, len(byGroup))
+	for g, toks := range byGroup {
+		width := len(toks[0])
+		t := ""
+		for pos := 0; pos < width; pos++ {
+			val := toks[0][pos]
+			for _, row := range toks {
+				if pos >= len(row) || row[pos] != val {
+					val = "<*>"
+					break
+				}
+			}
+			if pos > 0 {
+				t += " "
+			}
+			t += val
+		}
+		out[g] = t
+	}
+	return out
+}
+
+func splitBy(q partition, key func([]string) string) []partition {
+	m := map[string]*partition{}
+	var order []string
+	for i, t := range q.tokens {
+		k := key(t)
+		part := m[k]
+		if part == nil {
+			part = &partition{}
+			m[k] = part
+			order = append(order, k)
+		}
+		part.lines = append(part.lines, q.lines[i])
+		part.tokens = append(part.tokens, t)
+	}
+	out := make([]partition, 0, len(order))
+	for _, k := range order {
+		out = append(out, *m[k])
+	}
+	return out
+}
+
+func cardinality(q partition, pos int) int {
+	seen := map[string]bool{}
+	for _, t := range q.tokens {
+		if pos < len(t) {
+			seen[t[pos]] = true
+		}
+	}
+	return len(seen)
+}
+
+func allSingletons(m map[string]map[string]bool) bool {
+	for _, s := range m {
+		if len(s) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,103 @@
+// Package logcluster implements LogCluster (R. Vaarandi, M. Pihelgas:
+// "LogCluster - A Data Clustering and Pattern Mining Algorithm for Event
+// Logs", CNSM 2015), reference [16] of the paper.
+//
+// LogCluster generalises SLCT by dropping word positions: a word is
+// frequent if it occurs in at least the support number of lines,
+// regardless of position. Each line maps to the ordered sequence of its
+// frequent words; lines sharing that sequence form a cluster, with
+// variable-length wildcard gaps implied between the words.
+package logcluster
+
+import (
+	"strings"
+
+	"repro/internal/baselines"
+)
+
+// Config holds LogCluster's hyper-parameter.
+type Config struct {
+	// Support is the minimum number of lines a word must occur in. Zero
+	// derives it from SupportFraction.
+	Support int
+	// SupportFraction is used when Support is zero (default 0.5%).
+	SupportFraction float64
+}
+
+// Parser is an offline LogCluster instance.
+type Parser struct{ cfg Config }
+
+// New returns a LogCluster parser. A zero Config selects the defaults.
+func New(cfg Config) *Parser {
+	if cfg.SupportFraction <= 0 {
+		cfg.SupportFraction = 0.005
+	}
+	return &Parser{cfg: cfg}
+}
+
+// Name implements baselines.Parser.
+func (p *Parser) Name() string { return "LogCluster" }
+
+// Fit implements baselines.Parser.
+func (p *Parser) Fit(lines []string) []int {
+	support := p.cfg.Support
+	if support <= 0 {
+		support = int(p.cfg.SupportFraction * float64(len(lines)))
+		if support < 2 {
+			support = 2
+		}
+	}
+
+	// Pass 1: word frequencies over lines (each word counted once per
+	// line, as the paper specifies).
+	freq := make(map[string]int)
+	tokenized := make([][]string, len(lines))
+	for i, line := range lines {
+		tokenized[i] = baselines.Tokenize(line)
+		seen := make(map[string]bool, len(tokenized[i]))
+		for _, w := range tokenized[i] {
+			if !seen[w] {
+				seen[w] = true
+				freq[w]++
+			}
+		}
+	}
+
+	// Pass 2: cluster by the ordered frequent-word sequence.
+	clusters := make(map[string]int)
+	counts := make(map[string]int)
+	keys := make([]string, len(lines))
+	next := 0
+	for i, toks := range tokenized {
+		var b strings.Builder
+		for _, w := range toks {
+			if freq[w] >= support {
+				b.WriteString(w)
+				b.WriteByte('\x00')
+			}
+		}
+		key := b.String()
+		keys[i] = key
+		if _, ok := clusters[key]; !ok {
+			clusters[key] = next
+			next++
+		}
+		counts[key]++
+	}
+
+	// Clusters below support join a shared outlier class.
+	outlier := -1
+	out := make([]int, len(lines))
+	for i, key := range keys {
+		if counts[key] >= support {
+			out[i] = clusters[key]
+			continue
+		}
+		if outlier < 0 {
+			outlier = next
+			next++
+		}
+		out[i] = outlier
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+// Package slct implements SLCT, the Simple Logfile Clustering Tool
+// (R. Vaarandi: "A Data Clustering Algorithm for Mining Patterns from
+// Event Logs", IPOM 2003) — the seminal frequent-pattern-mining log
+// parser, reference [14] of the paper.
+//
+// SLCT makes two passes: the first counts the occurrences of every
+// (position, word) pair; the second builds a cluster candidate for each
+// message from its frequent words (support ≥ threshold), with infrequent
+// positions wildcarded. Candidates meeting the support threshold become
+// clusters; messages not covered by any cluster form the outlier class.
+package slct
+
+import (
+	"strings"
+
+	"repro/internal/baselines"
+)
+
+// Config holds SLCT's hyper-parameter.
+type Config struct {
+	// Support is the minimum number of occurrences for a (position, word)
+	// pair to be frequent. Zero derives it as a fraction of the input
+	// (SupportFraction).
+	Support int
+	// SupportFraction is used when Support is zero (default 0.5%).
+	SupportFraction float64
+}
+
+// Parser is an offline SLCT instance.
+type Parser struct{ cfg Config }
+
+// New returns an SLCT parser. A zero Config selects the defaults.
+func New(cfg Config) *Parser {
+	if cfg.SupportFraction <= 0 {
+		cfg.SupportFraction = 0.005
+	}
+	return &Parser{cfg: cfg}
+}
+
+// Name implements baselines.Parser.
+func (p *Parser) Name() string { return "SLCT" }
+
+type posWord struct {
+	pos  int
+	word string
+}
+
+// Fit implements baselines.Parser.
+func (p *Parser) Fit(lines []string) []int {
+	support := p.cfg.Support
+	if support <= 0 {
+		support = int(p.cfg.SupportFraction * float64(len(lines)))
+		if support < 2 {
+			support = 2
+		}
+	}
+
+	// Pass 1: frequent (position, word) pairs.
+	counts := make(map[posWord]int)
+	tokenized := make([][]string, len(lines))
+	for i, line := range lines {
+		tokenized[i] = baselines.Tokenize(line)
+		for pos, w := range tokenized[i] {
+			counts[posWord{pos, w}]++
+		}
+	}
+
+	// Pass 2: cluster candidates from the frequent words of each line.
+	type cluster struct {
+		id    int
+		count int
+	}
+	candidates := make(map[string]*cluster)
+	keys := make([]string, len(lines))
+	next := 0
+	for i, toks := range tokenized {
+		var b strings.Builder
+		for pos, w := range toks {
+			if pos > 0 {
+				b.WriteByte(' ')
+			}
+			if counts[posWord{pos, w}] >= support {
+				b.WriteString(w)
+			} else {
+				b.WriteString("<*>")
+			}
+		}
+		key := b.String()
+		keys[i] = key
+		c := candidates[key]
+		if c == nil {
+			c = &cluster{id: next}
+			next++
+			candidates[key] = c
+		}
+		c.count++
+	}
+
+	// Candidates below support collapse into a per-length outlier class,
+	// matching SLCT's outlier handling.
+	out := make([]int, len(lines))
+	outliers := make(map[int]int)
+	for i, key := range keys {
+		c := candidates[key]
+		if c.count >= support {
+			out[i] = c.id
+			continue
+		}
+		l := len(tokenized[i])
+		oid, ok := outliers[l]
+		if !ok {
+			oid = next
+			next++
+			outliers[l] = oid
+		}
+		out[i] = oid
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+// Package spell implements the Spell log parser (M. Du, F. Li:
+// "Spell: Streaming Parsing of System Event Logs", ICDM 2016).
+//
+// Spell maintains a set of LCS objects, each holding an event template.
+// A new message joins the object whose template shares the longest common
+// subsequence with it, provided the LCS covers at least half the message
+// (tau = 0.5); the template is then refined to the LCS itself, with <*>
+// wildcards where tokens were dropped. Otherwise the message founds a new
+// object.
+package spell
+
+import "repro/internal/baselines"
+
+// Config holds Spell's single hyper-parameter.
+type Config struct {
+	// Tau is the minimum fraction of the message the LCS must cover.
+	Tau float64
+}
+
+// DefaultConfig returns tau = 0.5, the benchmark setting.
+func DefaultConfig() Config { return Config{Tau: 0.5} }
+
+// Parser is an online Spell instance.
+type Parser struct {
+	cfg     Config
+	objects []*lcsObject
+}
+
+type lcsObject struct {
+	id       int
+	template []string // with <*> placeholders
+}
+
+// New returns a Spell parser. A zero Config selects the defaults.
+func New(cfg Config) *Parser {
+	if cfg.Tau <= 0 {
+		cfg.Tau = 0.5
+	}
+	return &Parser{cfg: cfg}
+}
+
+// Name implements baselines.Parser.
+func (p *Parser) Name() string { return "Spell" }
+
+// Fit implements baselines.Parser.
+func (p *Parser) Fit(lines []string) []int {
+	out := make([]int, len(lines))
+	for i, line := range lines {
+		out[i] = p.Learn(line)
+	}
+	return out
+}
+
+// Learn processes one message online and returns its object id.
+func (p *Parser) Learn(line string) int {
+	tokens := baselines.Tokenize(line)
+	var best *lcsObject
+	bestLen := 0
+	for _, o := range p.objects {
+		// Pruning from the paper: the LCS cannot exceed the shorter
+		// sequence, so skip objects that cannot beat the current best.
+		short := len(o.template)
+		if len(tokens) < short {
+			short = len(tokens)
+		}
+		if short <= bestLen {
+			continue
+		}
+		l := lcsLen(constants(o.template), tokens)
+		if l > bestLen {
+			best, bestLen = o, l
+		}
+	}
+	if best != nil && float64(bestLen)*2 >= float64(len(tokens)) && bestLen > 0 {
+		best.template = mergeLCS(constants(best.template), tokens)
+		return best.id
+	}
+	o := &lcsObject{id: len(p.objects), template: append([]string(nil), tokens...)}
+	p.objects = append(p.objects, o)
+	return o.id
+}
+
+// Templates returns the final event templates, indexed by object id.
+func (p *Parser) Templates() []string {
+	out := make([]string, len(p.objects))
+	for i, o := range p.objects {
+		t := ""
+		for j, tok := range o.template {
+			if j > 0 {
+				t += " "
+			}
+			t += tok
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// constants strips wildcard markers, leaving the constant skeleton used
+// for LCS computation.
+func constants(template []string) []string {
+	out := make([]string, 0, len(template))
+	for _, t := range template {
+		if t != "<*>" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// lcsLen computes the length of the longest common subsequence of a and
+// b with the classic O(len(a)*len(b)) dynamic program, rolling one row.
+func lcsLen(a, b []string) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			switch {
+			case a[i-1] == b[j-1]:
+				cur[j] = prev[j-1] + 1
+			case prev[j] >= cur[j-1]:
+				cur[j] = prev[j]
+			default:
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// mergeLCS rebuilds a template from the message tokens: tokens that are
+// part of the LCS with the constant skeleton stay, everything else
+// becomes <*> (consecutive wildcards collapse).
+func mergeLCS(skeleton, tokens []string) []string {
+	// Reconstruct one LCS via the full DP table.
+	n, m := len(skeleton), len(tokens)
+	dp := make([][]int, n+1)
+	for i := range dp {
+		dp[i] = make([]int, m+1)
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			switch {
+			case skeleton[i-1] == tokens[j-1]:
+				dp[i][j] = dp[i-1][j-1] + 1
+			case dp[i-1][j] >= dp[i][j-1]:
+				dp[i][j] = dp[i-1][j]
+			default:
+				dp[i][j] = dp[i][j-1]
+			}
+		}
+	}
+	inLCS := make([]bool, m)
+	for i, j := n, m; i > 0 && j > 0; {
+		switch {
+		case skeleton[i-1] == tokens[j-1]:
+			inLCS[j-1] = true
+			i--
+			j--
+		case dp[i-1][j] >= dp[i][j-1]:
+			i--
+		default:
+			j--
+		}
+	}
+	var out []string
+	for j, tok := range tokens {
+		if inLCS[j] {
+			out = append(out, tok)
+			continue
+		}
+		if len(out) == 0 || out[len(out)-1] != "<*>" {
+			out = append(out, "<*>")
+		}
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package core
+
+// Edge cases from production: the paper mentions an 864-token message
+// (§III, multi-line handling), services with odd names, and messages that
+// are nothing but noise.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/ingest"
+)
+
+// TestGiantSingleLineMessage: the longest message the paper saw had 864
+// tokens. A single-line monster must survive analysis and parse back.
+func TestGiantSingleLineMessage(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("dump of registers:")
+	for i := 0; i < 864; i++ {
+		fmt.Fprintf(&b, " r%d=%d", i, i*7)
+	}
+	msg := b.String()
+
+	e := newTestEngine(t, Config{})
+	recs := []ingest.Record{
+		{Service: "kernel", Message: msg},
+		{Service: "kernel", Message: msg},
+		{Service: "kernel", Message: msg},
+	}
+	res, err := e.AnalyzeByService(recs, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NewPatterns != 1 {
+		t.Fatalf("giant message: %d patterns", res.NewPatterns)
+	}
+	if _, _, ok := e.Parse("kernel", msg); !ok {
+		t.Fatal("giant message does not parse back")
+	}
+}
+
+// TestGiantMultilineTruncated: the same monster spread over lines costs
+// only its first line thanks to the tail-ignore marker.
+func TestGiantMultilineTruncated(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("dump of registers follows")
+	for i := 0; i < 864; i++ {
+		fmt.Fprintf(&b, "\n r%d=%d", i, i*7)
+	}
+	e := newTestEngine(t, Config{})
+	recs := []ingest.Record{
+		{Service: "kernel", Message: b.String()},
+		{Service: "kernel", Message: "dump of registers follows\n r0=1"},
+		{Service: "kernel", Message: "dump of registers follows\n other tail"},
+	}
+	res, err := e.AnalyzeByService(recs, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NewPatterns != 1 {
+		for _, p := range e.Store().All() {
+			t.Logf("pattern: %q", p.Text())
+		}
+		t.Fatalf("multi-line monsters should share one first-line pattern, got %d", res.NewPatterns)
+	}
+	p := e.Store().All()[0]
+	if !p.Multiline {
+		t.Error("pattern should be multiline")
+	}
+	if p.TokenCount() > 10 {
+		t.Errorf("pattern should only cover the first line, has %d tokens", p.TokenCount())
+	}
+}
+
+func TestOddServiceNames(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	for _, svc := range []string{"", "with space", "sshd[pam]", "日本語", "a/b@c"} {
+		recs := []ingest.Record{
+			{Service: svc, Message: "thing 1 happened"},
+			{Service: svc, Message: "thing 2 happened"},
+			{Service: svc, Message: "thing 3 happened"},
+		}
+		if _, err := e.AnalyzeByService(recs, now); err != nil {
+			t.Fatalf("service %q: %v", svc, err)
+		}
+		if _, _, ok := e.Parse(svc, "thing 9 happened"); !ok {
+			t.Errorf("service %q: no parse-back", svc)
+		}
+	}
+}
+
+func TestNoiseMessages(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	recs := []ingest.Record{
+		{Service: "noise", Message: "!!! ??? ###"},
+		{Service: "noise", Message: "  "},
+		{Service: "noise", Message: "\n\n\n"},
+		{Service: "noise", Message: "a"},
+		{Service: "noise", Message: "%%%"},
+	}
+	if _, err := e.AnalyzeByService(recs, now); err != nil {
+		t.Fatalf("noise batch: %v", err)
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	res, err := e.AnalyzeByService(nil, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 0 || res.NewPatterns != 0 {
+		t.Fatalf("empty batch: %+v", res)
+	}
+	res, err = e.Analyze(nil, now)
+	if err != nil || res.Messages != 0 {
+		t.Fatalf("empty classic batch: %+v, %v", res, err)
+	}
+}
+
+func TestUnicodeMessages(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	recs := []ingest.Record{
+		{Service: "intl", Message: "utilisateur rené connecté depuis 10.0.0.1"},
+		{Service: "intl", Message: "utilisateur zoë connecté depuis 10.0.0.2"},
+		{Service: "intl", Message: "utilisateur 田中 connecté depuis 10.0.0.3"},
+	}
+	res, err := e.AnalyzeByService(recs, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NewPatterns == 0 {
+		t.Fatal("no patterns from unicode messages")
+	}
+	if _, _, ok := e.Parse("intl", "utilisateur ωμέγα connecté depuis 10.9.9.9"); !ok {
+		t.Error("unicode variable value should match the mined pattern")
+	}
+}

@@ -1,0 +1,317 @@
+// Package core is the Sequence-RTG engine: it wires the scanner, parser,
+// analyzer and pattern store into the batch workflow of the paper's Fig 2.
+//
+// Two entry points mirror the paper's speed comparison (Fig 5):
+//
+//   - Analyze is the original Sequence behaviour: every record of the
+//     batch, regardless of source system, is mined in one shared analysis
+//     partitioned only by token count.
+//
+//   - AnalyzeByService is the Sequence-RTG method: records are first
+//     partitioned by service; each message is then parsed against the
+//     known patterns of its service and only unmatched messages continue
+//     to analysis, where a second partitioning by token count selects the
+//     trie that will mine them. Newly found patterns are saved to the
+//     database for comparison against subsequent batches and for export.
+package core
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/analyzer"
+	"repro/internal/ingest"
+	"repro/internal/parser"
+	"repro/internal/patterns"
+	"repro/internal/store"
+	"repro/internal/token"
+)
+
+// Config tunes the engine.
+type Config struct {
+	// Analyzer configures pattern mining.
+	Analyzer analyzer.Config
+	// SaveThreshold drops discovered patterns matched fewer than this many
+	// times in the discovering batch ("any pattern whose count of matches
+	// is less than the threshold is considered useless and thus not
+	// saved", §IV). Zero keeps everything.
+	SaveThreshold int64
+	// MaxTrieNodes bounds one service's analysis trie; when exceeded the
+	// trie is harvested early and reset, the paper's defence against very
+	// large data sets exhausting memory (limitation 5). Zero means no
+	// bound.
+	MaxTrieNodes int
+	// Concurrency is the number of services analysed in parallel by
+	// AnalyzeByService. The default (0 or 1) is the paper's sequential
+	// behaviour; since patterns never cross services, service partitions
+	// are embarrassingly parallel (§IV discusses exactly this scaling).
+	Concurrency int
+	// Scanner enables the optional scanner extensions (unpadded times,
+	// path FSM); the zero value is the published scanner.
+	Scanner token.Config
+}
+
+// Engine is a Sequence-RTG instance bound to a pattern store.
+type Engine struct {
+	cfg    Config
+	store  *store.Store
+	parser *parser.Parser
+}
+
+// NewEngine creates an engine over a pattern store and loads every stored
+// pattern into the parser, making patterns persistent across executions.
+func NewEngine(st *store.Store, cfg Config) *Engine {
+	e := &Engine{cfg: cfg, store: st, parser: parser.New()}
+	for _, p := range st.All() {
+		e.parser.Add(p)
+	}
+	return e
+}
+
+// Store returns the engine's pattern store.
+func (e *Engine) Store() *store.Store { return e.store }
+
+// AddPattern registers (or refreshes) one pattern in the engine's parser
+// without touching the store; used when patterns arrive from outside the
+// mining path (database merges, hand-authored patterns).
+func (e *Engine) AddPattern(p *patterns.Pattern) { e.parser.Add(p) }
+
+// PatternCount returns the number of patterns currently known to the
+// parser.
+func (e *Engine) PatternCount() int { return e.parser.Len() }
+
+// BatchResult summarises the processing of one batch.
+type BatchResult struct {
+	// Messages is the number of records processed.
+	Messages int
+	// Matched counts records matched by an already-known pattern.
+	Matched int
+	// Unmatched counts records that went to analysis.
+	Unmatched int
+	// NewPatterns is the number of patterns discovered in this batch
+	// (after the save threshold).
+	NewPatterns int
+	// Services is the number of distinct services seen in the batch.
+	Services int
+	// Duration is the wall time spent.
+	Duration time.Duration
+}
+
+func (r *BatchResult) add(o BatchResult) {
+	r.Messages += o.Messages
+	r.Matched += o.Matched
+	r.Unmatched += o.Unmatched
+	r.NewPatterns += o.NewPatterns
+}
+
+// Parse matches a single message against the known patterns of a service
+// without learning anything, returning the pattern and the extracted
+// variable values.
+func (e *Engine) Parse(service, message string) (*patterns.Pattern, map[string]string, bool) {
+	s := token.Scanner{Config: e.cfg.Scanner}
+	toks := token.Enrich(s.Scan(message))
+	p, ok := e.parser.Match(service, toks)
+	if !ok {
+		return nil, nil, false
+	}
+	vals, _ := p.Extract(toks)
+	return p, vals, true
+}
+
+// Analyze processes a batch the way the original Sequence does: one
+// analysis over all records with no service partitioning and no
+// parse-before-analyze short circuit. Kept for the Fig 5 comparison and
+// for single-source ad-hoc use.
+func (e *Engine) Analyze(records []ingest.Record, now time.Time) (BatchResult, error) {
+	start := time.Now()
+	a := analyzer.New("mixed", e.cfg.Analyzer)
+	s := token.Scanner{Config: e.cfg.Scanner}
+	services := make(map[string]struct{}, 64)
+	for _, rec := range records {
+		services[rec.Service] = struct{}{}
+		a.Add(token.Enrich(s.ScanCopy(rec.Message)), rec.Message)
+	}
+	res := BatchResult{Messages: len(records), Unmatched: len(records), Services: len(services)}
+	n, err := e.harvest(a, now)
+	if err != nil {
+		return res, err
+	}
+	res.NewPatterns = n
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// AnalyzeByService processes a batch with the Sequence-RTG workflow
+// (paper Fig 2): partition by service, parse known patterns first, mine
+// only the unmatched remainder partitioned by token count, then persist
+// discoveries.
+func (e *Engine) AnalyzeByService(records []ingest.Record, now time.Time) (BatchResult, error) {
+	start := time.Now()
+
+	byService := make(map[string][]string)
+	for _, rec := range records {
+		byService[rec.Service] = append(byService[rec.Service], rec.Message)
+	}
+	services := make([]string, 0, len(byService))
+	for svc := range byService {
+		services = append(services, svc)
+	}
+	sort.Strings(services)
+
+	res := BatchResult{Services: len(services)}
+
+	workers := e.cfg.Concurrency
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	type svcOut struct {
+		res BatchResult
+		err error
+	}
+	var (
+		mu   sync.Mutex
+		outs = make([]svcOut, len(services))
+		sem  = make(chan struct{}, workers)
+		wg   sync.WaitGroup
+	)
+	for i, svc := range services {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, svc string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			r, err := e.analyzeService(svc, byService[svc], now, &mu)
+			outs[i] = svcOut{res: r, err: err}
+		}(i, svc)
+	}
+	wg.Wait()
+	for _, o := range outs {
+		if o.err != nil {
+			return res, o.err
+		}
+		res.add(o.res)
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// analyzeService runs the per-service pipeline. mu serialises store and
+// parser mutations across concurrent service workers; parser lookups are
+// already concurrency safe.
+func (e *Engine) analyzeService(svc string, msgs []string, now time.Time, mu *sync.Mutex) (BatchResult, error) {
+	res := BatchResult{Messages: len(msgs)}
+	a := analyzer.New(svc, e.cfg.Analyzer)
+	s := token.Scanner{Config: e.cfg.Scanner}
+
+	// Accumulate per-pattern match statistics and flush them in one lock.
+	type hit struct {
+		n       int64
+		example string
+	}
+	hits := make(map[string]*hit)
+
+	flushMined := func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		n, err := e.harvest(a, now)
+		res.NewPatterns += n
+		return err
+	}
+
+	for _, msg := range msgs {
+		toks := token.Enrich(s.Scan(msg))
+		if p, ok := e.parser.Match(svc, toks); ok {
+			res.Matched++
+			h := hits[p.ID]
+			if h == nil {
+				h = &hit{}
+				hits[p.ID] = h
+			}
+			h.n++
+			if h.example == "" {
+				h.example = msg
+			}
+			continue
+		}
+		res.Unmatched++
+		a.Add(append([]token.Token(nil), toks...), msg)
+		if e.cfg.MaxTrieNodes > 0 && a.NodeCount() > e.cfg.MaxTrieNodes {
+			if err := flushMined(); err != nil {
+				return res, err
+			}
+			a = analyzer.New(svc, e.cfg.Analyzer)
+		}
+	}
+	if err := flushMined(); err != nil {
+		return res, err
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for id, h := range hits {
+		if err := e.store.Touch(id, h.n, now, h.example); err != nil {
+			return res, fmt.Errorf("core: record matches: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// harvest extracts, filters, stores and registers the patterns mined by
+// an analyzer, returning the number of saved patterns. Callers running
+// concurrently must hold the engine's batch mutex.
+func (e *Engine) harvest(a *analyzer.Analyzer, now time.Time) (int, error) {
+	saved := 0
+	for _, p := range a.Patterns(now) {
+		if e.cfg.SaveThreshold > 0 && p.Count < e.cfg.SaveThreshold {
+			continue
+		}
+		if err := e.store.Upsert(p); err != nil {
+			return saved, fmt.Errorf("core: save pattern: %w", err)
+		}
+		e.parser.Add(p)
+		saved++
+	}
+	return saved, nil
+}
+
+// Run drains an ingest stream batch by batch through AnalyzeByService,
+// calling report (if non-nil) after every batch. It is the main loop of
+// the production deployment: syslog-ng pipes unmatched messages to the
+// Sequence-RTG child process, which waits for a full batch and analyses
+// it (§III, §IV).
+func (e *Engine) Run(r *ingest.Reader, report func(BatchResult)) (BatchResult, error) {
+	var total BatchResult
+	for {
+		batch, err := r.NextBatch()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return total, err
+		}
+		res, err := e.AnalyzeByService(batch, time.Now())
+		if err != nil {
+			return total, err
+		}
+		total.add(res)
+		total.Duration += res.Duration
+		if res.Services > total.Services {
+			total.Services = res.Services
+		}
+		if report != nil {
+			report(res)
+		}
+		if err := e.store.Flush(); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

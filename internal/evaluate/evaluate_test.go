@@ -1,0 +1,147 @@
+package evaluate
+
+import (
+	"testing"
+
+	"repro/internal/loghub"
+)
+
+// The accuracy experiments take a couple of seconds over all sixteen
+// datasets; short mode samples fewer lines.
+func sampleSize(t *testing.T) int {
+	if testing.Short() {
+		return 500
+	}
+	return loghub.DefaultLines
+}
+
+// TestTableIIShape reproduces Table II and asserts the qualitative claims
+// of the paper hold on the synthetic datasets:
+//
+//  1. Sequence-RTG's average pre-processed accuracy is at the level the
+//     paper reports (≈0.90) and at least on par with the best baseline.
+//  2. Raw-log accuracy tracks pre-processed accuracy for most datasets.
+//  3. HealthApp and Proxifier collapse on raw logs (the two documented
+//     limitation cases), while Apache stays perfect everywhere.
+func TestTableIIShape(t *testing.T) {
+	rows, err := TableII(sampleSize(t), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]TableIIRow{}
+	for _, r := range rows {
+		byName[r.Dataset] = r
+		if r.Preprocessed < 0 || r.Preprocessed > 1 || r.Raw < 0 || r.Raw > 1 {
+			t.Fatalf("%s: accuracy out of range: %+v", r.Dataset, r)
+		}
+	}
+
+	avgPre, avgRaw, avgBest := Averages(rows)
+	t.Logf("averages: pre=%.3f raw=%.3f best=%.3f (paper: 0.901 / 0.869 / 0.865)", avgPre, avgRaw, avgBest)
+	if avgPre < 0.85 {
+		t.Errorf("average pre-processed accuracy %.3f, want >= 0.85 (paper: 0.901)", avgPre)
+	}
+	if avgPre < avgBest-0.03 {
+		t.Errorf("Sequence-RTG average (%.3f) should be at least on par with best baseline (%.3f)", avgPre, avgBest)
+	}
+
+	// Raw ≈ pre-processed except for the two documented collapses.
+	if d := byName["HealthApp"].Preprocessed - byName["HealthApp"].Raw; d < 0.25 {
+		t.Errorf("HealthApp raw should collapse (zero-less timestamps); drop = %.3f", d)
+	}
+	if d := byName["Proxifier"].Preprocessed - byName["Proxifier"].Raw; d < 0.15 {
+		t.Errorf("Proxifier raw should drop (type-unstable field); drop = %.3f", d)
+	}
+	if byName["Apache"].Preprocessed < 0.999 || byName["Apache"].Raw < 0.999 {
+		t.Errorf("Apache should be perfect: %+v", byName["Apache"])
+	}
+
+	// Equal-or-better claim: the paper reports Sequence-RTG >= best of
+	// [11] on 8 of 16 datasets; require a substantial fraction here.
+	wins := 0
+	for _, r := range rows {
+		if r.Preprocessed >= r.Best-1e-9 {
+			wins++
+		}
+	}
+	t.Logf("wins vs best baseline: %d/16 (paper: 8/16)", wins)
+	if wins < 5 {
+		t.Errorf("Sequence-RTG should equal or beat the best baseline on several datasets, got %d", wins)
+	}
+}
+
+// TestTableIIIShape reproduces Table III and asserts its headline
+// finding: Drain ranks best on average, every average is in the 0.7-0.9
+// band of the study, and Proxifier is the hardest dataset for everyone.
+func TestTableIIIShape(t *testing.T) {
+	rows, err := TableIII(sampleSize(t), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var ael, iplom, spell, drain float64
+	for _, r := range rows {
+		ael += r.AEL
+		iplom += r.IPLoM
+		spell += r.Spell
+		drain += r.Drain
+	}
+	n := float64(len(rows))
+	ael, iplom, spell, drain = ael/n, iplom/n, spell/n, drain/n
+	t.Logf("averages: AEL=%.3f IPLoM=%.3f Spell=%.3f Drain=%.3f (paper: 0.754 / 0.777 / 0.751 / 0.865)", ael, iplom, spell, drain)
+
+	if drain < ael-0.02 || drain < spell-0.02 || drain < iplom-0.05 {
+		t.Errorf("Drain should rank at or near the top: AEL=%.3f IPLoM=%.3f Spell=%.3f Drain=%.3f", ael, iplom, spell, drain)
+	}
+	for name, avg := range map[string]float64{"AEL": ael, "IPLoM": iplom, "Spell": spell, "Drain": drain} {
+		if avg < 0.60 || avg > 0.95 {
+			t.Errorf("%s average %.3f outside the plausible band of the study", name, avg)
+		}
+	}
+	for _, r := range rows {
+		if r.Dataset == "Apache" && (r.AEL < 0.99 || r.IPLoM < 0.99 || r.Drain < 0.99) {
+			t.Errorf("Apache should be near-perfect for AEL/IPLoM/Drain: %+v", r)
+		}
+		if r.Dataset == "Proxifier" && (r.AEL > 0.7 || r.IPLoM > 0.7 || r.Drain > 0.7) {
+			t.Errorf("Proxifier should be hard for the baselines: %+v", r)
+		}
+	}
+}
+
+// TestSequenceRTGPerfectInput sanity-checks the harness itself: fully
+// constant events must score 1.0.
+func TestSequenceRTGPerfectInput(t *testing.T) {
+	var lines, truth []string
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			lines = append(lines, "alpha event fired")
+			truth = append(truth, "E1")
+		} else {
+			lines = append(lines, "beta event stopped")
+			truth = append(truth, "E2")
+		}
+	}
+	acc, err := SequenceRTG("svc", lines, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != 1.0 {
+		t.Fatalf("accuracy = %v, want 1.0", acc)
+	}
+}
+
+func TestPaperReferenceTablesComplete(t *testing.T) {
+	for _, name := range loghub.Names() {
+		if _, ok := PaperTableII[name]; !ok {
+			t.Errorf("PaperTableII missing %s", name)
+		}
+		if _, ok := PaperTableIII[name]; !ok {
+			t.Errorf("PaperTableIII missing %s", name)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Package export translates stored Sequence-RTG patterns into the three
+// formats the paper targets for integration with existing log management
+// workflows (§III, "Exporting the Patterns for Other Parsers"):
+//
+//   - syslog-ng patterndb XML, including the saved example messages as
+//     test cases and the collected statistics (paper Fig 3),
+//   - YAML, for DevOps pipelines (e.g. Puppet) that build the patterndb
+//     XML, or for hand maintenance before automation,
+//   - Logstash Grok filter blocks (paper Fig 4), with the pattern ID
+//     attached as a tag.
+//
+// Export selection honours the statistics: a minimum match count (the
+// save threshold) and a maximum complexity score keep only the strongest
+// patterns for review.
+package export
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/patterns"
+)
+
+// Options selects and filters what is exported.
+type Options struct {
+	// MinCount drops patterns matched fewer times.
+	MinCount int64
+	// MaxComplexity, when positive, drops patterns whose complexity score
+	// exceeds it (1.0 keeps everything; all-variable patterns score
+	// exactly 1.0 and are excluded by any threshold below that).
+	MaxComplexity float64
+	// Services restricts export to these services; empty exports all.
+	Services []string
+	// RulesetID names the generated patterndb ruleset ids; defaults to
+	// "sequence-rtg".
+	RulesetID string
+}
+
+func (o Options) keep(p *patterns.Pattern) bool {
+	if p.Count < o.MinCount {
+		return false
+	}
+	if o.MaxComplexity > 0 && p.Complexity() > o.MaxComplexity {
+		return false
+	}
+	if len(o.Services) > 0 {
+		ok := false
+		for _, s := range o.Services {
+			if s == p.Service {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Select applies the option filters and returns the surviving patterns
+// grouped by service, services sorted, patterns sorted by descending
+// count (the review priority order the statistics exist for).
+func Select(ps []*patterns.Pattern, opts Options) (services []string, byService map[string][]*patterns.Pattern) {
+	byService = make(map[string][]*patterns.Pattern)
+	for _, p := range ps {
+		if opts.keep(p) {
+			byService[p.Service] = append(byService[p.Service], p)
+		}
+	}
+	for svc, list := range byService {
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].Count != list[j].Count {
+				return list[i].Count > list[j].Count
+			}
+			return list[i].ID < list[j].ID
+		})
+		services = append(services, svc)
+	}
+	sort.Strings(services)
+	return services, byService
+}
+
+// Format identifies an export format by its command-line name.
+type Format string
+
+// The supported formats.
+const (
+	FormatPatternDB Format = "patterndb"
+	FormatYAML      Format = "yaml"
+	FormatGrok      Format = "grok"
+)
+
+// Export writes patterns in the named format. The format is selected by a
+// command-line flag in the production deployment and can change per run.
+func Export(w io.Writer, f Format, ps []*patterns.Pattern, opts Options) error {
+	switch f {
+	case FormatPatternDB:
+		return PatternDB(w, ps, opts)
+	case FormatYAML:
+		return YAML(w, ps, opts)
+	case FormatGrok:
+		return Grok(w, ps, opts)
+	default:
+		return fmt.Errorf("export: unknown format %q (want patterndb, yaml or grok)", f)
+	}
+}

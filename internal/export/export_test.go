@@ -1,0 +1,275 @@
+package export
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/patterns"
+)
+
+func paperPattern(t testing.TB) *patterns.Pattern {
+	t.Helper()
+	p, err := patterns.FromText("%action% from %srcip% port %srcport%", "sshd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Count = 42
+	p.LastMatched = time.Date(2021, 9, 1, 12, 0, 0, 0, time.UTC)
+	p.Examples = []string{
+		"accepted from 10.0.0.1 port 22",
+		"refused from 10.0.0.9 port 2222",
+	}
+	return p
+}
+
+// TestPaperFigures checks the two export formats shown in the paper.
+func TestPaperFigures(t *testing.T) {
+	p := paperPattern(t)
+
+	// Fig 3: patterndb form of the running example.
+	got := ToPatternDB(p)
+	want := "@ESTRING:action: @from @IPv4:srcip@ port @NUMBER:srcport@"
+	if got != want {
+		t.Errorf("Fig 3 patterndb form:\n got %q\nwant %q", got, want)
+	}
+
+	// Fig 4: Grok form of the running example.
+	gotG := ToGrok(p)
+	wantG := "%{DATA:action} from %{IP:srcip} port %{INT:srcport}"
+	if gotG != wantG {
+		t.Errorf("Fig 4 grok form:\n got %q\nwant %q", gotG, wantG)
+	}
+
+	var buf bytes.Buffer
+	if err := Grok(&buf, []*patterns.Pattern{p}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"filter {", "grok {", p.ID, "\"pattern_id\"", wantG} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("grok output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestPatternDBWellFormedXML(t *testing.T) {
+	p := paperPattern(t)
+	var buf bytes.Buffer
+	if err := PatternDB(&buf, []*patterns.Pattern{p}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	var doc xmlPatternDB
+	if err := xml.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not well-formed XML: %v\n%s", err, buf.String())
+	}
+	if len(doc.Rulesets) != 1 || doc.Rulesets[0].Name != "sshd" {
+		t.Fatalf("rulesets: %+v", doc.Rulesets)
+	}
+	rule := doc.Rulesets[0].Rules[0]
+	if rule.ID != p.ID {
+		t.Errorf("rule id = %q, want pattern SHA-1 %q", rule.ID, p.ID)
+	}
+	if len(rule.Examples) != 2 {
+		t.Errorf("examples = %d, want 2 test cases", len(rule.Examples))
+	}
+	var sawCount bool
+	for _, v := range rule.Values {
+		if v.Name == ".seqrtg.count" && v.Text == "42" {
+			sawCount = true
+		}
+	}
+	if !sawCount {
+		t.Errorf("statistics missing from rule values: %+v", rule.Values)
+	}
+}
+
+func TestPatternDBEscapesAt(t *testing.T) {
+	p, err := patterns.FromText("progress report at step %integer%", "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Elements[0].Value = "progress@host" // inject an @ literal
+	got := ToPatternDB(p)
+	if !strings.Contains(got, "@@") {
+		t.Errorf("literal @ must be doubled: %q", got)
+	}
+}
+
+// TestFromTextPercentLimitation pins the paper's §IV limitation: static
+// text containing the % delimiter collides with the pattern syntax.
+func TestFromTextPercentLimitation(t *testing.T) {
+	if _, err := patterns.FromText("progress 50%-ish at step %integer%", "svc"); err == nil {
+		t.Fatal("bare % in static text must fail to parse (documented limitation)")
+	}
+}
+
+func TestToPatternDBTrailingString(t *testing.T) {
+	p, err := patterns.FromText("disk failure on %string%", "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ToPatternDB(p)
+	if !strings.HasSuffix(got, "@ANYSTRING:string@") {
+		t.Errorf("trailing string variable should be ANYSTRING: %q", got)
+	}
+}
+
+func TestToPatternDBCharDelimiter(t *testing.T) {
+	// user variable directly followed by "(" — ESTRING with ( delimiter,
+	// which consumes the paren.
+	p, err := patterns.FromText("session for %user%(uid=%integer%)", "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ToPatternDB(p)
+	if !strings.Contains(got, "@ESTRING:user:(@") {
+		t.Errorf("char-delimited ESTRING expected: %q", got)
+	}
+	if strings.Contains(got, "(@(") || strings.Contains(got, "@(") && strings.Contains(got, "((") {
+		t.Errorf("consumed delimiter must not be re-emitted: %q", got)
+	}
+}
+
+func TestSelectFilters(t *testing.T) {
+	strong := paperPattern(t)
+	weak := mustText(t, "rare %string% event", "sshd")
+	weak.Count = 1
+	allVar, _ := patterns.FromText("%string% %integer%", "cron")
+	allVar.Count = 100
+	other := mustText(t, "other %integer% thing", "cron")
+	other.Count = 50
+
+	ps := []*patterns.Pattern{strong, weak, allVar, other}
+
+	// MinCount filter.
+	svcs, by := Select(ps, Options{MinCount: 10})
+	if len(by["sshd"]) != 1 || by["sshd"][0].ID != strong.ID {
+		t.Errorf("MinCount: %v %v", svcs, by)
+	}
+	// Complexity filter drops the all-variable pattern.
+	_, by = Select(ps, Options{MaxComplexity: 0.9})
+	for _, p := range by["cron"] {
+		if p.ID == allVar.ID {
+			t.Error("all-variable pattern must be dropped by complexity threshold")
+		}
+	}
+	// Service filter.
+	svcs, _ = Select(ps, Options{Services: []string{"cron"}})
+	if len(svcs) != 1 || svcs[0] != "cron" {
+		t.Errorf("service filter: %v", svcs)
+	}
+	// Ordering: descending count within a service.
+	_, by = Select(ps, Options{})
+	if got := by["sshd"]; len(got) != 2 || got[0].Count < got[1].Count {
+		t.Errorf("patterns not ordered by count: %+v", got)
+	}
+}
+
+func mustText(t testing.TB, text, svc string) *patterns.Pattern {
+	t.Helper()
+	p, err := patterns.FromText(text, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestYAMLOutput(t *testing.T) {
+	p := paperPattern(t)
+	var buf bytes.Buffer
+	if err := YAML(&buf, []*patterns.Pattern{p}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{
+		"services:",
+		"- name: sshd",
+		"id: " + p.ID,
+		`sequence: "%action% from %srcip% port %srcport%"`,
+		"count: 42",
+		"examples:",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("yaml missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestYAMLScalarQuoting(t *testing.T) {
+	cases := map[string]string{
+		"plain":        "plain",
+		"":             `""`,
+		"has: colon":   `"has: colon"`,
+		"tab\there":    `"tab\there"`,
+		"123":          `"123"`,
+		"true":         `"true"`,
+		"-dash":        `"-dash"`,
+		`quote"inside`: `"quote\"inside"`,
+	}
+	for in, want := range cases {
+		if got := yamlScalar(in); got != want {
+			t.Errorf("yamlScalar(%q) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestExportDispatch(t *testing.T) {
+	p := paperPattern(t)
+	for _, f := range []Format{FormatPatternDB, FormatYAML, FormatGrok} {
+		var buf bytes.Buffer
+		if err := Export(&buf, f, []*patterns.Pattern{p}, Options{}); err != nil {
+			t.Errorf("Export(%s): %v", f, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("Export(%s): empty output", f)
+		}
+	}
+	if err := Export(&bytes.Buffer{}, Format("bogus"), nil, Options{}); err == nil {
+		t.Error("unknown format must error")
+	}
+}
+
+// TestPatternDBXMLEscaping: services and examples with XML-special
+// characters must produce a well-formed document.
+func TestPatternDBXMLEscaping(t *testing.T) {
+	p := mustText(t, "value %integer% < limit", `weird&<svc>"`)
+	p.Examples = []string{`value 5 < limit & "quoted" <tag>`}
+	var buf bytes.Buffer
+	if err := PatternDB(&buf, []*patterns.Pattern{p}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	var doc xmlPatternDB
+	if err := xml.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("escaping broken: %v\n%s", err, buf.String())
+	}
+	if doc.Rulesets[0].Name != `weird&<svc>"` {
+		t.Fatalf("service name mangled: %q", doc.Rulesets[0].Name)
+	}
+}
+
+// TestGrokEscapesRegexMeta: literal regex metacharacters in patterns must
+// be escaped in the Grok output.
+func TestGrokEscapesRegexMeta(t *testing.T) {
+	p := mustText(t, "BLOCK* ask (x) [y] %integer%", "svc")
+	got := ToGrok(p)
+	for _, frag := range []string{`BLOCK\*`, `\(x\)`, `\[y\]`} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("grok output missing escaped %q: %q", frag, got)
+		}
+	}
+}
+
+func TestMultilineExamplesTruncated(t *testing.T) {
+	p := mustText(t, "boom %string%%tailany%", "java")
+	p.Examples = []string{"boom here\n  at stack\n  at more"}
+	var buf bytes.Buffer
+	if err := PatternDB(&buf, []*patterns.Pattern{p}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "at stack") {
+		t.Error("multi-line example must be truncated to its first line")
+	}
+}

@@ -1,0 +1,95 @@
+package export
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/patterns"
+	"repro/internal/token"
+)
+
+// Logstash Grok export (paper Fig 4):
+//
+//	filter {
+//	  grok {
+//	    match => {"message" => "%{DATA:action} from %{IP:srcip} port %{INT:srcport}"}
+//	    add_tag => ["2908692bdd6cb4eca096eaa19afebd9e15650b4d", "pattern_id"]
+//	  }
+//	}
+
+// Grok writes the selected patterns as Logstash filter blocks, one per
+// pattern, each tagging matched events with the pattern's SHA-1 ID.
+func Grok(w io.Writer, ps []*patterns.Pattern, opts Options) error {
+	services, byService := Select(ps, opts)
+	var b strings.Builder
+	for _, svc := range services {
+		fmt.Fprintf(&b, "# service: %s\n", svc)
+		for _, p := range byService[svc] {
+			b.WriteString("filter {\n")
+			b.WriteString("  grok {\n")
+			fmt.Fprintf(&b, "    match => {\"message\" => %q}\n", ToGrok(p))
+			fmt.Fprintf(&b, "    add_tag => [\"%s\", \"pattern_id\"]\n", p.ID)
+			b.WriteString("  }\n")
+			b.WriteString("}\n")
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// grokNames maps token types to the standard Grok pattern vocabulary.
+var grokNames = map[token.Type]string{
+	token.Integer:   "INT",
+	token.Float:     "NUMBER",
+	token.IPv4:      "IP",
+	token.IPv6:      "IP",
+	token.Mac:       "MAC",
+	token.Time:      "SEQTIMESTAMP",
+	token.URL:       "NOTSPACE",
+	token.HexString: "BASE16NUM",
+	token.Email:     "EMAILADDRESS",
+	token.Host:      "HOSTNAME",
+	token.Path:      "UNIXPATH",
+}
+
+// ToGrok translates one pattern into a Grok match expression. Literal
+// text is regex-escaped because everything outside %{...} is a regular
+// expression in Grok.
+func ToGrok(p *patterns.Pattern) string {
+	var b strings.Builder
+	for i, e := range p.Elements {
+		if e.SpaceBefore && i > 0 {
+			b.WriteByte(' ')
+		}
+		switch {
+		case e.Type == token.TailAny:
+			b.WriteString("%{GREEDYDATA:tail}")
+		case e.Var:
+			name := grokNames[e.Type]
+			if name == "" {
+				name = "DATA"
+				if i == len(p.Elements)-1 {
+					name = "GREEDYDATA" // DATA is non-greedy and matches empty at end
+				}
+			}
+			fmt.Fprintf(&b, "%%{%s:%s}", name, e.Name)
+		default:
+			b.WriteString(regexQuote(e.Value))
+		}
+	}
+	return b.String()
+}
+
+// regexQuote escapes regex metacharacters in literal text.
+func regexQuote(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if strings.IndexByte(`\.+*?()|[]{}^$`, c) >= 0 {
+			b.WriteByte('\\')
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}

@@ -1,0 +1,219 @@
+package export
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/patterns"
+	"repro/internal/token"
+)
+
+// syslog-ng patterndb XML (paper Fig 3).
+//
+// The generated document follows the patterndb v4 schema: one ruleset per
+// service (patterndb routes by program name), one rule per pattern with
+// the Sequence-RTG SHA-1 as the rule id, the saved examples as
+// <test_message> elements — syslog-ng's pdbtool uses them to verify that
+// every example matches its own rule and no other — and the collected
+// statistics as rule tags.
+
+type xmlPatternDB struct {
+	XMLName  xml.Name     `xml:"patterndb"`
+	Version  string       `xml:"version,attr"`
+	PubDate  string       `xml:"pub_date,attr,omitempty"`
+	Rulesets []xmlRuleset `xml:"ruleset"`
+}
+
+type xmlRuleset struct {
+	Name     string    `xml:"name,attr"`
+	ID       string    `xml:"id,attr"`
+	Patterns xmlPats   `xml:"patterns"`
+	Rules    []xmlRule `xml:"rules>rule"`
+}
+
+// xmlPats carries the program name pattern(s) the ruleset applies to.
+type xmlPats struct {
+	Pattern []string `xml:"pattern"`
+}
+
+type xmlRule struct {
+	Provider string       `xml:"provider,attr"`
+	ID       string       `xml:"id,attr"`
+	Class    string       `xml:"class,attr"`
+	Patterns xmlPats      `xml:"patterns"`
+	Tags     []string     `xml:"tags>tag,omitempty"`
+	Values   []xmlValue   `xml:"values>value,omitempty"`
+	Examples []xmlExample `xml:"examples>example,omitempty"`
+}
+
+type xmlValue struct {
+	Name string `xml:"name,attr"`
+	Text string `xml:",chardata"`
+}
+
+type xmlExample struct {
+	TestMessage xmlTestMessage `xml:"test_message"`
+}
+
+type xmlTestMessage struct {
+	Program string `xml:"program,attr"`
+	Text    string `xml:",chardata"`
+}
+
+// PatternDB writes the selected patterns as a syslog-ng patterndb XML
+// document.
+func PatternDB(w io.Writer, ps []*patterns.Pattern, opts Options) error {
+	if opts.RulesetID == "" {
+		opts.RulesetID = "sequence-rtg"
+	}
+	services, byService := Select(ps, opts)
+	doc := xmlPatternDB{Version: "4"}
+	for _, svc := range services {
+		rs := xmlRuleset{
+			Name:     svc,
+			ID:       opts.RulesetID + "-" + svc,
+			Patterns: xmlPats{Pattern: []string{svc}},
+		}
+		for _, p := range byService[svc] {
+			rule := xmlRule{
+				Provider: "sequence-rtg",
+				ID:       p.ID,
+				Class:    "system",
+				Patterns: xmlPats{Pattern: []string{ToPatternDB(p)}},
+				Tags:     []string{"sequence-rtg"},
+				Values: []xmlValue{
+					{Name: ".seqrtg.count", Text: fmt.Sprintf("%d", p.Count)},
+					{Name: ".seqrtg.complexity", Text: fmt.Sprintf("%.3f", p.Complexity())},
+				},
+			}
+			if !p.LastMatched.IsZero() {
+				rule.Values = append(rule.Values, xmlValue{
+					Name: ".seqrtg.last_matched", Text: p.LastMatched.UTC().Format("2006-01-02T15:04:05Z"),
+				})
+			}
+			for _, ex := range p.Examples {
+				// patterndb rules match one line; examples keep only the
+				// first line of multi-line messages, like the pattern.
+				line := ex
+				if i := strings.IndexByte(line, '\n'); i >= 0 {
+					line = line[:i]
+				}
+				rule.Examples = append(rule.Examples, xmlExample{
+					TestMessage: xmlTestMessage{Program: svc, Text: line},
+				})
+			}
+			rs.Rules = append(rs.Rules, rule)
+		}
+		doc.Rulesets = append(doc.Rulesets, rs)
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("export: encode patterndb: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// ToPatternDB translates one pattern into patterndb's @PARSER@ syntax.
+// Whitespace-exact reconstruction (the isSpaceBefore fix of §III) is what
+// makes this translation possible at all: patterndb matching is anchored
+// and character exact.
+//
+// String-like variables become @ESTRING:name:delim@ parsers. Following
+// real syslog-ng semantics, ESTRING consumes its delimiter, so the
+// delimiter (the following space, or the first character of the following
+// literal) is removed from the emitted text after the parser.
+func ToPatternDB(p *patterns.Pattern) string {
+	var b strings.Builder
+	elems := p.Elements
+	eatSpace := false // the previous parser consumed the following space
+	trimNext := 0     // the previous parser consumed this many leading bytes of the next literal
+	for i, e := range elems {
+		if e.SpaceBefore && i > 0 && !eatSpace {
+			b.WriteByte(' ')
+		}
+		eatSpace = false
+		switch {
+		case e.Type == token.TailAny:
+			b.WriteString("@ANYSTRING:.seqrtg.tail@")
+		case e.Var:
+			parser, delimConsumed := pdbParser(elems, i)
+			b.WriteString(parser)
+			switch delimConsumed {
+			case delimSpace:
+				eatSpace = true
+			case delimChar:
+				trimNext = 1
+			}
+		default:
+			v := e.Value
+			if trimNext > 0 {
+				if trimNext > len(v) {
+					trimNext = len(v)
+				}
+				v = v[trimNext:]
+				trimNext = 0
+			}
+			b.WriteString(strings.ReplaceAll(v, "@", "@@"))
+		}
+	}
+	return b.String()
+}
+
+type delimKind int
+
+const (
+	delimNone delimKind = iota
+	delimSpace
+	delimChar
+)
+
+// pdbParser renders the parser for the variable at index i. For ESTRING
+// parsers the returned delimKind tells the caller which following
+// delimiter the parser consumes.
+func pdbParser(elems []patterns.Element, i int) (string, delimKind) {
+	e := elems[i]
+	name := e.Name
+	switch e.Type {
+	case token.Integer:
+		return "@NUMBER:" + name + "@", delimNone
+	case token.Float:
+		return "@FLOAT:" + name + "@", delimNone
+	case token.IPv4:
+		return "@IPv4:" + name + "@", delimNone
+	case token.IPv6:
+		return "@IPv6:" + name + "@", delimNone
+	case token.Mac:
+		return "@MACADDR:" + name + "@", delimNone
+	case token.Email:
+		return "@EMAIL:" + name + "@", delimNone
+	case token.Host:
+		return "@HOSTNAME:" + name + "@", delimNone
+	case token.Time:
+		// patterndb has no datetime parser; a PCRE parser with the
+		// timestamp character class covers every layout our FSM accepts.
+		return "@PCRE:" + name + ":[A-Za-z0-9][A-Za-z0-9,+:./-]*( [0-9][0-9:.,]*)*@", delimNone
+	case token.Path:
+		return "@PCRE:" + name + ":(?:/[A-Za-z0-9._+-]+)+/?@", delimNone
+	default: // string variables, URLs, hex strings
+		if i+1 >= len(elems) {
+			return "@ANYSTRING:" + name + "@", delimNone
+		}
+		n := elems[i+1]
+		if n.SpaceBefore {
+			return "@ESTRING:" + name + ": @", delimSpace
+		}
+		if !n.Var && n.Type != token.TailAny && n.Value != "" {
+			return "@ESTRING:" + name + ":" + n.Value[:1] + "@", delimChar
+		}
+		// Two variables back to back without a delimiter cannot be
+		// separated by ESTRING; fall back to matching the rest.
+		return "@ANYSTRING:" + name + "@", delimNone
+	}
+}

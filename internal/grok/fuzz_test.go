@@ -1,0 +1,27 @@
+package grok
+
+import "testing"
+
+// FuzzCompile: every expression either fails to compile or produces a
+// pattern whose Match is total.
+func FuzzCompile(f *testing.F) {
+	f.Add("%{DATA:action} from %{IP:srcip} port %{INT:srcport}", "accepted from 10.0.0.1 port 22")
+	f.Add("%{GREEDYDATA}", "anything")
+	f.Add("plain text", "plain text")
+	f.Add("%{NOPE:x}", "x")
+	f.Add("%{INT:n} %{INT:n}", "1 2")
+	f.Fuzz(func(t *testing.T, expr, msg string) {
+		c := NewCompiler()
+		p, err := c.Compile(expr)
+		if err != nil {
+			return
+		}
+		if vals, ok := p.Match(msg); ok {
+			for k := range vals {
+				if k == "" {
+					t.Fatal("empty field name")
+				}
+			}
+		}
+	})
+}

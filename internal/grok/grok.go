@@ -1,0 +1,181 @@
+// Package grok is a small Logstash-compatible Grok pattern compiler built
+// on the standard library regexp engine. Sequence-RTG exports patterns as
+// Grok filter blocks for Logstash (paper Fig 4); this package compiles
+// and executes those expressions so the exporter can be validated
+// round-trip, and so the examples can demonstrate a complete
+// Logstash-style pipeline without Logstash.
+package grok
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// builtins is the subset of the standard Grok pattern library needed by
+// Sequence-RTG exports, plus SEQTIMESTAMP covering the datetime layouts
+// the Sequence scanner recognises.
+var builtins = map[string]string{
+	"INT":          `[+-]?\d+`,
+	"NUMBER":       `[+-]?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?`,
+	"BASE16NUM":    `(?:0[xX])?[0-9a-fA-F]+`,
+	"WORD":         `\w+`,
+	"NOTSPACE":     `\S+`,
+	"DATA":         `.*?`,
+	"GREEDYDATA":   `.*`,
+	"SPACE":        `\s*`,
+	"IPV4":         `(?:\d{1,3}\.){3}\d{1,3}`,
+	"IPV6":         `[0-9a-fA-F:]+:[0-9a-fA-F:]*`,
+	"IP":           `(?:(?:\d{1,3}\.){3}\d{1,3}|[0-9a-fA-F:]+:[0-9a-fA-F:]*)`,
+	"MAC":          `(?:[0-9a-fA-F]{2}[:-]){5}[0-9a-fA-F]{2}`,
+	"EMAILADDRESS": `[a-zA-Z0-9._%+-]+@[a-zA-Z0-9.-]+\.[a-zA-Z0-9-]+`,
+	"HOSTNAME":     `[a-zA-Z0-9_-]+(?:\.[a-zA-Z0-9_-]+)+`,
+	"URI":          `[a-zA-Z][a-zA-Z0-9+.-]*://\S+`,
+	"UNIXPATH":     `(?:/[\w.+-]+)+/?`,
+	"SEQTIMESTAMP": `[A-Za-z0-9][A-Za-z0-9,+:./-]*(?: [0-9][0-9:.,]*)*`,
+	"LOGLEVEL":     `(?:DEBUG|INFO|NOTICE|WARN(?:ING)?|ERR(?:OR)?|CRIT(?:ICAL)?|FATAL|SEVERE|EMERG(?:ENCY)?)`,
+}
+
+var refRe = regexp.MustCompile(`%\{(\w+)(?::([\w.\[\]@-]+))?\}`)
+
+// Pattern is a compiled Grok expression.
+type Pattern struct {
+	Source string
+	re     *regexp.Regexp
+	fields []string // capture group names in group order (1-based offset)
+}
+
+// Compiler compiles Grok expressions against the built-in library plus
+// any custom definitions.
+type Compiler struct {
+	defs map[string]string
+}
+
+// NewCompiler returns a compiler with the built-in pattern library.
+func NewCompiler() *Compiler {
+	defs := make(map[string]string, len(builtins))
+	for k, v := range builtins {
+		defs[k] = v
+	}
+	return &Compiler{defs: defs}
+}
+
+// Define adds (or overrides) a named pattern. The definition may itself
+// reference other patterns.
+func (c *Compiler) Define(name, def string) { c.defs[name] = def }
+
+// Compile translates a Grok expression into an anchored regular
+// expression. %{NAME} interpolates a library pattern; %{NAME:field}
+// additionally captures the matched text under the field name.
+func (c *Compiler) Compile(expr string) (*Pattern, error) {
+	p := &Pattern{Source: expr}
+	src, err := c.expand(expr, &p.fields, 0)
+	if err != nil {
+		return nil, err
+	}
+	re, err := regexp.Compile("^(?:" + src + ")$")
+	if err != nil {
+		return nil, fmt.Errorf("grok: compile %q: %w", expr, err)
+	}
+	p.re = re
+	return p, nil
+}
+
+const maxDepth = 10
+
+func (c *Compiler) expand(expr string, fields *[]string, depth int) (string, error) {
+	if depth > maxDepth {
+		return "", fmt.Errorf("grok: pattern nesting deeper than %d (cycle?)", maxDepth)
+	}
+	var b strings.Builder
+	last := 0
+	for _, loc := range refRe.FindAllStringSubmatchIndex(expr, -1) {
+		b.WriteString(expr[last:loc[0]])
+		name := expr[loc[2]:loc[3]]
+		def, ok := c.defs[name]
+		if !ok {
+			return "", fmt.Errorf("grok: unknown pattern %%{%s}", name)
+		}
+		inner, err := c.expand(def, fields, depth+1)
+		if err != nil {
+			return "", err
+		}
+		if loc[4] >= 0 { // captured as a field
+			field := expr[loc[4]:loc[5]]
+			*fields = append(*fields, field)
+			fmt.Fprintf(&b, "(?P<g%d>%s)", len(*fields), inner)
+		} else {
+			fmt.Fprintf(&b, "(?:%s)", inner)
+		}
+		last = loc[1]
+	}
+	b.WriteString(expr[last:])
+	return b.String(), nil
+}
+
+// Match applies the pattern to a message, returning the captured fields.
+func (p *Pattern) Match(msg string) (map[string]string, bool) {
+	m := p.re.FindStringSubmatch(msg)
+	if m == nil {
+		return nil, false
+	}
+	out := make(map[string]string, len(p.fields))
+	names := p.re.SubexpNames()
+	for gi, name := range names {
+		if name == "" {
+			continue
+		}
+		var idx int
+		if _, err := fmt.Sscanf(name, "g%d", &idx); err != nil || idx < 1 || idx > len(p.fields) {
+			continue
+		}
+		out[p.fields[idx-1]] = m[gi]
+	}
+	return out, true
+}
+
+// FilterBlock is one parsed "filter { grok { ... } }" stanza from a
+// Logstash configuration.
+type FilterBlock struct {
+	Match string
+	Tags  []string
+}
+
+var (
+	matchRe = regexp.MustCompile(`match\s*=>\s*\{\s*"message"\s*=>\s*"((?:[^"\\]|\\.)*)"`)
+	tagRe   = regexp.MustCompile(`add_tag\s*=>\s*\[([^\]]*)\]`)
+	tagItem = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+)
+
+// ParseFilters extracts grok filter blocks from a Logstash configuration
+// snippet such as the one Sequence-RTG exports.
+func ParseFilters(conf string) []FilterBlock {
+	var out []FilterBlock
+	// Each exported block contains exactly one match and one add_tag.
+	blocks := strings.Split(conf, "filter {")
+	for _, blk := range blocks {
+		m := matchRe.FindStringSubmatch(blk)
+		if m == nil {
+			continue
+		}
+		fb := FilterBlock{Match: unescape(m[1])}
+		if tm := tagRe.FindStringSubmatch(blk); tm != nil {
+			for _, it := range tagItem.FindAllStringSubmatch(tm[1], -1) {
+				fb.Tags = append(fb.Tags, unescape(it[1]))
+			}
+		}
+		out = append(out, fb)
+	}
+	return out
+}
+
+func unescape(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,192 @@
+package grok
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/export"
+	"repro/internal/ingest"
+	"repro/internal/store"
+)
+
+func TestCompileAndMatchPaperExample(t *testing.T) {
+	c := NewCompiler()
+	p, err := c.Compile("%{DATA:action} from %{IP:srcip} port %{INT:srcport}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, ok := p.Match("accepted from 10.0.0.1 port 22")
+	if !ok {
+		t.Fatal("expected a match")
+	}
+	want := map[string]string{"action": "accepted", "srcip": "10.0.0.1", "srcport": "22"}
+	for k, v := range want {
+		if vals[k] != v {
+			t.Errorf("vals[%q] = %q, want %q", k, vals[k], v)
+		}
+	}
+	if _, ok := p.Match("no port here"); ok {
+		t.Error("unexpected match")
+	}
+}
+
+func TestBuiltinPatterns(t *testing.T) {
+	c := NewCompiler()
+	cases := []struct {
+		expr string
+		msg  string
+		ok   bool
+	}{
+		{"%{INT:n}", "-42", true},
+		{"%{INT:n}", "4.2", false},
+		{"%{NUMBER:n}", "4.2", true},
+		{"%{NUMBER:n}", "1.5e3", true},
+		{"%{IP:a}", "192.168.0.1", true},
+		{"%{IP:a}", "2001:db8::1", true},
+		{"%{MAC:m}", "aa:bb:cc:dd:ee:ff", true},
+		{"%{MAC:m}", "aa:bb:cc", false},
+		{"%{EMAILADDRESS:e}", "ops@cc.in2p3.fr", true},
+		{"%{HOSTNAME:h}", "cca001.in2p3.fr", true},
+		{"%{BASE16NUM:x}", "0xdeadbeef", true},
+		{"%{SEQTIMESTAMP:t}", "2021-09-01 12:00:00.123", true},
+		{"%{SEQTIMESTAMP:t}", "Jun 14 15:16:01", true},
+		{"%{URI:u}", "https://example.com/x?y=1", true},
+		{"%{LOGLEVEL:l}", "ERROR", true},
+	}
+	for _, cse := range cases {
+		p, err := c.Compile(cse.expr)
+		if err != nil {
+			t.Errorf("Compile(%q): %v", cse.expr, err)
+			continue
+		}
+		if _, ok := p.Match(cse.msg); ok != cse.ok {
+			t.Errorf("%q .Match(%q) = %v, want %v", cse.expr, cse.msg, ok, cse.ok)
+		}
+	}
+}
+
+func TestUnknownPattern(t *testing.T) {
+	if _, err := NewCompiler().Compile("%{NOPE:x}"); err == nil {
+		t.Fatal("unknown pattern must error")
+	}
+}
+
+func TestCustomDefine(t *testing.T) {
+	c := NewCompiler()
+	c.Define("JOBID", `job-\d+`)
+	p, err := c.Compile("start %{JOBID:id}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, ok := p.Match("start job-123")
+	if !ok || vals["id"] != "job-123" {
+		t.Fatalf("vals=%v ok=%v", vals, ok)
+	}
+}
+
+func TestNestedDefinitionsAndCycle(t *testing.T) {
+	c := NewCompiler()
+	c.Define("PAIR", `%{WORD}=%{WORD}`)
+	if _, err := c.Compile("%{PAIR:kv}"); err != nil {
+		t.Fatalf("nested definition: %v", err)
+	}
+	c.Define("LOOP", "%{LOOP}")
+	if _, err := c.Compile("%{LOOP:x}"); err == nil {
+		t.Fatal("cyclic definition must error")
+	}
+}
+
+func TestUncapturedReference(t *testing.T) {
+	c := NewCompiler()
+	p, err := c.Compile("%{INT} items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, ok := p.Match("5 items")
+	if !ok || len(vals) != 0 {
+		t.Fatalf("vals=%v ok=%v, want empty capture map", vals, ok)
+	}
+}
+
+func TestParseFilters(t *testing.T) {
+	conf := `# service: sshd
+filter {
+  grok {
+    match => {"message" => "%{DATA:action} from %{IP:srcip} port %{INT:srcport}"}
+    add_tag => ["2908692bdd6cb4eca096eaa19afebd9e15650b4d", "pattern_id"]
+  }
+}
+filter {
+  grok {
+    match => {"message" => "disconnect after %{NUMBER:t} s"}
+    add_tag => ["abc", "pattern_id"]
+  }
+}
+`
+	blocks := ParseFilters(conf)
+	if len(blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2", len(blocks))
+	}
+	if blocks[0].Match != "%{DATA:action} from %{IP:srcip} port %{INT:srcport}" {
+		t.Errorf("match = %q", blocks[0].Match)
+	}
+	if len(blocks[0].Tags) != 2 || blocks[0].Tags[1] != "pattern_id" {
+		t.Errorf("tags = %v", blocks[0].Tags)
+	}
+}
+
+// TestGrokExportRoundTrip mines patterns, exports them as Logstash grok
+// filters, compiles every filter with this engine and checks the source
+// messages are matched and tagged with the right pattern ID.
+func TestGrokExportRoundTrip(t *testing.T) {
+	st, err := store.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	e := core.NewEngine(st, core.Config{})
+
+	var msgs []ingest.Record
+	for i := 0; i < 30; i++ {
+		msgs = append(msgs, ingest.Record{
+			Service: "nginx",
+			Message: fmt.Sprintf("GET /api/v1/items/%d took %d ms status %d", i, i*3+1, 200),
+		})
+	}
+	if _, err := e.AnalyzeByService(msgs, time.Date(2021, 9, 1, 0, 0, 0, 0, time.UTC)); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := export.Grok(&buf, st.All(), export.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	blocks := ParseFilters(buf.String())
+	if len(blocks) == 0 {
+		t.Fatalf("no filter blocks parsed from:\n%s", buf.String())
+	}
+	c := NewCompiler()
+	compiled := make([]*Pattern, len(blocks))
+	for i, b := range blocks {
+		p, err := c.Compile(b.Match)
+		if err != nil {
+			t.Fatalf("exported grok does not compile: %v (%q)", err, b.Match)
+		}
+		compiled[i] = p
+	}
+	for _, m := range msgs {
+		matched := false
+		for _, p := range compiled {
+			if _, ok := p.Match(m.Message); ok {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("message unmatched by exported grok filters: %q", m.Message)
+		}
+	}
+}

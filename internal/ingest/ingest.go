@@ -1,0 +1,162 @@
+// Package ingest implements the Sequence-RTG data stream ingester.
+//
+// Production log management systems collate messages from many source
+// systems into one near-real-time stream. Sequence-RTG reads that stream
+// from standard input (it runs as a child process of syslog-ng, §IV) as
+// JSON lines with exactly two fields — the service the message originated
+// from and the unaltered message text — and buffers them until a
+// configurable batch size is reached, at which point the batch is handed
+// to analysis. The batch size balances having enough data for the
+// comparison steps against trie memory (§III); the paper settles on
+// 100,000 messages for CC-IN2P3.
+package ingest
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Record is one item of the input stream.
+type Record struct {
+	// Service is the source system the message originated from.
+	Service string `json:"service"`
+	// Message is the unaltered log message. It may contain line breaks:
+	// multi-line messages arrive as a single JSON string and are handled
+	// (truncated at the first break with a tail-ignore marker) downstream
+	// by the scanner.
+	Message string `json:"message"`
+}
+
+// DefaultBatchSize is the production batch size used at CC-IN2P3 (§IV).
+const DefaultBatchSize = 100000
+
+// Options configures a Reader.
+type Options struct {
+	// BatchSize is the number of records per batch (DefaultBatchSize when
+	// zero or negative).
+	BatchSize int
+	// PlainText treats every input line as a bare message for
+	// DefaultService instead of decoding JSON. This is the ad-hoc,
+	// file-of-messages mode the paper describes as an alternative to the
+	// streaming deployment.
+	PlainText bool
+	// DefaultService is the service for plain-text records and for JSON
+	// records missing a service field.
+	DefaultService string
+	// MaxLineBytes bounds one input line (1 MiB when zero).
+	MaxLineBytes int
+}
+
+// Reader pulls batches of records from a stream.
+type Reader struct {
+	opts      Options
+	scanner   *bufio.Scanner
+	err       error
+	records   int64
+	malformed int64
+}
+
+// NewReader wraps an input stream.
+func NewReader(r io.Reader, opts Options) *Reader {
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = DefaultBatchSize
+	}
+	if opts.DefaultService == "" {
+		opts.DefaultService = "unknown"
+	}
+	if opts.MaxLineBytes <= 0 {
+		opts.MaxLineBytes = 1 << 20
+	}
+	sc := bufio.NewScanner(r)
+	// The scanner's effective cap is max(cap(buf), MaxLineBytes); keep the
+	// initial buffer within the configured bound so small limits bind.
+	initial := 64 * 1024
+	if opts.MaxLineBytes < initial {
+		initial = opts.MaxLineBytes
+	}
+	sc.Buffer(make([]byte, initial), opts.MaxLineBytes)
+	return &Reader{opts: opts, scanner: sc}
+}
+
+// NextBatch returns the next batch of records. The final batch may be
+// shorter than the batch size; after the stream is exhausted NextBatch
+// returns io.EOF. Malformed JSON lines are counted and skipped — a
+// production ingester must not die on one bad message.
+func (r *Reader) NextBatch() ([]Record, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	batch := make([]Record, 0, r.opts.BatchSize)
+	for len(batch) < r.opts.BatchSize {
+		if !r.scanner.Scan() {
+			if err := r.scanner.Err(); err != nil {
+				r.err = fmt.Errorf("ingest: read stream: %w", err)
+			} else {
+				r.err = io.EOF
+			}
+			break
+		}
+		line := r.scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		rec, ok := r.decode(line)
+		if !ok {
+			r.malformed++
+			continue
+		}
+		r.records++
+		batch = append(batch, rec)
+	}
+	if len(batch) == 0 {
+		if r.err == nil {
+			r.err = io.EOF
+		}
+		return nil, r.err
+	}
+	return batch, nil
+}
+
+func (r *Reader) decode(line []byte) (Record, bool) {
+	if r.opts.PlainText {
+		return Record{Service: r.opts.DefaultService, Message: string(line)}, true
+	}
+	var rec Record
+	if err := json.Unmarshal(line, &rec); err != nil || rec.Message == "" {
+		return Record{}, false
+	}
+	if rec.Service == "" {
+		rec.Service = r.opts.DefaultService
+	}
+	return rec, true
+}
+
+// Records returns how many well-formed records have been read so far.
+func (r *Reader) Records() int64 { return r.records }
+
+// Malformed returns how many lines were skipped as undecodable.
+func (r *Reader) Malformed() int64 { return r.malformed }
+
+// Err returns the terminal stream error, if any (io.EOF after a clean
+// end).
+func (r *Reader) Err() error {
+	if errors.Is(r.err, io.EOF) {
+		return nil
+	}
+	return r.err
+}
+
+// Marshal encodes a record as one JSON line (with trailing newline),
+// the exact wire format the ingester consumes. Used by the workload
+// generators and examples.
+func Marshal(rec Record) []byte {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		// Record has only string fields; Marshal cannot fail.
+		panic(fmt.Sprintf("ingest: marshal record: %v", err))
+	}
+	return append(b, '\n')
+}

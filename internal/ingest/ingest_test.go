@@ -1,0 +1,226 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func stream(records ...Record) io.Reader {
+	var b bytes.Buffer
+	for _, r := range records {
+		b.Write(Marshal(r))
+	}
+	return &b
+}
+
+func TestNextBatchBasic(t *testing.T) {
+	r := NewReader(stream(
+		Record{Service: "sshd", Message: "a"},
+		Record{Service: "cron", Message: "b"},
+		Record{Service: "sshd", Message: "c"},
+	), Options{BatchSize: 2})
+
+	b1, err := r.NextBatch()
+	if err != nil || len(b1) != 2 {
+		t.Fatalf("batch1 = %v, %v", b1, err)
+	}
+	if b1[0].Service != "sshd" || b1[0].Message != "a" {
+		t.Errorf("b1[0] = %+v", b1[0])
+	}
+	b2, err := r.NextBatch()
+	if err != nil || len(b2) != 1 {
+		t.Fatalf("batch2 = %v, %v", b2, err)
+	}
+	if _, err := r.NextBatch(); err != io.EOF {
+		t.Fatalf("want io.EOF after exhaustion, got %v", err)
+	}
+	if r.Records() != 3 {
+		t.Errorf("Records = %d", r.Records())
+	}
+	if r.Err() != nil {
+		t.Errorf("clean EOF must not surface as error: %v", r.Err())
+	}
+}
+
+func TestMalformedLinesSkipped(t *testing.T) {
+	in := strings.NewReader(`{"service":"a","message":"ok1"}
+this is not json
+{"broken": true}
+{"service":"a","message":"ok2"}
+`)
+	r := NewReader(in, Options{BatchSize: 10})
+	b, err := r.NextBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 2 {
+		t.Fatalf("got %d records, want 2 (malformed skipped)", len(b))
+	}
+	if r.Malformed() != 2 {
+		t.Errorf("Malformed = %d, want 2", r.Malformed())
+	}
+}
+
+func TestEmptyLinesIgnored(t *testing.T) {
+	in := strings.NewReader("\n\n" + string(Marshal(Record{Service: "s", Message: "m"})) + "\n")
+	r := NewReader(in, Options{BatchSize: 10})
+	b, err := r.NextBatch()
+	if err != nil || len(b) != 1 {
+		t.Fatalf("got %v, %v", b, err)
+	}
+}
+
+func TestDefaultService(t *testing.T) {
+	in := strings.NewReader(`{"message":"no service"}` + "\n")
+	r := NewReader(in, Options{BatchSize: 1, DefaultService: "catchall"})
+	b, err := r.NextBatch()
+	if err != nil || len(b) != 1 || b[0].Service != "catchall" {
+		t.Fatalf("got %v, %v", b, err)
+	}
+}
+
+func TestPlainTextMode(t *testing.T) {
+	in := strings.NewReader("line one\nline two\n")
+	r := NewReader(in, Options{BatchSize: 10, PlainText: true, DefaultService: "file"})
+	b, err := r.NextBatch()
+	if err != nil || len(b) != 2 {
+		t.Fatalf("got %v, %v", b, err)
+	}
+	if b[1] != (Record{Service: "file", Message: "line two"}) {
+		t.Errorf("b[1] = %+v", b[1])
+	}
+}
+
+func TestMultilineMessageSurvivesJSON(t *testing.T) {
+	msg := "Exception: boom\n  at Foo.bar(Foo.java:17)\n  at Baz.qux"
+	r := NewReader(stream(Record{Service: "java", Message: msg}), Options{BatchSize: 1})
+	b, err := r.NextBatch()
+	if err != nil || len(b) != 1 {
+		t.Fatal(err)
+	}
+	if b[0].Message != msg {
+		t.Errorf("multi-line message mangled: %q", b[0].Message)
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	r := NewReader(strings.NewReader(""), Options{})
+	if _, err := r.NextBatch(); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+}
+
+type failingReader struct{ n int }
+
+func (f *failingReader) Read(p []byte) (int, error) {
+	if f.n == 0 {
+		return 0, errors.New("disk on fire")
+	}
+	f.n--
+	line := Marshal(Record{Service: "s", Message: "m"})
+	copy(p, line)
+	return len(line), nil
+}
+
+func TestStreamErrorSurfaces(t *testing.T) {
+	r := NewReader(&failingReader{n: 1}, Options{BatchSize: 10})
+	b, err := r.NextBatch()
+	if err == nil && len(b) == 1 {
+		// partial batch delivered first; error comes next
+		_, err = r.NextBatch()
+	}
+	if err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("want wrapped read error, got %v", err)
+	}
+	if r.Err() == nil {
+		t.Error("Err() should report the terminal failure")
+	}
+}
+
+func TestOversizedLineSurfacesError(t *testing.T) {
+	huge := strings.Repeat("x", 4096)
+	in := strings.NewReader(string(Marshal(Record{Service: "s", Message: huge})))
+	r := NewReader(in, Options{BatchSize: 10, MaxLineBytes: 1024})
+	_, err := r.NextBatch()
+	if err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("oversized line should surface a read error, got %v", err)
+	}
+	if r.Err() == nil {
+		t.Fatal("Err() should report the failure")
+	}
+}
+
+// Property: Marshal followed by a Reader round-trips any printable
+// service/message pair, in order, across arbitrary batch sizes.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(msgs []string, batch uint8) bool {
+		if len(msgs) > 50 {
+			return true
+		}
+		var in bytes.Buffer
+		want := make([]Record, 0, len(msgs))
+		for i, m := range msgs {
+			m = strings.Map(func(r rune) rune {
+				if r == '\r' {
+					return ' '
+				}
+				return r
+			}, m)
+			if m == "" {
+				continue
+			}
+			rec := Record{Service: fmt.Sprintf("svc%d", i%3), Message: m}
+			want = append(want, rec)
+			in.Write(Marshal(rec))
+		}
+		r := NewReader(&in, Options{BatchSize: int(batch%10) + 1})
+		var got []Record
+		for {
+			b, err := r.NextBatch()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return false
+			}
+			got = append(got, b...)
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkIngest(b *testing.B) {
+	line := Marshal(Record{Service: "sshd", Message: "Failed password for root from 10.0.0.1 port 22 ssh2"})
+	var buf bytes.Buffer
+	for i := 0; i < 1000; i++ {
+		buf.Write(line)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(bytes.NewReader(data), Options{BatchSize: 500})
+		for {
+			if _, err := r.NextBatch(); err != nil {
+				break
+			}
+		}
+	}
+}

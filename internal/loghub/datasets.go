@@ -1,0 +1,496 @@
+package loghub
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// The sixteen dataset models. Event populations are fixed (independent of
+// the generation seed); hand-written events capture each dataset's
+// characteristic formats and known parsing hazards, and filler event
+// families pad the long tail of rare events that the real 2,000-line
+// samples contain.
+
+var registry = map[string]datasetDef{
+	"HDFS":        hdfsDef(),
+	"Hadoop":      hadoopDef(),
+	"Spark":       sparkDef(),
+	"Zookeeper":   zookeeperDef(),
+	"OpenStack":   openstackDef(),
+	"BGL":         bglDef(),
+	"HPC":         hpcDef(),
+	"Thunderbird": thunderbirdDef(),
+	"Windows":     windowsDef(),
+	"Linux":       linuxDef(),
+	"Mac":         macDef(),
+	"Android":     androidDef(),
+	"HealthApp":   healthappDef(),
+	"Apache":      apacheDef(),
+	"OpenSSH":     opensshDef(),
+	"Proxifier":   proxifierDef(),
+}
+
+var fillVerbs = []string{
+	"starting", "stopping", "loading", "probing", "flushing", "resuming",
+	"registering", "scanning", "binding", "syncing", "mounting", "checking",
+}
+var fillNouns = []string{
+	"module", "driver", "cache", "queue", "session", "worker", "channel",
+	"volume", "timer", "policy", "index", "snapshot",
+}
+
+// fillerEvents generates count deterministic long-tail events. Shapes
+// rotate between all-literal, counted, host-bearing and semi-constant
+// messages so the tail exercises every analyzer path. Every event carries
+// a unique subsystem token ("cache-s07") right after the verb, the way
+// real daemons name their subsystems — without it the tail would form
+// verb × noun cross-products that no real log exhibits.
+func fillerEvents(idStart, count, weight int, comp string) []eventDef {
+	out := make([]eventDef, 0, count)
+	for i := 0; i < count; i++ {
+		verb := fillVerbs[i%len(fillVerbs)]
+		noun := fillNouns[(i/len(fillVerbs))%len(fillNouns)]
+		unit := fmt.Sprintf("%s-s%02d", noun, i)
+		var tmpl string
+		switch i % 4 {
+		case 0:
+			tmpl = fmt.Sprintf("%s %s completed", verb, unit)
+		case 1:
+			tmpl = fmt.Sprintf("%s %s took {int:1-5000*} ms", verb, unit)
+		case 2:
+			tmpl = fmt.Sprintf("%s %s on {host}", verb, unit)
+		case 3:
+			tmpl = fmt.Sprintf("subsystem %s state {word:ok|degraded|failed}", unit)
+		}
+		out = append(out, ev(fmt.Sprintf("E%d", idStart+i), weight, comp, tmpl))
+	}
+	return out
+}
+
+func hdfsDef() datasetDef {
+	return datasetDef{
+		header: func(r *rand.Rand, comp string) string {
+			return fmt.Sprintf("%02d%02d%02d %02d%02d%02d %d INFO %s: ",
+				8, 11, 1+r.Intn(28), r.Intn(24), r.Intn(60), r.Intn(60), r.Intn(4000), comp)
+		},
+		events: []eventDef{
+			ev("E1", 300, "dfs.DataNode$DataXceiver", "Receiving block {blk*} src: /{ip*}:{port*} dest: /{ip*}:{port*}"),
+			ev("E2", 280, "dfs.DataNode$DataXceiver", "Received block {blk*} of size {int:1024-67108864*} from /{ip*}"),
+			ev("E3", 260, "dfs.DataNode$PacketResponder", "PacketResponder {int:0-3*} for block {blk*} terminating"),
+			ev("E4", 250, "dfs.FSNamesystem", "BLOCK* NameSystem.addStoredBlock: blockMap updated: {ip*}:{port*} is added to {blk*} size {int:1024-67108864*}"),
+			ev("E5", 180, "dfs.FSNamesystem", "BLOCK* NameSystem.allocateBlock: /mnt/hadoop/mapred/system/job_{int:100-999*}/job.jar. {blk*}"),
+			ev("E6", 160, "dfs.DataBlockScanner", "Verification succeeded for {blk*}"),
+			ev("E7", 140, "dfs.FSDataset", "Deleting block {blk*} file {path}"),
+			ev("E8", 90, "dfs.DataNode$DataXceiver", "writeBlock {blk*} received exception java.io.IOException: Connection reset by peer"),
+			ev("E9", 80, "dfs.DataNode", "Starting thread to transfer block {blk*} to {ip*}:{port*}"),
+			ev("E10", 60, "dfs.FSDataset", "Unexpected error trying to delete block {blk*}. BlockInfo not found in volumeMap."),
+			ev("E11", 50, "dfs.FSNamesystem", "BLOCK* ask {ip*}:{port*} to replicate {blk*} to datanode(s) {ip*}:{port*}"),
+			ev("E12", 40, "dfs.DataNode$DataXceiver", "Served block {blk*} to /{ip*}"),
+			ev("E13", 30, "dfs.DataNode$BlockReceiver", "Exception in receiveBlock for block {blk*} java.io.IOException: Connection reset by peer"),
+			ev("E14", 20, "dfs.DataNode", "Deleting block {blk*} file {path} from disk"),
+		},
+	}
+}
+
+func hadoopDef() datasetDef {
+	d := datasetDef{
+		header: func(r *rand.Rand, comp string) string {
+			return fmt.Sprintf("%s INFO [%s] %s: ", isoClock(r), placeholder("thread", "", r), comp)
+		},
+		events: []eventDef{
+			ev("E1", 160, "org.apache.hadoop.mapreduce.v2.app.job.impl.TaskAttemptImpl", "attempt_{int:100-999*}_{int:0-99*}_m_{int:0-999999*}_{int:0-9*} TaskAttempt Transitioned from {word:NEW|UNASSIGNED|ASSIGNED|RUNNING} to {word:UNASSIGNED|ASSIGNED|RUNNING|SUCCEEDED}"),
+			ev("E2", 140, "org.apache.hadoop.yarn.client.api.impl.ContainerManagementProtocolProxy", "Opening proxy : {host}:{port*}"),
+			ev("E3", 130, "org.apache.hadoop.mapred.MapReduceChildJVM", "Task {word:STARTED|FINISHED|KILLED}: attempt_{int:100-999*}_{int:0-99*}_m_{int:0-999999*}_{int:0-9*}"),
+			ev("E4", 120, "org.apache.hadoop.mapreduce.task.reduce.Fetcher", "fetcher#{int:1-50*} about to shuffle output of map attempt_{int:100-999*}_{int:0-99*}_m_{int:0-999999*}_{int:0-9*} decomp: {int*} len: {int*} to {word:MEMORY|DISK}"),
+			ev("E5", 110, "org.apache.hadoop.mapreduce.v2.app.rm.RMContainerAllocator", "Assigned container container_{int:100-999*}_{int:0-9999*}_{int:0-99*}_{int:0-999999*} to attempt_{int:100-999*}_{int:0-99*}_m_{int:0-999999*}_{int:0-9*}"),
+			ev("E6", 100, "org.apache.hadoop.mapreduce.v2.app.MRAppMaster", "Progress of TaskAttempt attempt_{int:100-999*}_{int:0-99*}_m_{int:0-999999*}_{int:0-9*} is : {float*}"),
+			ev("E7", 90, "org.apache.hadoop.ipc.Server", "Socket Reader #{int:1-9*} for port {port*}: readAndProcess from client {ip*} threw exception [java.io.IOException: Connection reset by peer]"),
+			ev("E8", 70, "org.apache.hadoop.mapreduce.task.reduce.MergeManagerImpl", "closeInMemoryFile -> map-output of size: {int*}, inMemoryMapOutputs.size() -> {int*}, commitMemory -> {int*}, usedMemory ->{int*}"),
+			ev("E9", 60, "org.apache.hadoop.yarn.event.AsyncDispatcher", "Event Writer setup for JobId: job_{int:100-999*}_{int:0-9999*}, File: hdfs://{host}:{port*}{path}"),
+			ev("E10", 50, "org.apache.hadoop.mapreduce.v2.app.launcher.ContainerLauncherImpl", "Processing the event EventType: {word:CONTAINER_REMOTE_LAUNCH|CONTAINER_REMOTE_CLEANUP} for container container_{int:100-999*}_{int:0-9999*}_{int:0-99*}_{int:0-999999*} taskAttempt attempt_{int:100-999*}_{int:0-99*}_m_{int:0-999999*}_{int:0-9*}"),
+			ev("E11", 40, "org.apache.hadoop.hdfs.DFSClient", "Exception in createBlockOutputStream java.io.IOException: Bad connect ack with firstBadLink as {ip*}:{port*}"),
+			ev("E12", 30, "org.apache.hadoop.mapreduce.Job", "map {int:0-100*}% reduce {int:0-100*}%"),
+		},
+	}
+	d.events = append(d.events, fillerEvents(13, 28, 3, "org.apache.hadoop.service.AbstractService")...)
+	return d
+}
+
+func sparkDef() datasetDef {
+	d := datasetDef{
+		header: func(r *rand.Rand, comp string) string {
+			return fmt.Sprintf("%02d/%02d/%02d %02d:%02d:%02d INFO %s: ",
+				17, 1+r.Intn(12), 1+r.Intn(28), r.Intn(24), r.Intn(60), r.Intn(60), comp)
+		},
+		events: []eventDef{
+			ev("E1", 200, "executor.Executor", "Running task {int:0-500*}.{int:0-3*} in stage {int:0-60*}.{int:0-3*} (TID {int:0-5000*})"),
+			ev("E2", 190, "executor.Executor", "Finished task {int:0-500*}.{int:0-3*} in stage {int:0-60*}.{int:0-3*} (TID {int:0-5000*}). {int*} bytes result sent to driver"),
+			ev("E3", 150, "storage.BlockManager", "Found block rdd_{int:0-99*}_{int:0-999*} locally"),
+			ev("E4", 130, "storage.MemoryStore", "Block broadcast_{int:0-999*} stored as values in memory (estimated size {float*} KB, free {float*} MB)"),
+			ev("E5", 120, "storage.MemoryStore", "Block broadcast_{int:0-999*}_piece{int:0-9*} stored as bytes in memory (estimated size {float*} KB, free {float*} MB)"),
+			ev("E6", 110, "broadcast.TorrentBroadcast", "Started reading broadcast variable {int:0-999*}"),
+			ev("E7", 100, "broadcast.TorrentBroadcast", "Reading broadcast variable {int:0-999*} took {int*} ms"),
+			ev("E8", 90, "storage.BlockManagerInfo", "Added broadcast_{int:0-999*}_piece{int:0-9*} in memory on {host}:{port*} (size: {float*} KB, free: {float*} MB)"),
+			ev("E9", 70, "scheduler.TaskSetManager", "Starting task {int:0-500*}.{int:0-3*} in stage {int:0-60*}.{int:0-3*} (TID {int:0-5000*}, {host}, partition {int:0-500*},{word:PROCESS_LOCAL|NODE_LOCAL|ANY}, {int*} bytes)"),
+			ev("E10", 60, "scheduler.DAGScheduler", "Submitting {int:1-200*} missing tasks from ShuffleMapStage {int:0-60*} (MapPartitionsRDD[{int:0-99*}] at map at {word:Job.scala|Main.scala}:{int:1-400*})"),
+			ev("E11", 40, "spark.SecurityManager", "Changing view acls to: {user}"),
+			ev("E12", 30, "util.Utils", "Successfully started service {word:sparkDriver|sparkExecutor} on port {port*}."),
+		},
+	}
+	d.events = append(d.events, fillerEvents(13, 22, 3, "rdd.HadoopRDD")...)
+	return d
+}
+
+func zookeeperDef() datasetDef {
+	d := datasetDef{
+		header: func(r *rand.Rand, comp string) string {
+			return fmt.Sprintf("%s - INFO  [%s:%s] - ", isoClock(r), placeholder("thread", "", r), comp)
+		},
+		events: []eventDef{
+			ev("E1", 220, "NIOServerCnxnFactory@197", "Accepted socket connection from /{ip*}:{port*}"),
+			ev("E2", 210, "NIOServerCnxn@1001", "Closed socket connection for client /{ip*}:{port*} which had sessionid 0x{hex:16*}"),
+			ev("E3", 180, "ZooKeeperServer@595", "Established session 0x{hex:16*} with negotiated timeout {int:2000-40000*} for client /{ip*}:{port*}"),
+			ev("E4", 160, "ZooKeeperServer@839", "Client attempting to establish new session at /{ip*}:{port*}"),
+			ev("E5", 120, "NIOServerCnxn@357", "caught end of stream exception EndOfStreamException: Unable to read additional data from client sessionid 0x{hex:16*}, likely client has closed socket"),
+			ev("E6", 100, "ZooKeeperServer@595", "Expiring session 0x{hex:16*}, timeout of {int:2000-40000*}ms exceeded"),
+			ev("E7", 90, "PrepRequestProcessor@476", "Processed session termination for sessionid: 0x{hex:16*}"),
+			ev("E8", 70, "Leader@345", "Synchronizing with Follower sid: {int:1-5*}, maxCommittedLog=0x{hex:9*} minCommittedLog=0x{hex:9*} peerLastZxid=0x{hex:9*}"),
+			ev("E9", 50, "FileSnap@83", "Reading snapshot {path}"),
+			ev("E10", 40, "QuorumPeer@738", "LOOKING"),
+			ev("E11", 30, "FastLeaderElection@740", "New election. My id =  {int:1-5*}, proposed zxid=0x{hex:9*}"),
+			ev("E12", 20, "CommitProcessor@150", "Configuring CommitProcessor with {int:1-16*} worker threads."),
+		},
+	}
+	d.events = append(d.events, fillerEvents(13, 24, 3, "QuorumPeer@1158")...)
+	return d
+}
+
+func openstackDef() datasetDef {
+	d := datasetDef{
+		header: func(r *rand.Rand, comp string) string {
+			return fmt.Sprintf("nova-compute.log.1.2017-05-16_13:55:31 2017-05-16 %02d:%02d:%02d.%03d %d INFO %s [req-%s] ",
+				r.Intn(24), r.Intn(60), r.Intn(60), r.Intn(1000), 2000+r.Intn(2000), comp, placeholder("uuid", "", r))
+		},
+		events: []eventDef{
+			ev("E1", 220, "nova.compute.manager", "[instance: {uuid*}] VM {word:Started|Paused|Resumed|Stopped} (Lifecycle Event)"),
+			ev("E2", 180, "nova.compute.manager", "[instance: {uuid*}] Took {float*} seconds to build instance."),
+			ev("E3", 160, "nova.virt.libvirt.imagecache", "image {uuid*} at ({path}): checking"),
+			// Variable token count: the in-use list grows and shrinks.
+			ev("E4", 150, "nova.virt.libvirt.imagecache",
+				"Active base files: {path}",
+				"Active base files: {path} {path}",
+				"Active base files: {path} {path} {path}"),
+			ev("E5", 140, "nova.compute.resource_tracker", "Final resource view: name={host} phys_ram={int*}MB used_ram={int*}MB phys_disk={int*}GB used_disk={int*}GB total_vcpus={int:1-64*} used_vcpus={int:0-64*} pci_stats=[]"),
+			ev("E6", 120, "nova.compute.claims", "[instance: {uuid*}] Total memory: {int*} MB, used: {float*} MB"),
+			ev("E7", 110, "nova.osapi_compute.wsgi.server", `{ip*} "GET /v2/{hex:32*}/servers/detail HTTP/1.1" status: {int:200-500*} len: {int*} time: {float*}`),
+			ev("E8", 90, "nova.compute.manager", "[instance: {uuid*}] Terminating instance"),
+			ev("E9", 80, "nova.virt.libvirt.driver", "[instance: {uuid*}] Deleting instance files {path}"),
+			ev("E10", 60, "nova.compute.manager",
+				"[instance: {uuid*}] Instance destroyed successfully.",
+				"[instance: {uuid*}] Instance destroyed successfully. Cleanup pending."),
+			ev("E11", 40, "nova.metadata.wsgi.server", `{ip*},{ip*} "GET /latest/meta-data/instance-id HTTP/1.1" status: {int:200-404*} len: {int*} time: {float*}`),
+			ev("E12", 30, "nova.virt.libvirt.imagecache", "Unknown base file: {path}"),
+		},
+	}
+	d.events = append(d.events, fillerEvents(13, 20, 3, "nova.servicegroup.drivers.db")...)
+	return d
+}
+
+func bglDef() datasetDef {
+	d := datasetDef{
+		header: func(r *rand.Rand, comp string) string {
+			return fmt.Sprintf("- %d 2005.06.%02d R%02d-M%d-N%d-C:J%02d-U%02d 2005-06-%02d-%02d.%02d.%02d.%06d R%02d-M%d-N%d-C:J%02d-U%02d RAS %s ",
+				1117838570+r.Intn(10000000), 1+r.Intn(28), r.Intn(64), r.Intn(2), r.Intn(16), r.Intn(32), r.Intn(12),
+				1+r.Intn(28), r.Intn(24), r.Intn(60), r.Intn(60), r.Intn(1000000),
+				r.Intn(64), r.Intn(2), r.Intn(16), r.Intn(32), r.Intn(12), comp)
+		},
+		events: []eventDef{
+			ev("E1", 260, "KERNEL INFO", "instruction cache parity error corrected"),
+			ev("E2", 220, "KERNEL INFO", "{int*} double-hummer alignment exceptions"),
+			ev("E3", 200, "KERNEL INFO", "generating core.{int:1-4096*}"),
+			ev("E4", 170, "KERNEL INFO", "CE sym {int:0-50*}, at 0x{hex:8*}, mask 0x{hex:2*}"),
+			ev("E5", 140, "KERNEL FATAL", "data TLB error interrupt"),
+			ev("E6", 120, "KERNEL FATAL", "rts: kernel terminated for reason {int:1000-1100*}"),
+			ev("E7", 100, "APP FATAL", "ciod: Error reading message prefix after LOGIN_MESSAGE on CioStream socket to {ip*}:{port*}: Link has been severed"),
+			ev("E8", 90, "APP FATAL", "ciod: failed to read message prefix on control stream (CioStream socket to {ip*}:{port*}"),
+			ev("E9", 80, "KERNEL INFO", "total of {int*} ddr error(s) detected and corrected"),
+			ev("E10", 60, "KERNEL INFO", "ddr: excessive soft failures, consider replacing the ddr memory on this card"),
+			ev("E11", 50, "LINKCARD INFO", "MidplaneSwitchController performing bit sparing on R{int:0-63*}-M{int:0-1*}-L{int:0-3*}-U{int:0-18*}-A{int:0-5*} bit {int:0-128*}"),
+			ev("E12", 40, "KERNEL WARNING", "found invalid node ecid in processor card slot {int:1-32*}"),
+			ev("E13", 30, "MONITOR FAILURE", "monitor caught java.lang.IllegalStateException: while executing CONTROL operation"),
+		},
+	}
+	d.events = append(d.events, fillerEvents(14, 26, 3, "KERNEL INFO")...)
+	return d
+}
+
+func hpcDef() datasetDef {
+	d := datasetDef{
+		header: func(r *rand.Rand, comp string) string {
+			return fmt.Sprintf("%d %s %s %d %d ",
+				20000+r.Intn(500000), placeholder("host", "", r), comp, 1077804742+r.Intn(20000000), 1+r.Intn(4))
+		},
+		events: []eventDef{
+			ev("E1", 240, "unix.hw", "Component State Change: Component \\042alt0\\042 is in the unavailable state (HWID={int:1000-9999*})"),
+			// Variable-length status vectors: a known hard case.
+			ev("E2", 200, "node.status",
+				"PSU status ( {word:on|off} )",
+				"PSU status ( {word:on|off} {word:on|off} )",
+				"PSU status ( {word:on|off} {word:on|off} {word:on|off} )"),
+			ev("E3", 180, "boot_cmd", "boot (command {int:1000-4000*}) Error: no response from node after command"),
+			ev("E4", 160, "node.fail", "ClusterFileSystem: There is no server for PanFS storage {ip*}:{path}"),
+			ev("E5", 140, "link.err", "Link error on broadcast tree Interconnect-0T00:00:0:{int:0-9*}"),
+			ev("E6", 120, "unix.hw", "Temperature ({word:ambient|cpu}={int:20-90*}) exceeds warning threshold"),
+			ev("E7", 100, "boot_cmd",
+				"Targeting domains:node-D{int:0-7*} and nodes:node-[{int:0-63*}] child of command {int:1000-4000*}",
+				"Targeting domains:node-D{int:0-7*} and nodes:node-[{int:0-31*}-{int:32-63*}] child of command {int:1000-4000*}"),
+			ev("E8", 90, "node.status", "running running"),
+			ev("E9", 70, "galaxy.status", "Risboot command: /usr/sbin/risboot -h {host} -p {int:1-40*}"),
+			ev("E10", 50, "unix.hw", "Fan speeds ( {int:2000-9000*} {int:2000-9000*} {int:2000-9000*} {int:2000-9000*} {int:2000-9000*} {int:2000-9000*} )"),
+		},
+	}
+	d.events = append(d.events, fillerEvents(11, 24, 3, "node.status")...)
+	return d
+}
+
+func thunderbirdDef() datasetDef {
+	d := datasetDef{
+		header: func(r *rand.Rand, comp string) string {
+			host := placeholder("host", "", r)
+			return fmt.Sprintf("- %d 2005.11.%02d %s %s %s/%s %s: ",
+				1131566461+r.Intn(1000000), 1+r.Intn(28), host, syslogClock(r), host, host, comp)
+		},
+	}
+	d.events = []eventDef{
+		ev("E1", 240, "crond(pam_unix)", "session opened for user root by (uid=0)"),
+		ev("E2", 220, "crond(pam_unix)", "session closed for user root"),
+		ev("E3", 170, "crond", "(root) CMD (run-parts /etc/cron.hourly)"),
+		ev("E4", 150, "kernel", "imklog 5.8.10, log source = /proc/kmsg started."),
+		ev("E5", 130, "sshd", "pam_unix(sshd:session): session opened for user {user} by (uid={int:0-1000*})"),
+		ev("E6", 120, "in.tftpd[{pid}]", "RRQ from {ip*} filename {path}"),
+		ev("E7", 100, "dhcpd", "DHCPDISCOVER from {mac*} via eth{int:0-3*}"),
+		ev("E8", 90, "dhcpd", "DHCPOFFER on {ip*} to {mac*} via eth{int:0-3*}"),
+		ev("E9", 80, "kernel", "e1000: eth{int:0-3*}: e1000_watchdog_task: NIC Link is Up 1000 Mbps Full Duplex"),
+		ev("E10", 70, "ntpd[{pid}]", "synchronized to {ip*}, stratum {int:1-10*}"),
+		ev("E11", 60, "postfix/smtpd[{pid}]", "connect from {fqdn}[{ip*}]"),
+		ev("E12", 40, "gmond", "data_thread() got no answer from any [{word:cpu|mem|net}] datasource"),
+	}
+	d.events = append(d.events, fillerEvents(13, 30, 3, "kernel")...)
+	return d
+}
+
+func windowsDef() datasetDef {
+	d := datasetDef{
+		header: func(r *rand.Rand, comp string) string {
+			return fmt.Sprintf("2016-09-%02d %02d:%02d:%02d, Info                  %s    ",
+				1+r.Intn(28), r.Intn(24), r.Intn(60), r.Intn(60), comp)
+		},
+		events: []eventDef{
+			ev("E1", 320, "CBS", "SQM: Initializing online with Windows opt-in: {word:False|True}"),
+			ev("E2", 280, "CBS", "SQM: Cleaning up report files older than {int:10-14*} days."),
+			ev("E3", 260, "CBS", "SQM: Requesting upload of all unsent reports."),
+			ev("E4", 220, "CBS", "SQM: Failed to start upload with file pattern: C:\\Windows\\servicing\\sqm\\*_std.sqm, flags: 0x{hex:1*} [HRESULT = 0x{hex:8*} - E_FAIL]"),
+			ev("E5", 200, "CBS", "Loaded Servicing Stack v6.1.7601.{int:20000-24000*} with Core: C:\\Windows\\winsxs\\amd64_microsoft-windows-servicingstack_31bf3856ad364e35_6.1.7601.{int:20000-24000*}_none_{hex:16*}\\cbscore.dll"),
+			ev("E6", 160, "CSI", "0000{hex:4*}@2016/9/{int:1-28*}:{int:0-23*}:{int:0-59*}:{int:0-59*}.{int:100-999*} WcpInitialize (wcp.dll version 0.0.0.6) called (stack @0x{hex:8*} @0x{hex:8*} @0x{hex:8*})"),
+			ev("E7", 120, "CBS", "Starting TrustedInstaller initialization."),
+			ev("E8", 110, "CBS", "Ending TrustedInstaller initialization."),
+			ev("E9", 100, "CBS", "Starting the TrustedInstaller main loop."),
+			ev("E10", 90, "CBS", "TrustedInstaller service starts successfully."),
+			ev("E11", 60, "CBS", "No startup processing required, TrustedInstaller service was not set as autostart"),
+			ev("E12", 40, "CBS", "Warning: Unrecognized packageExtended attribute."),
+		},
+	}
+	d.events = append(d.events, fillerEvents(13, 18, 2, "CBS")...)
+	return d
+}
+
+func linuxDef() datasetDef {
+	d := datasetDef{
+		header: func(r *rand.Rand, comp string) string {
+			return fmt.Sprintf("%s combo %s: ", syslogClock(r), comp)
+		},
+		events: []eventDef{
+			// Optional trailing "user=" segment: token count varies within
+			// the event — the long-tail difficulty that keeps every parser
+			// near 0.70 on Linux.
+			ev("E1", 200, "sshd(pam_unix)[{pid}]",
+				"authentication failure; logname= uid=0 euid=0 tty=NODEVssh ruser= rhost={fqdn}",
+				"authentication failure; logname= uid=0 euid=0 tty=NODEVssh ruser= rhost={fqdn}  user={user}"),
+			ev("E2", 180, "session)[{pid}]", "session opened for user {user} by (uid={int:0-1000*})"),
+			ev("E3", 170, "session)[{pid}]", "session closed for user {user}"),
+			ev("E4", 150, "sshd(pam_unix)[{pid}]", "check pass; user unknown"),
+			ev("E5", 120, "ftpd[{pid}]", "connection from {ip*} ({fqdn}) at {word:Mon|Tue|Wed|Thu|Fri|Sat|Sun} {word:Jun|Jul|Aug} {int:1-28*} {int:0-23*}:{int:0-59*}:{int:0-59*} 2005"),
+			// Real ground truth labels the highmem and no-highmem Memory
+			// lines as two distinct templates.
+			ev("E6", 70, "kernel",
+				"Memory: {int*}k/{int*}k available ({int*}k kernel code, {int*}k reserved, {int*}k data, {int*}k init, {int*}k highmem)"),
+			ev("E49", 40, "kernel",
+				"Memory: {int*}k/{int*}k available ({int*}k kernel code, {int*}k reserved, {int*}k data, {int*}k init)"),
+			ev("E7", 100, "kernel", "CPU {int:0-3*}: Intel(R) Xeon(TM) CPU 2.40GHz stepping {int:1-12*}"),
+			ev("E8", 90, "xinetd[{pid}]", "START: imap pid={pid} from={ip*}"),
+			ev("E9", 80, "xinetd[{pid}]", "EXIT: imap status={int:0-3*} pid={pid} duration={int:0-100*}(sec)"),
+			ev("E10", 40, "kernel",
+				"usb {int:1-4*}-{int:1-4*}: new {word:low|full|high} speed USB device using address {int:2-30*}"),
+			ev("E50", 30, "kernel",
+				"usb {int:1-4*}-{int:1-4*}: new {word:low|full|high} speed USB device using uhci_hcd and address {int:2-30*}"),
+			ev("E11", 60, "cups", "cupsd shutdown succeeded"),
+			ev("E12", 50, "gpm[{pid}]", "imps2: Auto-detected intellimouse PS/2"),
+			ev("E13", 40, "kernel", "EXT3-fs: mounted filesystem with ordered data mode."),
+			ev("E14", 30, "sendmail[{pid}]", "{hex:14*}: from={user}@{fqdn}, size={int*}, class=0, nrcpts={int:1-5*}, msgid=<{hex:16*}@{fqdn}>"),
+		},
+	}
+	d.events = append(d.events, fillerEvents(15, 34, 3, "kernel")...)
+	return d
+}
+
+func macDef() datasetDef {
+	d := datasetDef{
+		header: func(r *rand.Rand, comp string) string {
+			return fmt.Sprintf("%s calvisitor-10-105-160-95 %s: ", syslogClock(r), comp)
+		},
+		events: []eventDef{
+			ev("E1", 180, "kernel[0]", "ARPT: {float*}: wl0: ps_change_intr: PS mode change: 0x{hex:2*}"),
+			ev("E2", 160, "kernel[0]", "AppleCamIn::systemWakeCall - messageType = 0x{hex:8*}"),
+			ev("E3", 150, "kernel[0]", "RTC: PowerByCalendarDate setting ignored"),
+			ev("E4", 140, "WindowServer[{pid}]", "device_generate_desktop_screenshot: authw 0x0({int:0-9*}), shield 0x{hex:12*}({int:0-9*})"),
+			ev("E5", 130, "com.apple.cts[{pid}]", "com.apple.suggestions.harvest: scheduler_evaluate_activity told us to run this job; however, but the start time isn't for {int*} seconds. Ignoring."),
+			ev("E6", 120, "sharingd[{pid}]", "{int:0-59*}.{int:100-999*} : SDStatusMonitor::kStatusWirelessPowerChanged"),
+			ev("E7", 110, "kernel[0]", "Wake reason: RTC (Alarm)"),
+			ev("E8", 100, "mDNSResponder[{pid}]", "mDNS_DeregisterInterface: Frequent transitions for interface en0 ({ip*})"),
+			ev("E9", 90, "corecaptured[{pid}]", "CCFile::captureLogRun Skipping current file Dir file [{int*}-{int:1-12*}-{int:1-28*}_{int:0-23*},{int:0-59*},{int:0-59*}.{int:100-999*}]-AirPortBrcm4360_Logs-{int:0-20*}.txt, Current File [{int*}-{int:1-12*}-{int:1-28*}_{int:0-23*},{int:0-59*},{int:0-59*}.{int:100-999*}]-AirPortBrcm4360_Logs-{int:0-20*}.txt"),
+			ev("E10", 80, "QQ[{pid}]", "FA||Url||taskID[{int*}] dealloc"),
+			ev("E11", 70, "kernel[0]", "AirPort: Link Down on awdl0. Reason 1 (Unspecified)."),
+			ev("E12", 60, "kernel[0]", "IO80211AWDLPeerManager::setAwdlOperatingMode Setting the AWDL operation mode from {word:AUTO|SUSPENDED} to {word:AUTO|SUSPENDED}"),
+			ev("E13", 50, "locationd[{pid}]", "Location icon should now be in state 'Active'"),
+			ev("E14", 40, "UserEventAgent[{pid}]", "Captive: CNPluginHandler en0: Inactive"),
+		},
+	}
+	d.events = append(d.events, fillerEvents(15, 45, 3, "kernel[0]")...)
+	return d
+}
+
+func androidDef() datasetDef {
+	d := datasetDef{
+		header: func(r *rand.Rand, comp string) string {
+			return fmt.Sprintf("03-%02d %02d:%02d:%02d.%03d %5d %5d %s %s: ",
+				1+r.Intn(28), r.Intn(24), r.Intn(60), r.Intn(60), r.Intn(1000),
+				1000+r.Intn(3000), 1000+r.Intn(9000), []string{"D", "I", "V", "W", "E"}[r.Intn(5)], comp)
+		},
+		events: []eventDef{
+			ev("E1", 180, "PowerManagerService", "acquireWakeLockInternal: lock=0x{hex:8*}, flags=0x{hex:1*}, tag=\"{word:RILJ|AudioMix|job}\", ws={word:null|WorkSource}, uid={int:1000-12000*}, pid={pid}"),
+			ev("E2", 160, "WindowManager", "printFreezingDisplayLogsopening app wtoken = AppWindowToken{{hex:7*} token=Token{{hex:7*} ActivityRecord{{hex:7*} u0 com.tencent.qt.qtl/.activity.info.NewsDetailXmlActivity t{int:100-999*}}}}, allDrawn= false, startingDisplayed =  false, startingMoved =  false, isRelaunching =  false"),
+			ev("E3", 150, "ActivityManager", "Start proc {int:1000-30000*}:com.android.{word:settings|systemui|browser}/u0a{int:10-200*} for {word:activity|service|broadcast} com.android.{word:settings|systemui|browser}/.{word:Main|Settings|Home}Activity"),
+			ev("E4", 140, "BatteryService", "level:{int:1-100*}, scale:100, status:{int:1-5*}, health:{int:1-5*}, present:true, voltage: {int:3500-4400*}, temperature: {int:200-400*}"),
+			ev("E5", 130, "AlarmManager", "Triggering alarm #{int:0-20*}: Alarm{{hex:8*} type {int:0-3*} when {int*} android}"),
+			ev("E6", 120, "InputReader", "Touch event's action is 0x{hex:1*} (deviceType={int:0-3*}) [pCnt={int:1-3*}, s={int:0-5*}] when=[{int*}]"),
+			ev("E7", 100, "dex2oat", "dex2oat took {float*}ms (threads: {int:1-8*}) arena alloc={int*}B java alloc={int*}B native alloc={int*}B free={int*}B"),
+			ev("E8", 90, "Zygote", "Process {int:1000-30000*} exited due to signal ({int:1-15*})"),
+			ev("E9", 80, "libprocessgroup", "Killing pid {pid} in uid {int:1000-12000*} as part of process group {int:1000-12000*}"),
+			ev("E10", 70, "WifiService", "getWifiEnabledState uid={int:1000-12000*}"),
+			ev("E11", 60, "chatty", "uid={int:1000-12000*}({word:system|radio|u0_a64}) {word:Binder|RenderThread|main} expire {int:1-20*} lines"),
+			ev("E12", 50, "ThermalEngine", "Sensor:batt_therm:{int:20000-45000*} mC"),
+		},
+	}
+	d.events = append(d.events, fillerEvents(13, 40, 3, "SurfaceFlinger")...)
+	return d
+}
+
+func healthappDef() datasetDef {
+	d := datasetDef{
+		// HealthApp timestamps have NO leading zeros on hour/minute/second
+		// — the exact datetime-FSM limitation the paper documents.
+		header: func(r *rand.Rand, comp string) string {
+			return fmt.Sprintf("20171223-%d:%d:%d:%d|%s|%d|",
+				r.Intn(24), r.Intn(60), r.Intn(60), 100+r.Intn(900), comp, 30000000+r.Intn(9999999))
+		},
+		events: []eventDef{
+			ev("E1", 260, "Step_LSC", "onStandStepChanged {int*}"),
+			ev("E2", 240, "Step_LSC", "onExtend:{int*} {int*} {int*} {int*}"),
+			ev("E3", 200, "Step_StandReportReceiver", "REPORT : {int*} {int*} {int*} {float*}"),
+			ev("E4", 180, "Step_SPUtils", "getTodayTotalDetailSteps = {int*}##{int*}##{int*}##{int*}##{int*}##{int*}"),
+			ev("E5", 160, "Step_LSC", "totalAltitude={int*}, totalCalories={int*}, totalDistances={int*}, totalSteps={int*}"),
+			ev("E6", 140, "Step_SPUtils", "setTodayTotalDetailSteps={int*}##{int*}##{int*}##{int*}##{int*}##{int*}"),
+			ev("E7", 120, "Step_ExtSDM", "calculateCaloriesWithCache totalCalories={int*}"),
+			ev("E8", 110, "Step_ExtSDM", "calculateAltitudeWithCache totalAltitude={int*}"),
+			ev("E9", 90, "Step_StandStepCounter", "flush sensor data"),
+			ev("E10", 80, "Run_HiHealth", "upLoadHealthData time = {int*}"),
+			ev("E11", 60, "HiH_HiHealthDataApi", "aggregateData() fail, errorCode = {int:1-10*}"),
+			ev("E12", 50, "Step_SPUtils", "getFirstStandTime = {int*}"),
+		},
+	}
+	d.events = append(d.events, fillerEvents(13, 18, 3, "Step_LSC")...)
+	return d
+}
+
+func apacheDef() datasetDef {
+	return datasetDef{
+		header: func(r *rand.Rand, comp string) string {
+			days := []string{"Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"}
+			return fmt.Sprintf("[%s Jun %02d %02d:%02d:%02d 2005] [%s] ",
+				days[r.Intn(7)], 1+r.Intn(28), r.Intn(24), r.Intn(60), r.Intn(60), comp)
+		},
+		events: []eventDef{
+			ev("E1", 600, "notice", "jk2_init() Found child {int:1000-9999*} in scoreboard slot {int:0-12*}"),
+			ev("E2", 500, "notice", "workerEnv.init() ok {path}"),
+			ev("E3", 400, "error", "mod_jk child workerEnv in error state {int:1-9*}"),
+			ev("E4", 300, "error", "[client {ip*}] Directory index forbidden by rule: {path}"),
+			ev("E5", 120, "error", "jk2_init() Can't find child {int:1000-9999*} in scoreboard"),
+			ev("E6", 80, "error", "mod_jk child init {int:0-3*} {int:-2-0*}"),
+		},
+	}
+}
+
+func opensshDef() datasetDef {
+	return datasetDef{
+		header: func(r *rand.Rand, comp string) string {
+			return fmt.Sprintf("%s LabSZ %s: ", syslogClock(r), comp)
+		},
+		events: []eventDef{
+			ev("E1", 280, "sshd[{pid}]", "Failed password for invalid user {user} from {ip*} port {port*} ssh2"),
+			ev("E2", 260, "sshd[{pid}]", "Failed password for root from {ip*} port {port*} ssh2"),
+			// The real LogHub ground truth labels the bare form and the
+			// "user=root" form as two distinct events.
+			ev("E3", 160, "sshd[{pid}]", "pam_unix(sshd:auth): authentication failure; logname= uid=0 euid=0 tty=ssh ruser= rhost={ip*}"),
+			ev("E16", 60, "sshd[{pid}]", "pam_unix(sshd:auth): authentication failure; logname= uid=0 euid=0 tty=ssh ruser= rhost={ip*}  user=root"),
+			ev("E4", 200, "sshd[{pid}]", "Received disconnect from {ip*}: 11: {word:Bye|disconnect} [preauth]"),
+			ev("E5", 180, "sshd[{pid}]", "Invalid user {user} from {ip*}"),
+			ev("E6", 170, "sshd[{pid}]", "input_userauth_request: invalid user {user} [preauth]"),
+			ev("E7", 150, "sshd[{pid}]", "Connection closed by {ip*} [preauth]"),
+			ev("E8", 120, "sshd[{pid}]", "reverse mapping checking getaddrinfo for {fqdn} [{ip*}] failed - POSSIBLE BREAK-IN ATTEMPT!"),
+			ev("E9", 100, "sshd[{pid}]", "Accepted password for {word:curi|fztu|pgadmin|webadm|zachary} from {ip*} port {port*} ssh2"),
+			ev("E10", 90, "sshd[{pid}]", "pam_unix(sshd:session): session opened for user {user} by (uid={int:0-10*})"),
+			ev("E11", 80, "sshd[{pid}]", "pam_unix(sshd:session): session closed for user {user}"),
+			ev("E12", 60, "sshd[{pid}]", "PAM {int:1-5*} more authentication failures; logname= uid=0 euid=0 tty=ssh ruser= rhost={ip*}  user=root"),
+			ev("E13", 50, "sshd[{pid}]", "error: Received disconnect from {ip*}: 3: com.jcraft.jsch.JSchException: Auth fail [preauth]"),
+			ev("E14", 40, "sshd[{pid}]", "Did not receive identification string from {ip*}"),
+			ev("E15", 30, "sshd[{pid}]", "message repeated {int:2-10*} times: [ Failed password for root from {ip*} port {port*} ssh2]"),
+		},
+	}
+}
+
+func proxifierDef() datasetDef {
+	programs := []string{"chrome.exe", "firefox.exe", "Dropbox.exe"}
+	return datasetDef{
+		// The benchmark's Proxifier log format is "[Time] Program - Content":
+		// the program name is a header field, not message content.
+		header: func(r *rand.Rand, comp string) string {
+			return fmt.Sprintf("[%02d.%02d %02d:%02d:%02d] %s - ",
+				1+r.Intn(12), 1+r.Intn(28), r.Intn(24), r.Intn(60), r.Intn(60), programs[r.Intn(len(programs))])
+		},
+		events: []eventDef{
+			ev("E1", 300, "", "proxy.cse.cuhk.edu.hk:5070 open through proxy proxy.cse.cuhk.edu.hk:5070 HTTPS"),
+			// Lifetime renders as mm:ss or "<1 sec" (two shapes, one
+			// event) and the sent counter is the paper's "64 or 64*"
+			// type-unstable field: pre-processed accuracy drops to the
+			// lifetime split, raw collapses further.
+			ev("E2", 500, "", "proxy.cse.cuhk.edu.hk:5070 close, {alnumint*} bytes sent, {int*} bytes received, lifetime {dur}",
+				"proxy.cse.cuhk.edu.hk:5070 close, {alnumint*} bytes sent, {int*} bytes received, lifetime <1 sec"),
+			ev("E3", 250, "", "{fqdn}:{port*} open through proxy proxy.cse.cuhk.edu.hk:5070 HTTPS"),
+			ev("E4", 150, "", "{fqdn}:{port*} error : Could not connect through proxy proxy.cse.cuhk.edu.hk:5070 - Proxy server cannot establish a connection to the target, status code {alnumint*}"),
+			ev("E5", 80, "", "open directly"),
+			ev("E6", 60, "", "close, {alnumint*} bytes ({float*} KB) sent, {int*} bytes ({float*} KB) received, lifetime {dur}"),
+			ev("E7", 40, "", "attempt to connect directly"),
+			ev("E8", 20, "", "error : Could not read from socket - Connection reset by peer"),
+		},
+	}
+}

@@ -1,0 +1,128 @@
+package loghub
+
+// Long-tail hand-modelled events appended to the dataset definitions.
+// The real 2,000-line LogHub samples contain between 6 (Apache) and ~340
+// (Mac) distinct events; these extras push the synthetic populations
+// toward realistic event counts with formats characteristic of each
+// system. IDs use an X prefix so they can never collide with the core
+// events or the generated filler tail.
+
+func init() {
+	extend("Mac", []eventDef{
+		ev("X1", 14, "kernel[0]", "en0: BSSID changed to {mac*}"),
+		ev("X2", 12, "kernel[0]", "PM response took {int*} ms (sleep, priority {int:0-3*})"),
+		ev("X3", 12, "bluetoothd[{pid}]", "Connection to {mac*} timed out after {int*} ms"),
+		ev("X4", 10, "WindowServer[{pid}]", "CGXDisplayDidWakeNotification [{int*}]: posting kCGSDisplayDidWake"),
+		ev("X5", 10, "kernel[0]", "hibernate image path: {word:/var/vm/sleepimage}"),
+		ev("X6", 8, "syslogd[{pid}]", "ASL Sender Statistics"),
+		ev("X7", 8, "apsd[{pid}]", "Reporting active connections over the last {int:1-24*} hours"),
+		ev("X8", 6, "configd[{pid}]", "network changed: v4(en0:{ip*}) DNS Proxy SMB"),
+		ev("X9", 6, "kernel[0]", "Sandbox: {word:mdworker|coreaudiod}({pid}) deny(1) mach-lookup com.apple.{word:metadata|audio}.{word:mds|coreaudiod}"),
+		ev("X10", 4, "loginwindow[{pid}]", "ERROR | ScreensharingLoginNotification | Failed sending message to screen sharing GetScreensharingPort, err: {int*}"),
+	})
+	extend("Android", []eventDef{
+		ev("X1", 12, "AudioFlinger", "write blocked for {int*} msecs, {int*} delayed writes, thread 0x{hex:4*}"),
+		ev("X2", 12, "ConnectivityService", "notifyType {word:CAP_CHANGED|LOST|AVAILABLE} for NetworkAgentInfo [{word:WIFI|MOBILE} - {int*}]"),
+		ev("X3", 10, "ActivityManager", "Killing {int*}:com.android.{word:chrome|gms|vending}/u0a{int:10-200*} (adj {int:0-15*}): empty #{int:1-30*}"),
+		ev("X4", 10, "art", "Explicit concurrent mark sweep GC freed {int*}({int*}KB) AllocSpace objects, {int*}({int*}KB) LOS objects, {int:0-99*}% free, {int*}MB/{int*}MB, paused {int*}us total {int*}ms"),
+		ev("X5", 8, "WifiStateMachine", "handleMessage: E msg.what={int*}"),
+		ev("X6", 8, "ThermalEngine", "ACTION: CPU - Setting CPU[{int:0-7*}] to {int*}"),
+		ev("X7", 6, "SFPerfTracer", "triggers: (rate: {float*}) (threshold {int*}) (period: {int*})"),
+		ev("X8", 4, "installd", "Waiting for more work... (oldCount={int:0-5*})"),
+	})
+	extend("Thunderbird", []eventDef{
+		ev("X1", 12, "pbs_mom", "scan_for_terminated: job {int*}.{host} task {int*} terminated, sid {pid}"),
+		ev("X2", 10, "sshd[{pid}]", "Accepted publickey for {user} from {ip*} port {port*} ssh2"),
+		ev("X3", 10, "kernel", "ACPI: PCI interrupt 0000:{hex:2*}:{hex:2*}.{int:0-7*}[A] -> GSI {int:0-64*} (level, low) -> IRQ {int:0-255*}"),
+		ev("X4", 8, "xinetd[{pid}]", "START: auth pid={pid} from={ip*}"),
+		ev("X5", 8, "crond[{pid}]", "(root) CMD ({path})"),
+		ev("X6", 6, "ntpd[{pid}]", "kernel time sync enabled {int*}"),
+		ev("X7", 6, "kernel", "EXT3 FS on sda{int:1-9*}, internal journal"),
+		ev("X8", 4, "postfix/qmgr[{pid}]", "{hex:10*}: removed"),
+	})
+	extend("Hadoop", []eventDef{
+		ev("X1", 10, "org.apache.hadoop.mapred.Task", "Task 'attempt_{int:100-999*}_{int:0-99*}_m_{int:0-999999*}_{int:0-9*}' done."),
+		ev("X2", 10, "org.apache.hadoop.mapreduce.v2.app.job.impl.JobImpl", "job_{int:100-999*}_{int:0-9999*}Job Transitioned from {word:INITED|SETUP|RUNNING} to {word:SETUP|RUNNING|COMMITTING}"),
+		ev("X3", 8, "org.apache.hadoop.yarn.util.RackResolver", "Resolved {host} to /default-rack"),
+		ev("X4", 8, "org.apache.hadoop.conf.Configuration.deprecation", "{word:session.id|user.name|slave.host.name} is deprecated. Instead, use {word:dfs.metrics.session-id|mapreduce.job.user.name}"),
+		ev("X5", 6, "org.apache.hadoop.mapreduce.task.reduce.ShuffleSchedulerImpl", "Assigning {host} with {int:1-9*} to fetcher#{int:1-50*}"),
+		ev("X6", 4, "org.apache.hadoop.io.compress.zlib.ZlibFactory", "Successfully loaded & initialized native-zlib library"),
+	})
+	extend("Spark", []eventDef{
+		ev("X1", 10, "storage.ShuffleBlockFetcherIterator", "Getting {int*} non-empty blocks out of {int*} blocks"),
+		ev("X2", 10, "executor.CoarseGrainedExecutorBackend", "Got assigned task {int*}"),
+		ev("X3", 8, "storage.BlockManagerMasterEndpoint", "Registering block manager {host}:{port*} with {float*} GB RAM, BlockManagerId({int*}, {host}, {port*})"),
+		ev("X4", 8, "scheduler.DAGScheduler", "ShuffleMapStage {int:0-99*} (map at {word:Main.scala|Job.scala}:{int:1-400*}) finished in {float*} s"),
+		ev("X5", 6, "memory.TaskMemoryManager", "Memory used in task {int*}"),
+		ev("X6", 4, "util.SignalUtils", "Registered signal handler for {word:TERM|HUP|INT}"),
+	})
+	extend("Zookeeper", []eventDef{
+		ev("X1", 10, "Learner@325", "Revalidating client: 0x{hex:16*}"),
+		ev("X2", 8, "NIOServerCnxnFactory@192", "Too many connections from /{ip*} - max is {int:10-60*}"),
+		ev("X3", 8, "ZooKeeperServer@617", "Invalid session 0x{hex:16*} for client /{ip*}:{port*}, probably expired"),
+		ev("X4", 6, "LearnerHandler@535", "Received NEWLEADER-ACK message from {int:1-5*}"),
+		ev("X5", 6, "FileTxnLog@199", "Creating new log file: log.{hex:9*}"),
+		ev("X6", 4, "QuorumCnxManager@368", "Notification message format error from {int:1-5*}"),
+	})
+	extend("BGL", []eventDef{
+		ev("X1", 10, "KERNEL INFO", "{int*} L3 EDRAM error(s) (dcr 0x{hex:4*}) detected and corrected over {int*} seconds"),
+		ev("X2", 8, "KERNEL INFO", "Lustre mount FAILED : bglio{int:1-64*} : block_id : location"),
+		ev("X3", 8, "APP INFO", "ciod: LOGIN chdir({path}) failed: No such file or directory"),
+		ev("X4", 6, "KERNEL FATAL", "machine check interrupt (bit=0x{hex:2*}): L2 dcache unit data parity error"),
+		ev("X5", 6, "DISCOVERY SEVERE", "node card VPD check: missing internal wire of node card R{int:0-63*}-M{int:0-1*}-N{int:0-15*}"),
+		ev("X6", 4, "MMCS INFO", "mmcs_db_server has been started: ./mmcs_db_server --useDatabase BGL --dbschema bgl"),
+	})
+	extend("Windows", []eventDef{
+		ev("X1", 10, "CBS", "Session: {int*}_{int*} initialized by client WindowsUpdateAgent."),
+		ev("X2", 8, "CBS", "Read out cached package applicability for package: Package_for_KB{int:2000000-4999999*}~31bf3856ad364e35~amd64~~6.1.{int:1-9*}.{int:1-9*}, ApplicableState: {int:0-112*}, CurrentState:{int:0-112*}"),
+		ev("X3", 8, "CSI", "Performing {int:1-200*} operations; {int:1-50*} are not lock/unlock and follow transaction order"),
+		ev("X4", 6, "CBS", "Scavenge: Starting {word:Manifest|File|Component} Scavenge, begin: {int*}"),
+		ev("X5", 6, "CBS", "Failed to internally open package. [HRESULT = 0x{hex:8*} - CBS_E_INVALID_PACKAGE]"),
+		ev("X6", 4, "CBS", "Unloading offline registry hive: {word:SOFTWARE|SYSTEM}"),
+	})
+	extend("HPC", []eventDef{
+		ev("X1", 8, "node.hw", "Temperature ({word:ambient|cpu|mem}={int:20-90*}) exceeds critical threshold"),
+		ev("X2", 8, "boot_cmd", "Command has been aborted because of node failure node-{int:0-255*}"),
+		ev("X3", 6, "unix.hw", "HDA NR_SECT status: {word:drive_ready|seek_complete|error}"),
+		ev("X4", 4, "galaxy.status", "Console Heartbeat second status Error ( demand={int:1-9*} )"),
+	})
+	extend("OpenStack", []eventDef{
+		ev("X1", 8, "nova.compute.manager", "[instance: {uuid*}] Attempting claim: memory {int*} MB, disk {int*} GB, vcpus {int:1-16*} CPU"),
+		ev("X2", 8, "nova.scheduler.client.report", "Compute_service record updated for ('{host}', '{host}')"),
+		ev("X3", 6, "nova.virt.libvirt.driver", "[instance: {uuid*}] Creating image"),
+		ev("X4", 4, "keystone.token.providers.fernet.utils", "Loaded {int:1-9*} encryption keys (max_active_keys={int:1-9*}) from: {path}"),
+	})
+	extend("HealthApp", []eventDef{
+		ev("X1", 8, "Step_LSC", "onStandStepChanged {int*} isScreenOn = {word:true|false}"),
+		ev("X2", 6, "Run_HiHealth", "writeHiHealthData() success, type = {int:1-50*}"),
+		ev("X3", 6, "Step_SPUtils", "setTodayVisibleSteps = {int*}"),
+		ev("X4", 4, "Step_PedometerWrapper", "REPORT : {int*} {int*} {int*}"),
+	})
+	extend("Linux", []eventDef{
+		ev("X1", 8, "kernel", "Initializing CPU#{int:0-3*}"),
+		ev("X2", 8, "rpc.statd[{pid}]", "gethostbyname error for {fqdn}"),
+		ev("X3", 6, "kernel", "PCI: Sharing IRQ {int:1-16*} with 0000:{hex:2*}:{hex:2*}.{int:0-7*}"),
+		ev("X4", 6, "named[{pid}]", "lame server resolving '{fqdn}' (in '{fqdn}'?): {ip*}#53"),
+		ev("X5", 4, "sendmail[{pid}]", "{hex:14*}: to=root, ctladdr=root ({int:0-10*}/{int:0-10*}), delay=00:00:{int:0-59*}, mailer=local, pri={int*}, dsn=2.0.0, stat=Sent"),
+	})
+	extend("OpenSSH", []eventDef{
+		ev("X1", 8, "sshd[{pid}]", "Received signal 15; terminating."),
+		ev("X2", 6, "sshd[{pid}]", "Server listening on {word:0.0.0.0|::} port 22."),
+		ev("X3", 6, "sshd[{pid}]", "fatal: Write failed: Connection reset by peer [preauth]"),
+		ev("X4", 4, "sshd[{pid}]", "error: connect_to {ip*} port {port*}: failed."),
+	})
+	extend("HDFS", []eventDef{
+		ev("X1", 8, "dfs.DataNode$PacketResponder", "Received block {blk*} of size {int*} from /{ip*} and mirrored to /{ip*}:{port*}"),
+		ev("X2", 6, "dfs.DataBlockScanner", "Adding an already existing block {blk*}"),
+		ev("X3", 4, "dfs.FSNamesystem", "BLOCK* NameSystem.delete: {blk*} is added to invalidSet of {ip*}:{port*}"),
+	})
+}
+
+func extend(name string, evs []eventDef) {
+	d, ok := registry[name]
+	if !ok {
+		panic("loghub: extend of unknown dataset " + name)
+	}
+	d.events = append(d.events, evs...)
+	registry[name] = d
+}

@@ -1,0 +1,98 @@
+package loghub
+
+// Generator-quality guards: the synthetic datasets must be internally
+// consistent or the accuracy experiments measure generator artefacts
+// instead of parser behaviour.
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEventTemplatesDistinct: no two events of a dataset may share an
+// identical fixed template (they would be the same event with two
+// labels, unfairly penalising every parser).
+func TestEventTemplatesDistinct(t *testing.T) {
+	for name, def := range registry {
+		seen := map[string]string{}
+		for _, e := range def.events {
+			for _, v := range e.variants {
+				if prev, ok := seen[v]; ok && prev != e.id {
+					t.Errorf("%s: events %s and %s share template %q", name, prev, e.id, v)
+				}
+				seen[v] = e.id
+			}
+		}
+	}
+}
+
+// TestEventIDsDistinct: labels must be unique within a dataset.
+func TestEventIDsDistinct(t *testing.T) {
+	for name, def := range registry {
+		seen := map[string]bool{}
+		for _, e := range def.events {
+			if seen[e.id] {
+				t.Errorf("%s: duplicate event id %s", name, e.id)
+			}
+			seen[e.id] = true
+		}
+	}
+}
+
+// TestTemplatesExpand: every template of every dataset expands without
+// leaving broken placeholders, in both views.
+func TestTemplatesExpand(t *testing.T) {
+	r := newTestRand()
+	for name, def := range registry {
+		for _, e := range def.events {
+			for _, v := range e.variants {
+				content, pre := expand(v, r)
+				for _, out := range []string{content, pre} {
+					if strings.Contains(out, "?}") {
+						t.Errorf("%s/%s: unexpanded placeholder in %q -> %q", name, e.id, v, out)
+					}
+				}
+				if content == "" {
+					t.Errorf("%s/%s: empty expansion of %q", name, e.id, v)
+				}
+			}
+			if e.weight <= 0 {
+				t.Errorf("%s/%s: non-positive weight", name, e.id)
+			}
+			if len(e.variants) == 0 {
+				t.Errorf("%s/%s: no variants", name, e.id)
+			}
+		}
+	}
+}
+
+// TestEventCountsRealistic: each dataset should carry a meaningful event
+// population (the real samples have between 6 and ~340).
+func TestEventCountsRealistic(t *testing.T) {
+	min := map[string]int{"Apache": 6, "Proxifier": 8}
+	for name, def := range registry {
+		want := 15
+		if m, ok := min[name]; ok {
+			want = m
+		}
+		if len(def.events) < want {
+			t.Errorf("%s: only %d events defined, want >= %d", name, len(def.events), want)
+		}
+	}
+}
+
+// TestHeadersProduceParseableLines: raw lines must start with the
+// header and never contain stray newlines.
+func TestHeadersProduceParseableLines(t *testing.T) {
+	for _, name := range Names() {
+		ds, err := Generate(name, 200, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, l := range ds.Lines {
+			if strings.ContainsRune(l.Raw, '\n') {
+				t.Fatalf("%s line %d: raw line contains newline: %q", name, i, l.Raw)
+			}
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package parser
+
+import (
+	"repro/internal/patterns"
+	"repro/internal/token"
+)
+
+// bucket holds the patterns of one (service, token count) partition,
+// indexed by their first literal token. Log events almost always begin
+// with a discriminating constant word, so this turns the per-message
+// candidate scan into a map lookup plus the short list of patterns whose
+// first position is a variable.
+type bucket struct {
+	byFirst  map[string][]*patterns.Pattern
+	varFirst []*patterns.Pattern // first element is a variable (or TailAny)
+}
+
+func newBucket() *bucket {
+	return &bucket{byFirst: make(map[string][]*patterns.Pattern)}
+}
+
+func firstLiteral(p *patterns.Pattern) (string, bool) {
+	if len(p.Elements) == 0 {
+		return "", false
+	}
+	e := p.Elements[0]
+	if e.Var || e.Type == token.TailAny {
+		return "", false
+	}
+	return e.Value, true
+}
+
+func (b *bucket) add(p *patterns.Pattern) {
+	if v, ok := firstLiteral(p); ok {
+		b.byFirst[v] = append(b.byFirst[v], p)
+		return
+	}
+	b.varFirst = append(b.varFirst, p)
+}
+
+func (b *bucket) remove(id string) {
+	for v, list := range b.byFirst {
+		for i, q := range list {
+			if q.ID == id {
+				b.byFirst[v] = append(list[:i], list[i+1:]...)
+				if len(b.byFirst[v]) == 0 {
+					delete(b.byFirst, v)
+				}
+				return
+			}
+		}
+	}
+	for i, q := range b.varFirst {
+		if q.ID == id {
+			b.varFirst = append(b.varFirst[:i], b.varFirst[i+1:]...)
+			return
+		}
+	}
+}
+
+func (b *bucket) empty() bool {
+	return len(b.byFirst) == 0 && len(b.varFirst) == 0
+}
+
+// candidates returns the pattern lists that could match a message whose
+// first token is t: the exact-first-literal bucket and the variable-first
+// list.
+func (b *bucket) candidates(t token.Token) ([]*patterns.Pattern, []*patterns.Pattern) {
+	return b.byFirst[t.Value], b.varFirst
+}

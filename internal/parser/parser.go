@@ -1,0 +1,153 @@
+// Package parser implements the Sequence parsing phase: matching scanned
+// messages against the set of known patterns.
+//
+// Patterns are indexed by (service, token count), mirroring the two
+// partitioning stages of AnalyzeByService, so a lookup only ever compares
+// a message against the patterns that could possibly match it. Among
+// several candidates the parser picks the most specific one — the pattern
+// with the most literal positions — which resolves the overlapping-pattern
+// cases the paper mentions during patterndb review.
+package parser
+
+import (
+	"sync"
+
+	"repro/internal/patterns"
+	"repro/internal/token"
+)
+
+// Parser matches token sequences against known patterns. It is safe for
+// concurrent use: lookups take a read lock, mutations a write lock.
+type Parser struct {
+	mu    sync.RWMutex
+	index map[string]map[int]*bucket
+	byID  map[string]*patterns.Pattern
+}
+
+// New returns an empty parser.
+func New() *Parser {
+	return &Parser{
+		index: make(map[string]map[int]*bucket),
+		byID:  make(map[string]*patterns.Pattern),
+	}
+}
+
+// Add registers a pattern. A pattern with an already-known ID replaces the
+// previous one (patterns are value-identified by their SHA-1, so this is
+// an idempotent upsert).
+func (p *Parser) Add(pat *patterns.Pattern) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if pat.ID == "" {
+		pat.ComputeID()
+	}
+	if old, ok := p.byID[pat.ID]; ok {
+		p.removeLocked(old)
+	}
+	p.byID[pat.ID] = pat
+	svc := p.index[pat.Service]
+	if svc == nil {
+		svc = make(map[int]*bucket)
+		p.index[pat.Service] = svc
+	}
+	n := len(pat.Elements)
+	b := svc[n]
+	if b == nil {
+		b = newBucket()
+		svc[n] = b
+	}
+	b.add(pat)
+}
+
+// Remove deletes a pattern by ID and reports whether it was present.
+func (p *Parser) Remove(id string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pat, ok := p.byID[id]
+	if !ok {
+		return false
+	}
+	p.removeLocked(pat)
+	return true
+}
+
+func (p *Parser) removeLocked(pat *patterns.Pattern) {
+	delete(p.byID, pat.ID)
+	svc := p.index[pat.Service]
+	if svc == nil {
+		return
+	}
+	n := len(pat.Elements)
+	if b := svc[n]; b != nil {
+		b.remove(pat.ID)
+		if b.empty() {
+			delete(svc, n)
+		}
+	}
+	if len(svc) == 0 {
+		delete(p.index, pat.Service)
+	}
+}
+
+// Get returns the pattern with the given ID.
+func (p *Parser) Get(id string) (*patterns.Pattern, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	pat, ok := p.byID[id]
+	return pat, ok
+}
+
+// Len returns the number of registered patterns.
+func (p *Parser) Len() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.byID)
+}
+
+// Services returns the number of distinct services with patterns.
+func (p *Parser) Services() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.index)
+}
+
+// Match finds the best pattern for an enriched token sequence of the given
+// service. Among all matching candidates it returns the one with the most
+// literal positions (the most specific); ok is false when no pattern
+// matches.
+func (p *Parser) Match(service string, tokens []token.Token) (best *patterns.Pattern, ok bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	svc := p.index[service]
+	if svc == nil || len(tokens) == 0 {
+		return nil, false
+	}
+	b := svc[len(tokens)]
+	if b == nil {
+		return nil, false
+	}
+	bestScore := -1
+	exact, varFirst := b.candidates(tokens[0])
+	for _, list := range [2][]*patterns.Pattern{exact, varFirst} {
+		for _, cand := range list {
+			if score, m := cand.Match(tokens); m && score > bestScore {
+				best, bestScore = cand, score
+			}
+		}
+	}
+	// Multi-line patterns are indexed under first-line length + 1 (the
+	// TailAny element); a message truncated by the scanner carries the
+	// same marker token, so lengths align and no second lookup is needed.
+	return best, bestScore >= 0
+}
+
+// All returns a snapshot of every registered pattern.
+func (p *Parser) All() []*patterns.Pattern {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]*patterns.Pattern, 0, len(p.byID))
+	for _, pat := range p.byID {
+		out = append(out, pat)
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+package parser
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/patterns"
+	"repro/internal/token"
+)
+
+func mustPattern(t *testing.T, text, service string) *patterns.Pattern {
+	t.Helper()
+	p, err := patterns.FromText(text, service)
+	if err != nil {
+		t.Fatalf("FromText(%q): %v", text, err)
+	}
+	return p
+}
+
+func scan(msg string) []token.Token {
+	var s token.Scanner
+	return token.Enrich(s.ScanCopy(msg))
+}
+
+func TestMatchBasic(t *testing.T) {
+	p := New()
+	p.Add(mustPattern(t, "%action% from %srcip% port %srcport%", "sshd"))
+
+	got, ok := p.Match("sshd", scan("accepted from 10.0.0.1 port 22"))
+	if !ok {
+		t.Fatal("expected a match")
+	}
+	if got.Service != "sshd" {
+		t.Errorf("service = %q", got.Service)
+	}
+	if _, ok := p.Match("sshd", scan("a totally different shape of message here")); ok {
+		t.Error("unexpected match")
+	}
+}
+
+func TestMatchServiceIsolation(t *testing.T) {
+	p := New()
+	p.Add(mustPattern(t, "restart requested by %string%", "cron"))
+	if _, ok := p.Match("sshd", scan("restart requested by operator")); ok {
+		t.Fatal("patterns must never cross services")
+	}
+	if _, ok := p.Match("cron", scan("restart requested by operator")); !ok {
+		t.Fatal("same service should match")
+	}
+}
+
+func TestMatchPrefersMostSpecific(t *testing.T) {
+	p := New()
+	generic := mustPattern(t, "%string% from %srcip% port %srcport%", "sshd")
+	specific := mustPattern(t, "disconnect from %srcip% port %srcport%", "sshd")
+	p.Add(generic)
+	p.Add(specific)
+
+	got, ok := p.Match("sshd", scan("disconnect from 1.2.3.4 port 22"))
+	if !ok {
+		t.Fatal("expected a match")
+	}
+	if got.ID != specific.ID {
+		t.Errorf("got %q, want the more specific %q", got.Text(), specific.Text())
+	}
+	got, ok = p.Match("sshd", scan("banner from 1.2.3.4 port 22"))
+	if !ok || got.ID != generic.ID {
+		t.Errorf("non-disconnect message should fall back to the generic pattern")
+	}
+}
+
+func TestAddIsUpsert(t *testing.T) {
+	p := New()
+	a := mustPattern(t, "hello %string%", "svc")
+	a.Count = 5
+	p.Add(a)
+	b := mustPattern(t, "hello %string%", "svc")
+	b.Count = 9
+	p.Add(b)
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (same ID upserts)", p.Len())
+	}
+	got, _ := p.Get(a.ID)
+	if got.Count != 9 {
+		t.Errorf("upsert should replace; count = %d", got.Count)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	p := New()
+	a := mustPattern(t, "hello %string%", "svc")
+	p.Add(a)
+	if !p.Remove(a.ID) {
+		t.Fatal("Remove should report true for a present ID")
+	}
+	if p.Remove(a.ID) {
+		t.Fatal("second Remove should report false")
+	}
+	if _, ok := p.Match("svc", scan("hello world")); ok {
+		t.Fatal("removed pattern must no longer match")
+	}
+	if p.Len() != 0 || p.Services() != 0 {
+		t.Errorf("Len=%d Services=%d after removal", p.Len(), p.Services())
+	}
+}
+
+func TestMatchMultiline(t *testing.T) {
+	p := New()
+	pat := mustPattern(t, "stack trace for pid %integer%:%tailany%", "java")
+	p.Add(pat)
+	got, ok := p.Match("java", scan("stack trace for pid 4321:\n at a\n at b"))
+	if !ok || got.ID != pat.ID {
+		t.Fatal("multi-line message should match the tail-ignore pattern")
+	}
+	// The single-line form (no marker token) has a different length and
+	// must not match the multiline pattern.
+	if _, ok := p.Match("java", scan("stack trace for pid 4321:")); ok {
+		t.Fatal("single-line variant must not match the multiline pattern")
+	}
+}
+
+func TestExtract(t *testing.T) {
+	pat := mustPattern(t, "%action% from %srcip% port %srcport%", "sshd")
+	vals, ok := pat.Extract(scan("accepted from 10.0.0.1 port 22"))
+	if !ok {
+		t.Fatal("expected a match")
+	}
+	want := map[string]string{"action": "accepted", "srcip": "10.0.0.1", "srcport": "22"}
+	for k, v := range want {
+		if vals[k] != v {
+			t.Errorf("Extract[%q] = %q, want %q", k, vals[k], v)
+		}
+	}
+	if _, ok := pat.Extract(scan("no match here at all")); ok {
+		t.Error("Extract must fail on non-matching message")
+	}
+}
+
+func TestConcurrentMatch(t *testing.T) {
+	p := New()
+	for i := 0; i < 50; i++ {
+		p.Add(mustPattern(t, fmt.Sprintf("event %d value %%integer%%", i), "svc"))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				msg := fmt.Sprintf("event %d value %d", i%50, i)
+				if _, ok := p.Match("svc", scan(msg)); !ok {
+					t.Errorf("worker %d: no match for %q", w, msg)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestVarFirstPatternsStillMatch(t *testing.T) {
+	p := New()
+	varFirst := mustPattern(t, "%action% completed at stage %integer%", "svc")
+	litFirst := mustPattern(t, "rollback completed at stage %integer%", "svc")
+	p.Add(varFirst)
+	p.Add(litFirst)
+
+	// A message whose first word is NOT a known first literal must still
+	// reach the variable-first pattern.
+	got, ok := p.Match("svc", scan("compaction completed at stage 3"))
+	if !ok || got.ID != varFirst.ID {
+		t.Fatalf("var-first pattern unreachable: %v %v", got, ok)
+	}
+	// The literal-first pattern wins on its exact word (more specific).
+	got, ok = p.Match("svc", scan("rollback completed at stage 3"))
+	if !ok || got.ID != litFirst.ID {
+		t.Fatalf("want the literal-first pattern, got %v", got)
+	}
+	// Removal from both index sides works.
+	p.Remove(varFirst.ID)
+	if _, ok := p.Match("svc", scan("compaction completed at stage 3")); ok {
+		t.Fatal("removed var-first pattern still matches")
+	}
+	p.Remove(litFirst.ID)
+	if p.Len() != 0 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+}
+
+// BenchmarkMatchDiverseFirstTokens shows the first-token index at work:
+// 2000 patterns with distinct leading words, one lookup each.
+func BenchmarkMatchDiverseFirstTokens(b *testing.B) {
+	p := New()
+	for i := 0; i < 2000; i++ {
+		pat, err := patterns.FromText(fmt.Sprintf("word%04d from %%srcip%% port %%srcport%%", i), "svc")
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Add(pat)
+	}
+	toks := scan("word1337 from 10.1.2.3 port 44321")
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := p.Match("svc", toks); !ok {
+			b.Fatal("no match")
+		}
+	}
+}
+
+func BenchmarkMatch(b *testing.B) {
+	p := New()
+	for i := 0; i < 200; i++ {
+		pat, err := patterns.FromText(fmt.Sprintf("event kind%d from %%srcip%% port %%srcport%%", i), "svc")
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Add(pat)
+	}
+	toks := scan("event kind137 from 10.1.2.3 port 44321")
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := p.Match("svc", toks); !ok {
+			b.Fatal("no match")
+		}
+	}
+}

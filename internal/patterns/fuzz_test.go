@@ -1,0 +1,32 @@
+package patterns
+
+import (
+	"testing"
+
+	"repro/internal/token"
+)
+
+// FuzzFromText: any text either fails to parse or yields a pattern whose
+// Text round-trips and whose Match is total over scanned input.
+func FuzzFromText(f *testing.F) {
+	f.Add("%action% from %srcip% port %srcport%", "accepted from 1.2.3.4 port 22")
+	f.Add("plain literal pattern", "plain literal pattern")
+	f.Add("%integer%%float%", "1 2.5")
+	f.Add("boom%tailany%", "boom\nrest")
+	f.Add("%%", "x")
+	f.Fuzz(func(t *testing.T, text, msg string) {
+		p, err := FromText(text, "svc")
+		if err != nil {
+			return
+		}
+		q, err := FromText(p.Text(), "svc")
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", p.Text(), text, err)
+		}
+		if q.Text() != p.Text() {
+			t.Fatalf("text not stable: %q -> %q", p.Text(), q.Text())
+		}
+		var s token.Scanner
+		p.Match(token.Enrich(s.Scan(msg))) // must not panic
+	})
+}

@@ -1,0 +1,143 @@
+package patterns
+
+import (
+	"strings"
+
+	"repro/internal/token"
+)
+
+// Variable naming.
+//
+// Sequence names pattern variables semantically where it can — the paper's
+// running example is "%action% from %srcip% port %srcport%". The rules, in
+// priority order:
+//
+//  1. a key=value value is named after its key,
+//  2. an IP/host after "from"/"by"/"client"/"src" is srcip, after
+//     "to"/"dest"/"dst"/"server" is dstip,
+//  3. an integer after the literal "port" inherits the src/dst side of the
+//     most recent named IP (srcport/dstport), or is "port",
+//  4. a string variable in the leading position is "action", one after
+//     "user"/"for"/"ruser" is "user",
+//  5. otherwise the variable is named after its type (string, integer,
+//     float, ipv4, ...), with a numeric suffix de-duplicating repeats
+//     within one pattern (integer, integer2, ...).
+
+var srcWords = map[string]bool{"from": true, "by": true, "client": true, "src": true, "source": true}
+var dstWords = map[string]bool{"to": true, "dest": true, "dst": true, "destination": true, "server": true}
+var userWords = map[string]bool{"user": true, "for": true, "ruser": true, "uid": true}
+
+// NameVariables assigns Name to every variable element of the slice.
+// It is idempotent.
+func NameVariables(elems []Element) {
+	used := map[string]int{}
+	lastIPSide := "" // "src" or "dst"
+
+	prevWord := func(i int) string {
+		for j := i - 1; j >= 0; j-- {
+			e := elems[j]
+			if e.Var || e.Type == token.TailAny {
+				return ""
+			}
+			w := strings.ToLower(strings.Trim(e.Value, ".,:;"))
+			if w == "" || !isWordString(w) {
+				continue
+			}
+			return w
+		}
+		return ""
+	}
+
+	for i := range elems {
+		e := &elems[i]
+		if !e.Var {
+			continue
+		}
+		base := ""
+		switch {
+		case e.Key != "":
+			base = sanitizeName(e.Key)
+		case e.Type == token.IPv4 || e.Type == token.IPv6 || e.Type == token.Host:
+			switch w := prevWord(i); {
+			case srcWords[w]:
+				base, lastIPSide = "srcip", "src"
+			case dstWords[w]:
+				base, lastIPSide = "dstip", "dst"
+			default:
+				base = e.Type.String()
+			}
+		case e.Type == token.Integer && prevWord(i) == "port":
+			switch lastIPSide {
+			case "src":
+				base = "srcport"
+			case "dst":
+				base = "dstport"
+			default:
+				base = "port"
+			}
+		case e.Type == token.Literal: // merged-literal "string" variable
+			switch {
+			case i == 0:
+				base = "action"
+			case userWords[prevWord(i)]:
+				base = "user"
+			default:
+				base = "string"
+			}
+		default:
+			base = e.Type.String()
+		}
+		if base == "" {
+			base = "string"
+		}
+		used[base]++
+		if n := used[base]; n > 1 {
+			e.Name = base + itoa(n)
+		} else {
+			e.Name = base
+		}
+	}
+}
+
+func sanitizeName(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '_':
+			b.WriteByte(c)
+		case c >= 'A' && c <= 'Z':
+			b.WriteByte(c - 'A' + 'a')
+		case c == '-' || c == '.':
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "string"
+	}
+	return b.String()
+}
+
+func isWordString(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

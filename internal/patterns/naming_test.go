@@ -1,0 +1,117 @@
+package patterns
+
+import (
+	"testing"
+
+	"repro/internal/token"
+)
+
+func TestNamingTypedDefaults(t *testing.T) {
+	elems := []Element{
+		{Type: token.Time, Var: true},
+		{Type: token.Mac, Var: true, SpaceBefore: true},
+		{Type: token.URL, Var: true, SpaceBefore: true},
+		{Type: token.Email, Var: true, SpaceBefore: true},
+		{Type: token.HexString, Var: true, SpaceBefore: true},
+		{Type: token.Host, Var: true, SpaceBefore: true},
+		{Type: token.Float, Var: true, SpaceBefore: true},
+	}
+	NameVariables(elems)
+	want := []string{"time", "mac", "url", "email", "hexstring", "host", "float"}
+	for i, w := range want {
+		if elems[i].Name != w {
+			t.Errorf("element %d named %q, want %q", i, elems[i].Name, w)
+		}
+	}
+}
+
+func TestNamingUserContext(t *testing.T) {
+	elems := []Element{
+		lit("session", false),
+		lit("for", true),
+		{Type: token.Literal, Var: true, SpaceBefore: true},
+	}
+	NameVariables(elems)
+	if elems[2].Name != "user" {
+		t.Errorf("string after 'for' should be user, got %q", elems[2].Name)
+	}
+}
+
+func TestNamingHostGetsSrcSide(t *testing.T) {
+	elems := []Element{
+		lit("request", false),
+		lit("from", true),
+		{Type: token.Host, Var: true, SpaceBefore: true},
+	}
+	NameVariables(elems)
+	if elems[2].Name != "srcip" {
+		t.Errorf("host after 'from' should be srcip, got %q", elems[2].Name)
+	}
+}
+
+func TestNamingPortWithoutContext(t *testing.T) {
+	elems := []Element{
+		lit("listening", false),
+		lit("port", true),
+		{Type: token.Integer, Var: true, SpaceBefore: true},
+	}
+	NameVariables(elems)
+	if elems[2].Name != "port" {
+		t.Errorf("bare port integer named %q", elems[2].Name)
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"UID":        "uid",
+		"src-ip":     "src_ip",
+		"a.b":        "a_b",
+		"weird!!key": "weirdkey",
+		"()":         "string",
+	}
+	for in, want := range cases {
+		elems := []Element{
+			lit("k", false),
+			lit("=", false),
+			{Type: token.Integer, Var: true, Key: in},
+		}
+		NameVariables(elems)
+		if elems[2].Name != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, elems[2].Name, want)
+		}
+	}
+}
+
+func TestNamingIdempotent(t *testing.T) {
+	elems := []Element{
+		{Type: token.Literal, Var: true},
+		lit("from", true),
+		{Type: token.IPv4, Var: true, SpaceBefore: true},
+	}
+	NameVariables(elems)
+	first := []string{elems[0].Name, elems[2].Name}
+	NameVariables(elems)
+	if elems[0].Name != first[0] || elems[2].Name != first[1] {
+		t.Errorf("renaming changed names: %v -> %v %v", first, elems[0].Name, elems[2].Name)
+	}
+}
+
+func TestComplexityPunctuationOnly(t *testing.T) {
+	p := &Pattern{Elements: []Element{lit(":", false), lit("[", false), lit("]", false)}}
+	if c := p.Complexity(); c != 1 {
+		t.Errorf("punctuation-only pattern complexity = %v, want 1 (no information)", c)
+	}
+}
+
+func TestTokenCountExcludesTail(t *testing.T) {
+	p, err := FromText("boom %string%%tailany%", "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.TokenCount(); got != 2 {
+		t.Errorf("TokenCount = %d, want 2 (tail marker excluded)", got)
+	}
+	if len(p.Elements) != 3 {
+		t.Errorf("elements = %d", len(p.Elements))
+	}
+}

@@ -1,0 +1,276 @@
+package patterns
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/token"
+)
+
+func lit(v string, space bool) Element {
+	return Element{Type: token.Literal, Value: v, SpaceBefore: space}
+}
+
+func v(typ token.Type, name string, space bool) Element {
+	return Element{Type: typ, Var: true, Name: name, SpaceBefore: space}
+}
+
+// paperPattern builds the running example of the paper:
+// %action% from %srcip% port %srcport%
+func paperPattern() *Pattern {
+	p := &Pattern{
+		Service: "sshd",
+		Elements: []Element{
+			v(token.Literal, "action", false),
+			lit("from", true),
+			v(token.IPv4, "srcip", true),
+			lit("port", true),
+			v(token.Integer, "srcport", true),
+		},
+	}
+	p.ComputeID()
+	return p
+}
+
+func TestTextForm(t *testing.T) {
+	p := paperPattern()
+	if got := p.Text(); got != "%action% from %srcip% port %srcport%" {
+		t.Fatalf("Text() = %q", got)
+	}
+}
+
+func TestIDReproducible(t *testing.T) {
+	a := paperPattern()
+	b := paperPattern()
+	if a.ID != b.ID {
+		t.Fatalf("IDs differ: %s vs %s", a.ID, b.ID)
+	}
+	if len(a.ID) != 40 {
+		t.Fatalf("ID must be a 40-hex-char SHA-1, got %q", a.ID)
+	}
+	// A different service yields a different ID for the same text.
+	c := paperPattern()
+	c.Service = "other"
+	c.ComputeID()
+	if c.ID == a.ID {
+		t.Fatal("same text, different service must produce different IDs")
+	}
+}
+
+func TestMatch(t *testing.T) {
+	p := paperPattern()
+	var s token.Scanner
+
+	score, ok := p.Match(token.Enrich(s.Scan("accepted from 10.0.0.1 port 22")))
+	if !ok {
+		t.Fatal("message should match the paper pattern")
+	}
+	if score != 2 { // "from" and "port"
+		t.Fatalf("score = %d, want 2", score)
+	}
+
+	if _, ok := p.Match(token.Enrich(s.Scan("accepted from 10.0.0.1 port abc"))); ok {
+		t.Fatal("integer variable must not match a literal token")
+	}
+	if _, ok := p.Match(token.Enrich(s.Scan("accepted from 10.0.0.1 port 22 extra"))); ok {
+		t.Fatal("extra trailing token must not match")
+	}
+	if _, ok := p.Match(token.Enrich(s.Scan("accepted from 10.0.0.1 port"))); ok {
+		t.Fatal("truncated message must not match")
+	}
+}
+
+// TestMatchStringVarRejectsInteger pins the Proxifier limitation: a
+// sometimes-alphanumeric, sometimes-numeric field yields two patterns
+// because a string variable does not accept Integer tokens.
+func TestMatchStringVarRejectsInteger(t *testing.T) {
+	p := &Pattern{Service: "proxifier", Elements: []Element{
+		lit("close", false),
+		v(token.Literal, "string", true),
+	}}
+	var s token.Scanner
+	if _, ok := p.Match(s.Scan("close 64*")); !ok {
+		t.Fatal("string variable should match alphanumeric token")
+	}
+	if _, ok := p.Match(s.Scan("close 64")); ok {
+		t.Fatal("string variable must NOT match a pure integer (paper §IV limitation)")
+	}
+}
+
+func TestMatchMultilineTail(t *testing.T) {
+	p := &Pattern{Service: "java", Elements: []Element{
+		lit("Exception", false),
+		lit(":", false),
+		v(token.Literal, "string", true),
+		{Type: token.TailAny, SpaceBefore: false},
+	}, Multiline: true}
+
+	var s token.Scanner
+	tokens := s.Scan("Exception: boom\n  at Foo.bar(Foo.java:1)\n  at Baz.qux(Baz.java:2)")
+	if _, ok := p.Match(tokens); !ok {
+		t.Fatal("multi-line message should match via TailAny")
+	}
+}
+
+func TestComplexity(t *testing.T) {
+	p := paperPattern()
+	// 4 word positions (action, from, srcip, port, srcport = 5), 3 vars.
+	got := p.Complexity()
+	if got <= 0 || got >= 1 {
+		t.Fatalf("mixed pattern complexity should be in (0,1), got %v", got)
+	}
+	allVars := &Pattern{Elements: []Element{
+		v(token.Integer, "integer", false),
+		v(token.Literal, "string", true),
+	}}
+	if c := allVars.Complexity(); c != 1 {
+		t.Fatalf("all-variable pattern must score 1.0, got %v", c)
+	}
+	allLit := &Pattern{Elements: []Element{lit("server", false), lit("started", true)}}
+	if c := allLit.Complexity(); c != 0 {
+		t.Fatalf("all-literal pattern must score 0.0, got %v", c)
+	}
+}
+
+func TestAddExample(t *testing.T) {
+	p := paperPattern()
+	if !p.AddExample("a") || !p.AddExample("b") || !p.AddExample("c") {
+		t.Fatal("first three unique examples must be accepted")
+	}
+	if p.AddExample("d") {
+		t.Fatal("fourth example must be rejected")
+	}
+	if p.AddExample("a") {
+		t.Fatal("duplicate example must be rejected")
+	}
+	if len(p.Examples) != MaxExamples {
+		t.Fatalf("examples = %v", p.Examples)
+	}
+}
+
+func TestNameVariablesPaperExample(t *testing.T) {
+	elems := []Element{
+		{Type: token.Literal, Var: true, SpaceBefore: false},
+		lit("from", true),
+		{Type: token.IPv4, Var: true, SpaceBefore: true},
+		lit("port", true),
+		{Type: token.Integer, Var: true, SpaceBefore: true},
+	}
+	NameVariables(elems)
+	got := []string{elems[0].Name, elems[2].Name, elems[4].Name}
+	want := []string{"action", "srcip", "srcport"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("variable %d named %q, want %q (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestNameVariablesKeyValue(t *testing.T) {
+	elems := []Element{
+		lit("uid", false),
+		lit("=", false),
+		{Type: token.Integer, Var: true, Key: "uid"},
+	}
+	NameVariables(elems)
+	if elems[2].Name != "uid" {
+		t.Errorf("key=value variable named %q, want uid", elems[2].Name)
+	}
+}
+
+func TestNameVariablesDedup(t *testing.T) {
+	elems := []Element{
+		{Type: token.Integer, Var: true},
+		{Type: token.Integer, Var: true, SpaceBefore: true},
+		{Type: token.Integer, Var: true, SpaceBefore: true},
+	}
+	NameVariables(elems)
+	if elems[0].Name != "integer" || elems[1].Name != "integer2" || elems[2].Name != "integer3" {
+		t.Errorf("dedup names = %q %q %q", elems[0].Name, elems[1].Name, elems[2].Name)
+	}
+}
+
+func TestNameVariablesDstSide(t *testing.T) {
+	elems := []Element{
+		lit("to", false),
+		{Type: token.IPv4, Var: true, SpaceBefore: true},
+		lit("port", true),
+		{Type: token.Integer, Var: true, SpaceBefore: true},
+	}
+	NameVariables(elems)
+	if elems[1].Name != "dstip" || elems[3].Name != "dstport" {
+		t.Errorf("got %q %q, want dstip dstport", elems[1].Name, elems[3].Name)
+	}
+}
+
+func TestFromTextRoundTrip(t *testing.T) {
+	texts := []string{
+		"%action% from %srcip% port %srcport%",
+		"session opened for user %user%",
+		"packet loss %float% on eth0",
+		"%time% kernel: oom killed pid %integer%",
+	}
+	for _, text := range texts {
+		p, err := FromText(text, "svc")
+		if err != nil {
+			t.Fatalf("FromText(%q): %v", text, err)
+		}
+		if got := p.Text(); got != text {
+			t.Errorf("round trip: %q -> %q", text, got)
+		}
+	}
+}
+
+func TestFromTextTypes(t *testing.T) {
+	p, err := FromText("%action% from %srcip% port %srcport%", "sshd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s token.Scanner
+	if _, ok := p.Match(token.Enrich(s.Scan("accepted password from 1.2.3.4 port 22"))); ok {
+		t.Fatal("action is one token; two-word action must not match")
+	}
+	if _, ok := p.Match(token.Enrich(s.Scan("accepted from 1.2.3.4 port 22"))); !ok {
+		t.Fatal("hand-authored pattern should match")
+	}
+}
+
+func TestFromTextErrors(t *testing.T) {
+	if _, err := FromText("broken %var", "svc"); err == nil {
+		t.Fatal("unterminated variable must error")
+	}
+	if _, err := FromText("broken %% here", "svc"); err == nil {
+		t.Fatal("empty variable must error")
+	}
+}
+
+// Property: Text/FromText round-trips for patterns assembled from a small
+// vocabulary of literals and typed variables.
+func TestTextRoundTripProperty(t *testing.T) {
+	lits := []string{"error", "on", "connection", "port", "from"}
+	vars := []string{"%integer%", "%float%", "%ipv4%", "%string%", "%time%"}
+	f := func(pick []bool) bool {
+		if len(pick) == 0 || len(pick) > 12 {
+			return true
+		}
+		parts := make([]string, 0, len(pick))
+		for i, isVar := range pick {
+			if isVar {
+				parts = append(parts, vars[i%len(vars)])
+			} else {
+				parts = append(parts, lits[i%len(lits)])
+			}
+		}
+		text := strings.Join(parts, " ")
+		p, err := FromText(text, "svc")
+		if err != nil {
+			return false
+		}
+		q, err := FromText(p.Text(), "svc")
+		return err == nil && q.Text() == p.Text()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

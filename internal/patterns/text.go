@@ -1,0 +1,108 @@
+package patterns
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/token"
+)
+
+// FromText parses a pattern from Sequence's %-delimited text form, e.g.
+//
+//	%action% from %srcip% port %srcport%
+//
+// Variable types are resolved from their names (semantic names such as
+// srcip imply a type; see nameTypes). FromText is the inverse of
+// (*Pattern).Text for patterns that round-trip through the database's
+// human-readable column, and it lets administrators author patterns by
+// hand.
+func FromText(text, service string) (*Pattern, error) {
+	p := &Pattern{Service: service}
+	i := 0
+	spaceBefore := false
+	var scratch token.Scanner
+	for i < len(text) {
+		if text[i] == ' ' {
+			spaceBefore = true
+			i++
+			continue
+		}
+		if text[i] == '%' {
+			end := strings.IndexByte(text[i+1:], '%')
+			if end < 0 {
+				return nil, fmt.Errorf("patterns: unterminated %%variable%% at offset %d in %q", i, text)
+			}
+			name := text[i+1 : i+1+end]
+			if name == "" {
+				return nil, fmt.Errorf("patterns: empty %%%% variable at offset %d in %q", i, text)
+			}
+			typ := typeForName(name)
+			if typ == token.TailAny {
+				p.Elements = append(p.Elements, Element{Type: token.TailAny, SpaceBefore: spaceBefore})
+				p.Multiline = true
+			} else {
+				p.Elements = append(p.Elements, Element{Type: typ, Var: true, Name: name, SpaceBefore: spaceBefore})
+			}
+			i += end + 2
+			spaceBefore = false
+			continue
+		}
+		// A literal run up to the next space or '%'. Tokenize it with the
+		// scanner so punctuation splits exactly as scanned messages do.
+		end := i
+		for end < len(text) && text[end] != ' ' && text[end] != '%' {
+			end++
+		}
+		for k, lt := range scratch.Scan(text[i:end]) {
+			e := Element{Type: token.Literal, Value: lt.Value, SpaceBefore: lt.SpaceBefore}
+			if k == 0 {
+				e.SpaceBefore = spaceBefore
+			}
+			// Hand-authored literals keep their text even when the scanner
+			// would classify them (e.g. a fixed port number in a pattern).
+			p.Elements = append(p.Elements, e)
+		}
+		i = end
+		spaceBefore = false
+	}
+	p.ComputeID()
+	return p, nil
+}
+
+// nameTypes maps semantic variable names to token types. Numeric suffixes
+// are stripped before lookup (srcip2 -> srcip).
+var nameTypes = map[string]token.Type{
+	"srcip":     token.IPv4,
+	"dstip":     token.IPv4,
+	"ipv4":      token.IPv4,
+	"ip":        token.IPv4,
+	"ipv6":      token.IPv6,
+	"mac":       token.Mac,
+	"srcport":   token.Integer,
+	"dstport":   token.Integer,
+	"port":      token.Integer,
+	"integer":   token.Integer,
+	"int":       token.Integer,
+	"float":     token.Float,
+	"time":      token.Time,
+	"timestamp": token.Time,
+	"url":       token.URL,
+	"hexstring": token.HexString,
+	"hex":       token.HexString,
+	"email":     token.Email,
+	"host":      token.Host,
+	"tailany":   token.TailAny,
+	"path":      token.Path,
+	"file":      token.Path,
+}
+
+func typeForName(name string) token.Type {
+	base := strings.ToLower(name)
+	for len(base) > 0 && base[len(base)-1] >= '0' && base[len(base)-1] <= '9' {
+		base = base[:len(base)-1]
+	}
+	if t, ok := nameTypes[base]; ok {
+		return t
+	}
+	return token.Literal // "string" variable: action, user, string, ...
+}

@@ -1,0 +1,118 @@
+package simulate
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// quickConfig is a scaled-down deployment that still exhibits the Fig 7
+// dynamics, sized so the whole test file runs in a few seconds.
+func quickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Days = 20
+	cfg.MessagesPerDay = 4000
+	cfg.BatchSize = 500
+	cfg.PromoteMinCount = 10
+	cfg.PromotePerReview = 40
+	cfg.DriftEventsPerDay = 3
+	cfg.Workload = workload.Config{Services: 80}
+	return cfg
+}
+
+func TestRunShape(t *testing.T) {
+	res, err := Run(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Days) != 20 {
+		t.Fatalf("days = %d", len(res.Days))
+	}
+
+	// Starting state: the hand-maintained pattern database leaves most
+	// traffic unknown (paper: 75-80%).
+	if res.StartUnmatchedPct < 60 || res.StartUnmatchedPct > 90 {
+		t.Errorf("start unmatched = %.1f%%, want the paper's 75-80%% band (±15)", res.StartUnmatchedPct)
+	}
+	// The curve must come down substantially as reviews promote patterns.
+	if res.EndUnmatchedPct > res.StartUnmatchedPct/2 {
+		t.Errorf("unmatched fraction should at least halve: %.1f%% -> %.1f%%",
+			res.StartUnmatchedPct, res.EndUnmatchedPct)
+	}
+	// And the decline is broadly monotone: the final quarter average is
+	// below the first quarter average.
+	q := len(res.Days) / 4
+	first, last := 0.0, 0.0
+	for i := 0; i < q; i++ {
+		first += res.Days[i].UnmatchedPct
+		last += res.Days[len(res.Days)-1-i].UnmatchedPct
+	}
+	if last >= first {
+		t.Errorf("no overall decline: first-quarter sum %.1f vs last-quarter %.1f", first, last)
+	}
+
+	// The front-end rule count only grows (promotions are additive).
+	prev := 0
+	for _, d := range res.Days {
+		if d.PromotedRules < prev {
+			t.Errorf("day %d: promoted rules shrank %d -> %d", d.Day, prev, d.PromotedRules)
+		}
+		prev = d.PromotedRules
+		if d.Matched+d.Unmatched != d.Messages {
+			t.Errorf("day %d: matched+unmatched != messages: %+v", d.Day, d)
+		}
+	}
+}
+
+func TestReviewCapacityPacesCurve(t *testing.T) {
+	slow := quickConfig()
+	slow.PromotePerReview = 5
+	fast := quickConfig()
+	fast.PromotePerReview = 200
+
+	rs, err := Run(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := Run(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.EndUnmatchedPct >= rs.EndUnmatchedPct {
+		t.Errorf("more review capacity should yield a lower floor: fast %.1f%% vs slow %.1f%%",
+			rf.EndUnmatchedPct, rs.EndUnmatchedPct)
+	}
+}
+
+func TestDriftKeepsFloorUp(t *testing.T) {
+	calm := quickConfig()
+	calm.DriftEventsPerDay = 0
+	stormy := quickConfig()
+	stormy.DriftEventsPerDay = 30
+
+	rc, err := Run(calm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Run(stormy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.EndUnmatchedPct <= rc.EndUnmatchedPct {
+		t.Errorf("heavy drift should keep the unknown floor higher: %.1f%% vs calm %.1f%%",
+			rs.EndUnmatchedPct, rc.EndUnmatchedPct)
+	}
+}
+
+func TestZeroConfigUsesDefaults(t *testing.T) {
+	// A zero Days triggers the full default configuration; just verify
+	// the defaulting logic, not the long run.
+	cfg := Config{}
+	if cfg.Days > 0 {
+		t.Fatal("precondition")
+	}
+	def := DefaultConfig()
+	if def.Days != 60 || def.InitialCoveragePct != 22 {
+		t.Fatalf("defaults changed: %+v", def)
+	}
+}

@@ -1,0 +1,429 @@
+// Package store is Sequence-RTG's persistent pattern database.
+//
+// The paper stores discovered patterns in a SQL database so that analysis
+// survives across batch executions: patterns in a one-to-many relationship
+// with services, up to three unique example messages each, and statistics
+// (match count, last-matched date, complexity) that drive review and
+// export. This package provides the same capability on the standard
+// library alone: an embedded, crash-safe, file-backed store with
+//
+//   - an atomic JSON snapshot (written to a temporary file and renamed),
+//   - an append-only write-ahead journal replayed on open, so work between
+//     snapshots is never lost, and
+//   - automatic compaction once the journal grows past a threshold.
+//
+// A Store opened with an empty directory path keeps everything in memory,
+// which the benchmarks and the "empty pattern database" speed experiment
+// of the paper (§IV, Fig 5) rely on.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/patterns"
+)
+
+const (
+	snapshotFile = "patterns.json"
+	journalFile  = "journal.wal"
+	// compactAfter is the number of journal records after which Compact
+	// runs automatically on the next mutation.
+	compactAfter = 50000
+)
+
+// Store is a persistent pattern database. All methods are safe for
+// concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	dir     string
+	byID    map[string]*patterns.Pattern
+	journal *os.File
+	jw      *bufio.Writer
+	jcount  int
+	closed  bool
+}
+
+// Open loads (or creates) a pattern database in dir. An empty dir opens a
+// purely in-memory store.
+func Open(dir string) (*Store, error) {
+	s := &Store{dir: dir, byID: make(map[string]*patterns.Pattern)}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	if err := s.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := s.replayJournal(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open journal: %w", err)
+	}
+	s.journal = f
+	s.jw = bufio.NewWriter(f)
+	return s, nil
+}
+
+func (s *Store) loadSnapshot() error {
+	data, err := os.ReadFile(filepath.Join(s.dir, snapshotFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: read snapshot: %w", err)
+	}
+	var list []*patterns.Pattern
+	if err := json.Unmarshal(data, &list); err != nil {
+		return fmt.Errorf("store: corrupt snapshot: %w", err)
+	}
+	for _, p := range list {
+		s.byID[p.ID] = p
+	}
+	return nil
+}
+
+// record is one journal entry.
+type record struct {
+	Op      string            `json:"op"` // upsert | touch | delete
+	Pattern *patterns.Pattern `json:"pattern,omitempty"`
+	ID      string            `json:"id,omitempty"`
+	N       int64             `json:"n,omitempty"`
+	When    time.Time         `json:"when,omitempty"`
+	Example string            `json:"example,omitempty"`
+}
+
+func (s *Store) replayJournal() error {
+	f, err := os.Open(filepath.Join(s.dir, journalFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: open journal: %w", err)
+	}
+	defer f.Close()
+	dec := json.NewDecoder(bufio.NewReader(f))
+	for {
+		var r record
+		if err := dec.Decode(&r); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			// A torn final record (crash mid-write) is expected; anything
+			// already replayed is kept.
+			return nil
+		}
+		s.applyLocked(r)
+		s.jcount++
+	}
+}
+
+func (s *Store) applyLocked(r record) {
+	switch r.Op {
+	case "upsert":
+		if r.Pattern != nil {
+			s.mergeLocked(r.Pattern)
+		}
+	case "touch":
+		if p, ok := s.byID[r.ID]; ok {
+			p.Count += r.N
+			if r.When.After(p.LastMatched) {
+				p.LastMatched = r.When
+			}
+			if r.Example != "" {
+				p.AddExample(r.Example)
+			}
+		}
+	case "delete":
+		delete(s.byID, r.ID)
+	}
+}
+
+func (s *Store) mergeLocked(p *patterns.Pattern) {
+	old, ok := s.byID[p.ID]
+	if !ok {
+		cp := *p
+		cp.Examples = append([]string(nil), p.Examples...)
+		cp.Elements = append([]patterns.Element(nil), p.Elements...)
+		s.byID[p.ID] = &cp
+		return
+	}
+	old.Count += p.Count
+	if p.LastMatched.After(old.LastMatched) {
+		old.LastMatched = p.LastMatched
+	}
+	if !p.FirstSeen.IsZero() && (old.FirstSeen.IsZero() || p.FirstSeen.Before(old.FirstSeen)) {
+		old.FirstSeen = p.FirstSeen
+	}
+	for _, e := range p.Examples {
+		old.AddExample(e)
+	}
+}
+
+func (s *Store) log(r record) error {
+	if s.jw == nil {
+		return nil
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("store: marshal journal record: %w", err)
+	}
+	if _, err := s.jw.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("store: append journal: %w", err)
+	}
+	s.jcount++
+	if s.jcount >= compactAfter {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// Upsert inserts a pattern or merges it with the stored pattern of the
+// same ID (summing counts, merging examples, widening the activity
+// window). The argument is not retained.
+func (s *Store) Upsert(p *patterns.Pattern) error {
+	if p.ID == "" {
+		p.ComputeID()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	s.mergeLocked(p)
+	return s.log(record{Op: "upsert", Pattern: p})
+}
+
+// Touch records n additional matches of pattern id at time when, with an
+// optional example message.
+func (s *Store) Touch(id string, n int64, when time.Time, example string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	if _, ok := s.byID[id]; !ok {
+		return fmt.Errorf("store: touch unknown pattern %s", id)
+	}
+	r := record{Op: "touch", ID: id, N: n, When: when, Example: example}
+	s.applyLocked(r)
+	return s.log(r)
+}
+
+// Delete removes a pattern by ID.
+func (s *Store) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	if _, ok := s.byID[id]; !ok {
+		return nil
+	}
+	r := record{Op: "delete", ID: id}
+	s.applyLocked(r)
+	return s.log(r)
+}
+
+// Purge deletes patterns matched fewer than minCount times whose last
+// match is before olderThan, returning how many were removed. This is the
+// paper's save threshold: "any pattern whose count of matches is less than
+// the threshold is considered useless and thus not saved" (§IV).
+func (s *Store) Purge(minCount int64, olderThan time.Time) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, errClosed
+	}
+	removed := 0
+	for id, p := range s.byID {
+		if p.Count < minCount && p.LastMatched.Before(olderThan) {
+			delete(s.byID, id)
+			if err := s.log(record{Op: "delete", ID: id}); err != nil {
+				return removed, err
+			}
+			removed++
+		}
+	}
+	return removed, nil
+}
+
+// MergeFrom folds every pattern of another store into this one, summing
+// statistics for patterns both stores know. This supports the horizontal
+// scaling the paper describes in §IV: groups of services can be sent to
+// any number of Sequence-RTG instances, "each instance could have its own
+// database as there is no crossover with patterns between different
+// services" — and their databases recombine losslessly.
+func (s *Store) MergeFrom(other *Store) error {
+	for _, p := range other.All() {
+		if err := s.Upsert(p); err != nil {
+			return fmt.Errorf("store: merge: %w", err)
+		}
+	}
+	return nil
+}
+
+// Get returns a copy of the pattern with the given ID.
+func (s *Store) Get(id string) (*patterns.Pattern, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.byID[id]
+	if !ok {
+		return nil, false
+	}
+	cp := *p
+	return &cp, true
+}
+
+// All returns copies of every stored pattern, ordered by service then
+// pattern text for stable output.
+func (s *Store) All() []*patterns.Pattern {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*patterns.Pattern, 0, len(s.byID))
+	for _, p := range s.byID {
+		cp := *p
+		out = append(out, &cp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Service != out[j].Service {
+			return out[i].Service < out[j].Service
+		}
+		return out[i].Text() < out[j].Text()
+	})
+	return out
+}
+
+// ByService returns copies of the patterns of one service.
+func (s *Store) ByService(service string) []*patterns.Pattern {
+	var out []*patterns.Pattern
+	for _, p := range s.All() {
+		if p.Service == service {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Services returns the distinct service names, sorted.
+func (s *Store) Services() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := make(map[string]bool)
+	for _, p := range s.byID {
+		seen[p.Service] = true
+	}
+	out := make([]string, 0, len(seen))
+	for svc := range seen {
+		out = append(out, svc)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count returns the number of stored patterns.
+func (s *Store) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byID)
+}
+
+// Flush forces buffered journal records to the OS.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *Store) flushLocked() error {
+	if s.jw == nil {
+		return nil
+	}
+	if err := s.jw.Flush(); err != nil {
+		return fmt.Errorf("store: flush journal: %w", err)
+	}
+	return nil
+}
+
+// Compact writes an atomic snapshot and truncates the journal.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	if s.dir == "" {
+		s.jcount = 0
+		return nil
+	}
+	list := make([]*patterns.Pattern, 0, len(s.byID))
+	for _, p := range s.byID {
+		list = append(list, p)
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].ID < list[j].ID })
+	data, err := json.MarshalIndent(list, "", " ")
+	if err != nil {
+		return fmt.Errorf("store: marshal snapshot: %w", err)
+	}
+	tmp := filepath.Join(s.dir, snapshotFile+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("store: write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotFile)); err != nil {
+		return fmt.Errorf("store: commit snapshot: %w", err)
+	}
+	// Snapshot durable: restart the journal.
+	if s.journal != nil {
+		if err := s.jw.Flush(); err != nil {
+			return err
+		}
+		if err := s.journal.Truncate(0); err != nil {
+			return fmt.Errorf("store: truncate journal: %w", err)
+		}
+		if _, err := s.journal.Seek(0, io.SeekStart); err != nil {
+			return fmt.Errorf("store: rewind journal: %w", err)
+		}
+		s.jw.Reset(s.journal)
+	}
+	s.jcount = 0
+	return nil
+}
+
+// Close flushes and closes the store. A file-backed store compacts on
+// close so the snapshot is complete.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.journal == nil {
+		return nil
+	}
+	if err := s.compactLocked(); err != nil {
+		return err
+	}
+	if err := s.jw.Flush(); err != nil {
+		return err
+	}
+	return s.journal.Close()
+}
+
+var errClosed = errors.New("store: closed")

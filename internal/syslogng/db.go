@@ -1,0 +1,224 @@
+package syslogng
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Rule is one compiled patterndb rule.
+type Rule struct {
+	ID       string
+	Class    string
+	Provider string
+	Patterns []*Pattern
+	Examples []Example
+}
+
+// Example is a rule test case.
+type Example struct {
+	Program string
+	Message string
+	Values  map[string]string
+}
+
+// DB is a loaded pattern database: rulesets keyed by program name.
+type DB struct {
+	rulesets map[string][]*Rule
+	rules    int
+}
+
+// xml document model (accepts the documents the exporter produces as well
+// as hand-written patterndb files).
+type xmlDoc struct {
+	XMLName  xml.Name `xml:"patterndb"`
+	Version  string   `xml:"version,attr"`
+	Rulesets []struct {
+		Name     string   `xml:"name,attr"`
+		Programs []string `xml:"patterns>pattern"`
+		Rules    []struct {
+			ID       string   `xml:"id,attr"`
+			Class    string   `xml:"class,attr"`
+			Provider string   `xml:"provider,attr"`
+			Patterns []string `xml:"patterns>pattern"`
+			Examples []struct {
+				TestMessage struct {
+					Program string `xml:"program,attr"`
+					Text    string `xml:",chardata"`
+				} `xml:"test_message"`
+				Values []struct {
+					Name string `xml:"name,attr"`
+					Text string `xml:",chardata"`
+				} `xml:"test_values>test_value"`
+			} `xml:"examples>example"`
+		} `xml:"rules>rule"`
+	} `xml:"ruleset"`
+}
+
+// NewDB returns an empty pattern database.
+func NewDB() *DB {
+	return &DB{rulesets: make(map[string][]*Rule)}
+}
+
+// Load parses a patterndb XML document and merges its rules into the
+// database. Rules with an already-loaded ID are replaced (promotion of a
+// reviewed pattern updates in place).
+func (db *DB) Load(r io.Reader) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("syslogng: read patterndb: %w", err)
+	}
+	var doc xmlDoc
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("syslogng: parse patterndb xml: %w", err)
+	}
+	for _, rs := range doc.Rulesets {
+		programs := rs.Programs
+		if len(programs) == 0 {
+			programs = []string{rs.Name}
+		}
+		for _, xr := range rs.Rules {
+			rule := &Rule{ID: xr.ID, Class: xr.Class, Provider: xr.Provider}
+			for _, ps := range xr.Patterns {
+				p, err := CompilePattern(ps)
+				if err != nil {
+					return fmt.Errorf("syslogng: rule %s: %w", xr.ID, err)
+				}
+				rule.Patterns = append(rule.Patterns, p)
+			}
+			for _, ex := range xr.Examples {
+				e := Example{Program: ex.TestMessage.Program, Message: ex.TestMessage.Text}
+				if len(ex.Values) > 0 {
+					e.Values = make(map[string]string, len(ex.Values))
+					for _, v := range ex.Values {
+						e.Values[v.Name] = v.Text
+					}
+				}
+				rule.Examples = append(rule.Examples, e)
+			}
+			for _, prog := range programs {
+				db.addRule(prog, rule)
+			}
+		}
+	}
+	return nil
+}
+
+func (db *DB) addRule(program string, rule *Rule) {
+	list := db.rulesets[program]
+	for i, r := range list {
+		if r.ID == rule.ID {
+			list[i] = rule
+			db.rulesets[program] = list
+			return
+		}
+	}
+	db.rulesets[program] = append(list, rule)
+	db.rules++
+}
+
+// RuleCount returns the number of loaded rules.
+func (db *DB) RuleCount() int { return db.rules }
+
+// Rules returns the rules registered for a program, in load order.
+func (db *DB) Rules(program string) []*Rule {
+	return append([]*Rule(nil), db.rulesets[program]...)
+}
+
+// Programs returns the program names with rules, sorted.
+func (db *DB) Programs() []string {
+	out := make([]string, 0, len(db.rulesets))
+	for p := range db.rulesets {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MatchResult describes a successful classification.
+type MatchResult struct {
+	Rule   *Rule
+	Values map[string]string
+}
+
+// Match classifies one message of a program. Among the rules that match,
+// the one with the most literal bytes wins (most specific first, the
+// patterndb radix-tree tie-break). ok is false for unknown messages —
+// which the production workflow routes to Sequence-RTG.
+func (db *DB) Match(program, message string) (MatchResult, bool) {
+	// Multi-line messages are classified by their first line, matching
+	// the Sequence-RTG truncation behaviour.
+	if i := strings.IndexByte(message, '\n'); i >= 0 {
+		message = message[:i]
+	}
+	var best MatchResult
+	bestLit := -1
+	for _, rule := range db.rulesets[program] {
+		for _, p := range rule.Patterns {
+			vals, lit, ok := p.Match(message)
+			if ok && lit > bestLit {
+				best = MatchResult{Rule: rule, Values: vals}
+				bestLit = lit
+			}
+		}
+	}
+	return best, bestLit >= 0
+}
+
+// Conflict reports a test case that failed validation.
+type Conflict struct {
+	RuleID  string
+	Message string
+	Reason  string
+}
+
+// Validate checks every rule's examples the way syslog-ng's pdbtool does:
+// each test message must match its own rule, and no other rule of the
+// same program may claim it more specifically. The paper relies on this
+// to detect overlapping patterns during review ("they would match more
+// than one pattern; the most correct pattern would be promoted and the
+// other discarded").
+func (db *DB) Validate() []Conflict {
+	var out []Conflict
+	for program, rules := range db.rulesets {
+		for _, rule := range rules {
+			for _, ex := range rule.Examples {
+				prog := ex.Program
+				if prog == "" {
+					prog = program
+				}
+				res, ok := db.Match(prog, ex.Message)
+				switch {
+				case !ok:
+					out = append(out, Conflict{
+						RuleID: rule.ID, Message: ex.Message,
+						Reason: "test message does not match any rule",
+					})
+				case res.Rule.ID != rule.ID:
+					out = append(out, Conflict{
+						RuleID: rule.ID, Message: ex.Message,
+						Reason: "test message claimed by rule " + res.Rule.ID,
+					})
+				default:
+					for name, want := range ex.Values {
+						if got := res.Values[name]; got != want {
+							out = append(out, Conflict{
+								RuleID: rule.ID, Message: ex.Message,
+								Reason: fmt.Sprintf("value %s = %q, want %q", name, got, want),
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].RuleID != out[j].RuleID {
+			return out[i].RuleID < out[j].RuleID
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out
+}

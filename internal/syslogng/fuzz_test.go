@@ -1,0 +1,34 @@
+package syslogng
+
+import "testing"
+
+// FuzzCompileAndMatch: any pattern source either fails to compile or
+// yields a pattern whose Match is total (no panic) on any message, and a
+// successful match consumes exactly the message.
+func FuzzCompileAndMatch(f *testing.F) {
+	f.Add("@ESTRING:action: @from @IPv4:srcip@ port @NUMBER:srcport@", "accepted from 10.0.0.1 port 22")
+	f.Add("literal only", "literal only")
+	f.Add("user@@host said @NUMBER:n@", "user@host said 5")
+	f.Add("@ANYSTRING:a@", "")
+	f.Add("@PCRE:t:[0-9]+@ rest", "42 rest")
+	f.Add("@@@", "x")
+	f.Fuzz(func(t *testing.T, src, msg string) {
+		p, err := CompilePattern(src)
+		if err != nil {
+			return
+		}
+		values, lit, ok := p.Match(msg)
+		if !ok {
+			return
+		}
+		if lit < 0 || lit > len(msg) {
+			t.Fatalf("literal byte count %d out of range for %q", lit, msg)
+		}
+		for k, v := range values {
+			if k == "" {
+				t.Fatalf("empty value name in %v", values)
+			}
+			_ = v
+		}
+	})
+}

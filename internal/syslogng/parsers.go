@@ -1,0 +1,225 @@
+package syslogng
+
+import "strings"
+
+// Character-exact field parsers, matching syslog-ng's patterndb parser
+// semantics closely enough for the formats Sequence-RTG emits.
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHex(c byte) bool {
+	return isDigit(c) || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+func isAlnum(c byte) bool {
+	return isDigit(c) || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+// matchNumber accepts decimal integers (with optional sign) and 0x
+// hexadecimal numbers, like syslog-ng's @NUMBER@.
+func matchNumber(in string) (int, string, bool) {
+	i := 0
+	if i < len(in) && (in[i] == '-' || in[i] == '+') {
+		i++
+	}
+	if strings.HasPrefix(in[i:], "0x") || strings.HasPrefix(in[i:], "0X") {
+		j := i + 2
+		for j < len(in) && isHex(in[j]) {
+			j++
+		}
+		if j == i+2 {
+			return 0, "", false
+		}
+		return j, in[:j], true
+	}
+	j := i
+	for j < len(in) && isDigit(in[j]) {
+		j++
+	}
+	if j == i {
+		return 0, "", false
+	}
+	return j, in[:j], true
+}
+
+func matchFloat(in string) (int, string, bool) {
+	i := 0
+	if i < len(in) && (in[i] == '-' || in[i] == '+') {
+		i++
+	}
+	digits, dot := 0, false
+	j := i
+	for j < len(in) {
+		switch {
+		case isDigit(in[j]):
+			digits++
+		case in[j] == '.' && !dot:
+			dot = true
+		default:
+			goto done
+		}
+		j++
+	}
+done:
+	if digits == 0 {
+		return 0, "", false
+	}
+	// Optional exponent.
+	if j < len(in) && (in[j] == 'e' || in[j] == 'E') {
+		k := j + 1
+		if k < len(in) && (in[k] == '+' || in[k] == '-') {
+			k++
+		}
+		ed := 0
+		for k < len(in) && isDigit(in[k]) {
+			k++
+			ed++
+		}
+		if ed > 0 {
+			j = k
+		}
+	}
+	return j, in[:j], true
+}
+
+func matchIPv4(in string) (int, string, bool) {
+	i, octets := 0, 0
+	for {
+		v, n := 0, 0
+		for i < len(in) && isDigit(in[i]) && n < 3 {
+			v = v*10 + int(in[i]-'0')
+			i++
+			n++
+		}
+		if n == 0 || v > 255 {
+			return 0, "", false
+		}
+		octets++
+		if octets == 4 {
+			break
+		}
+		if i >= len(in) || in[i] != '.' {
+			return 0, "", false
+		}
+		i++
+	}
+	if i < len(in) && (isDigit(in[i]) || in[i] == '.') {
+		return 0, "", false
+	}
+	return i, in[:i], true
+}
+
+func matchIPv6(in string) (int, string, bool) {
+	i := 0
+	groups, colons := 0, 0
+	double := false
+	for i < len(in) {
+		c := in[i]
+		switch {
+		case isHex(c):
+			g := 0
+			for i < len(in) && isHex(in[i]) && g < 4 {
+				i++
+				g++
+			}
+			groups++
+		case c == ':':
+			if i+1 < len(in) && in[i+1] == ':' {
+				if double {
+					goto out
+				}
+				double = true
+				i += 2
+				colons += 2
+				continue
+			}
+			i++
+			colons++
+		default:
+			goto out
+		}
+	}
+out:
+	// Trim a trailing single colon (belongs to surrounding text).
+	for i > 0 && in[i-1] == ':' && !strings.HasSuffix(in[:i], "::") {
+		i--
+		colons--
+	}
+	if groups == 0 || colons == 0 || groups > 8 {
+		return 0, "", false
+	}
+	if !double && groups != 8 {
+		return 0, "", false
+	}
+	return i, in[:i], true
+}
+
+func matchMac(in string) (int, string, bool) {
+	var sep byte
+	i := 0
+	for g := 0; g < 6; g++ {
+		if i+2 > len(in) || !isHex(in[i]) || !isHex(in[i+1]) {
+			return 0, "", false
+		}
+		i += 2
+		if g == 5 {
+			break
+		}
+		if i >= len(in) || (in[i] != ':' && in[i] != '-') {
+			return 0, "", false
+		}
+		if sep == 0 {
+			sep = in[i]
+		} else if in[i] != sep {
+			return 0, "", false
+		}
+		i++
+	}
+	return i, in[:i], true
+}
+
+func matchEmail(in string) (int, string, bool) {
+	at := -1
+	i := 0
+	for i < len(in) {
+		c := in[i]
+		if c == '@' {
+			if at >= 0 {
+				break
+			}
+			at = i
+			i++
+			continue
+		}
+		if isAlnum(c) || c == '.' || c == '_' || c == '-' || c == '+' {
+			i++
+			continue
+		}
+		break
+	}
+	if at <= 0 || at == i-1 || !strings.Contains(in[at:i], ".") {
+		return 0, "", false
+	}
+	return i, in[:i], true
+}
+
+func matchHostname(in string) (int, string, bool) {
+	i, dots := 0, 0
+	for i < len(in) {
+		c := in[i]
+		if isAlnum(c) || c == '-' || c == '_' {
+			i++
+			continue
+		}
+		if c == '.' && i+1 < len(in) && isAlnum(in[i+1]) {
+			dots++
+			i++
+			continue
+		}
+		break
+	}
+	if i == 0 || dots == 0 {
+		return 0, "", false
+	}
+	return i, in[:i], true
+}

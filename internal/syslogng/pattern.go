@@ -1,0 +1,206 @@
+// Package syslogng implements a miniature syslog-ng patterndb engine: it
+// loads patterndb v4 XML documents (such as the ones Sequence-RTG
+// exports), compiles their @PARSER@ patterns, matches messages against
+// them, and validates rules against their embedded test cases.
+//
+// The paper's production workflow (Fig 6) parses every incoming message
+// against syslog-ng's pattern database first and routes only unmatched
+// messages to Sequence-RTG. This package plays that role in the Fig 7
+// workflow simulation, and doubles as the round-trip validator for the
+// patterndb exporter: every exported rule must match its own test cases
+// and no other rule, exactly the check syslog-ng's pdbtool performs.
+package syslogng
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// segment is one compiled piece of a patterndb pattern: a literal or a
+// parser.
+type segment struct {
+	literal string // non-empty for literal segments
+	parser  string // parser name (ESTRING, NUMBER, ...)
+	field   string // value name, may be empty
+	arg     string // parser argument (ESTRING delimiter, PCRE regex)
+	re      *regexp.Regexp
+}
+
+// Pattern is a compiled patterndb pattern.
+type Pattern struct {
+	Source   string
+	segments []segment
+}
+
+// CompilePattern parses patterndb's @PARSER:name:arg@ syntax. "@@" in
+// literal text denotes a single '@'.
+func CompilePattern(src string) (*Pattern, error) {
+	p := &Pattern{Source: src}
+	var lit strings.Builder
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		if c != '@' {
+			lit.WriteByte(c)
+			i++
+			continue
+		}
+		if i+1 < len(src) && src[i+1] == '@' {
+			lit.WriteByte('@')
+			i += 2
+			continue
+		}
+		end := strings.IndexByte(src[i+1:], '@')
+		if end < 0 {
+			return nil, fmt.Errorf("syslogng: unterminated @parser@ in %q", src)
+		}
+		body := src[i+1 : i+1+end]
+		if lit.Len() > 0 {
+			p.segments = append(p.segments, segment{literal: lit.String()})
+			lit.Reset()
+		}
+		seg, err := parseParser(body)
+		if err != nil {
+			return nil, fmt.Errorf("syslogng: %w in %q", err, src)
+		}
+		p.segments = append(p.segments, seg)
+		i += end + 2
+	}
+	if lit.Len() > 0 {
+		p.segments = append(p.segments, segment{literal: lit.String()})
+	}
+	return p, nil
+}
+
+func parseParser(body string) (segment, error) {
+	// NAME or NAME:field or NAME:field:arg (arg may contain ':').
+	name := body
+	var field, arg string
+	if c := strings.IndexByte(body, ':'); c >= 0 {
+		name = body[:c]
+		rest := body[c+1:]
+		if c2 := strings.IndexByte(rest, ':'); c2 >= 0 {
+			field, arg = rest[:c2], rest[c2+1:]
+		} else {
+			field = rest
+		}
+	}
+	seg := segment{parser: strings.ToUpper(name), field: field, arg: arg}
+	switch seg.parser {
+	case "ESTRING", "ANYSTRING", "NUMBER", "FLOAT", "DOUBLE", "IPV4", "IPV6",
+		"IPVANY", "MACADDR", "EMAIL", "HOSTNAME", "STRING", "QSTRING", "NLSTRING":
+	case "PCRE":
+		re, err := regexp.Compile("^(?:" + seg.arg + ")")
+		if err != nil {
+			return seg, fmt.Errorf("bad PCRE parser %q: %v", seg.arg, err)
+		}
+		seg.re = re
+	default:
+		return seg, fmt.Errorf("unsupported parser @%s@", seg.parser)
+	}
+	return seg, nil
+}
+
+// Match matches msg against the pattern. On success it returns the parsed
+// values (parser fields with non-empty names) and the number of literal
+// bytes matched, the specificity measure used to rank overlapping rules.
+func (p *Pattern) Match(msg string) (values map[string]string, literalBytes int, ok bool) {
+	values = make(map[string]string)
+	pos := 0
+	for si, seg := range p.segments {
+		if seg.literal != "" {
+			if !strings.HasPrefix(msg[pos:], seg.literal) {
+				return nil, 0, false
+			}
+			pos += len(seg.literal)
+			literalBytes += len(seg.literal)
+			continue
+		}
+		n, val, m := applyParser(seg, msg[pos:], p.segments[si+1:])
+		if !m {
+			return nil, 0, false
+		}
+		if seg.field != "" {
+			values[seg.field] = val
+		}
+		pos += n
+	}
+	if pos != len(msg) {
+		return nil, 0, false
+	}
+	return values, literalBytes, true
+}
+
+// applyParser consumes input for one parser segment. It returns the
+// number of bytes consumed (including, for ESTRING, its delimiter) and
+// the captured value (excluding the delimiter).
+func applyParser(seg segment, in string, _ []segment) (n int, val string, ok bool) {
+	switch seg.parser {
+	case "ANYSTRING", "NLSTRING":
+		return len(in), in, true
+	case "ESTRING":
+		delim := seg.arg
+		if delim == "" {
+			// No delimiter: match the rest of the message.
+			return len(in), in, true
+		}
+		idx := strings.Index(in, delim)
+		if idx < 0 {
+			return 0, "", false
+		}
+		return idx + len(delim), in[:idx], true
+	case "STRING":
+		i := 0
+		for i < len(in) && in[i] != ' ' && in[i] != '\t' {
+			i++
+		}
+		if i == 0 {
+			return 0, "", false
+		}
+		return i, in[:i], true
+	case "QSTRING":
+		q := seg.arg
+		if q == "" {
+			q = `"`
+		}
+		open, close := q[:1], q[:1]
+		if len(q) > 1 {
+			close = q[1:2]
+		}
+		if !strings.HasPrefix(in, open) {
+			return 0, "", false
+		}
+		idx := strings.Index(in[1:], close)
+		if idx < 0 {
+			return 0, "", false
+		}
+		return idx + 2, in[1 : 1+idx], true
+	case "NUMBER":
+		return matchNumber(in)
+	case "FLOAT", "DOUBLE":
+		return matchFloat(in)
+	case "IPV4":
+		return matchIPv4(in)
+	case "IPV6":
+		return matchIPv6(in)
+	case "IPVANY":
+		if n, v, ok := matchIPv4(in); ok {
+			return n, v, true
+		}
+		return matchIPv6(in)
+	case "MACADDR":
+		return matchMac(in)
+	case "EMAIL":
+		return matchEmail(in)
+	case "HOSTNAME":
+		return matchHostname(in)
+	case "PCRE":
+		loc := seg.re.FindStringIndex(in)
+		if loc == nil || loc[0] != 0 {
+			return 0, "", false
+		}
+		return loc[1], in[:loc[1]], true
+	}
+	return 0, "", false
+}

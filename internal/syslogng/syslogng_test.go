@@ -1,0 +1,344 @@
+package syslogng
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/export"
+	"repro/internal/ingest"
+	"repro/internal/store"
+)
+
+func compile(t *testing.T, src string) *Pattern {
+	t.Helper()
+	p, err := CompilePattern(src)
+	if err != nil {
+		t.Fatalf("CompilePattern(%q): %v", src, err)
+	}
+	return p
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := CompilePattern("open @ESTRING:x: "); err == nil {
+		t.Error("unterminated parser must fail")
+	}
+	if _, err := CompilePattern("@WTF:x@"); err == nil {
+		t.Error("unknown parser must fail")
+	}
+	if _, err := CompilePattern("@PCRE:x:([@"); err == nil {
+		t.Error("bad PCRE must fail")
+	}
+}
+
+func TestPaperPatternMatches(t *testing.T) {
+	p := compile(t, "@ESTRING:action: @from @IPv4:srcip@ port @NUMBER:srcport@")
+	vals, lit, ok := p.Match("accepted from 10.0.0.1 port 22")
+	if !ok {
+		t.Fatal("expected a match")
+	}
+	if vals["action"] != "accepted" || vals["srcip"] != "10.0.0.1" || vals["srcport"] != "22" {
+		t.Errorf("values = %v", vals)
+	}
+	if lit == 0 {
+		t.Error("literal byte count should be positive")
+	}
+	if _, _, ok := p.Match("accepted from nothost port 22"); ok {
+		t.Error("IPv4 parser must reject non-addresses")
+	}
+	if _, _, ok := p.Match("accepted from 10.0.0.1 port 22 trailing"); ok {
+		t.Error("anchored match must consume the whole message")
+	}
+}
+
+func TestEstringDelimiterConsumed(t *testing.T) {
+	p := compile(t, "@ESTRING:user:(@uid=@NUMBER:uid@)")
+	vals, _, ok := p.Match("root(uid=0)")
+	if !ok {
+		t.Fatal("expected a match")
+	}
+	if vals["user"] != "root" || vals["uid"] != "0" {
+		t.Errorf("values = %v", vals)
+	}
+}
+
+func TestAtEscape(t *testing.T) {
+	p := compile(t, "user@@host said @NUMBER:n@")
+	if _, _, ok := p.Match("user@host said 5"); !ok {
+		t.Fatal("@@ must match a literal @")
+	}
+}
+
+func TestParserPrimitives(t *testing.T) {
+	cases := []struct {
+		pattern string
+		msg     string
+		ok      bool
+	}{
+		{"@NUMBER:n@", "12345", true},
+		{"@NUMBER:n@", "-42", true},
+		{"@NUMBER:n@", "0xdead", true},
+		{"@NUMBER:n@", "abc", false},
+		{"@FLOAT:f@", "3.25", true},
+		{"@FLOAT:f@", "nope", false},
+		{"@IPv4:a@", "255.255.255.255", true},
+		{"@IPv4:a@", "256.1.1.1", false},
+		{"@IPv6:a@", "2001:db8::1", true},
+		{"@IPv6:a@", "nothex", false},
+		{"@MACADDR:m@", "aa:bb:cc:dd:ee:ff", true},
+		{"@MACADDR:m@", "aa:bb:cc:dd:ee", false},
+		{"@EMAIL:e@", "ops@example.com", true},
+		{"@EMAIL:e@", "not-an-email", false},
+		{"@HOSTNAME:h@", "node1.example.com", true},
+		{"@HOSTNAME:h@", "nodots", false},
+		{"@STRING:s@", "word", true},
+		{"@QSTRING:q:\"@", `"quoted"`, true},
+		{"@ANYSTRING:a@", "anything at all, even spaces", true},
+		{"@PCRE:t:[0-9]{2}:[0-9]{2}@", "12:59", true},
+		{"@PCRE:t:[0-9]{2}:[0-9]{2}@", "ab:cd", false},
+	}
+	for _, c := range cases {
+		p := compile(t, c.pattern)
+		if _, _, ok := p.Match(c.msg); ok != c.ok {
+			t.Errorf("%q .Match(%q) = %v, want %v", c.pattern, c.msg, ok, c.ok)
+		}
+	}
+}
+
+func TestMoreParserForms(t *testing.T) {
+	cases := []struct {
+		pattern string
+		msg     string
+		ok      bool
+		field   string
+		want    string
+	}{
+		{"@IPvANY:a@", "10.0.0.1", true, "a", "10.0.0.1"},
+		{"@IPvANY:a@", "2001:db8::1", true, "a", "2001:db8::1"},
+		{"@IPvANY:a@", "neither", false, "", ""},
+		{"@QSTRING:q:[]@", "[bracketed]", true, "q", "bracketed"},
+		{"@QSTRING:q@", `"default quotes"`, true, "q", "default quotes"},
+		{"@QSTRING:q@", "unquoted", false, "", ""},
+		{"@NLSTRING:rest@", "anything\nat all", true, "rest", "anything\nat all"},
+		{"@STRING:w@ tail", "word tail", true, "w", "word"},
+		{"@STRING:w@", " leading-space", false, "", ""},
+		{"@ESTRING:e@", "rest of line", true, "e", "rest of line"},
+		{"@NUMBER:n@", "+7", true, "n", "+7"},
+		{"@FLOAT:f@", "2.5e3", true, "f", "2.5e3"},
+		{"@MACADDR:m@", "AA-BB-CC-DD-EE-FF", true, "m", "AA-BB-CC-DD-EE-FF"},
+	}
+	for _, c := range cases {
+		p := compile(t, c.pattern)
+		vals, _, ok := p.Match(c.msg)
+		if ok != c.ok {
+			t.Errorf("%q .Match(%q) ok=%v want %v", c.pattern, c.msg, ok, c.ok)
+			continue
+		}
+		if ok && c.field != "" && vals[c.field] != c.want {
+			t.Errorf("%q .Match(%q): %s=%q want %q", c.pattern, c.msg, c.field, vals[c.field], c.want)
+		}
+	}
+}
+
+func TestRulesAccessor(t *testing.T) {
+	db := loadDoc(t, sampleDB)
+	rules := db.Rules("sshd")
+	if len(rules) != 2 {
+		t.Fatalf("Rules(sshd) = %d", len(rules))
+	}
+	if len(db.Rules("absent")) != 0 {
+		t.Fatal("Rules of unknown program should be empty")
+	}
+	if progs := db.Programs(); len(progs) != 1 || progs[0] != "sshd" {
+		t.Fatalf("Programs = %v", progs)
+	}
+}
+
+func TestLoadRejectsBadXML(t *testing.T) {
+	db := NewDB()
+	if err := db.Load(strings.NewReader("<not-closed")); err == nil {
+		t.Fatal("malformed XML must error")
+	}
+	if err := db.Load(strings.NewReader(`<patterndb version="4"><ruleset name="s" id="r"><rules><rule id="x" class="c" provider="p"><patterns><pattern>@BOGUS:x@</pattern></patterns></rule></rules></ruleset></patterndb>`)); err == nil {
+		t.Fatal("unknown parser in a rule must error")
+	}
+}
+
+func TestLoadReplacesRuleByID(t *testing.T) {
+	db := loadDoc(t, sampleDB)
+	n := db.RuleCount()
+	// Reloading the same document replaces rules in place.
+	if err := db.Load(strings.NewReader(sampleDB)); err != nil {
+		t.Fatal(err)
+	}
+	if db.RuleCount() != n {
+		t.Fatalf("reload changed rule count: %d -> %d", n, db.RuleCount())
+	}
+}
+
+func loadDoc(t *testing.T, doc string) *DB {
+	t.Helper()
+	db := NewDB()
+	if err := db.Load(strings.NewReader(doc)); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+const sampleDB = `<?xml version="1.0" encoding="UTF-8"?>
+<patterndb version="4">
+ <ruleset name="sshd" id="rs1">
+  <patterns><pattern>sshd</pattern></patterns>
+  <rules>
+   <rule provider="test" id="rule-accept" class="system">
+    <patterns><pattern>Accepted password for @ESTRING:user: @from @IPv4:ip@ port @NUMBER:port@</pattern></patterns>
+    <examples><example><test_message program="sshd">Accepted password for root from 1.2.3.4 port 22</test_message></example></examples>
+   </rule>
+   <rule provider="test" id="rule-close" class="system">
+    <patterns><pattern>Connection closed by @IPv4:ip@</pattern></patterns>
+   </rule>
+  </rules>
+ </ruleset>
+</patterndb>
+`
+
+func TestDBMatchRouting(t *testing.T) {
+	db := loadDoc(t, sampleDB)
+	if db.RuleCount() != 2 {
+		t.Fatalf("RuleCount = %d", db.RuleCount())
+	}
+	res, ok := db.Match("sshd", "Accepted password for alice from 9.8.7.6 port 1022")
+	if !ok || res.Rule.ID != "rule-accept" {
+		t.Fatalf("match = %+v, %v", res, ok)
+	}
+	if res.Values["user"] != "alice" {
+		t.Errorf("values = %v", res.Values)
+	}
+	if _, ok := db.Match("sshd", "something entirely different"); ok {
+		t.Error("unknown message must not match")
+	}
+	if _, ok := db.Match("cron", "Connection closed by 1.2.3.4"); ok {
+		t.Error("rules must not apply across programs")
+	}
+}
+
+func TestDBMostSpecificWins(t *testing.T) {
+	doc := `<patterndb version="4"><ruleset name="s" id="r">
+	 <patterns><pattern>s</pattern></patterns>
+	 <rules>
+	  <rule provider="t" id="generic" class="system">
+	   <patterns><pattern>@ESTRING:a: @from @IPv4:ip@</pattern></patterns>
+	  </rule>
+	  <rule provider="t" id="specific" class="system">
+	   <patterns><pattern>disconnect from @IPv4:ip@</pattern></patterns>
+	  </rule>
+	 </rules>
+	</ruleset></patterndb>`
+	db := loadDoc(t, doc)
+	res, ok := db.Match("s", "disconnect from 1.2.3.4")
+	if !ok || res.Rule.ID != "specific" {
+		t.Fatalf("got %+v, want the more specific rule", res)
+	}
+}
+
+func TestValidateDetectsOverlap(t *testing.T) {
+	doc := `<patterndb version="4"><ruleset name="s" id="r">
+	 <patterns><pattern>s</pattern></patterns>
+	 <rules>
+	  <rule provider="t" id="one" class="system">
+	   <patterns><pattern>job @NUMBER:n@ done</pattern></patterns>
+	   <examples><example><test_message program="s">job 5 done</test_message></example></examples>
+	  </rule>
+	  <rule provider="t" id="two" class="system">
+	   <patterns><pattern>job 5 done</pattern></patterns>
+	   <examples><example><test_message program="s">job 5 done</test_message></example></examples>
+	  </rule>
+	 </rules>
+	</ruleset></patterndb>`
+	db := loadDoc(t, doc)
+	conflicts := db.Validate()
+	if len(conflicts) != 1 {
+		t.Fatalf("conflicts = %+v, want exactly the overlap (rule one's example claimed by all-literal rule two)", conflicts)
+	}
+	if conflicts[0].RuleID != "one" {
+		t.Errorf("conflict = %+v", conflicts[0])
+	}
+}
+
+func TestMultilineMatchedByFirstLine(t *testing.T) {
+	db := loadDoc(t, sampleDB)
+	msg := "Connection closed by 1.2.3.4\nleftover garbage"
+	if _, ok := db.Match("sshd", msg); !ok {
+		t.Error("multi-line message should be classified by its first line")
+	}
+}
+
+// TestExportRoundTrip is the integration check the exporter exists for:
+// patterns mined by the engine, exported as patterndb XML and loaded into
+// this syslog-ng engine must (a) validate without conflicts and (b) match
+// the very messages they were mined from.
+func TestExportRoundTrip(t *testing.T) {
+	st, err := store.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	e := core.NewEngine(st, core.Config{})
+
+	var msgs []ingest.Record
+	users := []string{"alice", "bob", "carol", "dave"}
+	for i := 0; i < 40; i++ {
+		msgs = append(msgs,
+			ingest.Record{Service: "sshd", Message: fmt.Sprintf(
+				"Failed password for %s from 10.0.%d.%d port %d ssh2", users[i%4], i%256, (i*7)%256, 1024+i)},
+			ingest.Record{Service: "sshd", Message: fmt.Sprintf(
+				"session opened for user %s(uid=%d)", users[i%4], 1000+i)},
+			ingest.Record{Service: "cron", Message: fmt.Sprintf(
+				"(root) CMD (run-parts /etc/cron.hourly) took %d ms", i)},
+		)
+	}
+	if _, err := e.AnalyzeByService(msgs, time.Date(2021, 9, 1, 0, 0, 0, 0, time.UTC)); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := export.PatternDB(&buf, st.All(), export.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB()
+	if err := db.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("exported XML failed to load: %v\n%s", err, buf.String())
+	}
+	if db.RuleCount() == 0 {
+		t.Fatal("no rules loaded")
+	}
+	if conflicts := db.Validate(); len(conflicts) != 0 {
+		t.Fatalf("pdbtool-style validation failed: %+v", conflicts)
+	}
+	unmatched := 0
+	for _, m := range msgs {
+		if _, ok := db.Match(m.Service, m.Message); !ok {
+			unmatched++
+			t.Logf("unmatched: [%s] %s", m.Service, m.Message)
+		}
+	}
+	if unmatched > 0 {
+		t.Fatalf("%d/%d source messages unmatched by exported patterndb", unmatched, len(msgs))
+	}
+}
+
+func BenchmarkDBMatch(b *testing.B) {
+	db := NewDB()
+	if err := db.Load(strings.NewReader(sampleDB)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := db.Match("sshd", "Accepted password for alice from 9.8.7.6 port 1022"); !ok {
+			b.Fatal("no match")
+		}
+	}
+}

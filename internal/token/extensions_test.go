@@ -1,0 +1,109 @@
+package token
+
+// Tests for the optional scanner extensions from the paper's future-work
+// section (§VI): unpadded time parts and the path FSM. The zero-value
+// scanner must keep the published behaviour.
+
+import "testing"
+
+func TestUnpaddedTimesExtension(t *testing.T) {
+	fixed := Scanner{Config: Config{UnpaddedTimes: true}}
+	cases := []string{
+		"20171224-0:7:20:444", // the HealthApp failure case of §IV
+		"1:2:03",
+		"2021-9-1 7:03:05",
+	}
+	for _, msg := range cases {
+		got := fixed.ScanCopy(msg)
+		if len(got) != 1 || got[0].Type != Time {
+			t.Errorf("unpadded scanner: Scan(%q) = %v, want a single Time token", msg, got)
+		}
+	}
+	// The default scanner must still reject them (paper behaviour).
+	var plain Scanner
+	for _, g := range plain.Scan("20171224-0:7:20:444") {
+		if g.Type == Time {
+			t.Error("default scanner must not accept zero-less time parts")
+		}
+	}
+	// Padded forms still work with the extension on.
+	got := fixed.ScanCopy("2021-09-01 12:00:00")
+	if len(got) != 1 || got[0].Type != Time {
+		t.Errorf("padded timestamp broke under unpadded mode: %v", got)
+	}
+}
+
+func TestUnpaddedDoesNotOverreach(t *testing.T) {
+	fixed := Scanner{Config: Config{UnpaddedTimes: true}}
+	// Bare integers and version strings must not become times.
+	for _, msg := range []string{"12345", "1.2.3", "42"} {
+		for _, g := range fixed.ScanCopy(msg) {
+			if g.Type == Time {
+				t.Errorf("Scan(%q) produced a Time token", msg)
+			}
+		}
+	}
+}
+
+func TestPathFSMExtension(t *testing.T) {
+	ps := Scanner{Config: Config{PathFSM: true}}
+	for _, msg := range []string{
+		"/var/log/messages",
+		"/etc/init.d/sshd",
+		"/data/d07/f00042.dat",
+		"/usr/lib/systemd/system-generators/",
+	} {
+		got := ps.ScanCopy(msg)
+		if len(got) != 1 || got[0].Type != Path {
+			t.Errorf("path scanner: Scan(%q) = %v, want a single Path token", msg, got)
+		}
+	}
+	// Windows-style absolute paths are recognised too.
+	for _, msg := range []string{`C:\Windows\servicing\cbscore.dll`, `D:\data\f1.dat`} {
+		got := ps.ScanCopy(msg)
+		if len(got) != 1 || got[0].Type != Path {
+			t.Errorf("windows path: Scan(%q) = %v, want Path", msg, got)
+		}
+	}
+	// Non-paths stay what they were.
+	for _, msg := range []string{"notapath", "a/b", "//double", "/", `C:\`, `C:\\double`} {
+		for _, g := range ps.ScanCopy(msg) {
+			if g.Type == Path {
+				t.Errorf("Scan(%q) misclassified as Path", msg)
+			}
+		}
+	}
+	// The default scanner keeps paths literal (paper behaviour; Table I).
+	var plain Scanner
+	got := plain.ScanCopy("/var/log/messages")
+	if len(got) != 1 || got[0].Type != Literal {
+		t.Errorf("default scanner must keep paths literal: %v", got)
+	}
+}
+
+func TestPathFSMInContext(t *testing.T) {
+	ps := Scanner{Config: Config{PathFSM: true}}
+	got := ps.ScanCopy("opening /var/run/app.pid failed")
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	if got[1].Type != Path || got[1].Value != "/var/run/app.pid" {
+		t.Errorf("path token = %+v", got[1])
+	}
+	if Reconstruct(got) != "opening /var/run/app.pid failed" {
+		t.Errorf("reconstruction broken: %q", Reconstruct(got))
+	}
+}
+
+// TestPathFSMEndToEnd: with the path FSM on, messages differing only in a
+// path collapse into one pattern from just two examples (typed tokens are
+// immediate variables), fixing the "some path strings remain static text
+// and generate multiple patterns" limitation of §IV.
+func TestPathFSMEndToEnd(t *testing.T) {
+	ps := Scanner{Config: Config{PathFSM: true}}
+	a := ps.ScanCopy("deleting /data/a.dat now")
+	b := ps.ScanCopy("deleting /data/b.dat now")
+	if Signature(a) != Signature(b) {
+		t.Errorf("signatures differ:\n%s\n%s", Signature(a), Signature(b))
+	}
+}

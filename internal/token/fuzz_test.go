@@ -1,0 +1,67 @@
+package token
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzScan asserts scanner robustness invariants over arbitrary input:
+// no panic, token values are substrings of the message, and
+// reconstruction never invents content.
+func FuzzScan(f *testing.F) {
+	for _, seed := range []string{
+		"Failed password for root from 10.0.0.1 port 22 ssh2",
+		"2021-09-01T12:00:00Z done",
+		"mac aa:bb:cc:dd:ee:ff ip ::1 hex 0xdeadbeef",
+		"a=b c=d [x] (y) \"z\"",
+		"multi\nline\nmessage",
+		"20171224-0:7:20:444|Step_LSC|30002312|onStandStepChanged 3579",
+		"   leading spaces",
+		"%percent% signs %everywhere",
+		"\x00\x01\xff binary-ish",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, msg string) {
+		for _, cfg := range []Config{{}, {UnpaddedTimes: true, PathFSM: true}} {
+			s := Scanner{Config: cfg}
+			tokens := s.ScanCopy(msg)
+			for _, tok := range tokens {
+				if tok.Type == TailAny {
+					continue
+				}
+				if tok.Value == "" {
+					t.Fatalf("empty token value in %q: %+v", msg, tokens)
+				}
+				if !strings.Contains(msg, tok.Value) {
+					t.Fatalf("token %q not a substring of %q", tok.Value, msg)
+				}
+			}
+			// Enrichment must be safe on any token stream.
+			Enrich(tokens)
+			// Reconstruction is bounded by the input plus separators.
+			if r := Reconstruct(tokens); len(r) > len(msg)+len(tokens) {
+				t.Fatalf("reconstruction grew: %q -> %q", msg, r)
+			}
+		}
+	})
+}
+
+// FuzzTimeFSM asserts the datetime FSM never claims text beyond the
+// input and never returns a zero-length match.
+func FuzzTimeFSM(f *testing.F) {
+	f.Add("2021-09-01 12:00:00.123", false)
+	f.Add("Jun  2 03:04:05", true)
+	f.Add("0:7:20:444", true)
+	f.Fuzz(func(t *testing.T, s string, unpadded bool) {
+		for i := 0; i <= len(s) && i < 64; i++ {
+			end, ok := matchTime(s, i, unpadded)
+			if !ok {
+				continue
+			}
+			if end <= i || end > len(s) {
+				t.Fatalf("matchTime(%q, %d) = %d out of bounds", s, i, end)
+			}
+		}
+	})
+}

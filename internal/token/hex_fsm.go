@@ -1,0 +1,183 @@
+package token
+
+// The hexadecimal finite state machine.
+//
+// Starting from a token boundary the FSM recognises, in order of
+// preference:
+//
+//   - MAC addresses: six groups of two hex digits separated consistently by
+//     ':' or '-' (aa:bb:cc:dd:ee:ff, AA-BB-CC-DD-EE-FF),
+//   - IPv6 addresses: up to eight groups of one to four hex digits
+//     separated by ':', with at most one '::' abbreviation and an optional
+//     embedded IPv4 tail,
+//   - long hexadecimal strings: 0x-prefixed words, or bare runs of at least
+//     eight hex digits containing both a digit and a letter (so English
+//     words such as "deadline" or "cafe" are never swallowed).
+//
+// The byte after a match must not be alphanumeric, otherwise the candidate
+// is rejected and the general FSM takes over.
+
+// matchHex attempts the hexadecimal FSM at s[i]. On success it returns the
+// end offset (exclusive) and the token type (Mac, IPv6 or HexString).
+func matchHex(s string, i int) (end int, typ Type, ok bool) {
+	if e, m := matchMac(s, i); m {
+		return e, Mac, true
+	}
+	if e, m := matchUUID(s, i); m {
+		return e, HexString, true
+	}
+	if e, m := matchIPv6(s, i); m {
+		return e, IPv6, true
+	}
+	if e, m := matchHexString(s, i); m {
+		return e, HexString, true
+	}
+	return 0, Literal, false
+}
+
+// matchUUID recognises the 8-4-4-4-12 dashed UUID form. The strong shape
+// means no letter is required, so all-digit UUIDs tokenize identically to
+// mixed ones — without this, message shapes would depend on the random
+// content of each UUID.
+func matchUUID(s string, i int) (end int, ok bool) {
+	j := i
+	for _, groupLen := range [5]int{8, 4, 4, 4, 12} {
+		if j > i {
+			if j >= len(s) || s[j] != '-' {
+				return 0, false
+			}
+			j++
+		}
+		for g := 0; g < groupLen; g++ {
+			if j >= len(s) || !isHexDigit(s[j]) {
+				return 0, false
+			}
+			j++
+		}
+	}
+	if j < len(s) && (isAlnum(s[j]) || s[j] == '-') {
+		return 0, false
+	}
+	return j, true
+}
+
+func matchMac(s string, i int) (end int, ok bool) {
+	// Six groups of exactly two hex digits with a consistent separator.
+	var sep byte
+	j := i
+	for g := 0; g < 6; g++ {
+		if j+2 > len(s) || !isHexDigit(s[j]) || !isHexDigit(s[j+1]) {
+			return 0, false
+		}
+		j += 2
+		if g == 5 {
+			break
+		}
+		if j >= len(s) || (s[j] != ':' && s[j] != '-') {
+			return 0, false
+		}
+		if sep == 0 {
+			sep = s[j]
+		} else if s[j] != sep {
+			return 0, false
+		}
+		j++
+	}
+	if j < len(s) && (isAlnum(s[j]) || s[j] == sep) {
+		return 0, false
+	}
+	return j, true
+}
+
+func matchIPv6(s string, i int) (end int, ok bool) {
+	j := i
+	groups := 0
+	doubleColon := false
+	lastWasColon := false
+	sawLetterOrAbbrev := false
+
+	if j+1 < len(s) && s[j] == ':' && s[j+1] == ':' {
+		doubleColon = true
+		sawLetterOrAbbrev = true
+		j += 2
+	}
+	for j < len(s) {
+		// A group: 1-4 hex digits.
+		g := 0
+		for j < len(s) && isHexDigit(s[j]) && g < 4 {
+			if isAlpha(s[j]) {
+				sawLetterOrAbbrev = true
+			}
+			j++
+			g++
+		}
+		if g == 0 {
+			break
+		}
+		groups++
+		lastWasColon = false
+		if j >= len(s) || s[j] != ':' {
+			break
+		}
+		if j+1 < len(s) && s[j+1] == ':' {
+			if doubleColon {
+				return 0, false // only one '::' allowed
+			}
+			doubleColon = true
+			sawLetterOrAbbrev = true
+			j += 2
+			lastWasColon = false
+			continue
+		}
+		j++
+		lastWasColon = true
+	}
+	if lastWasColon {
+		j-- // trailing single colon belongs to the surrounding text
+	}
+	if groups > 8 || groups == 0 && !doubleColon {
+		return 0, false
+	}
+	// Require either an abbreviation or a full 8 groups, plus hex letters
+	// or '::', so times like 12:34:56 are left to the datetime FSM.
+	if !doubleColon && groups != 8 {
+		return 0, false
+	}
+	if !sawLetterOrAbbrev {
+		return 0, false
+	}
+	if j < len(s) && isAlnum(s[j]) {
+		return 0, false
+	}
+	return j, true
+}
+
+func matchHexString(s string, i int) (end int, ok bool) {
+	j := i
+	if j+2 < len(s) && s[j] == '0' && (s[j+1] == 'x' || s[j+1] == 'X') && isHexDigit(s[j+2]) {
+		j += 2
+		for j < len(s) && isHexDigit(s[j]) {
+			j++
+		}
+		if j < len(s) && isAlnum(s[j]) {
+			return 0, false
+		}
+		return j, true
+	}
+	digits, letters := 0, 0
+	for j < len(s) && isHexDigit(s[j]) {
+		if isDigit(s[j]) {
+			digits++
+		} else {
+			letters++
+		}
+		j++
+	}
+	if j-i < 8 || digits == 0 || letters == 0 {
+		return 0, false
+	}
+	if j < len(s) && isAlnum(s[j]) {
+		return 0, false
+	}
+	return j, true
+}

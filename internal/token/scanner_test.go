@@ -1,0 +1,399 @@
+package token
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// tok is a test helper building expected tokens tersely.
+func tok(typ Type, value string, space bool) Token {
+	return Token{Type: typ, Value: value, SpaceBefore: space}
+}
+
+func scanOne(t *testing.T, msg string) []Token {
+	t.Helper()
+	var s Scanner
+	return s.ScanCopy(msg)
+}
+
+func assertTokens(t *testing.T, msg string, want []Token) {
+	t.Helper()
+	got := scanOne(t, msg)
+	if len(got) != len(want) {
+		t.Fatalf("Scan(%q): got %d tokens %v, want %d %v", msg, len(got), got, len(want), want)
+	}
+	for i := range got {
+		if got[i].Type != want[i].Type || got[i].Value != want[i].Value || got[i].SpaceBefore != want[i].SpaceBefore {
+			t.Errorf("Scan(%q) token %d: got %+v, want %+v", msg, i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanSimpleSentence(t *testing.T) {
+	assertTokens(t, "connection closed by peer",
+		[]Token{
+			tok(Literal, "connection", false),
+			tok(Literal, "closed", true),
+			tok(Literal, "by", true),
+			tok(Literal, "peer", true),
+		})
+}
+
+func TestScanIntegerAndFloat(t *testing.T) {
+	assertTokens(t, "count 42 load 0.75 delta -3 rate 1.5e3",
+		[]Token{
+			tok(Literal, "count", false),
+			tok(Integer, "42", true),
+			tok(Literal, "load", true),
+			tok(Float, "0.75", true),
+			tok(Literal, "delta", true),
+			tok(Integer, "-3", true),
+			tok(Literal, "rate", true),
+			tok(Float, "1.5e3", true),
+		})
+}
+
+func TestScanIPv4(t *testing.T) {
+	assertTokens(t, "from 192.168.0.1 port 22",
+		[]Token{
+			tok(Literal, "from", false),
+			tok(IPv4, "192.168.0.1", true),
+			tok(Literal, "port", true),
+			tok(Integer, "22", true),
+		})
+}
+
+func TestScanIPv4WithPort(t *testing.T) {
+	assertTokens(t, "dest 10.0.0.1:8080 ok",
+		[]Token{
+			tok(Literal, "dest", false),
+			tok(IPv4, "10.0.0.1", true),
+			tok(Literal, ":", false),
+			tok(Integer, "8080", false),
+			tok(Literal, "ok", true),
+		})
+}
+
+func TestScanInvalidIPv4IsLiteral(t *testing.T) {
+	got := scanOne(t, "300.1.2.3")
+	if len(got) != 1 || got[0].Type != Literal {
+		t.Fatalf("300.1.2.3 should stay literal, got %v", got)
+	}
+	got = scanOne(t, "1.2.3")
+	if len(got) != 1 || got[0].Type != Literal {
+		t.Fatalf("1.2.3 should stay literal (version string), got %v", got)
+	}
+}
+
+func TestScanMac(t *testing.T) {
+	for _, msg := range []string{"aa:bb:cc:dd:ee:ff", "AA-BB-CC-DD-EE-FF", "00:1B:44:11:3A:B7"} {
+		got := scanOne(t, msg)
+		if len(got) != 1 || got[0].Type != Mac {
+			t.Errorf("Scan(%q): want single Mac token, got %v", msg, got)
+		}
+	}
+	// Mixed separators are not a MAC.
+	got := scanOne(t, "aa:bb-cc:dd:ee:ff")
+	for _, g := range got {
+		if g.Type == Mac {
+			t.Errorf("mixed separators classified as Mac: %v", got)
+		}
+	}
+}
+
+func TestScanIPv6(t *testing.T) {
+	for _, msg := range []string{
+		"2001:db8::ff00:42:8329",
+		"fe80::1",
+		"::1",
+		"2001:0db8:85a3:0000:0000:8a2e:0370:7334",
+	} {
+		got := scanOne(t, msg)
+		if len(got) != 1 || got[0].Type != IPv6 {
+			t.Errorf("Scan(%q): want single IPv6 token, got %v", msg, got)
+		}
+	}
+}
+
+func TestScanClockTimeNotIPv6(t *testing.T) {
+	got := scanOne(t, "at 12:34:56 exactly")
+	if len(got) != 3 || got[1].Type != Time {
+		t.Fatalf("12:34:56 should be Time, got %v", got)
+	}
+}
+
+func TestScanHexString(t *testing.T) {
+	for _, msg := range []string{"deadbeef01", "0x7f8a", "2908692bdd6cb4eca096eaa19afebd9e15650b4d"} {
+		got := scanOne(t, msg)
+		if len(got) != 1 || got[0].Type != HexString {
+			t.Errorf("Scan(%q): want HexString, got %v", msg, got)
+		}
+	}
+	// English words made of hex letters must stay literal.
+	for _, msg := range []string{"cafe", "deadline", "decade", "facade"} {
+		got := scanOne(t, msg)
+		if len(got) != 1 || got[0].Type != Literal {
+			t.Errorf("Scan(%q): want Literal, got %v", msg, got)
+		}
+	}
+}
+
+func TestScanTimestamps(t *testing.T) {
+	cases := []string{
+		"2021-09-01 12:00:00",
+		"2021-09-01T12:00:00Z",
+		"2021-09-01 12:00:00.123",
+		"2015-07-29 17:41:41,536",    // Zookeeper
+		"17/06/09 20:10:40",          // Spark
+		"081109 203518",              // HDFS
+		"03-17 16:13:38.811",         // Android
+		"10.30 16:49:06",             // Proxifier
+		"Jun 14 15:16:01",            // Linux syslog
+		"Jun  2 03:04:05",            // syslog padded day
+		"2005-06-03-15.42.50.363779", // BGL
+		"20171224-00:07:20:444",      // HealthApp, zero padded
+		"10/Oct/2000:13:55:36",       // CLF
+		"Sun Dec 04 04:47:44 2005",   // Apache error log
+	}
+	for _, msg := range cases {
+		got := scanOne(t, msg)
+		if len(got) != 1 || got[0].Type != Time {
+			t.Errorf("Scan(%q): want single Time token, got %v", msg, got)
+		}
+	}
+}
+
+// TestScanHealthAppLimitation pins the documented limitation: time parts
+// without leading zeros are not recognised by the datetime FSM (§IV).
+func TestScanHealthAppLimitation(t *testing.T) {
+	got := scanOne(t, "20171224-0:7:20:444")
+	for _, g := range got {
+		if g.Type == Time {
+			t.Fatalf("zero-less time parts must NOT match the datetime FSM (paper limitation), got %v", got)
+		}
+	}
+}
+
+func TestScanURL(t *testing.T) {
+	assertTokens(t, "GET https://example.com/x?y=1 done",
+		[]Token{
+			tok(Literal, "GET", false),
+			tok(URL, "https://example.com/x?y=1", true),
+			tok(Literal, "done", true),
+		})
+}
+
+func TestScanPunctuationAndBrackets(t *testing.T) {
+	assertTokens(t, `sshd[1234]: error, retry (later)`,
+		[]Token{
+			tok(Literal, "sshd", false),
+			tok(Literal, "[", false),
+			tok(Integer, "1234", false),
+			tok(Literal, "]", false),
+			tok(Literal, ":", false),
+			tok(Literal, "error", true),
+			tok(Literal, ",", false),
+			tok(Literal, "retry", true),
+			tok(Literal, "(", true),
+			tok(Literal, "later", false),
+			tok(Literal, ")", false),
+		})
+}
+
+func TestScanKeyValueSplitsEquals(t *testing.T) {
+	assertTokens(t, "user=root uid=0",
+		[]Token{
+			tok(Literal, "user", false),
+			tok(Literal, "=", false),
+			tok(Literal, "root", false),
+			tok(Literal, "uid", true),
+			tok(Literal, "=", false),
+			tok(Integer, "0", false),
+		})
+}
+
+func TestScanMultilineTruncates(t *testing.T) {
+	got := scanOne(t, "line one here\nline two\nline three")
+	if len(got) == 0 || got[len(got)-1].Type != TailAny {
+		t.Fatalf("multi-line message must end with TailAny marker, got %v", got)
+	}
+	for _, g := range got[:len(got)-1] {
+		if strings.Contains(g.Value, "two") || strings.Contains(g.Value, "three") {
+			t.Fatalf("tokens beyond first line leaked: %v", got)
+		}
+	}
+	// A trailing newline with nothing after it is not a multi-line message.
+	got = scanOne(t, "single line\n")
+	for _, g := range got {
+		if g.Type == TailAny {
+			t.Fatalf("trailing newline should not produce TailAny: %v", got)
+		}
+	}
+}
+
+func TestScanSpaceBeforeFirstToken(t *testing.T) {
+	got := scanOne(t, "  indented message")
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+	if !got[0].SpaceBefore {
+		t.Errorf("leading whitespace must set SpaceBefore on the first token")
+	}
+}
+
+func TestReconstructExact(t *testing.T) {
+	cases := []string{
+		"Failed password for root from 192.168.0.1 port 22 ssh2",
+		"sshd[1234]: session opened for user root(uid=0)",
+		"pkt loss 0.5% on eth0, mtu=1500",
+		"GET https://a.b.com/path status=200 bytes=1234",
+		"up 12:34:56 load average: 0.10, 0.20, 0.30",
+	}
+	var s Scanner
+	for _, msg := range cases {
+		got := Reconstruct(s.Scan(msg))
+		if got != msg {
+			t.Errorf("Reconstruct mismatch:\n in: %q\nout: %q", msg, got)
+		}
+	}
+}
+
+// TestReconstructProperty: for any message built from printable words and
+// single spaces, scan + reconstruct is the identity.
+func TestReconstructProperty(t *testing.T) {
+	words := []string{"error", "42", "1.5", "10.0.0.1", "up", "down", "[", "]", "a=b", "x:", "done."}
+	f := func(idx []uint8) bool {
+		if len(idx) == 0 || len(idx) > 40 {
+			return true
+		}
+		parts := make([]string, 0, len(idx))
+		for _, k := range idx {
+			parts = append(parts, words[int(k)%len(words)])
+		}
+		msg := strings.Join(parts, " ")
+		var s Scanner
+		return Reconstruct(s.Scan(msg)) == msg
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScanNeverPanicsProperty: the scanner must accept arbitrary bytes.
+func TestScanNeverPanicsProperty(t *testing.T) {
+	f := func(b []byte) bool {
+		var s Scanner
+		s.Scan(string(b))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTableIElements exercises every element class from Table I of the
+// paper and asserts the data type the scanner (plus enrichment) assigns.
+func TestTableIElements(t *testing.T) {
+	cases := []struct {
+		name string
+		msg  string
+		want Type
+	}{
+		{"date and time stamps", "2021-09-01 12:00:00", Time},
+		{"mac addresses", "00:1b:44:11:3a:b7", Mac},
+		{"ipv6 addresses", "2001:db8::8a2e:370:7334", IPv6},
+		{"port numbers", "8080", Integer},
+		{"line numbers and counts", "1234", Integer},
+		{"decimal numbers", "3.14", Float},
+		{"ipv4 addresses", "192.168.1.10", IPv4},
+		{"words", "restarted", Literal},
+		{"punctuation", ";", Literal},
+		{"urls", "https://cc.in2p3.fr/status", URL},
+		{"hex ids", "deadbeef42cafe00", HexString},
+		{"paths", "/var/log/messages", Literal}, // no path FSM: future work in the paper
+	}
+	var s Scanner
+	for _, c := range cases {
+		got := s.Scan(c.msg)
+		if len(got) == 0 || got[0].Type != c.want {
+			t.Errorf("%s: Scan(%q) = %v, want leading %v", c.name, c.msg, got, c.want)
+		}
+	}
+
+	// Enrichment-time classes from Table I.
+	enr := Enrich(s.ScanCopy("mail from admin@example.com at node01.example.com ok"))
+	var sawEmail, sawHost bool
+	for _, tk := range enr {
+		if tk.Type == Email {
+			sawEmail = true
+		}
+		if tk.Type == Host {
+			sawHost = true
+		}
+	}
+	if !sawEmail || !sawHost {
+		t.Errorf("enrichment should detect email and host, got %v", enr)
+	}
+
+	// Key/value pairs in many formats.
+	kv := Enrich(s.ScanCopy("uid=1001 gid = 100"))
+	var keys []string
+	for _, tk := range kv {
+		if tk.Key != "" {
+			keys = append(keys, tk.Key)
+		}
+	}
+	if len(keys) != 2 || keys[0] != "uid" || keys[1] != "gid" {
+		t.Errorf("key=value detection: got keys %v, want [uid gid]", keys)
+	}
+}
+
+func TestEnrichHostConservative(t *testing.T) {
+	var s Scanner
+	got := Enrich(s.ScanCopy("reading foo.bar.log now"))
+	for _, tk := range got {
+		if tk.Type == Host {
+			t.Errorf("file-like dotted words must not be hosts: %v", got)
+		}
+	}
+}
+
+func TestTypeRoundTrip(t *testing.T) {
+	for typ := Literal; typ <= Path; typ++ {
+		got, ok := ParseType(typ.String())
+		if !ok || got != typ {
+			t.Errorf("ParseType(%q) = %v,%v; want %v,true", typ.String(), got, ok, typ)
+		}
+	}
+	if _, ok := ParseType("nope"); ok {
+		t.Error("ParseType should reject unknown names")
+	}
+}
+
+func TestSignature(t *testing.T) {
+	var s Scanner
+	a := Signature(s.ScanCopy("Failed password for root from 1.2.3.4 port 22"))
+	b := Signature(s.ScanCopy("Failed password for root from 5.6.7.8 port 99"))
+	if a != b {
+		t.Errorf("signatures of same-shape messages differ:\n%s\n%s", a, b)
+	}
+}
+
+func BenchmarkScanSyslogLine(b *testing.B) {
+	var s Scanner
+	msg := "Jun 14 15:16:01 combo sshd(pam_unix)[19937]: check pass; user unknown"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Scan(msg)
+	}
+}
+
+func BenchmarkScanMixedLine(b *testing.B) {
+	var s Scanner
+	msg := "2021-09-01T12:00:00Z node01 accepted connection from 10.1.2.3:44321 mac=aa:bb:cc:dd:ee:ff bytes=1048576 rate=12.5"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Scan(msg)
+	}
+}

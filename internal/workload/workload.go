@@ -1,0 +1,243 @@
+// Package workload generates the synthetic multi-service message streams
+// used by the paper's speed experiment (Fig 5) and by the production
+// workflow simulation (Fig 7).
+//
+// The paper's Fig 5 datasets carry "an average of 241 unique services";
+// CC-IN2P3's traffic is 70-100 million messages per day across operating
+// systems, databases, batch systems, network gear and more. This package
+// models that as a population of services with Zipf-skewed volumes, each
+// owning a population of event templates with Zipf-skewed frequencies,
+// plus a drift mechanism that introduces brand-new event types over time
+// (the reason a production pattern database is never finished, §I).
+package workload
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/ingest"
+)
+
+// Config sizes the generated world.
+type Config struct {
+	// Services is the number of distinct source systems (default 241, the
+	// Fig 5 average).
+	Services int
+	// EventsPerService is the mean number of event templates per service
+	// (default 12; actual counts vary by service).
+	EventsPerService int
+	// Skew is the Zipf exponent for both service volume and event
+	// frequency (default 1.1).
+	Skew float64
+	// Seed makes the generated world and stream reproducible.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Services <= 0 {
+		c.Services = 241
+	}
+	if c.EventsPerService <= 0 {
+		c.EventsPerService = 12
+	}
+	if c.Skew <= 0 {
+		c.Skew = 1.1
+	}
+	return c
+}
+
+// Generator produces a reproducible stream of ingest records.
+type Generator struct {
+	cfg      Config
+	rng      *rand.Rand
+	services []*service
+	cum      []float64 // cumulative service weights
+	events   int
+}
+
+type service struct {
+	name   string
+	weight float64
+	events []*event
+	cum    []float64
+}
+
+type event struct {
+	segments []segment
+	weight   float64
+}
+
+// segment is one piece of an event template.
+type segment struct {
+	literal string // fixed text, or empty for a variable
+	kind    byte   // i=int, f=float, a=ipv4, h=hex, u=user, p=path, w=word-id
+}
+
+// New builds a generator with a fresh service/event population.
+func New(cfg Config) *Generator {
+	cfg = cfg.withDefaults()
+	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	for s := 0; s < cfg.Services; s++ {
+		svc := &service{
+			name:   fmt.Sprintf("svc%03d", s),
+			weight: 1 / math.Pow(float64(s+1), cfg.Skew),
+		}
+		n := 1 + g.rng.Intn(2*cfg.EventsPerService)
+		for e := 0; e < n; e++ {
+			svc.addEvent(g.newEvent(), cfg.Skew)
+		}
+		g.services = append(g.services, svc)
+		g.events += n
+	}
+	g.rebuildServiceWeights()
+	return g
+}
+
+func (s *service) addEvent(ev *event, skew float64) {
+	ev.weight = 1 / math.Pow(float64(len(s.events)+1), skew)
+	s.events = append(s.events, ev)
+	s.cum = nil
+}
+
+func (g *Generator) rebuildServiceWeights() {
+	g.cum = g.cum[:0]
+	total := 0.0
+	for _, s := range g.services {
+		total += s.weight
+		g.cum = append(g.cum, total)
+	}
+}
+
+func (s *service) rebuildEventWeights() {
+	s.cum = s.cum[:0]
+	total := 0.0
+	for _, e := range s.events {
+		total += e.weight
+		s.cum = append(s.cum, total)
+	}
+}
+
+// vocabulary for synthetic templates.
+var verbs = []string{
+	"accepted", "rejected", "started", "stopped", "opened", "closed",
+	"created", "deleted", "flushed", "scheduled", "received", "sent",
+	"mounted", "resized", "migrated", "throttled", "retried", "expired",
+}
+var nouns = []string{
+	"connection", "session", "job", "volume", "request", "transfer",
+	"snapshot", "lease", "packet", "transaction", "replica", "index",
+	"shard", "container", "task", "query", "tunnel", "checkpoint",
+}
+var tails = []string{
+	"successfully", "with warnings", "after retry", "in background",
+	"for maintenance", "by scheduler", "on demand", "at capacity",
+}
+
+// newEvent synthesises a random event template: a discriminating literal
+// head followed by a mix of literals and variables.
+func (g *Generator) newEvent() *event {
+	r := g.rng
+	ev := &event{}
+	ev.segments = append(ev.segments,
+		segment{literal: verbs[r.Intn(len(verbs))]},
+		segment{literal: nouns[r.Intn(len(nouns))]},
+		segment{literal: fmt.Sprintf("e%03d", r.Intn(1000))},
+	)
+	n := 1 + r.Intn(5)
+	for i := 0; i < n; i++ {
+		if r.Intn(3) == 0 {
+			ev.segments = append(ev.segments, segment{literal: tails[r.Intn(len(tails))]})
+			continue
+		}
+		kinds := []byte{'i', 'f', 'a', 'h', 'u', 'p', 'w'}
+		k := kinds[r.Intn(len(kinds))]
+		label := []string{"count", "load", "peer", "id", "user", "file", "unit"}[r.Intn(7)]
+		ev.segments = append(ev.segments,
+			segment{literal: label},
+			segment{kind: k})
+	}
+	return ev
+}
+
+// Next produces the next stream record.
+func (g *Generator) Next() ingest.Record {
+	r := g.rng
+	si := sort.SearchFloat64s(g.cum, r.Float64()*g.cum[len(g.cum)-1])
+	svc := g.services[si]
+	if svc.cum == nil {
+		svc.rebuildEventWeights()
+	}
+	ei := sort.SearchFloat64s(svc.cum, r.Float64()*svc.cum[len(svc.cum)-1])
+	ev := svc.events[ei]
+
+	var b strings.Builder
+	for i, seg := range ev.segments {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if seg.literal != "" {
+			b.WriteString(seg.literal)
+			continue
+		}
+		switch seg.kind {
+		case 'i':
+			fmt.Fprintf(&b, "%d", r.Intn(100000))
+		case 'f':
+			fmt.Fprintf(&b, "%.2f", r.Float64()*1000)
+		case 'a':
+			fmt.Fprintf(&b, "%d.%d.%d.%d", 10+r.Intn(200), r.Intn(256), r.Intn(256), 1+r.Intn(254))
+		case 'h':
+			fmt.Fprintf(&b, "%08x%08x", r.Uint32(), r.Uint32())
+		case 'u':
+			fmt.Fprintf(&b, "user%04d", r.Intn(4000))
+		case 'p':
+			fmt.Fprintf(&b, "/data/d%02d/f%05d.dat", r.Intn(40), r.Intn(100000))
+		case 'w':
+			fmt.Fprintf(&b, "unit-%d", r.Intn(64))
+		}
+	}
+	return ingest.Record{Service: svc.name, Message: b.String()}
+}
+
+// Records produces n records.
+func (g *Generator) Records(n int) []ingest.Record {
+	out := make([]ingest.Record, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Stream writes n records as JSON lines, the Sequence-RTG wire format.
+func (g *Generator) Stream(w io.Writer, n int) error {
+	for i := 0; i < n; i++ {
+		if _, err := w.Write(ingest.Marshal(g.Next())); err != nil {
+			return fmt.Errorf("workload: write stream: %w", err)
+		}
+	}
+	return nil
+}
+
+// Drift introduces n brand-new event templates spread over random
+// services — the software updates and new deployments that keep a
+// production pattern database perpetually incomplete.
+func (g *Generator) Drift(n int) {
+	for i := 0; i < n; i++ {
+		svc := g.services[g.rng.Intn(len(g.services))]
+		ev := g.newEvent()
+		// A fresh event arrives with mid-pack volume, not tail volume.
+		svc.addEvent(ev, g.cfg.Skew)
+		ev.weight = 1 / math.Pow(2, g.cfg.Skew)
+		g.events++
+	}
+}
+
+// Services returns the number of distinct services.
+func (g *Generator) Services() int { return len(g.services) }
+
+// Events returns the number of distinct event templates currently live.
+func (g *Generator) Events() int { return g.events }

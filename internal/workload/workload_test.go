@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/ingest"
+)
+
+func TestDefaults(t *testing.T) {
+	g := New(Config{Seed: 1})
+	if g.Services() != 241 {
+		t.Fatalf("Services = %d, want the paper's 241", g.Services())
+	}
+	if g.Events() == 0 {
+		t.Fatal("no events generated")
+	}
+}
+
+func TestRecordsShape(t *testing.T) {
+	g := New(Config{Services: 20, Seed: 2})
+	recs := g.Records(5000)
+	if len(recs) != 5000 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	services := map[string]int{}
+	for _, r := range recs {
+		if r.Service == "" || r.Message == "" {
+			t.Fatalf("empty record: %+v", r)
+		}
+		services[r.Service]++
+	}
+	if len(services) < 10 {
+		t.Fatalf("only %d services sampled from 20", len(services))
+	}
+	// Zipf skew: the most common service dominates the rarest by a wide
+	// margin.
+	max, min := 0, 1<<30
+	for _, c := range services {
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	if max < 5*min {
+		t.Errorf("expected skewed service volumes, got max=%d min=%d", max, min)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := New(Config{Services: 10, Seed: 7}).Records(200)
+	b := New(Config{Services: 10, Seed: 7}).Records(200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs across same-seed generators", i)
+		}
+	}
+}
+
+func TestDrift(t *testing.T) {
+	g := New(Config{Services: 10, Seed: 3})
+	before := g.Events()
+	g.Drift(25)
+	if g.Events() != before+25 {
+		t.Fatalf("Events = %d, want %d", g.Events(), before+25)
+	}
+	// The stream keeps flowing and eventually emits new-event messages.
+	seen := map[string]bool{}
+	for i := 0; i < 5000; i++ {
+		seen[g.Next().Message] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("only %d distinct messages", len(seen))
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	g := New(Config{Services: 5, Seed: 4})
+	var buf bytes.Buffer
+	if err := g.Stream(&buf, 300); err != nil {
+		t.Fatal(err)
+	}
+	r := ingest.NewReader(&buf, ingest.Options{BatchSize: 100})
+	total := 0
+	for {
+		b, err := r.NextBatch()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(b)
+	}
+	if total != 300 {
+		t.Fatalf("round-tripped %d records, want 300", total)
+	}
+	if r.Malformed() != 0 {
+		t.Fatalf("malformed records: %d", r.Malformed())
+	}
+}
+
+func BenchmarkNext(b *testing.B) {
+	g := New(Config{Seed: 5})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}

@@ -1,0 +1,289 @@
+// Package sequence is Sequence-RTG: an efficient, production-ready
+// pattern mining library for system log messages.
+//
+// It is a from-scratch reproduction of the system described in
+// L. Harding, F. Wernli, F. Suter, "Sequence-RTG: Efficient and
+// Production-Ready Pattern Mining in System Log Messages" (HPCMASPA @
+// IEEE CLUSTER 2021), which extends the seminal Sequence framework with
+// the capabilities a large data centre needs to run pattern mining
+// continuously:
+//
+//   - a JSON-lines stream ingester with batching ({service, message}),
+//   - persistent patterns with statistics and reproducible SHA-1 ids,
+//   - whitespace-exact pattern reconstruction (isSpaceBefore),
+//   - the AnalyzeByService two-stage partitioning workflow,
+//   - first-line truncation of multi-line messages, and
+//   - pattern export to syslog-ng patterndb XML, YAML and Logstash Grok.
+//
+// # Quick start
+//
+//	rtg, _ := sequence.Open("") // in-memory; pass a directory to persist
+//	defer rtg.Close()
+//
+//	records := []sequence.Record{
+//	    {Service: "sshd", Message: "Failed password for root from 10.0.0.1 port 22 ssh2"},
+//	    {Service: "sshd", Message: "Failed password for root from 10.9.0.7 port 4711 ssh2"},
+//	    {Service: "sshd", Message: "Failed password for root from 172.16.0.3 port 2222 ssh2"},
+//	}
+//	rtg.AnalyzeByService(records, time.Now())
+//
+//	p, values, ok := rtg.Parse("sshd", "Failed password for root from 192.168.7.9 port 22022 ssh2")
+//	// p.Text()          == "Failed password for root from %srcip% port %srcport% ssh2"
+//	// values["srcip"]   == "192.168.7.9"
+//	// values["srcport"] == "22022"
+//
+//	rtg.Export(os.Stdout, sequence.FormatPatternDB, sequence.ExportOptions{})
+package sequence
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/analyzer"
+	"repro/internal/anomaly"
+	"repro/internal/core"
+	"repro/internal/export"
+	"repro/internal/ingest"
+	"repro/internal/patterns"
+	"repro/internal/store"
+	"repro/internal/token"
+)
+
+// Record is one item of the input stream: the source system and the
+// unaltered log message.
+type Record = ingest.Record
+
+// Pattern is a discovered message template with its persistent metadata
+// (SHA-1 id, match count, last-matched date, complexity, examples).
+type Pattern = patterns.Pattern
+
+// Element is one pattern position: fixed text or a typed variable.
+type Element = patterns.Element
+
+// Token is one scanned piece of a message.
+type Token = token.Token
+
+// BatchResult summarises one processed batch.
+type BatchResult = core.BatchResult
+
+// ExportOptions filters which patterns are exported.
+type ExportOptions = export.Options
+
+// Format selects an export format.
+type Format = export.Format
+
+// The supported export formats.
+const (
+	FormatPatternDB = export.FormatPatternDB
+	FormatYAML      = export.FormatYAML
+	FormatGrok      = export.FormatGrok
+)
+
+// DefaultBatchSize is the production batch size used at CC-IN2P3.
+const DefaultBatchSize = ingest.DefaultBatchSize
+
+// Config tunes an RTG instance. The zero value is production-ready.
+type Config struct {
+	// MinGroupMessages is the minimum number of messages required before
+	// a variable is created (default 3; the paper notes patterns cannot
+	// be mined from one or two examples).
+	MinGroupMessages int
+	// SaveThreshold drops patterns matched fewer than this many times in
+	// the batch that discovered them (0 keeps everything).
+	SaveThreshold int64
+	// MaxTrieNodes bounds analysis memory per service; past it the trie
+	// is harvested early (0 = unbounded).
+	MaxTrieNodes int
+	// Concurrency analyses that many services in parallel (default 1,
+	// the paper's sequential behaviour).
+	Concurrency int
+	// KeepAllVariables disables constant folding, reverting to the
+	// original Sequence behaviour of keeping every typed position a
+	// variable (limitation 4 in the paper).
+	KeepAllVariables bool
+
+	// The remaining options enable the paper's §VI future-work
+	// extensions; all default off, which reproduces the published system.
+
+	// UnpaddedTimes lets the datetime FSM accept single-digit time parts
+	// (the HealthApp fix).
+	UnpaddedTimes bool
+	// PathFSM enables the fourth finite state machine: filesystem paths
+	// become typed variables instead of literals.
+	PathFSM bool
+	// SplitSemiConstants, when positive, expands variables that only ever
+	// took between two and this many values into one pattern per value.
+	SplitSemiConstants int
+}
+
+// RTG is a Sequence-RTG instance: a pattern store plus the scanning,
+// parsing and mining machinery around it.
+type RTG struct {
+	store  *store.Store
+	engine *core.Engine
+}
+
+// Open creates (or reopens) a Sequence-RTG instance. dir is the pattern
+// database directory; an empty dir keeps everything in memory. Previously
+// stored patterns are loaded and immediately used for parsing, which is
+// what makes analysis continuous across executions.
+func Open(dir string, cfg ...Config) (*RTG, error) {
+	var c Config
+	if len(cfg) > 1 {
+		return nil, fmt.Errorf("sequence: Open takes at most one Config, got %d", len(cfg))
+	}
+	if len(cfg) == 1 {
+		c = cfg[0]
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	ac := analyzer.DefaultConfig()
+	if c.MinGroupMessages > 0 {
+		ac.MinGroupMessages = c.MinGroupMessages
+	}
+	ac.FoldConstants = !c.KeepAllVariables
+	ac.SplitSemiConstants = c.SplitSemiConstants
+	engine := core.NewEngine(st, core.Config{
+		Analyzer:      ac,
+		SaveThreshold: c.SaveThreshold,
+		MaxTrieNodes:  c.MaxTrieNodes,
+		Concurrency:   c.Concurrency,
+		Scanner:       token.Config{UnpaddedTimes: c.UnpaddedTimes, PathFSM: c.PathFSM},
+	})
+	return &RTG{store: st, engine: engine}, nil
+}
+
+// Close flushes and closes the pattern database.
+func (r *RTG) Close() error { return r.store.Close() }
+
+// AnalyzeByService processes one batch with the Sequence-RTG workflow:
+// partition by service, match known patterns first, mine the unmatched
+// remainder partitioned by token count, and persist discoveries.
+func (r *RTG) AnalyzeByService(records []Record, now time.Time) (BatchResult, error) {
+	return r.engine.AnalyzeByService(records, now)
+}
+
+// Analyze processes one batch the way the original Sequence does: one
+// mixed analysis with no service partitioning and no parse-first pass.
+// It exists for comparison (the paper's Fig 5) and ad-hoc single-source
+// use.
+func (r *RTG) Analyze(records []Record, now time.Time) (BatchResult, error) {
+	return r.engine.Analyze(records, now)
+}
+
+// Parse matches one message against the known patterns of its service,
+// returning the pattern and the extracted variable values.
+func (r *RTG) Parse(service, message string) (*Pattern, map[string]string, bool) {
+	return r.engine.Parse(service, message)
+}
+
+// StreamOptions configures Run.
+type StreamOptions struct {
+	// BatchSize is the analysis batch (DefaultBatchSize when zero).
+	BatchSize int
+	// PlainText treats input lines as bare messages for DefaultService.
+	PlainText bool
+	// DefaultService is used for plain-text input and records without a
+	// service field.
+	DefaultService string
+	// Report, when non-nil, is called after every processed batch.
+	Report func(BatchResult)
+}
+
+// Run consumes a JSON-lines stream ({"service":..., "message":...}) in
+// batches until EOF — the deployment mode of the paper, where syslog-ng
+// pipes unmatched messages into Sequence-RTG's standard input.
+func (r *RTG) Run(in io.Reader, opts StreamOptions) (BatchResult, error) {
+	reader := ingest.NewReader(in, ingest.Options{
+		BatchSize:      opts.BatchSize,
+		PlainText:      opts.PlainText,
+		DefaultService: opts.DefaultService,
+	})
+	return r.engine.Run(reader, opts.Report)
+}
+
+// Patterns returns a snapshot of every stored pattern, sorted by service
+// and pattern text.
+func (r *RTG) Patterns() []*Pattern { return r.store.All() }
+
+// PatternCount returns the number of stored patterns.
+func (r *RTG) PatternCount() int { return r.store.Count() }
+
+// Services returns the distinct service names with patterns.
+func (r *RTG) Services() []string { return r.store.Services() }
+
+// Export writes the stored patterns in the requested format (patterndb
+// XML with test cases, YAML, or Logstash Grok), applying the option
+// filters — the ExportPatterns function of the paper.
+func (r *RTG) Export(w io.Writer, f Format, opts ExportOptions) error {
+	return export.Export(w, f, r.store.All(), opts)
+}
+
+// Purge removes patterns matched fewer than minCount times and last
+// matched before olderThan — the save-threshold hygiene of §IV.
+func (r *RTG) Purge(minCount int64, olderThan time.Time) (int, error) {
+	return r.store.Purge(minCount, olderThan)
+}
+
+// Compact writes a fresh snapshot of a file-backed pattern database and
+// truncates its journal.
+func (r *RTG) Compact() error { return r.store.Compact() }
+
+// MergeFrom folds another instance's pattern database into this one,
+// summing statistics for shared patterns. Because patterns never cross
+// services, sharding services over several Sequence-RTG instances and
+// merging their databases is lossless — the horizontal-scaling story of
+// §IV.
+func (r *RTG) MergeFrom(other *RTG) error {
+	if err := r.store.MergeFrom(other.store); err != nil {
+		return err
+	}
+	// Refresh the parser with the merged set.
+	for _, p := range r.store.All() {
+		r.engine.AddPattern(p)
+	}
+	return nil
+}
+
+// Scan tokenizes a message with the Sequence scanner (hexadecimal,
+// datetime and general FSMs) and runs the analysis-time enrichment
+// (key=value, e-mail, host detection). Mostly useful for inspection and
+// tooling; Analyze and Parse scan internally.
+func Scan(message string) []Token {
+	var s token.Scanner
+	return token.Enrich(s.ScanCopy(message))
+}
+
+// Reconstruct joins scanned tokens back into message text using each
+// token's SpaceBefore property.
+func Reconstruct(tokens []Token) string { return token.Reconstruct(tokens) }
+
+// PatternFromText parses a pattern from Sequence's %-delimited text form,
+// for hand-authored patterns and tests.
+func PatternFromText(text, service string) (*Pattern, error) {
+	return patterns.FromText(text, service)
+}
+
+// Anomaly detection (the paper's §VI direction: separate real anomalies
+// from routine extra load in the matched-message stream).
+
+// AnomalyConfig tunes an AnomalyDetector.
+type AnomalyConfig = anomaly.Config
+
+// AnomalyAlert is one detected deviation.
+type AnomalyAlert = anomaly.Alert
+
+// AnomalyDetector tracks per-pattern message rates against EWMA
+// baselines. Feed it the pattern IDs Parse returns and Flush
+// periodically.
+type AnomalyDetector = anomaly.Detector
+
+// NewAnomalyDetector returns a detector; the zero AnomalyConfig selects
+// one-minute buckets, alpha 0.3, a 3-sigma threshold and a five-bucket
+// warm-up.
+func NewAnomalyDetector(cfg AnomalyConfig) *AnomalyDetector {
+	return anomaly.New(cfg)
+}

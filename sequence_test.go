@@ -1,0 +1,264 @@
+package sequence_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	sequence "repro"
+)
+
+var now = time.Date(2021, 9, 1, 12, 0, 0, 0, time.UTC)
+
+func sshdRecords(n int) []sequence.Record {
+	recs := make([]sequence.Record, n)
+	for i := range recs {
+		recs[i] = sequence.Record{
+			Service: "sshd",
+			Message: fmt.Sprintf("Failed password for root from 10.0.%d.%d port %d ssh2",
+				i%200, (i*13)%250+1, 1024+i),
+		}
+	}
+	return recs
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	rtg, err := sequence.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rtg.Close()
+
+	res, err := rtg.AnalyzeByService(sshdRecords(10), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NewPatterns == 0 {
+		t.Fatal("no patterns discovered")
+	}
+
+	p, vals, ok := rtg.Parse("sshd", "Failed password for root from 192.168.7.9 port 22022 ssh2")
+	if !ok {
+		t.Fatal("Parse should match")
+	}
+	if want := "Failed password for root from %srcip% port %srcport% ssh2"; p.Text() != want {
+		t.Errorf("pattern = %q, want %q", p.Text(), want)
+	}
+	if vals["srcip"] != "192.168.7.9" || vals["srcport"] != "22022" {
+		t.Errorf("extracted values = %v", vals)
+	}
+}
+
+func TestPersistenceAcrossOpen(t *testing.T) {
+	dir := t.TempDir()
+	rtg, err := sequence.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rtg.AnalyzeByService(sshdRecords(10), now); err != nil {
+		t.Fatal(err)
+	}
+	if err := rtg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rtg2, err := sequence.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rtg2.Close()
+	if rtg2.PatternCount() == 0 {
+		t.Fatal("patterns must persist across Open")
+	}
+	res, err := rtg2.AnalyzeByService(sshdRecords(10), now.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matched != 10 {
+		t.Fatalf("reopened instance should match everything: %+v", res)
+	}
+}
+
+func TestRunStream(t *testing.T) {
+	var in bytes.Buffer
+	for _, r := range sshdRecords(30) {
+		fmt.Fprintf(&in, "{\"service\":%q,\"message\":%q}\n", r.Service, r.Message)
+	}
+	rtg, err := sequence.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rtg.Close()
+	batches := 0
+	total, err := rtg.Run(&in, sequence.StreamOptions{
+		BatchSize: 10,
+		Report:    func(sequence.BatchResult) { batches++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Messages != 30 || batches != 3 {
+		t.Fatalf("total=%+v batches=%d", total, batches)
+	}
+}
+
+func TestExportFormats(t *testing.T) {
+	rtg, err := sequence.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rtg.Close()
+	if _, err := rtg.AnalyzeByService(sshdRecords(10), now); err != nil {
+		t.Fatal(err)
+	}
+	for f, marker := range map[sequence.Format]string{
+		sequence.FormatPatternDB: "<patterndb",
+		sequence.FormatYAML:      "services:",
+		sequence.FormatGrok:      "grok {",
+	} {
+		var buf bytes.Buffer
+		if err := rtg.Export(&buf, f, sequence.ExportOptions{}); err != nil {
+			t.Fatalf("Export(%s): %v", f, err)
+		}
+		if !strings.Contains(buf.String(), marker) {
+			t.Errorf("Export(%s) missing %q:\n%s", f, marker, buf.String())
+		}
+	}
+}
+
+func TestScanAndReconstruct(t *testing.T) {
+	msg := "job 42 finished on 10.0.0.1 in 1.5 s"
+	toks := sequence.Scan(msg)
+	if len(toks) == 0 {
+		t.Fatal("no tokens")
+	}
+	if got := sequence.Reconstruct(toks); got != msg {
+		t.Errorf("Reconstruct = %q, want %q", got, msg)
+	}
+}
+
+func TestPatternFromText(t *testing.T) {
+	p, err := sequence.PatternFromText("%action% from %srcip% port %srcport%", "sshd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Service != "sshd" || len(p.ID) != 40 {
+		t.Fatalf("pattern = %+v", p)
+	}
+}
+
+func TestPurge(t *testing.T) {
+	rtg, err := sequence.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rtg.Close()
+	if _, err := rtg.AnalyzeByService(sshdRecords(10), now); err != nil {
+		t.Fatal(err)
+	}
+	n, err := rtg.Purge(1000, now.Add(24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || rtg.PatternCount() != 0 {
+		t.Fatalf("purged=%d remaining=%d", n, rtg.PatternCount())
+	}
+}
+
+func TestClassicAnalyzePublicAPI(t *testing.T) {
+	rtg, err := sequence.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rtg.Close()
+	res, err := rtg.Analyze(sshdRecords(20), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 20 || res.NewPatterns == 0 {
+		t.Fatalf("classic analyze: %+v", res)
+	}
+	// Classic mode stores under the mixed pseudo-service.
+	for _, p := range rtg.Patterns() {
+		if p.Service != "mixed" {
+			t.Fatalf("classic pattern under service %q", p.Service)
+		}
+	}
+}
+
+func TestRunPlainText(t *testing.T) {
+	in := strings.NewReader("job 1 done\njob 2 done\njob 3 done\n")
+	rtg, err := sequence.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rtg.Close()
+	total, err := rtg.Run(in, sequence.StreamOptions{
+		BatchSize: 10, PlainText: true, DefaultService: "batchjob",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Messages != 3 {
+		t.Fatalf("total: %+v", total)
+	}
+	if svcs := rtg.Services(); len(svcs) != 1 || svcs[0] != "batchjob" {
+		t.Fatalf("services: %v", svcs)
+	}
+}
+
+func TestCompactPublicAPI(t *testing.T) {
+	dir := t.TempDir()
+	rtg, err := sequence.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rtg.AnalyzeByService(sshdRecords(10), now); err != nil {
+		t.Fatal(err)
+	}
+	if err := rtg.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rtg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := sequence.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if reopened.PatternCount() == 0 {
+		t.Fatal("compacted database lost patterns")
+	}
+}
+
+func TestOpenRejectsMultipleConfigs(t *testing.T) {
+	if _, err := sequence.Open("", sequence.Config{}, sequence.Config{}); err == nil {
+		t.Fatal("Open must reject more than one Config")
+	}
+}
+
+func TestServices(t *testing.T) {
+	rtg, err := sequence.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rtg.Close()
+	recs := []sequence.Record{
+		{Service: "a", Message: "x started 1"},
+		{Service: "a", Message: "x started 2"},
+		{Service: "a", Message: "x started 3"},
+		{Service: "b", Message: "y stopped 1"},
+		{Service: "b", Message: "y stopped 2"},
+		{Service: "b", Message: "y stopped 3"},
+	}
+	if _, err := rtg.AnalyzeByService(recs, now); err != nil {
+		t.Fatal(err)
+	}
+	got := rtg.Services()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Services = %v", got)
+	}
+}

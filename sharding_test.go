@@ -1,0 +1,130 @@
+package sequence_test
+
+// Tests for the §IV horizontal-scaling claim: "the messages could be
+// divided simply by sending groups of services to any number [of]
+// instances of Sequence-RTG ... each instance could have its own database
+// as there is no crossover with patterns between different services."
+
+import (
+	"hash/fnv"
+	"testing"
+	"time"
+
+	sequence "repro"
+	"repro/internal/workload"
+)
+
+func shardOf(service string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(service))
+	return int(h.Sum32()) % n
+}
+
+func TestShardingEquivalence(t *testing.T) {
+	gen := workload.New(workload.Config{Services: 60, Seed: 21})
+	recs := gen.Records(12000)
+	when := time.Date(2021, 9, 1, 0, 0, 0, 0, time.UTC)
+
+	// Single instance.
+	single, err := sequence.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	if _, err := single.AnalyzeByService(recs, when); err != nil {
+		t.Fatal(err)
+	}
+
+	// Three instances, services sharded between them.
+	const shards = 3
+	insts := make([]*sequence.RTG, shards)
+	batches := make([][]sequence.Record, shards)
+	for i := range insts {
+		inst, err := sequence.Open("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer inst.Close()
+		insts[i] = inst
+	}
+	for _, r := range recs {
+		s := shardOf(r.Service, shards)
+		batches[s] = append(batches[s], r)
+	}
+	for i, inst := range insts {
+		if _, err := inst.AnalyzeByService(batches[i], when); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Merge the shard databases into a fresh instance.
+	merged, err := sequence.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer merged.Close()
+	for _, inst := range insts {
+		if err := merged.MergeFrom(inst); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The merged database is identical to the single-instance run:
+	// same pattern IDs, same counts.
+	want := single.Patterns()
+	got := merged.Patterns()
+	if len(got) != len(want) {
+		t.Fatalf("pattern counts differ: merged %d vs single %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("pattern %d: id %s vs %s (%q vs %q)", i, got[i].ID, want[i].ID, got[i].Text(), want[i].Text())
+		}
+		if got[i].Count != want[i].Count {
+			t.Errorf("pattern %q: count %d vs %d", got[i].Text(), got[i].Count, want[i].Count)
+		}
+	}
+
+	// And the merged instance parses live traffic like the single one.
+	probe := gen.Records(1000)
+	for _, r := range probe {
+		ps, _, okS := single.Parse(r.Service, r.Message)
+		pm, _, okM := merged.Parse(r.Service, r.Message)
+		if okS != okM {
+			t.Fatalf("parse divergence on %q: single=%v merged=%v", r.Message, okS, okM)
+		}
+		if okS && ps.ID != pm.ID {
+			t.Fatalf("pattern divergence on %q: %s vs %s", r.Message, ps.ID, pm.ID)
+		}
+	}
+}
+
+func TestMergeSumsStatistics(t *testing.T) {
+	when := time.Date(2021, 9, 1, 0, 0, 0, 0, time.UTC)
+	mk := func() *sequence.RTG {
+		rtg, err := sequence.Open("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { rtg.Close() })
+		recs := []sequence.Record{
+			{Service: "s", Message: "unit 1 ready"},
+			{Service: "s", Message: "unit 2 ready"},
+			{Service: "s", Message: "unit 3 ready"},
+		}
+		if _, err := rtg.AnalyzeByService(recs, when); err != nil {
+			t.Fatal(err)
+		}
+		return rtg
+	}
+	a, b := mk(), mk()
+	if err := a.MergeFrom(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.PatternCount() != 1 {
+		t.Fatalf("merged count = %d", a.PatternCount())
+	}
+	if got := a.Patterns()[0].Count; got != 6 {
+		t.Fatalf("merged statistics = %d, want 6", got)
+	}
+}
