@@ -48,7 +48,7 @@ func BenchmarkAblationConstantFolding(b *testing.B) {
 		b.Run(fold.name, func(b *testing.B) {
 			var varFrac float64
 			for i := 0; i < b.N; i++ {
-				rtg, err := sequence.Open("", fold.cfg)
+				rtg, err := sequence.Open("", sequence.WithConfig(fold.cfg))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -84,7 +84,7 @@ func BenchmarkAblationConcurrency(b *testing.B) {
 		b.Run(map[int]string{1: "1worker", 2: "2workers", 4: "4workers"}[workers], func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
-				rtg, err := sequence.Open("", sequence.Config{Concurrency: workers})
+				rtg, err := sequence.Open("", sequence.WithConcurrency(workers))
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -190,6 +190,32 @@ func BenchmarkFig7(b *testing.B) {
 	b.ReportMetric(end, "unmatched%")
 }
 
+// BenchmarkParse measures the single-message parse hot path — the
+// operation the observability layer must not slow down (acceptance: the
+// instrumented path stays within 5% of the uninstrumented seed).
+func BenchmarkParse(b *testing.B) {
+	rtg, err := sequence.Open("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rtg.Close()
+	if _, err := rtg.AnalyzeByService(sshdRecords(10), time.Now()); err != nil {
+		b.Fatal(err)
+	}
+	msg := "Failed password for root from 192.168.7.9 port 22022 ssh2"
+	if _, _, ok := rtg.Parse("sshd", msg); !ok {
+		b.Fatal("warmup message must parse")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := rtg.Parse("sshd", msg); !ok {
+			b.Fatal("parse miss")
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msgs/s")
+}
+
 // BenchmarkProductionBatch measures one steady-state production batch —
 // parse-dominated, the workload the paper reports at 7.5 s per 100k
 // messages on a production VM (here scaled to 10k).

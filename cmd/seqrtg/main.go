@@ -20,11 +20,17 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	sequence "repro"
@@ -74,12 +80,38 @@ commands:
   merge     fold other instances' databases into one (horizontal scaling)`)
 }
 
-func openDB(db string, cfg sequence.Config) (*sequence.RTG, error) {
-	rtg, err := sequence.Open(db, cfg)
+func openDB(db string, opts ...sequence.Option) (*sequence.RTG, error) {
+	rtg, err := sequence.Open(db, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("open pattern database: %w", err)
 	}
 	return rtg, nil
+}
+
+// serveObservability exposes the instance on addr: Prometheus text
+// exposition on /metrics, the expvar JSON dump on /debug/vars, and the
+// standard pprof profiling endpoints under /debug/pprof/ — the
+// always-on observability a continuously running miner needs.
+func serveObservability(addr string, rtg *sequence.RTG) {
+	expvar.Publish("seqrtg", rtg.Metrics())
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := rtg.WriteMetrics(w); err != nil {
+			fmt.Fprintln(os.Stderr, "seqrtg: write metrics:", err)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "seqrtg: metrics server:", err)
+		}
+	}()
 }
 
 func cmdAnalyze(args []string) error {
@@ -92,13 +124,25 @@ func cmdAnalyze(args []string) error {
 	threshold := fs.Int64("save-threshold", 0, "drop patterns matched fewer times in their discovery batch")
 	concurrency := fs.Int("concurrency", 1, "services analysed in parallel")
 	quiet := fs.Bool("quiet", false, "suppress per-batch progress")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars (expvar) and /debug/pprof on this address")
+	selfReport := fs.Int("self-report", 0, "print a metrics self-report every N batches (0 = off)")
+	strict := fs.Bool("strict", false, "fail on the first undecodable input line instead of skipping it")
 	fs.Parse(args)
 
-	rtg, err := openDB(*db, sequence.Config{SaveThreshold: *threshold, Concurrency: *concurrency})
+	rtg, err := openDB(*db,
+		sequence.WithSaveThreshold(*threshold),
+		sequence.WithConcurrency(*concurrency))
 	if err != nil {
 		return err
 	}
 	defer rtg.Close()
+
+	if *metricsAddr != "" {
+		serveObservability(*metricsAddr, rtg)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	report := func(r sequence.BatchResult) {
 		if !*quiet {
@@ -122,14 +166,29 @@ func cmdAnalyze(args []string) error {
 		return nil
 	}
 
-	total, err := rtg.Run(os.Stdin, sequence.StreamOptions{
+	opts := sequence.StreamOptions{
 		BatchSize:      *batch,
 		PlainText:      *plain,
 		DefaultService: *service,
 		Report:         report,
-	})
+		Strict:         *strict,
+	}
+	if *selfReport > 0 {
+		opts.SelfReportEvery = *selfReport
+		opts.SelfReport = func(s sequence.MetricsSnapshot) {
+			fmt.Fprintf(os.Stderr,
+				"self-report: %d msgs, %.1f%% parse hits, %d patterns mined, %d decode errors, trie peak %d, %d store patterns\n",
+				s.EngineMessages, 100*s.ParseHitRatio(), s.EnginePatternsMined,
+				s.IngestDecodeErrors, s.EngineTrieNodesPeak, s.StorePatterns)
+		}
+	}
+	total, err := rtg.RunContext(ctx, os.Stdin, opts)
 	if err != nil {
-		return err
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "seqrtg: interrupted, flushing database")
+		} else {
+			return err
+		}
 	}
 	fmt.Fprintf(os.Stderr, "total: %d messages, %d matched, %d new patterns, %d patterns stored\n",
 		total.Messages, total.Matched, total.NewPatterns, rtg.PatternCount())
@@ -168,7 +227,7 @@ func cmdParse(args []string) error {
 	service := fs.String("service", "unknown", "service name for plain-text input")
 	fs.Parse(args)
 
-	rtg, err := openDB(*db, sequence.Config{})
+	rtg, err := openDB(*db)
 	if err != nil {
 		return err
 	}
@@ -214,7 +273,7 @@ func cmdExport(args []string) error {
 	service := fs.String("service", "", "restrict to one service")
 	fs.Parse(args)
 
-	rtg, err := openDB(*db, sequence.Config{})
+	rtg, err := openDB(*db)
 	if err != nil {
 		return err
 	}
@@ -233,7 +292,7 @@ func cmdStats(args []string) error {
 	top := fs.Int("top", 10, "show the N most-matched patterns")
 	fs.Parse(args)
 
-	rtg, err := openDB(*db, sequence.Config{})
+	rtg, err := openDB(*db)
 	if err != nil {
 		return err
 	}
@@ -278,13 +337,13 @@ func cmdMerge(args []string) error {
 	if fs.NArg() == 0 {
 		return fmt.Errorf("merge: give at least one source database directory as an argument")
 	}
-	target, err := openDB(*db, sequence.Config{})
+	target, err := openDB(*db)
 	if err != nil {
 		return err
 	}
 	defer target.Close()
 	for _, srcDir := range fs.Args() {
-		src, err := openDB(srcDir, sequence.Config{})
+		src, err := openDB(srcDir)
 		if err != nil {
 			return fmt.Errorf("merge: open source %s: %w", srcDir, err)
 		}
@@ -306,7 +365,7 @@ func cmdPurge(args []string) error {
 	olderThan := fs.Int("older-than", 0, "only delete patterns idle for at least this many days")
 	fs.Parse(args)
 
-	rtg, err := openDB(*db, sequence.Config{})
+	rtg, err := openDB(*db)
 	if err != nil {
 		return err
 	}

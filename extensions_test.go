@@ -36,7 +36,7 @@ func TestUnpaddedTimesFixesHealthApp(t *testing.T) {
 	}
 
 	// With the fix: one pattern, as the messages are one event.
-	fixed, err := sequence.Open("", sequence.Config{UnpaddedTimes: true})
+	fixed, err := sequence.Open("", sequence.WithUnpaddedTimes())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestPathFSMMakesPathsVariables(t *testing.T) {
 		{Service: "fs", Message: "deleting /data/d01/a.dat now"},
 		{Service: "fs", Message: "deleting /data/d02/b.dat now"},
 	}
-	rtg, err := sequence.Open("", sequence.Config{PathFSM: true})
+	rtg, err := sequence.Open("", sequence.WithPathFSM())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestSplitSemiConstantsPublicAPI(t *testing.T) {
 		state := []string{"up", "down"}[i%2]
 		msgs = append(msgs, sequence.Record{Service: "net", Message: "link eth0 state " + state})
 	}
-	rtg, err := sequence.Open("", sequence.Config{SplitSemiConstants: 4})
+	rtg, err := sequence.Open("", sequence.WithSplitSemiConstants(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestAnomalyDetectorPublicAPI(t *testing.T) {
 // TestExtensionsEndToEnd runs the matched stream of a mined workload
 // through the anomaly detector, the full future-work pipeline.
 func TestExtensionsEndToEnd(t *testing.T) {
-	rtg, err := sequence.Open("", sequence.Config{PathFSM: true})
+	rtg, err := sequence.Open("", sequence.WithPathFSM())
 	if err != nil {
 		t.Fatal(err)
 	}

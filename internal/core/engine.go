@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -25,6 +26,7 @@ import (
 
 	"repro/internal/analyzer"
 	"repro/internal/ingest"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/patterns"
 	"repro/internal/store"
@@ -53,6 +55,10 @@ type Config struct {
 	// Scanner enables the optional scanner extensions (unpadded times,
 	// path FSM); the zero value is the published scanner.
 	Scanner token.Config
+	// Metrics receives engine, parser and store instrumentation. A fresh
+	// private instance is used when nil, so instrumentation is always on
+	// and callers that do not care pay only the atomic adds.
+	Metrics *obs.Metrics
 }
 
 // Engine is a Sequence-RTG instance bound to a pattern store.
@@ -60,25 +66,39 @@ type Engine struct {
 	cfg    Config
 	store  *store.Store
 	parser *parser.Parser
+	m      *obs.Metrics
 }
 
 // NewEngine creates an engine over a pattern store and loads every stored
 // pattern into the parser, making patterns persistent across executions.
 func NewEngine(st *store.Store, cfg Config) *Engine {
-	e := &Engine{cfg: cfg, store: st, parser: parser.New()}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.New()
+	}
+	e := &Engine{cfg: cfg, store: st, parser: parser.New(), m: cfg.Metrics}
+	e.parser.SetMetrics(e.m)
+	st.SetMetrics(e.m)
 	for _, p := range st.All() {
 		e.parser.Add(p)
 	}
 	return e
 }
 
+// Metrics returns the engine's shared instrumentation.
+func (e *Engine) Metrics() *obs.Metrics { return e.m }
+
 // Store returns the engine's pattern store.
 func (e *Engine) Store() *store.Store { return e.store }
 
 // AddPattern registers (or refreshes) one pattern in the engine's parser
 // without touching the store; used when patterns arrive from outside the
-// mining path (database merges, hand-authored patterns).
+// mining path (hand-authored patterns).
 func (e *Engine) AddPattern(p *patterns.Pattern) { e.parser.Add(p) }
+
+// ReplacePatterns atomically swaps the parser's full pattern set. A
+// concurrent Parse observes either the previous set or the new one,
+// never an intermediate state — the refresh step of a database merge.
+func (e *Engine) ReplacePatterns(ps []*patterns.Pattern) { e.parser.Replace(ps) }
 
 // PatternCount returns the number of patterns currently known to the
 // parser.
@@ -142,6 +162,11 @@ func (e *Engine) Analyze(records []ingest.Record, now time.Time) (BatchResult, e
 	}
 	res.NewPatterns = n
 	res.Duration = time.Since(start)
+	e.m.EngineBatches.Inc()
+	e.m.EngineMessages.Add(int64(res.Messages))
+	e.m.EngineUnmatched.Add(int64(res.Unmatched))
+	e.m.EnginePatternsMined.Add(int64(res.NewPatterns))
+	e.m.EngineBatchDuration.ObserveDuration(res.Duration)
 	return res, nil
 }
 
@@ -150,6 +175,15 @@ func (e *Engine) Analyze(records []ingest.Record, now time.Time) (BatchResult, e
 // only the unmatched remainder partitioned by token count, then persist
 // discoveries.
 func (e *Engine) AnalyzeByService(records []ingest.Record, now time.Time) (BatchResult, error) {
+	return e.AnalyzeByServiceContext(context.Background(), records, now)
+}
+
+// AnalyzeByServiceContext is AnalyzeByService with cancellation: the
+// batch stops cleanly between service partitions once ctx is done
+// (in-flight partitions finish, no further ones start) and the error is
+// ctx.Err(). The returned BatchResult covers the partitions that
+// completed.
+func (e *Engine) AnalyzeByServiceContext(ctx context.Context, records []ingest.Record, now time.Time) (BatchResult, error) {
 	start := time.Now()
 
 	byService := make(map[string][]string)
@@ -182,9 +216,19 @@ func (e *Engine) AnalyzeByService(records []ingest.Record, now time.Time) (Batch
 		sem  = make(chan struct{}, workers)
 		wg   sync.WaitGroup
 	)
+dispatch:
 	for i, svc := range services {
+		// Checked first: a select with both channels ready picks randomly,
+		// and a cancelled context must deterministically stop dispatch.
+		if ctx.Err() != nil {
+			break dispatch
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			break dispatch
+		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(i int, svc string) {
 			defer wg.Done()
 			defer func() { <-sem }()
@@ -200,6 +244,15 @@ func (e *Engine) AnalyzeByService(records []ingest.Record, now time.Time) (Batch
 		res.add(o.res)
 	}
 	res.Duration = time.Since(start)
+	e.m.EngineBatches.Inc()
+	e.m.EngineMessages.Add(int64(res.Messages))
+	e.m.EngineParseHits.Add(int64(res.Matched))
+	e.m.EngineUnmatched.Add(int64(res.Unmatched))
+	e.m.EnginePatternsMined.Add(int64(res.NewPatterns))
+	e.m.EngineBatchDuration.ObserveDuration(res.Duration)
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 	return res, nil
 }
 
@@ -207,6 +260,8 @@ func (e *Engine) AnalyzeByService(records []ingest.Record, now time.Time) (Batch
 // parser mutations across concurrent service workers; parser lookups are
 // already concurrency safe.
 func (e *Engine) analyzeService(svc string, msgs []string, now time.Time, mu *sync.Mutex) (BatchResult, error) {
+	start := time.Now()
+	defer e.m.EngineServiceAnalysis.ObserveSince(start)
 	res := BatchResult{Messages: len(msgs)}
 	a := analyzer.New(svc, e.cfg.Analyzer)
 	s := token.Scanner{Config: e.cfg.Scanner}
@@ -244,12 +299,15 @@ func (e *Engine) analyzeService(svc string, msgs []string, now time.Time, mu *sy
 		res.Unmatched++
 		a.Add(append([]token.Token(nil), toks...), msg)
 		if e.cfg.MaxTrieNodes > 0 && a.NodeCount() > e.cfg.MaxTrieNodes {
+			e.m.EngineTrieNodesPeak.SetMax(int64(a.NodeCount()))
+			e.m.EngineEarlyHarvests.Inc()
 			if err := flushMined(); err != nil {
 				return res, err
 			}
 			a = analyzer.New(svc, e.cfg.Analyzer)
 		}
 	}
+	e.m.EngineTrieNodesPeak.SetMax(int64(a.NodeCount()))
 	if err := flushMined(); err != nil {
 		return res, err
 	}
@@ -288,8 +346,20 @@ func (e *Engine) harvest(a *analyzer.Analyzer, now time.Time) (int, error) {
 // Sequence-RTG child process, which waits for a full batch and analyses
 // it (§III, §IV).
 func (e *Engine) Run(r *ingest.Reader, report func(BatchResult)) (BatchResult, error) {
+	return e.RunContext(context.Background(), r, report)
+}
+
+// RunContext is Run with cancellation: the loop checks ctx between
+// batches (and between service partitions within a batch) and returns
+// ctx.Err() once cancelled, after flushing the store. A batch in flight
+// when ctx fires is the most that completes — RunContext returns within
+// one batch of cancellation.
+func (e *Engine) RunContext(ctx context.Context, r *ingest.Reader, report func(BatchResult)) (BatchResult, error) {
 	var total BatchResult
 	for {
+		if err := ctx.Err(); err != nil {
+			return total, err
+		}
 		batch, err := r.NextBatch()
 		if err == io.EOF {
 			break
@@ -297,8 +367,12 @@ func (e *Engine) Run(r *ingest.Reader, report func(BatchResult)) (BatchResult, e
 		if err != nil {
 			return total, err
 		}
-		res, err := e.AnalyzeByService(batch, time.Now())
+		res, err := e.AnalyzeByServiceContext(ctx, batch, time.Now())
 		if err != nil {
+			// Keep what the interrupted batch did manage (flush is
+			// best-effort; the analysis error wins).
+			total.add(res)
+			_ = e.store.Flush()
 			return total, err
 		}
 		total.add(res)

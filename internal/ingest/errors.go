@@ -1,0 +1,48 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadRecord is the sentinel for input lines that cannot be decoded
+// into a Record. Errors carrying line context match it with errors.Is.
+var ErrBadRecord = errors.New("ingest: bad record")
+
+// BadRecordError describes one undecodable input line. It matches
+// ErrBadRecord via errors.Is and unwraps to the underlying decode error
+// (when there is one).
+type BadRecordError struct {
+	// Line is the 1-based input line number.
+	Line int64
+	// Raw is the offending line, truncated to a sane length for error
+	// messages.
+	Raw string
+	// Err is the underlying decode error; nil when the line decoded but
+	// was semantically empty (no message field).
+	Err error
+}
+
+// rawSample bounds how much of a bad line is retained in the error.
+const rawSample = 256
+
+func badRecord(line int64, raw []byte, err error) *BadRecordError {
+	r := string(raw)
+	if len(r) > rawSample {
+		r = r[:rawSample] + "..."
+	}
+	return &BadRecordError{Line: line, Raw: r, Err: err}
+}
+
+func (e *BadRecordError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("ingest: bad record at line %d: %v (%q)", e.Line, e.Err, e.Raw)
+	}
+	return fmt.Sprintf("ingest: bad record at line %d: missing message field (%q)", e.Line, e.Raw)
+}
+
+// Is makes errors.Is(err, ErrBadRecord) true for every BadRecordError.
+func (e *BadRecordError) Is(target error) bool { return target == ErrBadRecord }
+
+// Unwrap exposes the underlying decode error.
+func (e *BadRecordError) Unwrap() error { return e.Err }

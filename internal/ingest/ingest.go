@@ -17,6 +17,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Record is one item of the input stream.
@@ -48,6 +51,15 @@ type Options struct {
 	DefaultService string
 	// MaxLineBytes bounds one input line (1 MiB when zero).
 	MaxLineBytes int
+	// Strict makes NextBatch fail with a *BadRecordError on the first
+	// undecodable line instead of counting and skipping it. The default
+	// (false) is the production behaviour: an ingester must not die on
+	// one bad message.
+	Strict bool
+	// Metrics receives ingest instrumentation (lines read, decode
+	// errors, batches, batch fill time). A fresh private instance is
+	// used when nil.
+	Metrics *obs.Metrics
 }
 
 // Reader pulls batches of records from a stream.
@@ -55,8 +67,11 @@ type Reader struct {
 	opts      Options
 	scanner   *bufio.Scanner
 	err       error
+	lines     int64
 	records   int64
 	malformed int64
+	lastBad   *BadRecordError
+	m         *obs.Metrics
 }
 
 // NewReader wraps an input stream.
@@ -78,17 +93,25 @@ func NewReader(r io.Reader, opts Options) *Reader {
 		initial = opts.MaxLineBytes
 	}
 	sc.Buffer(make([]byte, initial), opts.MaxLineBytes)
-	return &Reader{opts: opts, scanner: sc}
+	m := opts.Metrics
+	if m == nil {
+		m = obs.New()
+	}
+	return &Reader{opts: opts, scanner: sc, m: m}
 }
 
 // NextBatch returns the next batch of records. The final batch may be
 // shorter than the batch size; after the stream is exhausted NextBatch
 // returns io.EOF. Malformed JSON lines are counted and skipped — a
-// production ingester must not die on one bad message.
+// production ingester must not die on one bad message — unless
+// Options.Strict is set, in which case the first bad line fails the
+// batch with a *BadRecordError (matchable with errors.Is(err,
+// ErrBadRecord)).
 func (r *Reader) NextBatch() ([]Record, error) {
 	if r.err != nil {
 		return nil, r.err
 	}
+	start := time.Now()
 	batch := make([]Record, 0, r.opts.BatchSize)
 	for len(batch) < r.opts.BatchSize {
 		if !r.scanner.Scan() {
@@ -99,16 +122,25 @@ func (r *Reader) NextBatch() ([]Record, error) {
 			}
 			break
 		}
+		r.lines++
+		r.m.IngestLines.Inc()
 		line := r.scanner.Bytes()
 		if len(line) == 0 {
 			continue
 		}
-		rec, ok := r.decode(line)
-		if !ok {
+		rec, badErr := r.decode(line)
+		if badErr != nil {
 			r.malformed++
+			r.lastBad = badErr
+			r.m.IngestDecodeErrors.Inc()
+			if r.opts.Strict {
+				r.err = badErr
+				return nil, r.err
+			}
 			continue
 		}
 		r.records++
+		r.m.IngestRecords.Inc()
 		batch = append(batch, rec)
 	}
 	if len(batch) == 0 {
@@ -117,21 +149,26 @@ func (r *Reader) NextBatch() ([]Record, error) {
 		}
 		return nil, r.err
 	}
+	r.m.IngestBatches.Inc()
+	r.m.IngestBatchFill.ObserveSince(start)
 	return batch, nil
 }
 
-func (r *Reader) decode(line []byte) (Record, bool) {
+func (r *Reader) decode(line []byte) (Record, *BadRecordError) {
 	if r.opts.PlainText {
-		return Record{Service: r.opts.DefaultService, Message: string(line)}, true
+		return Record{Service: r.opts.DefaultService, Message: string(line)}, nil
 	}
 	var rec Record
-	if err := json.Unmarshal(line, &rec); err != nil || rec.Message == "" {
-		return Record{}, false
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return Record{}, badRecord(r.lines, line, err)
+	}
+	if rec.Message == "" {
+		return Record{}, badRecord(r.lines, line, nil)
 	}
 	if rec.Service == "" {
 		rec.Service = r.opts.DefaultService
 	}
-	return rec, true
+	return rec, nil
 }
 
 // Records returns how many well-formed records have been read so far.
@@ -139,6 +176,15 @@ func (r *Reader) Records() int64 { return r.records }
 
 // Malformed returns how many lines were skipped as undecodable.
 func (r *Reader) Malformed() int64 { return r.malformed }
+
+// Lines returns how many input lines have been read so far, including
+// empty and malformed ones.
+func (r *Reader) Lines() int64 { return r.lines }
+
+// LastBadRecord returns the most recent undecodable line as a
+// *BadRecordError, or nil if every line so far decoded. In the default
+// lenient mode this is how callers inspect what was skipped.
+func (r *Reader) LastBadRecord() *BadRecordError { return r.lastBad }
 
 // Err returns the terminal stream error, if any (io.EOF after a clean
 // end).

@@ -1,0 +1,443 @@
+// Package obs is the Sequence-RTG observability layer: dependency-free
+// counters, gauges and latency histograms with lock-free hot paths.
+//
+// The paper's whole pitch is production-readiness — Sequence-RTG runs
+// continuously behind syslog-ng at CC-IN2P3 — and a continuously running
+// miner must be watchable: batch latency, parse-hit ratio, trie growth
+// and store churn all need to be visible while Run consumes a stream.
+// A Metrics instance is threaded through every pipeline stage (ingest,
+// engine, parser, store) and exposed three ways by the public API:
+//
+//   - Snapshot, a plain struct of current values for programmatic use,
+//   - String, an expvar-compatible JSON dump, and
+//   - WritePrometheus, the Prometheus text exposition format.
+//
+// Everything on the hot path is a single atomic add; histograms use a
+// fixed bucket layout so Observe is one binary search plus two atomic
+// adds. No external metric library is used (the repo is stdlib-only),
+// but names and exposition follow Prometheus conventions so the output
+// scrapes directly.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for Prometheus semantics; Add does
+// not enforce it so tests can construct arbitrary states).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// SetMax raises the gauge to n if n is larger than the current value —
+// a lock-free running maximum, used for peak trie size.
+func (g *Gauge) SetMax(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefBuckets is the default latency bucket layout in seconds. It spans
+// sub-millisecond parses to the paper's 7.5 s production batches with
+// headroom for slow disks.
+var DefBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60}
+
+// Histogram is a fixed-bucket latency histogram. Observe is lock-free:
+// one bucket search plus atomic adds. The zero Histogram uses DefBuckets
+// on first use.
+type Histogram struct {
+	bounds  []float64 // upper bounds, ascending; +Inf implicit
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum in seconds
+	init    atomic.Bool
+}
+
+// NewHistogram returns a histogram with the given ascending upper bounds
+// in seconds (DefBuckets when none are given).
+func NewHistogram(bounds ...float64) *Histogram {
+	h := &Histogram{}
+	h.setBounds(bounds)
+	return h
+}
+
+func (h *Histogram) setBounds(bounds []float64) {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	h.bounds = append([]float64(nil), bounds...)
+	h.counts = make([]atomic.Int64, len(h.bounds)+1) // last bucket is +Inf
+	h.init.Store(true)
+}
+
+// lazyInit makes the zero Histogram usable, so Metrics can be a flat
+// struct of values with no constructor on the caller side.
+func (h *Histogram) lazyInit() {
+	if !h.init.Load() {
+		// Racy double-init is harmless before first Observe; Metrics
+		// histograms are always initialised by New before use.
+		h.setBounds(nil)
+	}
+}
+
+// Observe records one measurement in seconds.
+func (h *Histogram) Observe(seconds float64) {
+	h.lazyInit()
+	// Find the first bucket whose upper bound holds the value.
+	i := sort.SearchFloat64s(h.bounds, seconds)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		sum := math.Float64frombits(old) + seconds
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(sum)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records one duration.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveSince records the time elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start).Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values in seconds.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bucket is one cumulative histogram bucket of a snapshot.
+type Bucket struct {
+	// UpperBound is the inclusive upper bound in seconds; +Inf for the
+	// last bucket.
+	UpperBound float64 `json:"le"`
+	// Count is the cumulative number of observations at or below
+	// UpperBound (Prometheus bucket semantics).
+	Count int64 `json:"count"`
+}
+
+// MarshalJSON renders the upper bound as a string so the +Inf bucket
+// survives encoding/json (which rejects infinities as numbers).
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		UpperBound string `json:"le"`
+		Count      int64  `json:"count"`
+	}{formatLe(b.UpperBound), b.Count})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		UpperBound string `json:"le"`
+		Count      int64  `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	if raw.UpperBound == "+Inf" {
+		b.UpperBound = math.Inf(1)
+	} else if _, err := fmt.Sscanf(raw.UpperBound, "%g", &b.UpperBound); err != nil {
+		return err
+	}
+	b.Count = raw.Count
+	return nil
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// snapshot copies the histogram with cumulative bucket counts.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.lazyInit()
+	s := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		ub := math.Inf(1)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		s.Buckets = append(s.Buckets, Bucket{UpperBound: ub, Count: cum})
+	}
+	return s
+}
+
+// Metrics is the full instrumentation surface of one Sequence-RTG
+// instance. All fields are safe for concurrent use; the struct must be
+// created with New so the histograms share one bucket layout.
+type Metrics struct {
+	start time.Time
+
+	// Ingest: the JSON-lines stream reader.
+	IngestLines        Counter    // input lines read, including empty and malformed
+	IngestRecords      Counter    // well-formed records decoded
+	IngestDecodeErrors Counter    // malformed lines skipped (or rejected in strict mode)
+	IngestBatches      Counter    // batches handed to analysis
+	IngestBatchFill    *Histogram // seconds to fill one batch from the stream
+
+	// Engine: the AnalyzeByService workflow.
+	EngineBatches         Counter    // batches analysed
+	EngineMessages        Counter    // messages processed
+	EngineParseHits       Counter    // messages matched by an already-known pattern
+	EngineUnmatched       Counter    // messages that went to trie analysis
+	EnginePatternsMined   Counter    // patterns discovered and saved (post save-threshold)
+	EngineEarlyHarvests   Counter    // tries harvested early because MaxTrieNodes was hit
+	EngineTrieNodesPeak   Gauge      // largest per-service trie seen
+	EngineServiceAnalysis *Histogram // per-service analysis wall seconds
+	EngineBatchDuration   *Histogram // whole-batch wall seconds
+
+	// Parser: matching against known patterns.
+	ParserMatchAttempts Counter // Match calls
+	ParserMatchMisses   Counter // Match calls that found no pattern
+	ParserPatterns      Gauge   // patterns currently registered
+
+	// Store: the persistent pattern database.
+	StoreUpserts            Counter    // patterns inserted or merged
+	StoreTouches            Counter    // match-statistic updates
+	StoreDeletes            Counter    // patterns deleted (including purges)
+	StoreJournalAppends     Counter    // records appended to the write-ahead journal
+	StoreCompactions        Counter    // snapshot compactions
+	StorePatterns           Gauge      // patterns currently stored
+	StoreCompactionDuration *Histogram // compaction wall seconds
+}
+
+// New returns a ready-to-use Metrics with the default bucket layout.
+func New() *Metrics {
+	return &Metrics{
+		start:                   time.Now(),
+		IngestBatchFill:         NewHistogram(),
+		EngineServiceAnalysis:   NewHistogram(),
+		EngineBatchDuration:     NewHistogram(),
+		StoreCompactionDuration: NewHistogram(),
+	}
+}
+
+// Snapshot is a point-in-time copy of every metric, for programmatic
+// consumption (self-reports, tests, dashboards).
+type Snapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	IngestLines        int64             `json:"ingest_lines"`
+	IngestRecords      int64             `json:"ingest_records"`
+	IngestDecodeErrors int64             `json:"ingest_decode_errors"`
+	IngestBatches      int64             `json:"ingest_batches"`
+	IngestBatchFill    HistogramSnapshot `json:"ingest_batch_fill_seconds"`
+
+	EngineBatches         int64             `json:"engine_batches"`
+	EngineMessages        int64             `json:"engine_messages"`
+	EngineParseHits       int64             `json:"engine_parse_hits"`
+	EngineUnmatched       int64             `json:"engine_unmatched"`
+	EnginePatternsMined   int64             `json:"engine_patterns_mined"`
+	EngineEarlyHarvests   int64             `json:"engine_early_harvests"`
+	EngineTrieNodesPeak   int64             `json:"engine_trie_nodes_peak"`
+	EngineServiceAnalysis HistogramSnapshot `json:"engine_service_analysis_seconds"`
+	EngineBatchDuration   HistogramSnapshot `json:"engine_batch_seconds"`
+
+	ParserMatchAttempts int64 `json:"parser_match_attempts"`
+	ParserMatchMisses   int64 `json:"parser_match_misses"`
+	ParserPatterns      int64 `json:"parser_patterns"`
+
+	StoreUpserts            int64             `json:"store_upserts"`
+	StoreTouches            int64             `json:"store_touches"`
+	StoreDeletes            int64             `json:"store_deletes"`
+	StoreJournalAppends     int64             `json:"store_journal_appends"`
+	StoreCompactions        int64             `json:"store_compactions"`
+	StorePatterns           int64             `json:"store_patterns"`
+	StoreCompactionDuration HistogramSnapshot `json:"store_compaction_seconds"`
+}
+
+// ParseHitRatio returns the fraction of engine messages matched by a
+// known pattern (0 when no messages were processed).
+func (s Snapshot) ParseHitRatio() float64 {
+	if s.EngineMessages == 0 {
+		return 0
+	}
+	return float64(s.EngineParseHits) / float64(s.EngineMessages)
+}
+
+// Snapshot copies every metric atomically enough for monitoring: each
+// value is read atomically, the set is not a single consistent cut.
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+
+		IngestLines:        m.IngestLines.Value(),
+		IngestRecords:      m.IngestRecords.Value(),
+		IngestDecodeErrors: m.IngestDecodeErrors.Value(),
+		IngestBatches:      m.IngestBatches.Value(),
+		IngestBatchFill:    m.IngestBatchFill.snapshot(),
+
+		EngineBatches:         m.EngineBatches.Value(),
+		EngineMessages:        m.EngineMessages.Value(),
+		EngineParseHits:       m.EngineParseHits.Value(),
+		EngineUnmatched:       m.EngineUnmatched.Value(),
+		EnginePatternsMined:   m.EnginePatternsMined.Value(),
+		EngineEarlyHarvests:   m.EngineEarlyHarvests.Value(),
+		EngineTrieNodesPeak:   m.EngineTrieNodesPeak.Value(),
+		EngineServiceAnalysis: m.EngineServiceAnalysis.snapshot(),
+		EngineBatchDuration:   m.EngineBatchDuration.snapshot(),
+
+		ParserMatchAttempts: m.ParserMatchAttempts.Value(),
+		ParserMatchMisses:   m.ParserMatchMisses.Value(),
+		ParserPatterns:      m.ParserPatterns.Value(),
+
+		StoreUpserts:            m.StoreUpserts.Value(),
+		StoreTouches:            m.StoreTouches.Value(),
+		StoreDeletes:            m.StoreDeletes.Value(),
+		StoreJournalAppends:     m.StoreJournalAppends.Value(),
+		StoreCompactions:        m.StoreCompactions.Value(),
+		StorePatterns:           m.StorePatterns.Value(),
+		StoreCompactionDuration: m.StoreCompactionDuration.snapshot(),
+	}
+}
+
+// String renders the snapshot as JSON, which makes *Metrics satisfy the
+// expvar.Var interface: expvar.Publish("seqrtg", rtg.Metrics()) exposes
+// it on /debug/vars with no further glue.
+func (m *Metrics) String() string {
+	b, err := json.Marshal(m.Snapshot())
+	if err != nil {
+		// Snapshot is a flat struct of numbers; Marshal cannot fail.
+		return "{}"
+	}
+	return string(b)
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m.Snapshot())
+}
+
+// metricDesc describes one exported metric for the Prometheus writer.
+type metricDesc struct {
+	name string
+	help string
+	kind string // counter | gauge | histogram
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+func (m *Metrics) descs() []metricDesc {
+	return []metricDesc{
+		{name: "seqrtg_ingest_lines_total", help: "Input lines read from the stream, including empty and malformed ones.", kind: "counter", c: &m.IngestLines},
+		{name: "seqrtg_ingest_records_total", help: "Well-formed records decoded from the stream.", kind: "counter", c: &m.IngestRecords},
+		{name: "seqrtg_ingest_decode_errors_total", help: "Malformed input lines skipped (or rejected in strict mode).", kind: "counter", c: &m.IngestDecodeErrors},
+		{name: "seqrtg_ingest_batches_total", help: "Batches handed from the ingester to analysis.", kind: "counter", c: &m.IngestBatches},
+		{name: "seqrtg_ingest_batch_fill_seconds", help: "Seconds spent filling one batch from the input stream.", kind: "histogram", h: m.IngestBatchFill},
+
+		{name: "seqrtg_engine_batches_total", help: "Batches analysed by the engine.", kind: "counter", c: &m.EngineBatches},
+		{name: "seqrtg_engine_messages_total", help: "Messages processed by the engine.", kind: "counter", c: &m.EngineMessages},
+		{name: "seqrtg_engine_parse_hits_total", help: "Messages matched by an already-known pattern (the parse-first short circuit).", kind: "counter", c: &m.EngineParseHits},
+		{name: "seqrtg_engine_unmatched_total", help: "Messages that went to trie analysis.", kind: "counter", c: &m.EngineUnmatched},
+		{name: "seqrtg_engine_patterns_mined_total", help: "Patterns discovered and saved, after the save threshold.", kind: "counter", c: &m.EnginePatternsMined},
+		{name: "seqrtg_engine_early_harvests_total", help: "Analysis tries harvested early because MaxTrieNodes was exceeded.", kind: "counter", c: &m.EngineEarlyHarvests},
+		{name: "seqrtg_engine_trie_nodes_peak", help: "Largest per-service analysis trie observed, in nodes.", kind: "gauge", g: &m.EngineTrieNodesPeak},
+		{name: "seqrtg_engine_service_analysis_seconds", help: "Per-service analysis wall time.", kind: "histogram", h: m.EngineServiceAnalysis},
+		{name: "seqrtg_engine_batch_seconds", help: "Whole-batch analysis wall time.", kind: "histogram", h: m.EngineBatchDuration},
+
+		{name: "seqrtg_parser_match_attempts_total", help: "Pattern match attempts.", kind: "counter", c: &m.ParserMatchAttempts},
+		{name: "seqrtg_parser_match_misses_total", help: "Pattern match attempts that found no pattern.", kind: "counter", c: &m.ParserMatchMisses},
+		{name: "seqrtg_parser_patterns", help: "Patterns currently registered in the parser.", kind: "gauge", g: &m.ParserPatterns},
+
+		{name: "seqrtg_store_upserts_total", help: "Patterns inserted into or merged with the store.", kind: "counter", c: &m.StoreUpserts},
+		{name: "seqrtg_store_touches_total", help: "Match-statistic updates applied to stored patterns.", kind: "counter", c: &m.StoreTouches},
+		{name: "seqrtg_store_deletes_total", help: "Patterns deleted from the store, including purges.", kind: "counter", c: &m.StoreDeletes},
+		{name: "seqrtg_store_journal_appends_total", help: "Records appended to the write-ahead journal.", kind: "counter", c: &m.StoreJournalAppends},
+		{name: "seqrtg_store_compactions_total", help: "Snapshot compactions of the pattern database.", kind: "counter", c: &m.StoreCompactions},
+		{name: "seqrtg_store_patterns", help: "Patterns currently stored.", kind: "gauge", g: &m.StorePatterns},
+		{name: "seqrtg_store_compaction_seconds", help: "Pattern database compaction wall time.", kind: "histogram", h: m.StoreCompactionDuration},
+	}
+}
+
+// WritePrometheus writes every metric in the Prometheus text exposition
+// format (version 0.0.4), ready to be scraped from a /metrics endpoint.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	bw := newErrWriter(w)
+	for _, d := range m.descs() {
+		bw.printf("# HELP %s %s\n", d.name, d.help)
+		bw.printf("# TYPE %s %s\n", d.name, d.kind)
+		switch d.kind {
+		case "counter":
+			bw.printf("%s %d\n", d.name, d.c.Value())
+		case "gauge":
+			bw.printf("%s %d\n", d.name, d.g.Value())
+		case "histogram":
+			s := d.h.snapshot()
+			for _, b := range s.Buckets {
+				bw.printf("%s_bucket{le=%q} %d\n", d.name, formatLe(b.UpperBound), b.Count)
+			}
+			bw.printf("%s_sum %s\n", d.name, formatFloat(s.Sum))
+			bw.printf("%s_count %d\n", d.name, s.Count)
+		}
+	}
+	return bw.err
+}
+
+// formatLe renders a bucket upper bound the way Prometheus does.
+func formatLe(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return formatFloat(v)
+}
+
+func formatFloat(v float64) string {
+	return fmt.Sprintf("%g", v)
+}
+
+// errWriter remembers the first write error so the exposition loop does
+// not need an error check per line.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func newErrWriter(w io.Writer) *errWriter { return &errWriter{w: w} }
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeConcurrent(t *testing.T) {
+	m := New()
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.EngineMessages.Inc()
+				m.EngineParseHits.Add(2)
+				m.EngineTrieNodesPeak.SetMax(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.EngineMessages.Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := m.EngineParseHits.Value(); got != 2*workers*per {
+		t.Errorf("counter Add = %d, want %d", got, 2*workers*per)
+	}
+	if got := m.EngineTrieNodesPeak.Value(); got != per-1 {
+		t.Errorf("SetMax = %d, want %d", got, per-1)
+	}
+}
+
+func TestGaugeSetMaxNeverDecreases(t *testing.T) {
+	var g Gauge
+	g.SetMax(10)
+	g.SetMax(5)
+	if g.Value() != 10 {
+		t.Errorf("SetMax lowered the gauge to %d", g.Value())
+	}
+	g.Set(3)
+	if g.Value() != 3 {
+		t.Errorf("Set = %d, want 3", g.Value())
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram(0.1, 1, 10)
+	// Boundary values land in the bucket whose upper bound equals them
+	// (le is inclusive, Prometheus semantics).
+	for _, v := range []float64{0.05, 0.1} {
+		h.Observe(v)
+	}
+	h.Observe(0.5)
+	h.Observe(10)
+	h.Observe(11) // +Inf bucket
+
+	s := h.snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	wantCum := []int64{2, 3, 4, 5} // le=0.1, le=1, le=10, le=+Inf
+	if len(s.Buckets) != len(wantCum) {
+		t.Fatalf("buckets = %d, want %d", len(s.Buckets), len(wantCum))
+	}
+	for i, b := range s.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket[%d] (le=%g) = %d, want %d", i, b.UpperBound, b.Count, wantCum[i])
+		}
+	}
+	if !math.IsInf(s.Buckets[len(s.Buckets)-1].UpperBound, 1) {
+		t.Error("last bucket must be +Inf")
+	}
+	if want := 0.05 + 0.1 + 0.5 + 10 + 11; math.Abs(s.Sum-want) > 1e-9 {
+		t.Errorf("sum = %g, want %g", s.Sum, want)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(1)
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Errorf("count = %d, want %d", h.Count(), workers*per)
+	}
+	if want := 0.5 * workers * per; math.Abs(h.Sum()-want) > 1e-6 {
+		t.Errorf("sum = %g, want %g", h.Sum(), want)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := NewHistogram(1, 60)
+	h.ObserveDuration(1500 * time.Millisecond)
+	s := h.snapshot()
+	if s.Buckets[0].Count != 0 || s.Buckets[1].Count != 1 {
+		t.Errorf("1.5s should land in le=60: %+v", s.Buckets)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	m := New()
+	m.IngestLines.Add(7)
+	m.EngineParseHits.Add(3)
+	m.StorePatterns.Set(42)
+	m.EngineBatchDuration.Observe(0.002)
+	m.EngineBatchDuration.Observe(99)
+
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# HELP seqrtg_ingest_lines_total ",
+		"# TYPE seqrtg_ingest_lines_total counter\n",
+		"seqrtg_ingest_lines_total 7\n",
+		"seqrtg_engine_parse_hits_total 3\n",
+		"# TYPE seqrtg_store_patterns gauge\n",
+		"seqrtg_store_patterns 42\n",
+		"# TYPE seqrtg_engine_batch_seconds histogram\n",
+		`seqrtg_engine_batch_seconds_bucket{le="0.0025"} 1` + "\n",
+		`seqrtg_engine_batch_seconds_bucket{le="+Inf"} 2` + "\n",
+		"seqrtg_engine_batch_seconds_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+
+	// Structural checks: every non-comment line is "name[{labels}] value",
+	// every metric has HELP and TYPE, histogram sums parse as floats.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+	if strings.Contains(out, "NaN") {
+		t.Error("exposition contains NaN")
+	}
+}
+
+func TestSnapshotAndExpvarString(t *testing.T) {
+	m := New()
+	m.IngestRecords.Add(5)
+	m.EngineMessages.Add(5)
+	m.EngineParseHits.Add(4)
+	s := m.Snapshot()
+	if s.IngestRecords != 5 || s.EngineParseHits != 4 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if got := s.ParseHitRatio(); math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("ParseHitRatio = %g, want 0.8", got)
+	}
+
+	// String() must be valid JSON (the expvar contract).
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(m.String()), &decoded); err != nil {
+		t.Fatalf("String() is not valid JSON: %v", err)
+	}
+	if decoded["ingest_records"].(float64) != 5 {
+		t.Errorf("expvar dump = %v", decoded)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	m := New()
+	m.StoreUpserts.Inc()
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.StoreUpserts != 1 {
+		t.Errorf("round-tripped snapshot = %+v", s)
+	}
+}
+
+func TestZeroHistogramUsesDefBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(0.01)
+	if h.Count() != 1 {
+		t.Fatalf("zero histogram count = %d", h.Count())
+	}
+	if got := len(h.snapshot().Buckets); got != len(DefBuckets)+1 {
+		t.Errorf("zero histogram has %d buckets, want %d", got, len(DefBuckets)+1)
+	}
+}

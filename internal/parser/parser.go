@@ -12,6 +12,7 @@ package parser
 import (
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/patterns"
 	"repro/internal/token"
 )
@@ -22,6 +23,7 @@ type Parser struct {
 	mu    sync.RWMutex
 	index map[string]map[int]*bucket
 	byID  map[string]*patterns.Pattern
+	m     *obs.Metrics
 }
 
 // New returns an empty parser.
@@ -29,7 +31,18 @@ func New() *Parser {
 	return &Parser{
 		index: make(map[string]map[int]*bucket),
 		byID:  make(map[string]*patterns.Pattern),
+		m:     obs.New(),
 	}
+}
+
+// SetMetrics redirects the parser's instrumentation to m (the engine
+// shares one Metrics across all pipeline stages). Call before concurrent
+// use.
+func (p *Parser) SetMetrics(m *obs.Metrics) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.m = m
+	m.ParserPatterns.Set(int64(len(p.byID)))
 }
 
 // Add registers a pattern. A pattern with an already-known ID replaces the
@@ -38,6 +51,11 @@ func New() *Parser {
 func (p *Parser) Add(pat *patterns.Pattern) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.addLocked(pat)
+	p.m.ParserPatterns.Set(int64(len(p.byID)))
+}
+
+func (p *Parser) addLocked(pat *patterns.Pattern) {
 	if pat.ID == "" {
 		pat.ComputeID()
 	}
@@ -59,6 +77,26 @@ func (p *Parser) Add(pat *patterns.Pattern) {
 	b.add(pat)
 }
 
+// Replace swaps the full pattern set in one atomic step: the new index is
+// built off-line and published under a single write lock, so a concurrent
+// Match sees either the complete old set or the complete new set — never
+// a half-merged one. This is what makes MergeFrom safe against concurrent
+// parsing.
+func (p *Parser) Replace(pats []*patterns.Pattern) {
+	fresh := &Parser{
+		index: make(map[string]map[int]*bucket),
+		byID:  make(map[string]*patterns.Pattern, len(pats)),
+	}
+	for _, pat := range pats {
+		fresh.addLocked(pat)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.index = fresh.index
+	p.byID = fresh.byID
+	p.m.ParserPatterns.Set(int64(len(p.byID)))
+}
+
 // Remove deletes a pattern by ID and reports whether it was present.
 func (p *Parser) Remove(id string) bool {
 	p.mu.Lock()
@@ -68,6 +106,7 @@ func (p *Parser) Remove(id string) bool {
 		return false
 	}
 	p.removeLocked(pat)
+	p.m.ParserPatterns.Set(int64(len(p.byID)))
 	return true
 }
 
@@ -118,12 +157,15 @@ func (p *Parser) Services() int {
 func (p *Parser) Match(service string, tokens []token.Token) (best *patterns.Pattern, ok bool) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
+	p.m.ParserMatchAttempts.Inc()
 	svc := p.index[service]
 	if svc == nil || len(tokens) == 0 {
+		p.m.ParserMatchMisses.Inc()
 		return nil, false
 	}
 	b := svc[len(tokens)]
 	if b == nil {
+		p.m.ParserMatchMisses.Inc()
 		return nil, false
 	}
 	bestScore := -1
@@ -138,6 +180,9 @@ func (p *Parser) Match(service string, tokens []token.Token) (best *patterns.Pat
 	// Multi-line patterns are indexed under first-line length + 1 (the
 	// TailAny element); a message truncated by the scanner carries the
 	// same marker token, so lengths align and no second lookup is needed.
+	if bestScore < 0 {
+		p.m.ParserMatchMisses.Inc()
+	}
 	return best, bestScore >= 0
 }
 

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/patterns"
 )
 
@@ -40,6 +41,10 @@ const (
 	compactAfter = 50000
 )
 
+// ErrClosed is returned by every mutating method after Close. Test with
+// errors.Is.
+var ErrClosed = errors.New("store: closed")
+
 // Store is a persistent pattern database. All methods are safe for
 // concurrent use.
 type Store struct {
@@ -50,12 +55,23 @@ type Store struct {
 	jw      *bufio.Writer
 	jcount  int
 	closed  bool
+	m       *obs.Metrics
+}
+
+// SetMetrics redirects the store's instrumentation to m (one Metrics is
+// shared across all pipeline stages of an instance). Call before
+// concurrent use.
+func (s *Store) SetMetrics(m *obs.Metrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m = m
+	m.StorePatterns.Set(int64(len(s.byID)))
 }
 
 // Open loads (or creates) a pattern database in dir. An empty dir opens a
 // purely in-memory store.
 func Open(dir string) (*Store, error) {
-	s := &Store{dir: dir, byID: make(map[string]*patterns.Pattern)}
+	s := &Store{dir: dir, byID: make(map[string]*patterns.Pattern), m: obs.New()}
 	if dir == "" {
 		return s, nil
 	}
@@ -183,6 +199,7 @@ func (s *Store) log(r record) error {
 	if _, err := s.jw.Write(append(b, '\n')); err != nil {
 		return fmt.Errorf("store: append journal: %w", err)
 	}
+	s.m.StoreJournalAppends.Inc()
 	s.jcount++
 	if s.jcount >= compactAfter {
 		return s.compactLocked()
@@ -200,9 +217,11 @@ func (s *Store) Upsert(p *patterns.Pattern) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return errClosed
+		return ErrClosed
 	}
 	s.mergeLocked(p)
+	s.m.StoreUpserts.Inc()
+	s.m.StorePatterns.Set(int64(len(s.byID)))
 	return s.log(record{Op: "upsert", Pattern: p})
 }
 
@@ -212,13 +231,14 @@ func (s *Store) Touch(id string, n int64, when time.Time, example string) error 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return errClosed
+		return ErrClosed
 	}
 	if _, ok := s.byID[id]; !ok {
 		return fmt.Errorf("store: touch unknown pattern %s", id)
 	}
 	r := record{Op: "touch", ID: id, N: n, When: when, Example: example}
 	s.applyLocked(r)
+	s.m.StoreTouches.Inc()
 	return s.log(r)
 }
 
@@ -227,13 +247,15 @@ func (s *Store) Delete(id string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return errClosed
+		return ErrClosed
 	}
 	if _, ok := s.byID[id]; !ok {
 		return nil
 	}
 	r := record{Op: "delete", ID: id}
 	s.applyLocked(r)
+	s.m.StoreDeletes.Inc()
+	s.m.StorePatterns.Set(int64(len(s.byID)))
 	return s.log(r)
 }
 
@@ -245,18 +267,20 @@ func (s *Store) Purge(minCount int64, olderThan time.Time) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return 0, errClosed
+		return 0, ErrClosed
 	}
 	removed := 0
 	for id, p := range s.byID {
 		if p.Count < minCount && p.LastMatched.Before(olderThan) {
 			delete(s.byID, id)
+			s.m.StoreDeletes.Inc()
 			if err := s.log(record{Op: "delete", ID: id}); err != nil {
 				return removed, err
 			}
 			removed++
 		}
 	}
+	s.m.StorePatterns.Set(int64(len(s.byID)))
 	return removed, nil
 }
 
@@ -362,7 +386,7 @@ func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return errClosed
+		return ErrClosed
 	}
 	return s.compactLocked()
 }
@@ -372,6 +396,11 @@ func (s *Store) compactLocked() error {
 		s.jcount = 0
 		return nil
 	}
+	start := time.Now()
+	defer func() {
+		s.m.StoreCompactions.Inc()
+		s.m.StoreCompactionDuration.ObserveSince(start)
+	}()
 	list := make([]*patterns.Pattern, 0, len(s.byID))
 	for _, p := range s.byID {
 		list = append(list, p)
@@ -425,5 +454,3 @@ func (s *Store) Close() error {
 	}
 	return s.journal.Close()
 }
-
-var errClosed = errors.New("store: closed")

@@ -1,0 +1,74 @@
+package sequence
+
+// Option configures an RTG instance at Open time. Options are applied in
+// order, so later options win; start from WithConfig when migrating code
+// that built a Config struct by hand.
+type Option func(*Config)
+
+// WithConfig applies a whole Config at once — the mechanical migration
+// bridge from the old Open(dir, cfg) signature:
+//
+//	rtg, err := sequence.Open(dir, cfg)                 // old
+//	rtg, err := sequence.Open(dir, sequence.WithConfig(cfg)) // new
+//
+// Any Option applied after WithConfig overrides the corresponding field.
+func WithConfig(c Config) Option {
+	return func(dst *Config) { *dst = c }
+}
+
+// WithMinGroupMessages sets the minimum number of messages required
+// before a variable is created (default 3).
+func WithMinGroupMessages(n int) Option {
+	return func(c *Config) { c.MinGroupMessages = n }
+}
+
+// WithSaveThreshold drops patterns matched fewer than n times in the
+// batch that discovered them.
+func WithSaveThreshold(n int64) Option {
+	return func(c *Config) { c.SaveThreshold = n }
+}
+
+// WithMaxTrieNodes bounds analysis memory per service; past the bound
+// the trie is harvested early (0 = unbounded).
+func WithMaxTrieNodes(n int) Option {
+	return func(c *Config) { c.MaxTrieNodes = n }
+}
+
+// WithConcurrency analyses n services in parallel (default 1, the
+// paper's sequential behaviour).
+func WithConcurrency(n int) Option {
+	return func(c *Config) { c.Concurrency = n }
+}
+
+// WithKeepAllVariables disables constant folding, reverting to the
+// original Sequence behaviour of keeping every typed position a
+// variable.
+func WithKeepAllVariables() Option {
+	return func(c *Config) { c.KeepAllVariables = true }
+}
+
+// WithUnpaddedTimes lets the datetime FSM accept single-digit time parts
+// (the HealthApp fix).
+func WithUnpaddedTimes() Option {
+	return func(c *Config) { c.UnpaddedTimes = true }
+}
+
+// WithPathFSM enables the fourth finite state machine: filesystem paths
+// become typed variables instead of literals.
+func WithPathFSM() Option {
+	return func(c *Config) { c.PathFSM = true }
+}
+
+// WithSplitSemiConstants expands variables that only ever took between
+// two and max values into one pattern per value.
+func WithSplitSemiConstants(max int) Option {
+	return func(c *Config) { c.SplitSemiConstants = max }
+}
+
+// WithMetrics makes the instance report into m instead of a private
+// Metrics. Sharing one Metrics across several instances (for example
+// service shards that will later be merged) aggregates their
+// instrumentation into one exposition.
+func WithMetrics(m *Metrics) Option {
+	return func(c *Config) { c.Metrics = m }
+}

@@ -36,7 +36,7 @@
 package sequence
 
 import (
-	"fmt"
+	"context"
 	"io"
 	"time"
 
@@ -45,6 +45,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/export"
 	"repro/internal/ingest"
+	"repro/internal/obs"
 	"repro/internal/patterns"
 	"repro/internal/store"
 	"repro/internal/token"
@@ -67,6 +68,33 @@ type Token = token.Token
 // BatchResult summarises one processed batch.
 type BatchResult = core.BatchResult
 
+// Metrics is the observability surface of one (or several) RTG
+// instances: atomic counters, gauges and latency histograms covering
+// ingest, engine, parser and store. It is an expvar.Var (String returns
+// a JSON snapshot) and writes Prometheus text exposition via
+// RTG.WriteMetrics.
+type Metrics = obs.Metrics
+
+// MetricsSnapshot is a point-in-time copy of every metric.
+type MetricsSnapshot = obs.Snapshot
+
+// NewMetrics returns a fresh metrics registry, for sharing across
+// instances with WithMetrics.
+func NewMetrics() *Metrics { return obs.New() }
+
+// ErrClosed is returned by mutating methods after Close. Test with
+// errors.Is.
+var ErrClosed = store.ErrClosed
+
+// ErrBadRecord is the sentinel matched (via errors.Is) by errors about
+// undecodable input lines. The concrete *BadRecordError carries the line
+// number and the raw line.
+var ErrBadRecord = ingest.ErrBadRecord
+
+// BadRecordError describes one undecodable input line (line number, raw
+// text, underlying decode error).
+type BadRecordError = ingest.BadRecordError
+
 // ExportOptions filters which patterns are exported.
 type ExportOptions = export.Options
 
@@ -84,6 +112,11 @@ const (
 const DefaultBatchSize = ingest.DefaultBatchSize
 
 // Config tunes an RTG instance. The zero value is production-ready.
+//
+// Deprecated: new code should use the functional options (WithConcurrency,
+// WithSaveThreshold, ...) directly; code holding a Config migrates with
+// Open(dir, WithConfig(cfg)). The struct remains as the option target and
+// will not grow new fields beyond the options that set them.
 type Config struct {
 	// MinGroupMessages is the minimum number of messages required before
 	// a variable is created (default 3; the paper notes patterns cannot
@@ -115,26 +148,41 @@ type Config struct {
 	// SplitSemiConstants, when positive, expands variables that only ever
 	// took between two and this many values into one pattern per value.
 	SplitSemiConstants int
+
+	// Metrics receives the instance's instrumentation; a fresh private
+	// registry is created when nil. Set it (or use WithMetrics) to share
+	// one registry across instances.
+	Metrics *Metrics
 }
 
 // RTG is a Sequence-RTG instance: a pattern store plus the scanning,
 // parsing and mining machinery around it.
 type RTG struct {
-	store  *store.Store
-	engine *core.Engine
+	store   *store.Store
+	engine  *core.Engine
+	metrics *Metrics
 }
 
 // Open creates (or reopens) a Sequence-RTG instance. dir is the pattern
 // database directory; an empty dir keeps everything in memory. Previously
 // stored patterns are loaded and immediately used for parsing, which is
 // what makes analysis continuous across executions.
-func Open(dir string, cfg ...Config) (*RTG, error) {
+//
+// Behaviour is tuned with functional options:
+//
+//	rtg, err := sequence.Open(dir,
+//	    sequence.WithConcurrency(8),
+//	    sequence.WithSaveThreshold(2))
+//
+// Code that predates the option API migrates mechanically with
+// WithConfig.
+func Open(dir string, opts ...Option) (*RTG, error) {
 	var c Config
-	if len(cfg) > 1 {
-		return nil, fmt.Errorf("sequence: Open takes at most one Config, got %d", len(cfg))
+	for _, opt := range opts {
+		opt(&c)
 	}
-	if len(cfg) == 1 {
-		c = cfg[0]
+	if c.Metrics == nil {
+		c.Metrics = obs.New()
 	}
 	st, err := store.Open(dir)
 	if err != nil {
@@ -152,8 +200,9 @@ func Open(dir string, cfg ...Config) (*RTG, error) {
 		MaxTrieNodes:  c.MaxTrieNodes,
 		Concurrency:   c.Concurrency,
 		Scanner:       token.Config{UnpaddedTimes: c.UnpaddedTimes, PathFSM: c.PathFSM},
+		Metrics:       c.Metrics,
 	})
-	return &RTG{store: st, engine: engine}, nil
+	return &RTG{store: st, engine: engine, metrics: c.Metrics}, nil
 }
 
 // Close flushes and closes the pattern database.
@@ -164,6 +213,14 @@ func (r *RTG) Close() error { return r.store.Close() }
 // remainder partitioned by token count, and persist discoveries.
 func (r *RTG) AnalyzeByService(records []Record, now time.Time) (BatchResult, error) {
 	return r.engine.AnalyzeByService(records, now)
+}
+
+// AnalyzeByServiceContext is AnalyzeByService with cancellation: once
+// ctx is done no further service partitions start, in-flight partitions
+// finish, and the error is ctx.Err(). The returned BatchResult covers
+// the partitions that completed.
+func (r *RTG) AnalyzeByServiceContext(ctx context.Context, records []Record, now time.Time) (BatchResult, error) {
+	return r.engine.AnalyzeByServiceContext(ctx, records, now)
 }
 
 // Analyze processes one batch the way the original Sequence does: one
@@ -191,19 +248,71 @@ type StreamOptions struct {
 	DefaultService string
 	// Report, when non-nil, is called after every processed batch.
 	Report func(BatchResult)
+	// Strict makes Run fail on the first undecodable input line with a
+	// *BadRecordError instead of counting and skipping it.
+	Strict bool
+	// SelfReport, when non-nil, is called with a metrics snapshot every
+	// SelfReportEvery batches — the periodic self-observation of a
+	// continuously running miner.
+	SelfReport func(MetricsSnapshot)
+	// SelfReportEvery is the self-report period in batches (default 10
+	// when SelfReport is set).
+	SelfReportEvery int
 }
 
 // Run consumes a JSON-lines stream ({"service":..., "message":...}) in
 // batches until EOF — the deployment mode of the paper, where syslog-ng
 // pipes unmatched messages into Sequence-RTG's standard input.
 func (r *RTG) Run(in io.Reader, opts StreamOptions) (BatchResult, error) {
+	return r.RunContext(context.Background(), in, opts)
+}
+
+// RunContext is Run with cancellation: the loop checks ctx between
+// batches (and between service partitions inside a batch) and returns
+// ctx.Err() once cancelled — within one batch of the cancellation, with
+// no goroutines left behind. The returned BatchResult totals the work
+// done before the stop.
+func (r *RTG) RunContext(ctx context.Context, in io.Reader, opts StreamOptions) (BatchResult, error) {
 	reader := ingest.NewReader(in, ingest.Options{
 		BatchSize:      opts.BatchSize,
 		PlainText:      opts.PlainText,
 		DefaultService: opts.DefaultService,
+		Strict:         opts.Strict,
+		Metrics:        r.metrics,
 	})
-	return r.engine.Run(reader, opts.Report)
+	report := opts.Report
+	if opts.SelfReport != nil {
+		every := opts.SelfReportEvery
+		if every <= 0 {
+			every = 10
+		}
+		inner := report
+		batches := 0
+		report = func(res BatchResult) {
+			if inner != nil {
+				inner(res)
+			}
+			batches++
+			if batches%every == 0 {
+				opts.SelfReport(r.Snapshot())
+			}
+		}
+	}
+	return r.engine.RunContext(ctx, reader, report)
 }
+
+// Metrics returns the instance's metrics registry. It satisfies
+// expvar.Var, so expvar.Publish("seqrtg", rtg.Metrics()) exposes the
+// JSON dump on /debug/vars.
+func (r *RTG) Metrics() *Metrics { return r.metrics }
+
+// Snapshot returns a point-in-time copy of every metric: ingest volume,
+// parse-hit ratio inputs, per-stage latencies, trie peak, store churn.
+func (r *RTG) Snapshot() MetricsSnapshot { return r.metrics.Snapshot() }
+
+// WriteMetrics writes every metric in the Prometheus text exposition
+// format, ready to serve from a /metrics endpoint.
+func (r *RTG) WriteMetrics(w io.Writer) error { return r.metrics.WritePrometheus(w) }
 
 // Patterns returns a snapshot of every stored pattern, sorted by service
 // and pattern text.
@@ -241,10 +350,9 @@ func (r *RTG) MergeFrom(other *RTG) error {
 	if err := r.store.MergeFrom(other.store); err != nil {
 		return err
 	}
-	// Refresh the parser with the merged set.
-	for _, p := range r.store.All() {
-		r.engine.AddPattern(p)
-	}
+	// Refresh the parser with the merged set in one atomic swap, so a
+	// concurrent Parse never observes a half-merged pattern set.
+	r.engine.ReplacePatterns(r.store.All())
 	return nil
 }
 

@@ -234,9 +234,33 @@ func TestCompactPublicAPI(t *testing.T) {
 	}
 }
 
-func TestOpenRejectsMultipleConfigs(t *testing.T) {
-	if _, err := sequence.Open("", sequence.Config{}, sequence.Config{}); err == nil {
-		t.Fatal("Open must reject more than one Config")
+func TestOpenFunctionalOptions(t *testing.T) {
+	// Later options override earlier ones, and WithConfig is the bridge
+	// for code that still builds a Config struct.
+	m := sequence.NewMetrics()
+	rtg, err := sequence.Open("",
+		sequence.WithConfig(sequence.Config{Concurrency: 1, SaveThreshold: 99}),
+		sequence.WithSaveThreshold(0),
+		sequence.WithConcurrency(4),
+		sequence.WithMetrics(m),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rtg.Close()
+	if rtg.Metrics() != m {
+		t.Fatal("WithMetrics must install the shared registry")
+	}
+	if _, err := rtg.AnalyzeByService(sshdRecords(10), now); err != nil {
+		t.Fatal(err)
+	}
+	// SaveThreshold was reset to 0 by the later option, so the mined
+	// pattern must have been kept.
+	if rtg.PatternCount() == 0 {
+		t.Fatal("later WithSaveThreshold(0) should have overridden the WithConfig threshold")
+	}
+	if m.Snapshot().EngineMessages != 10 {
+		t.Fatalf("shared metrics did not observe the batch: %+v", m.Snapshot())
 	}
 }
 
