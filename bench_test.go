@@ -7,6 +7,8 @@
 package sequence_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -218,25 +220,38 @@ func BenchmarkParse(b *testing.B) {
 
 // BenchmarkProductionBatch measures one steady-state production batch —
 // parse-dominated, the workload the paper reports at 7.5 s per 100k
-// messages on a production VM (here scaled to 10k).
+// messages on a production VM (here scaled to 10k). The sub-benchmarks
+// scale the service-worker count over the sharded store/parser; on a
+// multi-core host Concurrency=GOMAXPROCS should beat Concurrency=1
+// because workers of different services share no lock.
 func BenchmarkProductionBatch(b *testing.B) {
-	gen := workload.New(workload.Config{Services: 241, Seed: 2})
-	warmup := gen.Records(20000)
-	rtg, err := sequence.Open("")
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer rtg.Close()
-	if _, err := rtg.AnalyzeByService(warmup, time.Now()); err != nil {
-		b.Fatal(err)
-	}
-	batch := gen.Records(10000)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := rtg.AnalyzeByService(batch, time.Now()); err != nil {
-			b.Fatal(err)
+	levels := []int{1, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	for _, workers := range levels {
+		if seen[workers] {
+			continue
 		}
+		seen[workers] = true
+		b.Run(fmt.Sprintf("Concurrency=%d", workers), func(b *testing.B) {
+			gen := workload.New(workload.Config{Services: 241, Seed: 2})
+			warmup := gen.Records(20000)
+			rtg, err := sequence.Open("", sequence.WithConcurrency(workers))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rtg.Close()
+			if _, err := rtg.AnalyzeByService(warmup, time.Now()); err != nil {
+				b.Fatal(err)
+			}
+			batch := gen.Records(10000)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rtg.AnalyzeByService(batch, time.Now()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(batch))*float64(b.N)/b.Elapsed().Seconds(), "msgs/s")
+		})
 	}
-	b.ReportMetric(float64(len(batch))*float64(b.N)/b.Elapsed().Seconds(), "msgs/s")
 }

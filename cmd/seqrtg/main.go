@@ -123,6 +123,7 @@ func cmdAnalyze(args []string) error {
 	service := fs.String("service", "unknown", "service name for plain-text input")
 	threshold := fs.Int64("save-threshold", 0, "drop patterns matched fewer times in their discovery batch")
 	concurrency := fs.Int("concurrency", 1, "services analysed in parallel")
+	shards := fs.Int("shards", 0, "store/parser shard count (0 = GOMAXPROCS)")
 	quiet := fs.Bool("quiet", false, "suppress per-batch progress")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars (expvar) and /debug/pprof on this address")
 	selfReport := fs.Int("self-report", 0, "print a metrics self-report every N batches (0 = off)")
@@ -131,7 +132,8 @@ func cmdAnalyze(args []string) error {
 
 	rtg, err := openDB(*db,
 		sequence.WithSaveThreshold(*threshold),
-		sequence.WithConcurrency(*concurrency))
+		sequence.WithConcurrency(*concurrency),
+		sequence.WithStoreShards(*shards))
 	if err != nil {
 		return err
 	}

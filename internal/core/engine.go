@@ -17,9 +17,9 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
-	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -52,6 +52,11 @@ type Config struct {
 	// behaviour; since patterns never cross services, service partitions
 	// are embarrassingly parallel (§IV discusses exactly this scaling).
 	Concurrency int
+	// Shards is the parser's service-shard count (0 selects GOMAXPROCS).
+	// Use the same value as the store so the two layers partition work
+	// identically; a service worker then contends only with workers whose
+	// services hash to the same shard.
+	Shards int
 	// Scanner enables the optional scanner extensions (unpadded times,
 	// path FSM); the zero value is the published scanner.
 	Scanner token.Config
@@ -75,7 +80,7 @@ func NewEngine(st *store.Store, cfg Config) *Engine {
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.New()
 	}
-	e := &Engine{cfg: cfg, store: st, parser: parser.New(), m: cfg.Metrics}
+	e := &Engine{cfg: cfg, store: st, parser: parser.NewSharded(cfg.Shards), m: cfg.Metrics}
 	e.parser.SetMetrics(e.m)
 	st.SetMetrics(e.m)
 	for _, p := range st.All() {
@@ -198,12 +203,12 @@ func (e *Engine) AnalyzeByServiceContext(ctx context.Context, records []ingest.R
 
 	res := BatchResult{Services: len(services)}
 
+	// Workers above GOMAXPROCS are allowed: a worker blocked on a shard
+	// lock or journal write is not using its CPU, so modest
+	// oversubscription keeps cores busy.
 	workers := e.cfg.Concurrency
 	if workers <= 0 {
 		workers = 1
-	}
-	if workers > runtime.GOMAXPROCS(0) {
-		workers = runtime.GOMAXPROCS(0)
 	}
 
 	type svcOut struct {
@@ -211,7 +216,6 @@ func (e *Engine) AnalyzeByServiceContext(ctx context.Context, records []ingest.R
 		err error
 	}
 	var (
-		mu   sync.Mutex
 		outs = make([]svcOut, len(services))
 		sem  = make(chan struct{}, workers)
 		wg   sync.WaitGroup
@@ -232,7 +236,7 @@ dispatch:
 		go func(i int, svc string) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			r, err := e.analyzeService(svc, byService[svc], now, &mu)
+			r, err := e.analyzeService(svc, byService[svc], now)
 			outs[i] = svcOut{res: r, err: err}
 		}(i, svc)
 	}
@@ -256,26 +260,27 @@ dispatch:
 	return res, nil
 }
 
-// analyzeService runs the per-service pipeline. mu serialises store and
-// parser mutations across concurrent service workers; parser lookups are
-// already concurrency safe.
-func (e *Engine) analyzeService(svc string, msgs []string, now time.Time, mu *sync.Mutex) (BatchResult, error) {
+// analyzeService runs the per-service pipeline. No cross-worker lock is
+// needed: every store and parser mutation made here is keyed by svc, so
+// it lands in svc's shard of each layer, and a service is only ever
+// handled by one worker per batch.
+func (e *Engine) analyzeService(svc string, msgs []string, now time.Time) (BatchResult, error) {
 	start := time.Now()
 	defer e.m.EngineServiceAnalysis.ObserveSince(start)
 	res := BatchResult{Messages: len(msgs)}
 	a := analyzer.New(svc, e.cfg.Analyzer)
 	s := token.Scanner{Config: e.cfg.Scanner}
 
-	// Accumulate per-pattern match statistics and flush them in one lock.
+	// Accumulate per-pattern match statistics and flush them once at the
+	// end, so a pattern matched a thousand times costs one journal record.
 	type hit struct {
 		n       int64
 		example string
+		pat     *patterns.Pattern
 	}
 	hits := make(map[string]*hit)
 
 	flushMined := func() error {
-		mu.Lock()
-		defer mu.Unlock()
 		n, err := e.harvest(a, now)
 		res.NewPatterns += n
 		return err
@@ -287,7 +292,7 @@ func (e *Engine) analyzeService(svc string, msgs []string, now time.Time, mu *sy
 			res.Matched++
 			h := hits[p.ID]
 			if h == nil {
-				h = &hit{}
+				h = &hit{pat: p}
 				hits[p.ID] = h
 			}
 			h.n++
@@ -312,19 +317,45 @@ func (e *Engine) analyzeService(svc string, msgs []string, now time.Time, mu *sy
 		return res, err
 	}
 
-	mu.Lock()
-	defer mu.Unlock()
 	for id, h := range hits {
-		if err := e.store.Touch(id, h.n, now, h.example); err != nil {
+		err := e.store.TouchIn(svc, id, h.n, now, h.example)
+		if errors.Is(err, store.ErrUnknownPattern) {
+			// The parser knew a pattern the store no longer holds — a purge
+			// or external delete ran between registration and this batch.
+			// Not batch-fatal: count it and re-seed the store from the
+			// parser's copy so the pattern's statistics resume from here.
+			e.m.StoreTouchUnknown.Inc()
+			cp := h.pat.Clone()
+			cp.Count = h.n
+			cp.LastMatched = now
+			cp.Examples = nil
+			cp.AddExample(h.example)
+			err = e.store.Upsert(cp)
+		}
+		if err != nil {
 			return res, fmt.Errorf("core: record matches: %w", err)
 		}
 	}
 	return res, nil
 }
 
+// Purge removes patterns matched fewer than minCount times or last
+// matched before olderThan from the store AND the parser, keeping the
+// two views consistent: a purged pattern must not keep matching (and
+// shadowing re-discovery) out of the parser's index. It returns the
+// number of patterns removed.
+func (e *Engine) Purge(minCount int64, olderThan time.Time) (int, error) {
+	ids, err := e.store.PurgeIDs(minCount, olderThan)
+	for _, id := range ids {
+		e.parser.Remove(id)
+	}
+	return len(ids), err
+}
+
 // harvest extracts, filters, stores and registers the patterns mined by
-// an analyzer, returning the number of saved patterns. Callers running
-// concurrently must hold the engine's batch mutex.
+// an analyzer, returning the number of saved patterns. Safe to call from
+// concurrent service workers: the store and parser mutations it makes
+// are confined to the analyzer's service shard.
 func (e *Engine) harvest(a *analyzer.Analyzer, now time.Time) (int, error) {
 	saved := 0
 	for _, p := range a.Patterns(now) {

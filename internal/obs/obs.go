@@ -69,6 +69,69 @@ func (g *Gauge) SetMax(n int64) {
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// CounterVec is a dense vector of counters indexed 0..n-1, used for
+// per-shard instrumentation (one slot per store/parser shard). The
+// vector is sized with EnsureLen before concurrent use — typically at
+// store construction — after which Inc is a single atomic add with no
+// locking. Out-of-range increments are dropped rather than panicking,
+// so a zero CounterVec is safe everywhere.
+type CounterVec struct {
+	slots atomic.Pointer[[]atomic.Int64]
+}
+
+// EnsureLen grows the vector to at least n slots, preserving existing
+// counts. Not safe against concurrent Inc — call before concurrent use.
+func (v *CounterVec) EnsureLen(n int) {
+	if n <= 0 {
+		return
+	}
+	old := v.slots.Load()
+	if old != nil && len(*old) >= n {
+		return
+	}
+	fresh := make([]atomic.Int64, n)
+	if old != nil {
+		for i := range *old {
+			fresh[i].Store((*old)[i].Load())
+		}
+	}
+	v.slots.Store(&fresh)
+}
+
+// Inc adds one to slot i (a no-op when i is out of range).
+func (v *CounterVec) Inc(i int) { v.Add(i, 1) }
+
+// Add adds n to slot i (a no-op when i is out of range).
+func (v *CounterVec) Add(i int, n int64) {
+	s := v.slots.Load()
+	if s == nil || i < 0 || i >= len(*s) {
+		return
+	}
+	(*s)[i].Add(n)
+}
+
+// Len returns the number of slots.
+func (v *CounterVec) Len() int {
+	s := v.slots.Load()
+	if s == nil {
+		return 0
+	}
+	return len(*s)
+}
+
+// Values returns a copy of every slot.
+func (v *CounterVec) Values() []int64 {
+	s := v.slots.Load()
+	if s == nil {
+		return nil
+	}
+	out := make([]int64, len(*s))
+	for i := range *s {
+		out[i] = (*s)[i].Load()
+	}
+	return out
+}
+
 // DefBuckets is the default latency bucket layout in seconds. It spans
 // sub-millisecond parses to the paper's 7.5 s production batches with
 // headroom for slow disks.
@@ -232,10 +295,14 @@ type Metrics struct {
 	// Store: the persistent pattern database.
 	StoreUpserts            Counter    // patterns inserted or merged
 	StoreTouches            Counter    // match-statistic updates
+	StoreTouchUnknown       Counter    // touches of IDs absent from the store (purged mid-batch), recovered
 	StoreDeletes            Counter    // patterns deleted (including purges)
 	StoreJournalAppends     Counter    // records appended to the write-ahead journal
 	StoreCompactions        Counter    // snapshot compactions
 	StorePatterns           Gauge      // patterns currently stored
+	StoreShards             Gauge      // service-hash shards of the store
+	StoreShardContention    CounterVec // per-shard lock acquisitions that had to wait
+	StoreShardOps           CounterVec // per-shard mutations (upsert/touch/delete)
 	StoreCompactionDuration *Histogram // compaction wall seconds
 }
 
@@ -277,10 +344,14 @@ type Snapshot struct {
 
 	StoreUpserts            int64             `json:"store_upserts"`
 	StoreTouches            int64             `json:"store_touches"`
+	StoreTouchUnknown       int64             `json:"store_touch_unknown"`
 	StoreDeletes            int64             `json:"store_deletes"`
 	StoreJournalAppends     int64             `json:"store_journal_appends"`
 	StoreCompactions        int64             `json:"store_compactions"`
 	StorePatterns           int64             `json:"store_patterns"`
+	StoreShards             int64             `json:"store_shards"`
+	StoreShardContention    []int64           `json:"store_shard_contention,omitempty"`
+	StoreShardOps           []int64           `json:"store_shard_ops,omitempty"`
 	StoreCompactionDuration HistogramSnapshot `json:"store_compaction_seconds"`
 }
 
@@ -321,10 +392,14 @@ func (m *Metrics) Snapshot() Snapshot {
 
 		StoreUpserts:            m.StoreUpserts.Value(),
 		StoreTouches:            m.StoreTouches.Value(),
+		StoreTouchUnknown:       m.StoreTouchUnknown.Value(),
 		StoreDeletes:            m.StoreDeletes.Value(),
 		StoreJournalAppends:     m.StoreJournalAppends.Value(),
 		StoreCompactions:        m.StoreCompactions.Value(),
 		StorePatterns:           m.StorePatterns.Value(),
+		StoreShards:             m.StoreShards.Value(),
+		StoreShardContention:    m.StoreShardContention.Values(),
+		StoreShardOps:           m.StoreShardOps.Values(),
 		StoreCompactionDuration: m.StoreCompactionDuration.snapshot(),
 	}
 }
@@ -352,10 +427,14 @@ func (m *Metrics) WriteJSON(w io.Writer) error {
 type metricDesc struct {
 	name string
 	help string
-	kind string // counter | gauge | histogram
+	kind string // counter | gauge | histogram | countervec
 	c    *Counter
 	g    *Gauge
 	h    *Histogram
+	v    *CounterVec
+	// label is the label name each CounterVec slot index is rendered
+	// under (e.g. shard="3").
+	label string
 }
 
 func (m *Metrics) descs() []metricDesc {
@@ -382,10 +461,14 @@ func (m *Metrics) descs() []metricDesc {
 
 		{name: "seqrtg_store_upserts_total", help: "Patterns inserted into or merged with the store.", kind: "counter", c: &m.StoreUpserts},
 		{name: "seqrtg_store_touches_total", help: "Match-statistic updates applied to stored patterns.", kind: "counter", c: &m.StoreTouches},
+		{name: "seqrtg_store_touch_unknown_total", help: "Match-statistic updates for patterns no longer in the store (purged mid-batch), recovered by re-upsert.", kind: "counter", c: &m.StoreTouchUnknown},
 		{name: "seqrtg_store_deletes_total", help: "Patterns deleted from the store, including purges.", kind: "counter", c: &m.StoreDeletes},
 		{name: "seqrtg_store_journal_appends_total", help: "Records appended to the write-ahead journal.", kind: "counter", c: &m.StoreJournalAppends},
 		{name: "seqrtg_store_compactions_total", help: "Snapshot compactions of the pattern database.", kind: "counter", c: &m.StoreCompactions},
 		{name: "seqrtg_store_patterns", help: "Patterns currently stored.", kind: "gauge", g: &m.StorePatterns},
+		{name: "seqrtg_store_shards", help: "Service-hash shards of the pattern store.", kind: "gauge", g: &m.StoreShards},
+		{name: "seqrtg_store_shard_contention_total", help: "Shard lock acquisitions that had to wait for another goroutine, per shard.", kind: "countervec", v: &m.StoreShardContention, label: "shard"},
+		{name: "seqrtg_store_shard_ops_total", help: "Store mutations (upsert/touch/delete) applied, per shard.", kind: "countervec", v: &m.StoreShardOps, label: "shard"},
 		{name: "seqrtg_store_compaction_seconds", help: "Pattern database compaction wall time.", kind: "histogram", h: m.StoreCompactionDuration},
 	}
 }
@@ -395,13 +478,21 @@ func (m *Metrics) descs() []metricDesc {
 func (m *Metrics) WritePrometheus(w io.Writer) error {
 	bw := newErrWriter(w)
 	for _, d := range m.descs() {
+		promKind := d.kind
+		if promKind == "countervec" {
+			promKind = "counter" // a labelled counter family
+		}
 		bw.printf("# HELP %s %s\n", d.name, d.help)
-		bw.printf("# TYPE %s %s\n", d.name, d.kind)
+		bw.printf("# TYPE %s %s\n", d.name, promKind)
 		switch d.kind {
 		case "counter":
 			bw.printf("%s %d\n", d.name, d.c.Value())
 		case "gauge":
 			bw.printf("%s %d\n", d.name, d.g.Value())
+		case "countervec":
+			for i, val := range d.v.Values() {
+				bw.printf("%s{%s=\"%d\"} %d\n", d.name, d.label, i, val)
+			}
 		case "histogram":
 			s := d.h.snapshot()
 			for _, b := range s.Buckets {

@@ -7,66 +7,112 @@
 // several candidates the parser picks the most specific one — the pattern
 // with the most literal positions — which resolves the overlapping-pattern
 // cases the paper mentions during patterndb review.
+//
+// The index is sharded by service (fnv32a(service) mod N, the same
+// routing as the store), so a harvest registering service A's patterns
+// never blocks a Match on service B: each shard has its own RWMutex,
+// and both the lookup and the mutation paths touch exactly one shard.
 package parser
 
 import (
+	"hash/fnv"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 	"repro/internal/patterns"
 	"repro/internal/token"
 )
 
-// Parser matches token sequences against known patterns. It is safe for
-// concurrent use: lookups take a read lock, mutations a write lock.
-type Parser struct {
+// pshard is one service-hash partition of the pattern index.
+type pshard struct {
 	mu    sync.RWMutex
 	index map[string]map[int]*bucket
 	byID  map[string]*patterns.Pattern
-	m     *obs.Metrics
 }
 
-// New returns an empty parser.
-func New() *Parser {
-	return &Parser{
+func newPshard() *pshard {
+	return &pshard{
 		index: make(map[string]map[int]*bucket),
 		byID:  make(map[string]*patterns.Pattern),
-		m:     obs.New(),
 	}
+}
+
+// Parser matches token sequences against known patterns. It is safe for
+// concurrent use: lookups take one shard's read lock, mutations one
+// shard's write lock; no lock spans shards.
+type Parser struct {
+	shards []*pshard
+	count  atomic.Int64 // registered patterns across shards
+	m      *obs.Metrics
+}
+
+// New returns an empty parser with the default shard count (GOMAXPROCS).
+func New() *Parser { return NewSharded(0) }
+
+// NewSharded returns an empty parser with n service-hash shards (n <= 0
+// selects GOMAXPROCS). Use the same shard count as the store so the two
+// layers contend identically.
+func NewSharded(n int) *Parser {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Parser{shards: make([]*pshard, n), m: obs.New()}
+	for i := range p.shards {
+		p.shards[i] = newPshard()
+	}
+	return p
+}
+
+// shardFor routes a service to its shard.
+func (p *Parser) shardFor(service string) *pshard {
+	if len(p.shards) == 1 {
+		return p.shards[0]
+	}
+	h := fnv.New32a()
+	h.Write([]byte(service))
+	return p.shards[int(h.Sum32())%len(p.shards)]
 }
 
 // SetMetrics redirects the parser's instrumentation to m (the engine
 // shares one Metrics across all pipeline stages). Call before concurrent
 // use.
 func (p *Parser) SetMetrics(m *obs.Metrics) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.m = m
-	m.ParserPatterns.Set(int64(len(p.byID)))
+	m.ParserPatterns.Set(p.count.Load())
 }
 
 // Add registers a pattern. A pattern with an already-known ID replaces the
 // previous one (patterns are value-identified by their SHA-1, so this is
-// an idempotent upsert).
+// an idempotent upsert). Only the pattern's service shard is locked.
 func (p *Parser) Add(pat *patterns.Pattern) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.addLocked(pat)
-	p.m.ParserPatterns.Set(int64(len(p.byID)))
-}
-
-func (p *Parser) addLocked(pat *patterns.Pattern) {
 	if pat.ID == "" {
 		pat.ComputeID()
 	}
-	if old, ok := p.byID[pat.ID]; ok {
-		p.removeLocked(old)
+	sh := p.shardFor(pat.Service)
+	sh.mu.Lock()
+	added := sh.addLocked(pat)
+	sh.mu.Unlock()
+	if added {
+		p.count.Add(1)
 	}
-	p.byID[pat.ID] = pat
-	svc := p.index[pat.Service]
+	p.m.ParserPatterns.Set(p.count.Load())
+}
+
+// addLocked registers pat in the shard and reports whether it was new
+// (as opposed to replacing a same-ID pattern).
+func (sh *pshard) addLocked(pat *patterns.Pattern) bool {
+	fresh := true
+	if old, ok := sh.byID[pat.ID]; ok {
+		sh.removeLocked(old)
+		fresh = false
+	}
+	sh.byID[pat.ID] = pat
+	svc := sh.index[pat.Service]
 	if svc == nil {
 		svc = make(map[int]*bucket)
-		p.index[pat.Service] = svc
+		sh.index[pat.Service] = svc
 	}
 	n := len(pat.Elements)
 	b := svc[n]
@@ -75,44 +121,65 @@ func (p *Parser) addLocked(pat *patterns.Pattern) {
 		svc[n] = b
 	}
 	b.add(pat)
+	return fresh
 }
 
-// Replace swaps the full pattern set in one atomic step: the new index is
-// built off-line and published under a single write lock, so a concurrent
-// Match sees either the complete old set or the complete new set — never
-// a half-merged one. This is what makes MergeFrom safe against concurrent
-// parsing.
+// Replace swaps the full pattern set: the new per-shard indexes are
+// built off-line and each shard published under its write lock, so a
+// concurrent Match — which reads exactly one service, hence one shard —
+// sees either the complete old set or the complete new set for that
+// service, never a half-merged one. This is what makes MergeFrom safe
+// against concurrent parsing.
 func (p *Parser) Replace(pats []*patterns.Pattern) {
-	fresh := &Parser{
-		index: make(map[string]map[int]*bucket),
-		byID:  make(map[string]*patterns.Pattern, len(pats)),
+	fresh := make([]*pshard, len(p.shards))
+	for i := range fresh {
+		fresh[i] = newPshard()
 	}
 	for _, pat := range pats {
-		fresh.addLocked(pat)
+		if pat.ID == "" {
+			pat.ComputeID()
+		}
+		idx := 0
+		if len(fresh) > 1 {
+			h := fnv.New32a()
+			h.Write([]byte(pat.Service))
+			idx = int(h.Sum32()) % len(fresh)
+		}
+		fresh[idx].addLocked(pat)
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.index = fresh.index
-	p.byID = fresh.byID
-	p.m.ParserPatterns.Set(int64(len(p.byID)))
+	var total int64
+	for i, sh := range p.shards {
+		sh.mu.Lock()
+		sh.index = fresh[i].index
+		sh.byID = fresh[i].byID
+		total += int64(len(sh.byID))
+		sh.mu.Unlock()
+	}
+	p.count.Store(total)
+	p.m.ParserPatterns.Set(total)
 }
 
 // Remove deletes a pattern by ID and reports whether it was present.
 func (p *Parser) Remove(id string) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	pat, ok := p.byID[id]
-	if !ok {
-		return false
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		pat, ok := sh.byID[id]
+		if ok {
+			sh.removeLocked(pat)
+		}
+		sh.mu.Unlock()
+		if ok {
+			p.count.Add(-1)
+			p.m.ParserPatterns.Set(p.count.Load())
+			return true
+		}
 	}
-	p.removeLocked(pat)
-	p.m.ParserPatterns.Set(int64(len(p.byID)))
-	return true
+	return false
 }
 
-func (p *Parser) removeLocked(pat *patterns.Pattern) {
-	delete(p.byID, pat.ID)
-	svc := p.index[pat.Service]
+func (sh *pshard) removeLocked(pat *patterns.Pattern) {
+	delete(sh.byID, pat.ID)
+	svc := sh.index[pat.Service]
 	if svc == nil {
 		return
 	}
@@ -124,41 +191,47 @@ func (p *Parser) removeLocked(pat *patterns.Pattern) {
 		}
 	}
 	if len(svc) == 0 {
-		delete(p.index, pat.Service)
+		delete(sh.index, pat.Service)
 	}
 }
 
 // Get returns the pattern with the given ID.
 func (p *Parser) Get(id string) (*patterns.Pattern, bool) {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	pat, ok := p.byID[id]
-	return pat, ok
+	for _, sh := range p.shards {
+		sh.mu.RLock()
+		pat, ok := sh.byID[id]
+		sh.mu.RUnlock()
+		if ok {
+			return pat, true
+		}
+	}
+	return nil, false
 }
 
 // Len returns the number of registered patterns.
-func (p *Parser) Len() int {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return len(p.byID)
-}
+func (p *Parser) Len() int { return int(p.count.Load()) }
 
 // Services returns the number of distinct services with patterns.
 func (p *Parser) Services() int {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return len(p.index)
+	n := 0
+	for _, sh := range p.shards {
+		sh.mu.RLock()
+		n += len(sh.index)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Match finds the best pattern for an enriched token sequence of the given
 // service. Among all matching candidates it returns the one with the most
 // literal positions (the most specific); ok is false when no pattern
-// matches.
+// matches. Only the service's shard is read-locked.
 func (p *Parser) Match(service string, tokens []token.Token) (best *patterns.Pattern, ok bool) {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
+	sh := p.shardFor(service)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	p.m.ParserMatchAttempts.Inc()
-	svc := p.index[service]
+	svc := sh.index[service]
 	if svc == nil || len(tokens) == 0 {
 		p.m.ParserMatchMisses.Inc()
 		return nil, false
@@ -188,11 +261,13 @@ func (p *Parser) Match(service string, tokens []token.Token) (best *patterns.Pat
 
 // All returns a snapshot of every registered pattern.
 func (p *Parser) All() []*patterns.Pattern {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	out := make([]*patterns.Pattern, 0, len(p.byID))
-	for _, pat := range p.byID {
-		out = append(out, pat)
+	out := make([]*patterns.Pattern, 0, p.count.Load())
+	for _, sh := range p.shards {
+		sh.mu.RLock()
+		for _, pat := range sh.byID {
+			out = append(out, pat)
+		}
+		sh.mu.RUnlock()
 	}
 	return out
 }

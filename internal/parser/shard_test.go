@@ -1,0 +1,122 @@
+package parser
+
+// Tests for the service-sharded index: shard-count equivalence with the
+// single-shard parser, cross-shard concurrency, and Replace atomicity
+// under sharding.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/patterns"
+)
+
+// TestShardCountEquivalence: the same pattern set behaves identically
+// through 1-sharded and 8-sharded parsers for every read path.
+func TestShardCountEquivalence(t *testing.T) {
+	single, sharded := NewSharded(1), NewSharded(8)
+	var pats []*patterns.Pattern
+	for i := 0; i < 30; i++ {
+		svc := fmt.Sprintf("svc%d", i%6)
+		pat := mustPattern(t, fmt.Sprintf("event %d from %%srcip%%", i), svc)
+		pats = append(pats, pat)
+		single.Add(pat)
+		sharded.Add(pat)
+	}
+	if single.Len() != sharded.Len() {
+		t.Fatalf("Len: %d vs %d", single.Len(), sharded.Len())
+	}
+	if single.Services() != sharded.Services() {
+		t.Fatalf("Services: %d vs %d", single.Services(), sharded.Services())
+	}
+	for i := 0; i < 30; i++ {
+		svc := fmt.Sprintf("svc%d", i%6)
+		toks := scan(fmt.Sprintf("event %d from 10.0.0.%d", i, i))
+		a, aok := single.Match(svc, toks)
+		b, bok := sharded.Match(svc, toks)
+		if aok != bok || (aok && a.ID != b.ID) {
+			t.Fatalf("message %d: single (%v,%v) vs sharded (%v,%v)", i, a, aok, b, bok)
+		}
+	}
+	for _, pat := range pats {
+		if _, ok := sharded.Get(pat.ID); !ok {
+			t.Fatalf("Get(%s) failed on sharded parser", pat.ID)
+		}
+	}
+	// Removing from both keeps them in lockstep.
+	for _, pat := range pats[:10] {
+		if single.Remove(pat.ID) != sharded.Remove(pat.ID) {
+			t.Fatalf("Remove(%s) diverges", pat.ID)
+		}
+	}
+	if single.Len() != sharded.Len() {
+		t.Fatalf("Len after removes: %d vs %d", single.Len(), sharded.Len())
+	}
+}
+
+// TestCrossShardAddDoesNotBlockMatch: registrations on one service run
+// concurrently with lookups on other services (run under -race; with a
+// single lock this is still correct, with shards it is also parallel).
+func TestCrossShardAddDoesNotBlockMatch(t *testing.T) {
+	p := NewSharded(8)
+	p.Add(mustPattern(t, "lookup target %string%", "reader-svc"))
+	toks := scan("lookup target hello")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(2)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p.Add(mustPattern(t, fmt.Sprintf("writer %d event %d %%string%%", w, i), fmt.Sprintf("writer-svc-%d", w)))
+			}
+		}(w)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, ok := p.Match("reader-svc", toks); !ok {
+					t.Error("reader-svc pattern lost during concurrent adds")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.Len(); got != 4*200+1 {
+		t.Fatalf("Len = %d, want %d", got, 4*200+1)
+	}
+}
+
+// TestReplaceAtomicPerService: a concurrent Match during Replace sees a
+// service's old set or new set, never a half-built one. Both the old and
+// the new set match the probe message (with different patterns), so any
+// miss is a torn swap.
+func TestReplaceAtomicPerService(t *testing.T) {
+	p := NewSharded(4)
+	old := mustPattern(t, "swap probe %string%", "svc")
+	p.Add(old)
+	next := mustPattern(t, "swap %string% %string%", "svc")
+	toks := scan("swap probe hello")
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			if i%2 == 0 {
+				p.Replace([]*patterns.Pattern{next})
+			} else {
+				p.Replace([]*patterns.Pattern{old})
+			}
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		if _, ok := p.Match("svc", toks); !ok {
+			t.Fatal("Match missed during Replace: torn swap observed")
+		}
+	}
+}

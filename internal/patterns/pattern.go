@@ -220,6 +220,21 @@ func (p *Pattern) Complexity() float64 {
 	return float64(vars) / float64(words)
 }
 
+// Clone returns a deep copy of the pattern: the Elements and Examples
+// slices are copied, so mutating the clone (or the original) never
+// reaches through to the other. The store hands out clones to keep its
+// internal state unaliased.
+func (p *Pattern) Clone() *Pattern {
+	cp := *p
+	if p.Elements != nil {
+		cp.Elements = append([]Element(nil), p.Elements...)
+	}
+	if p.Examples != nil {
+		cp.Examples = append([]string(nil), p.Examples...)
+	}
+	return &cp
+}
+
 // AddExample records a message as an example if fewer than MaxExamples
 // unique examples are stored. It reports whether the example was added.
 func (p *Pattern) AddExample(msg string) bool {

@@ -8,9 +8,31 @@
 // library alone: an embedded, crash-safe, file-backed store with
 //
 //   - an atomic JSON snapshot (written to a temporary file and renamed),
-//   - an append-only write-ahead journal replayed on open, so work between
+//   - append-only write-ahead journals replayed on open, so work between
 //     snapshots is never lost, and
-//   - automatic compaction once the journal grows past a threshold.
+//   - automatic compaction once the journals grow past a threshold.
+//
+// # Sharding
+//
+// The store is sharded by service: a pattern lives in the shard selected
+// by fnv32a(service) mod N (N defaults to GOMAXPROCS, configurable via
+// Options.Shards). Patterns never cross services (§IV of the paper), so
+// every mutation of one service's patterns touches exactly one shard —
+// its mutex and its journal file — and service partitions persist their
+// discoveries with no cross-service contention. Each shard appends to
+// its own numbered journal (journal-000.wal, journal-001.wal, ...);
+// the snapshot stays a single file written atomically across all shards.
+//
+// A store written by the pre-sharding layout (one journal.wal) or by a
+// store with a different shard count reopens losslessly: every journal
+// file present is replayed by content (records are routed by service
+// hash, or by ID probe for touches), and the store compacts immediately
+// so the on-disk layout matches the current shard count.
+//
+// Lock ordering: a mutation locks exactly one shard. Operations that
+// need a consistent cut (All, Compact, Close, purge scans) lock every
+// shard in ascending index order and never acquire a second store's
+// locks, so no lock cycle exists.
 //
 // A Store opened with an empty directory path keeps everything in memory,
 // which the benchmarks and the "empty pattern database" speed experiment
@@ -22,11 +44,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -34,44 +59,100 @@ import (
 )
 
 const (
-	snapshotFile = "patterns.json"
-	journalFile  = "journal.wal"
-	// compactAfter is the number of journal records after which Compact
-	// runs automatically on the next mutation.
+	snapshotFile  = "patterns.json"
+	legacyJournal = "journal.wal"
+	// compactAfter is the number of journal records (across all shards)
+	// after which Compact runs automatically on the next mutation.
 	compactAfter = 50000
 )
+
+// journalName returns the journal file of shard i.
+func journalName(i int) string { return fmt.Sprintf("journal-%03d.wal", i) }
 
 // ErrClosed is returned by every mutating method after Close. Test with
 // errors.Is.
 var ErrClosed = errors.New("store: closed")
 
+// ErrUnknownPattern is wrapped by Touch/TouchIn when the pattern ID is
+// not in the store — typically because a concurrent Purge removed it
+// between match and flush. Callers that can re-upsert should treat it as
+// recoverable; test with errors.Is.
+var ErrUnknownPattern = errors.New("store: unknown pattern")
+
+// Options tunes OpenOptions.
+type Options struct {
+	// Shards is the number of service-hash shards (and journal files for
+	// a file-backed store). Zero or negative selects GOMAXPROCS.
+	Shards int
+}
+
+// shard is one service-hash partition of the store: its own pattern
+// maps, mutex and journal file. All fields after construction are
+// guarded by mu.
+type shard struct {
+	id      int
+	st      *Store
+	mu      sync.Mutex
+	byID    map[string]*patterns.Pattern
+	bySvc   map[string]map[string]*patterns.Pattern // service → id → pattern
+	journal *os.File
+	jw      *bufio.Writer
+}
+
 // Store is a persistent pattern database. All methods are safe for
 // concurrent use.
 type Store struct {
-	mu      sync.Mutex
-	dir     string
-	byID    map[string]*patterns.Pattern
-	journal *os.File
-	jw      *bufio.Writer
-	jcount  int
-	closed  bool
-	m       *obs.Metrics
+	dir    string
+	shards []*shard
+	closed atomic.Bool
+	// count is the number of stored patterns across shards.
+	count atomic.Int64
+	// jcount counts journal records since the last compaction; crossing
+	// compactAfter schedules an automatic Compact.
+	jcount     atomic.Int64
+	compacting atomic.Bool
+	// compactMu serialises Compact/Close against each other; shard locks
+	// are always taken after it, in ascending order.
+	compactMu sync.Mutex
+	m         *obs.Metrics
 }
 
 // SetMetrics redirects the store's instrumentation to m (one Metrics is
 // shared across all pipeline stages of an instance). Call before
 // concurrent use.
 func (s *Store) SetMetrics(m *obs.Metrics) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	m.StoreShardContention.EnsureLen(len(s.shards))
+	m.StoreShardOps.EnsureLen(len(s.shards))
+	m.StoreShards.Set(int64(len(s.shards)))
 	s.m = m
-	m.StorePatterns.Set(int64(len(s.byID)))
+	m.StorePatterns.Set(s.count.Load())
 }
 
-// Open loads (or creates) a pattern database in dir. An empty dir opens a
-// purely in-memory store.
+// Open loads (or creates) a pattern database in dir with the default
+// shard count. An empty dir opens a purely in-memory store.
 func Open(dir string) (*Store, error) {
-	s := &Store{dir: dir, byID: make(map[string]*patterns.Pattern), m: obs.New()}
+	return OpenOptions(dir, Options{})
+}
+
+// OpenOptions is Open with tuning. The shard count is a property of the
+// open instance, not of the on-disk data: a database written with any
+// shard count (including the pre-sharding single-journal layout) opens
+// losslessly under any other.
+func OpenOptions(dir string, opts Options) (*Store, error) {
+	n := opts.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	s := &Store{dir: dir, shards: make([]*shard, n)}
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			id:    i,
+			st:    s,
+			byID:  make(map[string]*patterns.Pattern),
+			bySvc: make(map[string]map[string]*patterns.Pattern),
+		}
+	}
+	s.SetMetrics(obs.New())
 	if dir == "" {
 		return s, nil
 	}
@@ -81,16 +162,79 @@ func Open(dir string) (*Store, error) {
 	if err := s.loadSnapshot(); err != nil {
 		return nil, err
 	}
-	if err := s.replayJournal(); err != nil {
+	migrate, stray, err := s.replayJournals()
+	if err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("store: open journal: %w", err)
+	for _, sh := range s.shards {
+		f, err := os.OpenFile(filepath.Join(dir, journalName(sh.id)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			s.closeJournals()
+			return nil, fmt.Errorf("store: open journal: %w", err)
+		}
+		sh.journal = f
+		sh.jw = bufio.NewWriter(f)
 	}
-	s.journal = f
-	s.jw = bufio.NewWriter(f)
+	if migrate {
+		// The on-disk layout does not match this shard count (legacy
+		// single journal, or journals of a different count). Fold every
+		// replayed record into a fresh snapshot, then retire the files
+		// that no shard owns, so the next open sees only the current
+		// layout.
+		if err := s.Compact(); err != nil {
+			s.closeJournals()
+			return nil, err
+		}
+		for _, name := range stray {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+				s.closeJournals()
+				return nil, fmt.Errorf("store: retire journal %s: %w", name, err)
+			}
+		}
+	}
 	return s, nil
+}
+
+func (s *Store) closeJournals() {
+	for _, sh := range s.shards {
+		if sh.journal != nil {
+			sh.journal.Close()
+		}
+	}
+}
+
+// shardFor routes a service to its shard.
+func (s *Store) shardFor(service string) *shard {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	h := fnv.New32a()
+	h.Write([]byte(service))
+	return s.shards[int(h.Sum32())%len(s.shards)]
+}
+
+// lock acquires the shard mutex, counting acquisitions that had to wait
+// into the per-shard contention metric.
+func (sh *shard) lock() {
+	if sh.mu.TryLock() {
+		return
+	}
+	sh.st.m.StoreShardContention.Inc(sh.id)
+	sh.mu.Lock()
+}
+
+// lockAll acquires every shard lock in ascending order (the store's lock
+// ordering rule); unlockAll releases them.
+func (s *Store) lockAll() {
+	for _, sh := range s.shards {
+		sh.lock()
+	}
+}
+
+func (s *Store) unlockAll() {
+	for _, sh := range s.shards {
+		sh.mu.Unlock()
+	}
 }
 
 func (s *Store) loadSnapshot() error {
@@ -106,12 +250,14 @@ func (s *Store) loadSnapshot() error {
 		return fmt.Errorf("store: corrupt snapshot: %w", err)
 	}
 	for _, p := range list {
-		s.byID[p.ID] = p
+		s.shardFor(p.Service).insertLocked(p)
 	}
+	s.m.StorePatterns.Set(s.count.Load())
 	return nil
 }
 
-// record is one journal entry.
+// record is one journal entry. The format is unchanged from the
+// single-journal layout, which is what makes old journals replayable.
 type record struct {
 	Op      string            `json:"op"` // upsert | touch | delete
 	Pattern *patterns.Pattern `json:"pattern,omitempty"`
@@ -121,8 +267,48 @@ type record struct {
 	Example string            `json:"example,omitempty"`
 }
 
-func (s *Store) replayJournal() error {
-	f, err := os.Open(filepath.Join(s.dir, journalFile))
+// replayJournals replays every journal file present in the directory —
+// the legacy single journal.wal and any sharded journal-NNN.wal,
+// whatever shard count wrote them. It reports whether the layout needs
+// migrating to the current shard count and which file names no current
+// shard owns.
+func (s *Store) replayJournals() (migrate bool, stray []string, err error) {
+	legacy := filepath.Join(s.dir, legacyJournal)
+	if _, serr := os.Stat(legacy); serr == nil {
+		if err := s.replayFile(legacy); err != nil {
+			return false, nil, err
+		}
+		migrate = true
+		stray = append(stray, legacyJournal)
+	}
+	names, err := filepath.Glob(filepath.Join(s.dir, "journal-*.wal"))
+	if err != nil {
+		return false, nil, fmt.Errorf("store: list journals: %w", err)
+	}
+	sort.Strings(names)
+	owned := make(map[string]bool, len(s.shards))
+	for i := range s.shards {
+		owned[journalName(i)] = true
+	}
+	for _, path := range names {
+		if err := s.replayFile(path); err != nil {
+			return false, nil, err
+		}
+		if base := filepath.Base(path); !owned[base] {
+			// Written by a store with more shards than this one.
+			migrate = true
+			stray = append(stray, base)
+		}
+	}
+	return migrate, stray, nil
+}
+
+// replayFile replays one journal file. Replay happens before the store
+// is shared, so records are applied without locking; records are routed
+// by content (service hash for upserts, ID probe for touch/delete), so
+// any writer layout replays correctly.
+func (s *Store) replayFile(path string) error {
+	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
@@ -134,46 +320,90 @@ func (s *Store) replayJournal() error {
 	for {
 		var r record
 		if err := dec.Decode(&r); err != nil {
-			if err == io.EOF {
-				return nil
-			}
-			// A torn final record (crash mid-write) is expected; anything
+			// io.EOF is the clean end; anything else is a torn final
+			// record (crash mid-write), expected and tolerated — what was
 			// already replayed is kept.
 			return nil
 		}
-		s.applyLocked(r)
-		s.jcount++
+		s.applyReplay(r)
+		s.jcount.Add(1)
 	}
 }
 
-func (s *Store) applyLocked(r record) {
+// applyReplay routes one replayed record to its shard by content.
+func (s *Store) applyReplay(r record) {
 	switch r.Op {
 	case "upsert":
 		if r.Pattern != nil {
-			s.mergeLocked(r.Pattern)
+			s.shardFor(r.Pattern.Service).mergeLocked(r.Pattern)
 		}
 	case "touch":
-		if p, ok := s.byID[r.ID]; ok {
-			p.Count += r.N
-			if r.When.After(p.LastMatched) {
-				p.LastMatched = r.When
-			}
-			if r.Example != "" {
-				p.AddExample(r.Example)
+		for _, sh := range s.shards {
+			if sh.touchLocked(r) {
+				return
 			}
 		}
 	case "delete":
-		delete(s.byID, r.ID)
+		for _, sh := range s.shards {
+			if sh.deleteLocked(r.ID) {
+				return
+			}
+		}
 	}
+	s.m.StorePatterns.Set(s.count.Load())
 }
 
-func (s *Store) mergeLocked(p *patterns.Pattern) {
-	old, ok := s.byID[p.ID]
+// insertLocked adds a pattern known to be absent (snapshot load).
+func (sh *shard) insertLocked(p *patterns.Pattern) {
+	sh.byID[p.ID] = p
+	svc := sh.bySvc[p.Service]
+	if svc == nil {
+		svc = make(map[string]*patterns.Pattern)
+		sh.bySvc[p.Service] = svc
+	}
+	svc[p.ID] = p
+	sh.st.count.Add(1)
+}
+
+// touchLocked applies a touch record if the pattern lives here.
+func (sh *shard) touchLocked(r record) bool {
+	p, ok := sh.byID[r.ID]
 	if !ok {
-		cp := *p
-		cp.Examples = append([]string(nil), p.Examples...)
-		cp.Elements = append([]patterns.Element(nil), p.Elements...)
-		s.byID[p.ID] = &cp
+		return false
+	}
+	p.Count += r.N
+	if r.When.After(p.LastMatched) {
+		p.LastMatched = r.When
+	}
+	if r.Example != "" {
+		p.AddExample(r.Example)
+	}
+	return true
+}
+
+// deleteLocked removes a pattern if it lives here.
+func (sh *shard) deleteLocked(id string) bool {
+	p, ok := sh.byID[id]
+	if !ok {
+		return false
+	}
+	delete(sh.byID, id)
+	if svc := sh.bySvc[p.Service]; svc != nil {
+		delete(svc, id)
+		if len(svc) == 0 {
+			delete(sh.bySvc, p.Service)
+		}
+	}
+	sh.st.count.Add(-1)
+	return true
+}
+
+// mergeLocked inserts a pattern or merges it with the stored pattern of
+// the same ID. The argument is not retained.
+func (sh *shard) mergeLocked(p *patterns.Pattern) {
+	old, ok := sh.byID[p.ID]
+	if !ok {
+		sh.insertLocked(p.Clone())
 		return
 	}
 	old.Count += p.Count
@@ -188,23 +418,40 @@ func (s *Store) mergeLocked(p *patterns.Pattern) {
 	}
 }
 
-func (s *Store) log(r record) error {
-	if s.jw == nil {
+// log appends one record to the shard's journal. Callers hold the shard
+// lock; compaction is scheduled by the caller after releasing it.
+func (sh *shard) log(r record) error {
+	if sh.jw == nil {
+		sh.st.jcount.Add(1)
 		return nil
 	}
 	b, err := json.Marshal(r)
 	if err != nil {
 		return fmt.Errorf("store: marshal journal record: %w", err)
 	}
-	if _, err := s.jw.Write(append(b, '\n')); err != nil {
+	if _, err := sh.jw.Write(append(b, '\n')); err != nil {
 		return fmt.Errorf("store: append journal: %w", err)
 	}
-	s.m.StoreJournalAppends.Inc()
-	s.jcount++
-	if s.jcount >= compactAfter {
-		return s.compactLocked()
-	}
+	sh.st.m.StoreJournalAppends.Inc()
+	sh.st.jcount.Add(1)
 	return nil
+}
+
+// maybeCompact runs Compact when the journals have grown past the
+// threshold. Called after every mutation with no locks held; the
+// compacting flag keeps concurrent mutators from stampeding.
+func (s *Store) maybeCompact() error {
+	if s.jcount.Load() < compactAfter {
+		return nil
+	}
+	if !s.compacting.CompareAndSwap(false, true) {
+		return nil
+	}
+	defer s.compacting.Store(false)
+	if s.jcount.Load() < compactAfter {
+		return nil
+	}
+	return s.Compact()
 }
 
 // Upsert inserts a pattern or merges it with the stored pattern of the
@@ -214,49 +461,97 @@ func (s *Store) Upsert(p *patterns.Pattern) error {
 	if p.ID == "" {
 		p.ComputeID()
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	sh := s.shardFor(p.Service)
+	sh.lock()
+	if s.closed.Load() {
+		sh.mu.Unlock()
 		return ErrClosed
 	}
-	s.mergeLocked(p)
+	sh.mergeLocked(p)
 	s.m.StoreUpserts.Inc()
-	s.m.StorePatterns.Set(int64(len(s.byID)))
-	return s.log(record{Op: "upsert", Pattern: p})
+	s.m.StoreShardOps.Inc(sh.id)
+	s.m.StorePatterns.Set(s.count.Load())
+	err := sh.log(record{Op: "upsert", Pattern: p})
+	sh.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.maybeCompact()
 }
 
 // Touch records n additional matches of pattern id at time when, with an
-// optional example message.
+// optional example message. Without the service the ID cannot be routed,
+// so Touch probes every shard; hot paths that know the service should
+// use TouchIn.
 func (s *Store) Touch(id string, n int64, when time.Time, example string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
+	for _, sh := range s.shards {
+		done, err := sh.touch(id, n, when, example)
+		if err != nil || done {
+			return err
+		}
 	}
-	if _, ok := s.byID[id]; !ok {
-		return fmt.Errorf("store: touch unknown pattern %s", id)
+	return fmt.Errorf("store: touch unknown pattern %s: %w", id, ErrUnknownPattern)
+}
+
+// TouchIn is Touch for a known service: it locks only that service's
+// shard, which is what lets concurrent service partitions flush their
+// match statistics without contending.
+func (s *Store) TouchIn(service, id string, n int64, when time.Time, example string) error {
+	done, err := s.shardFor(service).touch(id, n, when, example)
+	if err != nil {
+		return err
+	}
+	if !done {
+		return fmt.Errorf("store: touch unknown pattern %s: %w", id, ErrUnknownPattern)
+	}
+	return nil
+}
+
+func (sh *shard) touch(id string, n int64, when time.Time, example string) (bool, error) {
+	s := sh.st
+	sh.lock()
+	if s.closed.Load() {
+		sh.mu.Unlock()
+		return false, ErrClosed
 	}
 	r := record{Op: "touch", ID: id, N: n, When: when, Example: example}
-	s.applyLocked(r)
+	if !sh.touchLocked(r) {
+		sh.mu.Unlock()
+		return false, nil
+	}
 	s.m.StoreTouches.Inc()
-	return s.log(r)
+	s.m.StoreShardOps.Inc(sh.id)
+	err := sh.log(r)
+	sh.mu.Unlock()
+	if err != nil {
+		return true, err
+	}
+	return true, s.maybeCompact()
 }
 
 // Delete removes a pattern by ID.
 func (s *Store) Delete(id string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
+	for _, sh := range s.shards {
+		sh.lock()
+		if s.closed.Load() {
+			sh.mu.Unlock()
+			return ErrClosed
+		}
+		if !sh.deleteLocked(id) {
+			sh.mu.Unlock()
+			continue
+		}
+		s.m.StoreDeletes.Inc()
+		s.m.StoreShardOps.Inc(sh.id)
+		s.m.StorePatterns.Set(s.count.Load())
+		err := sh.log(record{Op: "delete", ID: id})
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		return s.maybeCompact()
 	}
-	if _, ok := s.byID[id]; !ok {
-		return nil
-	}
-	r := record{Op: "delete", ID: id}
-	s.applyLocked(r)
-	s.m.StoreDeletes.Inc()
-	s.m.StorePatterns.Set(int64(len(s.byID)))
-	return s.log(r)
+	return nil
 }
 
 // Purge deletes patterns matched fewer than minCount times whose last
@@ -264,24 +559,40 @@ func (s *Store) Delete(id string) error {
 // paper's save threshold: "any pattern whose count of matches is less than
 // the threshold is considered useless and thus not saved" (§IV).
 func (s *Store) Purge(minCount int64, olderThan time.Time) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return 0, ErrClosed
-	}
-	removed := 0
-	for id, p := range s.byID {
-		if p.Count < minCount && p.LastMatched.Before(olderThan) {
-			delete(s.byID, id)
-			s.m.StoreDeletes.Inc()
-			if err := s.log(record{Op: "delete", ID: id}); err != nil {
-				return removed, err
+	ids, err := s.PurgeIDs(minCount, olderThan)
+	return len(ids), err
+}
+
+// PurgeIDs is Purge returning the IDs of the removed patterns, so the
+// caller can evict them from derived state (the engine removes them from
+// its parser to keep store and parser in sync).
+func (s *Store) PurgeIDs(minCount int64, olderThan time.Time) ([]string, error) {
+	var removed []string
+	for _, sh := range s.shards {
+		sh.lock()
+		if s.closed.Load() {
+			sh.mu.Unlock()
+			return removed, ErrClosed
+		}
+		var err error
+		for id, p := range sh.byID {
+			if p.Count < minCount && p.LastMatched.Before(olderThan) {
+				sh.deleteLocked(id)
+				s.m.StoreDeletes.Inc()
+				s.m.StoreShardOps.Inc(sh.id)
+				if err = sh.log(record{Op: "delete", ID: id}); err != nil {
+					break
+				}
+				removed = append(removed, id)
 			}
-			removed++
+		}
+		sh.mu.Unlock()
+		if err != nil {
+			return removed, err
 		}
 	}
-	s.m.StorePatterns.Set(int64(len(s.byID)))
-	return removed, nil
+	s.m.StorePatterns.Set(s.count.Load())
+	return removed, s.maybeCompact()
 }
 
 // MergeFrom folds every pattern of another store into this one, summing
@@ -299,28 +610,34 @@ func (s *Store) MergeFrom(other *Store) error {
 	return nil
 }
 
-// Get returns a copy of the pattern with the given ID.
+// Get returns a deep copy of the pattern with the given ID: mutating the
+// returned pattern (its Examples, its Elements) never reaches the
+// store's live state.
 func (s *Store) Get(id string) (*patterns.Pattern, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p, ok := s.byID[id]
-	if !ok {
-		return nil, false
+	for _, sh := range s.shards {
+		sh.lock()
+		if p, ok := sh.byID[id]; ok {
+			cp := p.Clone()
+			sh.mu.Unlock()
+			return cp, true
+		}
+		sh.mu.Unlock()
 	}
-	cp := *p
-	return &cp, true
+	return nil, false
 }
 
-// All returns copies of every stored pattern, ordered by service then
-// pattern text for stable output.
+// All returns deep copies of every stored pattern, ordered by service
+// then pattern text for stable output. The copies are a consistent cut:
+// every shard is locked for the duration of the collection.
 func (s *Store) All() []*patterns.Pattern {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]*patterns.Pattern, 0, len(s.byID))
-	for _, p := range s.byID {
-		cp := *p
-		out = append(out, &cp)
+	s.lockAll()
+	out := make([]*patterns.Pattern, 0, s.count.Load())
+	for _, sh := range s.shards {
+		for _, p := range sh.byID {
+			out = append(out, p.Clone())
+		}
 	}
+	s.unlockAll()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Service != out[j].Service {
 			return out[i].Service < out[j].Service
@@ -330,70 +647,83 @@ func (s *Store) All() []*patterns.Pattern {
 	return out
 }
 
-// ByService returns copies of the patterns of one service.
+// ByService returns deep copies of the patterns of one service, ordered
+// by pattern text. All patterns of a service live in one shard, so this
+// is a single-shard indexed lookup, not a scan of the whole store.
 func (s *Store) ByService(service string) []*patterns.Pattern {
+	sh := s.shardFor(service)
+	sh.lock()
 	var out []*patterns.Pattern
-	for _, p := range s.All() {
-		if p.Service == service {
-			out = append(out, p)
-		}
+	for _, p := range sh.bySvc[service] {
+		out = append(out, p.Clone())
 	}
+	sh.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Text() < out[j].Text() })
 	return out
 }
 
 // Services returns the distinct service names, sorted.
 func (s *Store) Services() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	seen := make(map[string]bool)
-	for _, p := range s.byID {
-		seen[p.Service] = true
-	}
-	out := make([]string, 0, len(seen))
-	for svc := range seen {
-		out = append(out, svc)
+	var out []string
+	for _, sh := range s.shards {
+		sh.lock()
+		for svc := range sh.bySvc {
+			out = append(out, svc)
+		}
+		sh.mu.Unlock()
 	}
 	sort.Strings(out)
 	return out
 }
 
 // Count returns the number of stored patterns.
-func (s *Store) Count() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.byID)
-}
+func (s *Store) Count() int { return int(s.count.Load()) }
+
+// Shards returns the shard count of this instance.
+func (s *Store) Shards() int { return len(s.shards) }
 
 // Flush forces buffered journal records to the OS.
 func (s *Store) Flush() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.flushLocked()
+	for _, sh := range s.shards {
+		sh.lock()
+		err := sh.flushLocked()
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-func (s *Store) flushLocked() error {
-	if s.jw == nil {
+func (sh *shard) flushLocked() error {
+	if sh.jw == nil {
 		return nil
 	}
-	if err := s.jw.Flush(); err != nil {
+	if err := sh.jw.Flush(); err != nil {
 		return fmt.Errorf("store: flush journal: %w", err)
 	}
 	return nil
 }
 
-// Compact writes an atomic snapshot and truncates the journal.
+// Compact writes an atomic snapshot and truncates every shard journal.
+// The snapshot is a consistent cut across shards: all shard locks are
+// held while it is assembled and the journals restarted.
 func (s *Store) Compact() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
+	if s.closed.Load() {
 		return ErrClosed
 	}
-	return s.compactLocked()
+	return s.compactAllLocked()
 }
 
-func (s *Store) compactLocked() error {
+// compactAllLocked does the snapshot + journal restart. Callers hold
+// compactMu and every shard lock.
+func (s *Store) compactAllLocked() error {
 	if s.dir == "" {
-		s.jcount = 0
+		s.jcount.Store(0)
 		return nil
 	}
 	start := time.Now()
@@ -401,9 +731,11 @@ func (s *Store) compactLocked() error {
 		s.m.StoreCompactions.Inc()
 		s.m.StoreCompactionDuration.ObserveSince(start)
 	}()
-	list := make([]*patterns.Pattern, 0, len(s.byID))
-	for _, p := range s.byID {
-		list = append(list, p)
+	list := make([]*patterns.Pattern, 0, s.count.Load())
+	for _, sh := range s.shards {
+		for _, p := range sh.byID {
+			list = append(list, p)
+		}
 	}
 	sort.Slice(list, func(i, j int) bool { return list[i].ID < list[j].ID })
 	data, err := json.MarshalIndent(list, "", " ")
@@ -417,40 +749,53 @@ func (s *Store) compactLocked() error {
 	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotFile)); err != nil {
 		return fmt.Errorf("store: commit snapshot: %w", err)
 	}
-	// Snapshot durable: restart the journal.
-	if s.journal != nil {
-		if err := s.jw.Flush(); err != nil {
+	// Snapshot durable: restart every journal.
+	for _, sh := range s.shards {
+		if sh.journal == nil {
+			continue
+		}
+		if err := sh.jw.Flush(); err != nil {
 			return err
 		}
-		if err := s.journal.Truncate(0); err != nil {
+		if err := sh.journal.Truncate(0); err != nil {
 			return fmt.Errorf("store: truncate journal: %w", err)
 		}
-		if _, err := s.journal.Seek(0, io.SeekStart); err != nil {
+		if _, err := sh.journal.Seek(0, io.SeekStart); err != nil {
 			return fmt.Errorf("store: rewind journal: %w", err)
 		}
-		s.jw.Reset(s.journal)
+		sh.jw.Reset(sh.journal)
 	}
-	s.jcount = 0
+	s.jcount.Store(0)
 	return nil
 }
 
 // Close flushes and closes the store. A file-backed store compacts on
 // close so the snapshot is complete.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
+	if s.closed.Load() {
 		return nil
 	}
-	s.closed = true
-	if s.journal == nil {
+	s.closed.Store(true)
+	if s.dir == "" {
 		return nil
 	}
-	if err := s.compactLocked(); err != nil {
+	if err := s.compactAllLocked(); err != nil {
 		return err
 	}
-	if err := s.jw.Flush(); err != nil {
-		return err
+	for _, sh := range s.shards {
+		if sh.journal == nil {
+			continue
+		}
+		if err := sh.jw.Flush(); err != nil {
+			return err
+		}
+		if err := sh.journal.Close(); err != nil {
+			return err
+		}
 	}
-	return s.journal.Close()
+	return nil
 }

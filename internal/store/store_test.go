@@ -14,6 +14,36 @@ import (
 
 var t0 = time.Date(2021, 9, 1, 0, 0, 0, 0, time.UTC)
 
+// crash simulates a process crash: journal handles are dropped with no
+// Close and no compaction.
+func crash(s *Store) {
+	for _, sh := range s.shards {
+		if sh.journal != nil {
+			sh.jw.Flush()
+			sh.journal.Close()
+		}
+	}
+}
+
+// journalSize sums the sizes of every journal file in dir (legacy and
+// sharded layouts alike).
+func journalSize(t testing.TB, dir string) int64 {
+	t.Helper()
+	var total int64
+	names, err := filepath.Glob(filepath.Join(dir, "journal*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		fi, err := os.Stat(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += fi.Size()
+	}
+	return total
+}
+
 func pat(t testing.TB, text, service string) *patterns.Pattern {
 	t.Helper()
 	p, err := patterns.FromText(text, service)
@@ -152,8 +182,8 @@ func TestCrashRecovery(t *testing.T) {
 	if err := s.Flush(); err != nil { // data reaches the journal file
 		t.Fatal(err)
 	}
-	// Simulate crash: no Close, no Compact; just drop the handle.
-	s.journal.Close()
+	// Simulate crash: no Close, no Compact; just drop the handles.
+	crash(s)
 
 	r, err := Open(dir)
 	if err != nil {
@@ -177,9 +207,10 @@ func TestTornJournalTolerated(t *testing.T) {
 	p := pat(t, "fine %string%", "svc")
 	s.Upsert(p)
 	s.Flush()
-	s.journal.Close()
+	shardJournal := journalName(s.shardFor("svc").id)
+	crash(s)
 
-	f, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_APPEND|os.O_WRONLY, 0)
+	f, err := os.OpenFile(filepath.Join(dir, shardJournal), os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,12 +279,8 @@ func TestCompactTruncatesJournal(t *testing.T) {
 	if err := s.Compact(); err != nil {
 		t.Fatal(err)
 	}
-	fi, err := os.Stat(filepath.Join(dir, journalFile))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if fi.Size() != 0 {
-		t.Errorf("journal size after compact = %d, want 0", fi.Size())
+	if size := journalSize(t, dir); size != 0 {
+		t.Errorf("journal size after compact = %d, want 0", size)
 	}
 	s.Close()
 
@@ -284,14 +311,10 @@ func TestAutoCompaction(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// The journal must have been truncated by the automatic compaction.
+	// The journals must have been truncated by the automatic compaction.
 	s.Flush()
-	fi, err := os.Stat(filepath.Join(dir, journalFile))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if fi.Size() > 1<<20 {
-		t.Fatalf("journal grew to %d bytes; auto-compaction missing", fi.Size())
+	if size := journalSize(t, dir); size > 1<<20 {
+		t.Fatalf("journals grew to %d bytes; auto-compaction missing", size)
 	}
 	// Nothing lost: snapshot + journal replay give the full count.
 	if err := s.Close(); err != nil {

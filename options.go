@@ -40,6 +40,15 @@ func WithConcurrency(n int) Option {
 	return func(c *Config) { c.Concurrency = n }
 }
 
+// WithStoreShards splits the store's and parser's state into n
+// service-hash shards, each with its own lock and journal file (0, the
+// default, selects GOMAXPROCS). More shards means less contention
+// between concurrent service workers; the on-disk database remains
+// readable under any shard count.
+func WithStoreShards(n int) Option {
+	return func(c *Config) { c.StoreShards = n }
+}
+
 // WithKeepAllVariables disables constant folding, reverting to the
 // original Sequence behaviour of keeping every typed position a
 // variable.

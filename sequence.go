@@ -131,6 +131,11 @@ type Config struct {
 	// Concurrency analyses that many services in parallel (default 1,
 	// the paper's sequential behaviour).
 	Concurrency int
+	// StoreShards is the number of service-hash shards the store and
+	// parser split their state into (0 selects GOMAXPROCS). Concurrent
+	// service workers only contend when their services hash to the same
+	// shard.
+	StoreShards int
 	// KeepAllVariables disables constant folding, reverting to the
 	// original Sequence behaviour of keeping every typed position a
 	// variable (limitation 4 in the paper).
@@ -184,7 +189,7 @@ func Open(dir string, opts ...Option) (*RTG, error) {
 	if c.Metrics == nil {
 		c.Metrics = obs.New()
 	}
-	st, err := store.Open(dir)
+	st, err := store.OpenOptions(dir, store.Options{Shards: c.StoreShards})
 	if err != nil {
 		return nil, err
 	}
@@ -199,6 +204,7 @@ func Open(dir string, opts ...Option) (*RTG, error) {
 		SaveThreshold: c.SaveThreshold,
 		MaxTrieNodes:  c.MaxTrieNodes,
 		Concurrency:   c.Concurrency,
+		Shards:        c.StoreShards,
 		Scanner:       token.Config{UnpaddedTimes: c.UnpaddedTimes, PathFSM: c.PathFSM},
 		Metrics:       c.Metrics,
 	})
@@ -332,9 +338,12 @@ func (r *RTG) Export(w io.Writer, f Format, opts ExportOptions) error {
 }
 
 // Purge removes patterns matched fewer than minCount times and last
-// matched before olderThan — the save-threshold hygiene of §IV.
+// matched before olderThan — the save-threshold hygiene of §IV. The
+// purge covers the store and the live parser together, so a purged
+// pattern stops matching immediately and can be re-discovered by the
+// next analysis.
 func (r *RTG) Purge(minCount int64, olderThan time.Time) (int, error) {
-	return r.store.Purge(minCount, olderThan)
+	return r.engine.Purge(minCount, olderThan)
 }
 
 // Compact writes a fresh snapshot of a file-backed pattern database and
