@@ -72,7 +72,9 @@ func (p *Parser) shardFor(service string) *pshard {
 	}
 	h := fnv.New32a()
 	h.Write([]byte(service))
-	return p.shards[int(h.Sum32())%len(p.shards)]
+	// Reduce in uint32: int(h.Sum32()) is negative for hashes >= 2^31 on
+	// 32-bit platforms, and a negative modulo would index out of range.
+	return p.shards[int(h.Sum32()%uint32(len(p.shards)))]
 }
 
 // SetMetrics redirects the parser's instrumentation to m (the engine
@@ -143,7 +145,7 @@ func (p *Parser) Replace(pats []*patterns.Pattern) {
 		if len(fresh) > 1 {
 			h := fnv.New32a()
 			h.Write([]byte(pat.Service))
-			idx = int(h.Sum32()) % len(fresh)
+			idx = int(h.Sum32() % uint32(len(fresh)))
 		}
 		fresh[idx].addLocked(pat)
 	}

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"sync"
@@ -230,6 +231,70 @@ func TestTornJournalMidFileSharded(t *testing.T) {
 	}
 	if _, ok := r.Get(pb.ID); !ok {
 		t.Fatal("beta pattern (other shard) lost")
+	}
+}
+
+// TestShardCountGrowthCompactsOnOpen: a store that crashed with records
+// in its journals and reopens under a LARGER shard count must compact
+// immediately. If the old records were left in place, this session's
+// appends would land in differently-numbered files for the same service
+// (h mod Nnew vs h mod Nold), and a later name-ordered replay could
+// apply a newer delete before the older upsert it deletes — resurrecting
+// a purged pattern.
+func TestShardCountGrowthCompactsOnOpen(t *testing.T) {
+	// Pick a service whose new-layout journal (mod 4) sorts BEFORE its
+	// old-layout journal (mod 3) — the order-inverting case.
+	var svc string
+	for i := 0; ; i++ {
+		svc = fmt.Sprintf("svc%d", i)
+		h := fnv.New32a()
+		h.Write([]byte(svc))
+		if h.Sum32()%4 < h.Sum32()%3 {
+			break
+		}
+	}
+	dir := t.TempDir()
+	s1, err := OpenOptions(dir, Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pat(t, "doomed %string% event", svc)
+	if err := s1.Upsert(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	crash(s1)
+
+	s2, err := OpenOptions(dir, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := journalSize(t, dir); got != 0 {
+		t.Errorf("journals not collapsed after reopen with more shards: %d bytes left", got)
+	}
+	if _, ok := s2.Get(p.ID); !ok {
+		t.Fatal("pattern lost across shard-count change")
+	}
+	if err := s2.Delete(p.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	crash(s2)
+
+	s3, err := OpenOptions(dir, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if _, ok := s3.Get(p.ID); ok {
+		t.Fatal("deleted pattern resurrected by out-of-order journal replay")
+	}
+	if s3.Count() != 0 {
+		t.Errorf("count after delete and reopen = %d, want 0", s3.Count())
 	}
 }
 

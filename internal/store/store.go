@@ -26,8 +26,10 @@
 // A store written by the pre-sharding layout (one journal.wal) or by a
 // store with a different shard count reopens losslessly: every journal
 // file present is replayed by content (records are routed by service
-// hash, or by ID probe for touches), and the store compacts immediately
-// so the on-disk layout matches the current shard count.
+// hash, or by ID probe for touches), and whenever replay found any
+// records the store compacts immediately, so journal files on disk only
+// ever hold records written under the current shard count and replay
+// order can never interleave layouts.
 //
 // Lock ordering: a mutation locks exactly one shard. Operations that
 // need a consistent cut (All, Compact, Close, purge scans) lock every
@@ -176,11 +178,11 @@ func OpenOptions(dir string, opts Options) (*Store, error) {
 		sh.jw = bufio.NewWriter(f)
 	}
 	if migrate {
-		// The on-disk layout does not match this shard count (legacy
-		// single journal, or journals of a different count). Fold every
-		// replayed record into a fresh snapshot, then retire the files
-		// that no shard owns, so the next open sees only the current
-		// layout.
+		// The journals held records (possibly written under a different
+		// shard count) or the layout does not match this shard count.
+		// Fold every replayed record into a fresh snapshot, then retire
+		// the files that no shard owns, so the next open sees only the
+		// current layout.
 		if err := s.Compact(); err != nil {
 			s.closeJournals()
 			return nil, err
@@ -210,7 +212,9 @@ func (s *Store) shardFor(service string) *shard {
 	}
 	h := fnv.New32a()
 	h.Write([]byte(service))
-	return s.shards[int(h.Sum32())%len(s.shards)]
+	// Reduce in uint32: int(h.Sum32()) is negative for hashes >= 2^31 on
+	// 32-bit platforms, and a negative modulo would index out of range.
+	return s.shards[int(h.Sum32()%uint32(len(s.shards)))]
 }
 
 // lock acquires the shard mutex, counting acquisitions that had to wait
@@ -272,6 +276,16 @@ type record struct {
 // whatever shard count wrote them. It reports whether the layout needs
 // migrating to the current shard count and which file names no current
 // shard owns.
+//
+// Any journal that contained records forces migration: the writer's
+// shard count is not recorded on disk, so a non-empty journal may have
+// been written under a different count (GOMAXPROCS varies across
+// machines). Compacting immediately folds the replayed state into the
+// snapshot and truncates every journal, which is what guarantees that
+// journal files on disk only ever hold records from one layout — if
+// records from two shard counts could accumulate, a service's older
+// records could live in a file that sorts after the file holding its
+// newer ones, and a later replay would apply them out of order.
 func (s *Store) replayJournals() (migrate bool, stray []string, err error) {
 	legacy := filepath.Join(s.dir, legacyJournal)
 	if _, serr := os.Stat(legacy); serr == nil {
@@ -299,6 +313,11 @@ func (s *Store) replayJournals() (migrate bool, stray []string, err error) {
 			migrate = true
 			stray = append(stray, base)
 		}
+	}
+	// replayFile counts every replayed record into jcount, and jcount is
+	// zero before replay on a fresh open.
+	if s.jcount.Load() > 0 {
+		migrate = true
 	}
 	return migrate, stray, nil
 }
@@ -439,7 +458,10 @@ func (sh *shard) log(r record) error {
 
 // maybeCompact runs Compact when the journals have grown past the
 // threshold. Called after every mutation with no locks held; the
-// compacting flag keeps concurrent mutators from stampeding.
+// compacting flag keeps concurrent mutators from stampeding. Losing the
+// race with Close is not an error: the mutation was already applied and
+// Close's own compaction makes it durable, so the caller must not see a
+// failure for work that succeeded.
 func (s *Store) maybeCompact() error {
 	if s.jcount.Load() < compactAfter {
 		return nil
@@ -451,7 +473,10 @@ func (s *Store) maybeCompact() error {
 	if s.jcount.Load() < compactAfter {
 		return nil
 	}
-	return s.Compact()
+	if err := s.Compact(); err != nil && !errors.Is(err, ErrClosed) {
+		return err
+	}
+	return nil
 }
 
 // Upsert inserts a pattern or merges it with the stored pattern of the

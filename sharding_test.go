@@ -17,7 +17,7 @@ import (
 func shardOf(service string, n int) int {
 	h := fnv.New32a()
 	h.Write([]byte(service))
-	return int(h.Sum32()) % n
+	return int(h.Sum32() % uint32(n))
 }
 
 func TestShardingEquivalence(t *testing.T) {
