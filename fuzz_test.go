@@ -1,0 +1,74 @@
+package sequence_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	sequence "repro"
+)
+
+var (
+	fuzzOnce sync.Once
+	fuzzRTG  *sequence.RTG
+	fuzzErr  error
+)
+
+// fuzzFixture returns a process-wide RTG pre-mined with a few services'
+// worth of patterns, so Parse exercises real radix-tree lookups rather
+// than the empty-parser fast path. Fuzz workers are separate processes;
+// within one process the target runs serially, and Parse is read-only,
+// so sharing is safe.
+func fuzzFixture(tb testing.TB) *sequence.RTG {
+	fuzzOnce.Do(func() {
+		fuzzRTG, fuzzErr = sequence.Open("")
+		if fuzzErr != nil {
+			return
+		}
+		recs := sshdRecords(40)
+		for i := 0; i < 20; i++ {
+			recs = append(recs,
+				sequence.Record{Service: "hdfs", Message: fmt.Sprintf(
+					"Receiving block blk_%d src: /10.0.0.%d:50010 dest: /10.0.0.%d:50010", i*7, i%250+1, i%250+2)},
+				sequence.Record{Service: "app", Message: fmt.Sprintf(
+					"request %d handled in %d ms", i, i*3)},
+			)
+		}
+		_, fuzzErr = fuzzRTG.AnalyzeByService(recs, now)
+	})
+	if fuzzErr != nil {
+		tb.Fatalf("building fuzz fixture: %v", fuzzErr)
+	}
+	return fuzzRTG
+}
+
+// FuzzParse throws arbitrary service/message pairs at the public Parse
+// API — the exact surface an operator points at untrusted production
+// logs. The contract: never panic, a hit always carries its pattern, and
+// parsing is deterministic.
+func FuzzParse(f *testing.F) {
+	f.Add("sshd", "Failed password for root from 10.0.0.1 port 22 ssh2")
+	f.Add("sshd", "Connection closed by 10.0.0.1 [preauth]")
+	f.Add("hdfs", "Receiving block blk_35 src: /10.0.0.4:50010 dest: /10.0.0.5:50010")
+	f.Add("app", "request 7 handled in 21 ms")
+	f.Add("android", "20171224-0:7:20:444|Step_LSC|30002312|onStandStepChanged 3579")
+	f.Add("", "")
+	f.Add("unknown-service", "message for a service nobody mined")
+	f.Add("sshd", "Failed password for root from 10.0.0.1 port 22 ssh2 with trailing junk \x00\xff")
+	f.Add("app", "request  7  handled  in  21  ms")
+	f.Add("app", "multi\nline\nrequest 7 handled in 21 ms")
+	f.Fuzz(func(t *testing.T, service, message string) {
+		rtg := fuzzFixture(t)
+		p, vars, ok := rtg.Parse(service, message)
+		if ok && p == nil {
+			t.Fatalf("Parse(%q, %q) reported a match with a nil pattern", service, message)
+		}
+		if !ok && len(vars) != 0 {
+			t.Fatalf("Parse(%q, %q) returned variables %v without a match", service, message, vars)
+		}
+		p2, _, ok2 := rtg.Parse(service, message)
+		if ok2 != ok || (ok && p2.ID != p.ID) {
+			t.Fatalf("Parse(%q, %q) not deterministic: (%v, %v) then (%v, %v)", service, message, p, ok, p2, ok2)
+		}
+	})
+}

@@ -317,6 +317,11 @@ func (e *Engine) analyzeService(svc string, msgs []string, now time.Time) (Batch
 		return res, err
 	}
 
+	// Flush every hit even when some fail: a transient journal I/O error
+	// on one pattern must not drop the match statistics of the others.
+	// The store counts each failure (seqrtg_store_io_errors_total); the
+	// joined failures surface as one retryable PersistError.
+	var perr error
 	for id, h := range hits {
 		err := e.store.TouchIn(svc, id, h.n, now, h.example)
 		if errors.Is(err, store.ErrUnknownPattern) {
@@ -333,8 +338,11 @@ func (e *Engine) analyzeService(svc string, msgs []string, now time.Time) (Batch
 			err = e.store.Upsert(cp)
 		}
 		if err != nil {
-			return res, fmt.Errorf("core: record matches: %w", err)
+			perr = errors.Join(perr, fmt.Errorf("core: record matches: %w", err))
 		}
+	}
+	if perr != nil {
+		return res, &PersistError{Err: perr}
 	}
 	return res, nil
 }
@@ -358,15 +366,23 @@ func (e *Engine) Purge(minCount int64, olderThan time.Time) (int, error) {
 // are confined to the analyzer's service shard.
 func (e *Engine) harvest(a *analyzer.Analyzer, now time.Time) (int, error) {
 	saved := 0
+	var perr error
 	for _, p := range a.Patterns(now) {
 		if e.cfg.SaveThreshold > 0 && p.Count < e.cfg.SaveThreshold {
 			continue
 		}
 		if err := e.store.Upsert(p); err != nil {
-			return saved, fmt.Errorf("core: save pattern: %w", err)
+			// Keep saving the remaining patterns; this one stays out of
+			// the parser so a later rediscovery re-seeds the store rather
+			// than the parser matching a pattern the store never got.
+			perr = errors.Join(perr, fmt.Errorf("core: save pattern: %w", err))
+			continue
 		}
 		e.parser.Add(p)
 		saved++
+	}
+	if perr != nil {
+		return saved, &PersistError{Err: perr}
 	}
 	return saved, nil
 }
@@ -415,7 +431,9 @@ func (e *Engine) RunContext(ctx context.Context, r *ingest.Reader, report func(B
 			report(res)
 		}
 		if err := e.store.Flush(); err != nil {
-			return total, err
+			// The batch's mutations are applied in memory but not yet
+			// durable; the store recovers at its next successful barrier.
+			return total, &PersistError{Err: err}
 		}
 	}
 	return total, nil

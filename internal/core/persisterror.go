@@ -1,0 +1,31 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/store"
+)
+
+// PersistError wraps persistence failures of one batch: journal appends,
+// snapshot writes or flushes that the store could not complete. The
+// batch's analysis itself succeeded — patterns were mined and matched in
+// memory — so callers of Run/AnalyzeByService can treat a retryable
+// PersistError as a degraded batch (the failures are counted in
+// seqrtg_store_io_errors_total, and the next successful Flush restores
+// full durability) rather than a reason to stop the stream.
+type PersistError struct {
+	// Err is the underlying failure; multiple failures from one batch
+	// are joined with errors.Join.
+	Err error
+}
+
+// Error implements error.
+func (e *PersistError) Error() string { return e.Err.Error() }
+
+// Unwrap lets errors.Is/As see through to the store errors.
+func (e *PersistError) Unwrap() error { return e.Err }
+
+// Retryable reports whether the batch may succeed if retried: true for
+// I/O failures (a disk may recover, ENOSPC may clear), false when the
+// store has been closed underneath the engine.
+func (e *PersistError) Retryable() bool { return !errors.Is(e.Err, store.ErrClosed) }

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ingest"
+	"repro/internal/obs"
+	"repro/internal/store"
+	"repro/internal/vfs"
+)
+
+// variedBatch returns n records forming 30 structurally distinct
+// patterns (one per token count), so a batch's journal records overflow
+// the store's write buffer and actually reach the (failing) disk.
+func variedBatch(n int, seed int) []ingest.Record {
+	recs := make([]ingest.Record, n)
+	for i := range recs {
+		var sb strings.Builder
+		sb.WriteString("event")
+		for j := 0; j < i%30+2; j++ {
+			fmt.Fprintf(&sb, " field%d", seed*1000+i*31+j)
+		}
+		recs[i] = ingest.Record{Service: "svc", Message: sb.String()}
+	}
+	return recs
+}
+
+// TestPersistErrorRetryable checks that a batch hitting journal I/O
+// failures surfaces a retryable PersistError with the failures counted,
+// and that the store recovers the batch's statistics at the next
+// successful barrier.
+func TestPersistErrorRetryable(t *testing.T) {
+	f := vfs.NewFault()
+	st, err := store.OpenOptions("db", store.Options{Shards: 1, FS: f})
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	m := obs.New()
+	e := NewEngine(st, Config{Metrics: m})
+
+	// First batch mines ~30 patterns; the second parses against them and
+	// flushes one touch record per pattern — enough journal bytes to
+	// overflow the write buffer and hit the disk mid-batch.
+	if _, err := e.AnalyzeByService(variedBatch(60, 1), now); err != nil {
+		t.Fatalf("mining batch: %v", err)
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+
+	// Every journal write fails until the disk "recovers".
+	f.SetDiskBudget(0)
+	_, err = e.AnalyzeByService(variedBatch(60, 1), now.Add(time.Minute))
+	var perr *PersistError
+	if !errors.As(err, &perr) {
+		t.Fatalf("analyze with failing disk = %v, want PersistError", err)
+	}
+	if !perr.Retryable() {
+		t.Fatalf("disk-full PersistError not retryable: %v", perr)
+	}
+	if !errors.Is(err, vfs.ErrNoSpace) {
+		t.Fatalf("PersistError does not unwrap to the disk error: %v", err)
+	}
+	if m.StoreIOErrors.Value() == 0 {
+		t.Fatal("journal failures not counted in StoreIOErrors")
+	}
+
+	// Disk recovers; the next barrier restores durability.
+	f.SetDiskBudget(-1)
+	if err := st.Flush(); err != nil {
+		t.Fatalf("flush after recovery: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestPersistErrorNotRetryableWhenClosed checks that batches against a
+// closed store surface as a non-retryable PersistError.
+func TestPersistErrorNotRetryableWhenClosed(t *testing.T) {
+	f := vfs.NewFault()
+	st, err := store.OpenOptions("db", store.Options{Shards: 1, FS: f})
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	e := NewEngine(st, Config{})
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	_, err = e.AnalyzeByService(sshdBatch(10, 1), now)
+	var perr *PersistError
+	if !errors.As(err, &perr) {
+		t.Fatalf("analyze on closed store = %v, want PersistError", err)
+	}
+	if perr.Retryable() {
+		t.Fatal("ErrClosed PersistError must not be retryable")
+	}
+	if !errors.Is(err, store.ErrClosed) {
+		t.Fatalf("PersistError does not unwrap to ErrClosed: %v", err)
+	}
+}

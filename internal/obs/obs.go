@@ -298,6 +298,7 @@ type Metrics struct {
 	StoreTouchUnknown       Counter    // touches of IDs absent from the store (purged mid-batch), recovered
 	StoreDeletes            Counter    // patterns deleted (including purges)
 	StoreJournalAppends     Counter    // records appended to the write-ahead journal
+	StoreIOErrors           Counter    // failed disk operations (journal append/flush/sync, snapshot write)
 	StoreCompactions        Counter    // snapshot compactions
 	StorePatterns           Gauge      // patterns currently stored
 	StoreShards             Gauge      // service-hash shards of the store
@@ -347,6 +348,7 @@ type Snapshot struct {
 	StoreTouchUnknown       int64             `json:"store_touch_unknown"`
 	StoreDeletes            int64             `json:"store_deletes"`
 	StoreJournalAppends     int64             `json:"store_journal_appends"`
+	StoreIOErrors           int64             `json:"store_io_errors"`
 	StoreCompactions        int64             `json:"store_compactions"`
 	StorePatterns           int64             `json:"store_patterns"`
 	StoreShards             int64             `json:"store_shards"`
@@ -395,6 +397,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		StoreTouchUnknown:       m.StoreTouchUnknown.Value(),
 		StoreDeletes:            m.StoreDeletes.Value(),
 		StoreJournalAppends:     m.StoreJournalAppends.Value(),
+		StoreIOErrors:           m.StoreIOErrors.Value(),
 		StoreCompactions:        m.StoreCompactions.Value(),
 		StorePatterns:           m.StorePatterns.Value(),
 		StoreShards:             m.StoreShards.Value(),
@@ -464,6 +467,7 @@ func (m *Metrics) descs() []metricDesc {
 		{name: "seqrtg_store_touch_unknown_total", help: "Match-statistic updates for patterns no longer in the store (purged mid-batch), recovered by re-upsert.", kind: "counter", c: &m.StoreTouchUnknown},
 		{name: "seqrtg_store_deletes_total", help: "Patterns deleted from the store, including purges.", kind: "counter", c: &m.StoreDeletes},
 		{name: "seqrtg_store_journal_appends_total", help: "Records appended to the write-ahead journal.", kind: "counter", c: &m.StoreJournalAppends},
+		{name: "seqrtg_store_io_errors_total", help: "Failed disk operations in the pattern store (journal append/flush/sync, snapshot write).", kind: "counter", c: &m.StoreIOErrors},
 		{name: "seqrtg_store_compactions_total", help: "Snapshot compactions of the pattern database.", kind: "counter", c: &m.StoreCompactions},
 		{name: "seqrtg_store_patterns", help: "Patterns currently stored.", kind: "gauge", g: &m.StorePatterns},
 		{name: "seqrtg_store_shards", help: "Service-hash shards of the pattern store.", kind: "gauge", g: &m.StoreShards},

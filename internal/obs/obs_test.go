@@ -209,3 +209,68 @@ func TestZeroHistogramUsesDefBuckets(t *testing.T) {
 		t.Errorf("zero histogram has %d buckets, want %d", got, len(DefBuckets)+1)
 	}
 }
+
+// TestHistogramZeroObservations checks that a never-observed histogram
+// snapshots, JSON-encodes and renders in the exposition format without
+// dividing by zero or inventing observations: count 0, sum 0, every
+// cumulative bucket 0.
+func TestHistogramZeroObservations(t *testing.T) {
+	h := NewHistogram(0.5, 5)
+	s := h.snapshot()
+	if s.Count != 0 || s.Sum != 0 {
+		t.Fatalf("empty histogram snapshot = count %d sum %g", s.Count, s.Sum)
+	}
+	if len(s.Buckets) != 3 { // 0.5, 5, +Inf
+		t.Fatalf("buckets = %d, want 3", len(s.Buckets))
+	}
+	for i, b := range s.Buckets {
+		if b.Count != 0 {
+			t.Errorf("bucket[%d] (le=%g) = %d, want 0", i, b.UpperBound, b.Count)
+		}
+	}
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal empty snapshot: %v", err)
+	}
+	var back HistogramSnapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal empty snapshot: %v", err)
+	}
+	if back.Count != 0 || len(back.Buckets) != 3 {
+		t.Errorf("round trip changed the snapshot: %+v", back)
+	}
+	// The exposition writer must also cope with untouched histograms.
+	var buf bytes.Buffer
+	if err := New().WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus on fresh metrics: %v", err)
+	}
+	if !strings.Contains(buf.String(), `le="+Inf"} 0`) {
+		t.Error("exposition output lacks empty +Inf buckets")
+	}
+}
+
+// TestHistogramSingleBucketOverflow checks the smallest legal layout —
+// one finite bound — counts overflow observations only in +Inf, keeps
+// them out of the finite bucket, and still sums them.
+func TestHistogramSingleBucketOverflow(t *testing.T) {
+	h := NewHistogram(1)
+	h.Observe(1)             // boundary: le is inclusive
+	h.Observe(1000000)       // far overflow
+	h.Observe(math.MaxFloat64)
+	s := h.snapshot()
+	if len(s.Buckets) != 2 {
+		t.Fatalf("buckets = %d, want 2", len(s.Buckets))
+	}
+	if s.Buckets[0].Count != 1 {
+		t.Errorf("le=1 bucket = %d, want 1 (boundary value only)", s.Buckets[0].Count)
+	}
+	if s.Buckets[1].Count != 3 {
+		t.Errorf("+Inf bucket = %d, want 3 (cumulative)", s.Buckets[1].Count)
+	}
+	if s.Count != 3 {
+		t.Errorf("count = %d, want 3", s.Count)
+	}
+	if s.Sum < 1000000 {
+		t.Errorf("sum = %g lost the overflow values", s.Sum)
+	}
+}

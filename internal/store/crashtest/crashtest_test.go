@@ -1,0 +1,52 @@
+package crashtest
+
+import "testing"
+
+// TestCrashMatrix crashes the scripted workload at every mutating disk
+// operation it performs, in both crash loss modes, and checks the full
+// durability contract at each point. The issue's acceptance floor is 200
+// distinct crash points; the script is sized to clear it.
+func TestCrashMatrix(t *testing.T) {
+	ops := Script()
+	steps, err := Probe(ops)
+	if err != nil {
+		t.Fatalf("probe run: %v", err)
+	}
+	t.Logf("workload performs %d mutating disk operations", steps)
+	if steps < 200 {
+		t.Fatalf("crash schedule has %d points, want >= 200 — grow the script", steps)
+	}
+	for _, keep := range []bool{false, true} {
+		for k := 1; k <= steps; k++ {
+			if err := RunCrash(ops, k, keep); err != nil {
+				t.Errorf("crash at step %d (keepUnsynced=%v): %v", k, keep, err)
+				if testing.Short() {
+					t.FailNow()
+				}
+			}
+		}
+	}
+}
+
+// TestRecoveryCrash crashes the workload, then crashes the recovery
+// itself at each of its own disk operations (stride-sampled over the
+// first crash point to bound runtime) and re-checks the invariants:
+// recovery must be as crash-safe as normal operation.
+func TestRecoveryCrash(t *testing.T) {
+	ops := Script()
+	steps, err := Probe(ops)
+	if err != nil {
+		t.Fatalf("probe run: %v", err)
+	}
+	stride := 7
+	if testing.Short() {
+		stride = 29
+	}
+	for _, keep := range []bool{false, true} {
+		for k := 1; k <= steps; k += stride {
+			if err := RunRecoveryCrash(ops, k, keep); err != nil {
+				t.Errorf("first crash at step %d (keepUnsynced=%v): %v", k, keep, err)
+			}
+		}
+	}
+}

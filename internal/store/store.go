@@ -36,6 +36,27 @@
 // shard in ascending index order and never acquire a second store's
 // locks, so no lock cycle exists.
 //
+// # Durability
+//
+// All disk access goes through an injectable filesystem (internal/vfs):
+// production runs on vfs.OS, tests on vfs.Fault, which can fail or tear
+// any write and freeze the simulated disk at every step
+// (internal/store/crashtest drives the full crash matrix). The contract:
+//
+//   - A mutation is acknowledged-durable once a subsequent Flush, Compact
+//     or Close returns nil: Flush fsyncs every journal, Compact fsyncs
+//     the snapshot before renaming it into place. Acknowledged mutations
+//     survive any later crash.
+//   - Mutations between the last such barrier and a crash may or may not
+//     survive (the journal tail can tear mid-record); replay keeps every
+//     whole record before the tear and never errors on the tear itself.
+//   - Compaction is atomic: the snapshot is written to a temporary file,
+//     fsynced, then renamed. A crash between the rename and the journal
+//     truncation cannot double-apply the journals, because the snapshot
+//     records a compaction epoch and every journal record carries the
+//     epoch it was written under — replay skips records older than the
+//     snapshot.
+//
 // A Store opened with an empty directory path keeps everything in memory,
 // which the benchmarks and the "empty pattern database" speed experiment
 // of the paper (§IV, Fig 5) rely on.
@@ -48,7 +69,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
-	"os"
+	"io/fs"
+	"path"
 	"path/filepath"
 	"runtime"
 	"sort"
@@ -58,6 +80,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/patterns"
+	"repro/internal/vfs"
 )
 
 const (
@@ -86,6 +109,10 @@ type Options struct {
 	// Shards is the number of service-hash shards (and journal files for
 	// a file-backed store). Zero or negative selects GOMAXPROCS.
 	Shards int
+	// FS is the filesystem the store runs on. Nil selects the real one
+	// (vfs.OS); tests inject vfs.Fault to exercise I/O failures and
+	// crash schedules.
+	FS vfs.FS
 }
 
 // shard is one service-hash partition of the store: its own pattern
@@ -97,14 +124,21 @@ type shard struct {
 	mu      sync.Mutex
 	byID    map[string]*patterns.Pattern
 	bySvc   map[string]map[string]*patterns.Pattern // service → id → pattern
-	journal *os.File
+	journal vfs.File
 	jw      *bufio.Writer
+	// suspect marks the journal as possibly ending in a torn or
+	// half-flushed record after an I/O error: appending more records
+	// after such a tail would make them unreadable on replay, so the
+	// next Flush recovers by compacting (the snapshot is rebuilt from
+	// memory and the journal truncated) instead of trusting the file.
+	suspect bool
 }
 
 // Store is a persistent pattern database. All methods are safe for
 // concurrent use.
 type Store struct {
 	dir    string
+	fs     vfs.FS
 	shards []*shard
 	closed atomic.Bool
 	// count is the number of stored patterns across shards.
@@ -113,6 +147,14 @@ type Store struct {
 	// compactAfter schedules an automatic Compact.
 	jcount     atomic.Int64
 	compacting atomic.Bool
+	// epoch is the compaction epoch: the snapshot on disk carries the
+	// epoch of the compaction that wrote it, and every journal record
+	// carries the epoch it was written under. Replay skips records from
+	// epochs before the snapshot's, which is what keeps a crash between
+	// the snapshot rename and the journal truncation from applying the
+	// same records twice. Written only under compactMu + all shard locks;
+	// read under any shard lock.
+	epoch atomic.Int64
 	// compactMu serialises Compact/Close against each other; shard locks
 	// are always taken after it, in ascending order.
 	compactMu sync.Mutex
@@ -145,7 +187,11 @@ func OpenOptions(dir string, opts Options) (*Store, error) {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	s := &Store{dir: dir, shards: make([]*shard, n)}
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = vfs.OS{}
+	}
+	s := &Store{dir: dir, fs: fsys, shards: make([]*shard, n)}
 	for i := range s.shards {
 		s.shards[i] = &shard{
 			id:    i,
@@ -158,7 +204,7 @@ func OpenOptions(dir string, opts Options) (*Store, error) {
 	if dir == "" {
 		return s, nil
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("store: create dir: %w", err)
 	}
 	if err := s.loadSnapshot(); err != nil {
@@ -169,7 +215,7 @@ func OpenOptions(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	for _, sh := range s.shards {
-		f, err := os.OpenFile(filepath.Join(dir, journalName(sh.id)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := s.fs.OpenAppend(filepath.Join(dir, journalName(sh.id)))
 		if err != nil {
 			s.closeJournals()
 			return nil, fmt.Errorf("store: open journal: %w", err)
@@ -188,7 +234,7 @@ func OpenOptions(dir string, opts Options) (*Store, error) {
 			return nil, err
 		}
 		for _, name := range stray {
-			if err := os.Remove(filepath.Join(dir, name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			if err := s.fs.Remove(filepath.Join(dir, name)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 				s.closeJournals()
 				return nil, fmt.Errorf("store: retire journal %s: %w", name, err)
 			}
@@ -241,19 +287,34 @@ func (s *Store) unlockAll() {
 	}
 }
 
+// snapshotEnvelope is the on-disk snapshot format: the pattern list plus
+// the compaction epoch that wrote it. Snapshots from before the epoch was
+// introduced are a bare JSON array; they load as epoch 0, which every
+// journal record of that era also carries (E omitted == 0), so legacy
+// layouts replay unchanged.
+type snapshotEnvelope struct {
+	Epoch    int64               `json:"epoch"`
+	Patterns []*patterns.Pattern `json:"patterns"`
+}
+
 func (s *Store) loadSnapshot() error {
-	data, err := os.ReadFile(filepath.Join(s.dir, snapshotFile))
-	if errors.Is(err, os.ErrNotExist) {
+	data, err := s.fs.ReadFile(filepath.Join(s.dir, snapshotFile))
+	if errors.Is(err, fs.ErrNotExist) {
 		return nil
 	}
 	if err != nil {
 		return fmt.Errorf("store: read snapshot: %w", err)
 	}
-	var list []*patterns.Pattern
-	if err := json.Unmarshal(data, &list); err != nil {
-		return fmt.Errorf("store: corrupt snapshot: %w", err)
+	var env snapshotEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		// Pre-epoch layout: a bare array of patterns.
+		if aerr := json.Unmarshal(data, &env.Patterns); aerr != nil {
+			return fmt.Errorf("store: corrupt snapshot: %w", err)
+		}
+		env.Epoch = 0
 	}
-	for _, p := range list {
+	s.epoch.Store(env.Epoch)
+	for _, p := range env.Patterns {
 		s.shardFor(p.Service).insertLocked(p)
 	}
 	s.m.StorePatterns.Set(s.count.Load())
@@ -269,6 +330,11 @@ type record struct {
 	N       int64             `json:"n,omitempty"`
 	When    time.Time         `json:"when,omitempty"`
 	Example string            `json:"example,omitempty"`
+	// E is the compaction epoch the record was written under. Replay
+	// skips records older than the snapshot's epoch: they were already
+	// folded into it by a compaction that crashed before truncating the
+	// journals. Zero (omitted) matches pre-epoch journals and snapshots.
+	E int64 `json:"e,omitempty"`
 }
 
 // replayJournals replays every journal file present in the directory —
@@ -288,27 +354,39 @@ type record struct {
 // newer ones, and a later replay would apply them out of order.
 func (s *Store) replayJournals() (migrate bool, stray []string, err error) {
 	legacy := filepath.Join(s.dir, legacyJournal)
-	if _, serr := os.Stat(legacy); serr == nil {
+	switch serr := s.fs.Stat(legacy); {
+	case serr == nil:
 		if err := s.replayFile(legacy); err != nil {
 			return false, nil, err
 		}
 		migrate = true
 		stray = append(stray, legacyJournal)
+	case !errors.Is(serr, fs.ErrNotExist):
+		// The journal's existence could not be determined (permissions,
+		// I/O error). Opening anyway would silently drop its records, so
+		// refuse to open instead.
+		return false, nil, fmt.Errorf("store: stat legacy journal: %w", serr)
 	}
-	names, err := filepath.Glob(filepath.Join(s.dir, "journal-*.wal"))
-	if err != nil {
-		return false, nil, fmt.Errorf("store: list journals: %w", err)
+	entries, lerr := s.fs.ReadDir(s.dir)
+	if lerr != nil && !errors.Is(lerr, fs.ErrNotExist) {
+		return false, nil, fmt.Errorf("store: list journals: %w", lerr)
+	}
+	var names []string
+	for _, name := range entries {
+		if ok, _ := path.Match("journal-*.wal", name); ok {
+			names = append(names, name)
+		}
 	}
 	sort.Strings(names)
 	owned := make(map[string]bool, len(s.shards))
 	for i := range s.shards {
 		owned[journalName(i)] = true
 	}
-	for _, path := range names {
-		if err := s.replayFile(path); err != nil {
+	for _, base := range names {
+		if err := s.replayFile(filepath.Join(s.dir, base)); err != nil {
 			return false, nil, err
 		}
-		if base := filepath.Base(path); !owned[base] {
+		if !owned[base] {
 			// Written by a store with more shards than this one.
 			migrate = true
 			stray = append(stray, base)
@@ -326,9 +404,9 @@ func (s *Store) replayJournals() (migrate bool, stray []string, err error) {
 // is shared, so records are applied without locking; records are routed
 // by content (service hash for upserts, ID probe for touch/delete), so
 // any writer layout replays correctly.
-func (s *Store) replayFile(path string) error {
-	f, err := os.Open(path)
-	if errors.Is(err, os.ErrNotExist) {
+func (s *Store) replayFile(name string) error {
+	f, err := s.fs.Open(name)
+	if errors.Is(err, fs.ErrNotExist) {
 		return nil
 	}
 	if err != nil {
@@ -344,7 +422,13 @@ func (s *Store) replayFile(path string) error {
 			// already replayed is kept.
 			return nil
 		}
-		s.applyReplay(r)
+		// Records older than the snapshot's epoch were already folded
+		// into it by a compaction that crashed before truncating this
+		// journal. Skip them, but still count them so the open-time
+		// migration compaction cleans the file.
+		if r.E >= s.epoch.Load() {
+			s.applyReplay(r)
+		}
 		s.jcount.Add(1)
 	}
 }
@@ -437,6 +521,15 @@ func (sh *shard) mergeLocked(p *patterns.Pattern) {
 	}
 }
 
+// countIO records one failed disk operation in the I/O error counter
+// (exported as seqrtg_store_io_errors_total) and returns the wrapped
+// error, so every persistence failure is counted exactly where it is
+// surfaced.
+func (s *Store) countIO(err error) error {
+	s.m.StoreIOErrors.Inc()
+	return err
+}
+
 // log appends one record to the shard's journal. Callers hold the shard
 // lock; compaction is scheduled by the caller after releasing it.
 func (sh *shard) log(r record) error {
@@ -444,12 +537,18 @@ func (sh *shard) log(r record) error {
 		sh.st.jcount.Add(1)
 		return nil
 	}
+	r.E = sh.st.epoch.Load()
 	b, err := json.Marshal(r)
 	if err != nil {
 		return fmt.Errorf("store: marshal journal record: %w", err)
 	}
 	if _, err := sh.jw.Write(append(b, '\n')); err != nil {
-		return fmt.Errorf("store: append journal: %w", err)
+		// The journal may now end mid-record, and bufio keeps its error
+		// sticky. Reset the writer so the shard is not wedged forever and
+		// leave recovery (a truncating compaction) to the next barrier.
+		sh.suspect = true
+		sh.jw.Reset(sh.journal)
+		return sh.st.countIO(fmt.Errorf("store: append journal: %w", err))
 	}
 	sh.st.m.StoreJournalAppends.Inc()
 	sh.st.jcount.Add(1)
@@ -707,15 +806,28 @@ func (s *Store) Count() int { return int(s.count.Load()) }
 // Shards returns the shard count of this instance.
 func (s *Store) Shards() int { return len(s.shards) }
 
-// Flush forces buffered journal records to the OS.
+// Flush forces buffered journal records to stable storage: it is the
+// durability barrier for journaled mutations. A nil return means every
+// mutation applied before the call survives a crash. If an earlier I/O
+// error left a shard's journal suspect (possibly ending in a torn
+// record), Flush recovers by compacting — the snapshot is rebuilt from
+// memory, so a nil return restores the full durability guarantee even
+// after transient disk failures.
 func (s *Store) Flush() error {
+	suspect := false
 	for _, sh := range s.shards {
 		sh.lock()
 		err := sh.flushLocked()
+		if sh.suspect {
+			suspect = true
+		}
 		sh.mu.Unlock()
 		if err != nil {
 			return err
 		}
+	}
+	if suspect {
+		return s.Compact()
 	}
 	return nil
 }
@@ -725,7 +837,15 @@ func (sh *shard) flushLocked() error {
 		return nil
 	}
 	if err := sh.jw.Flush(); err != nil {
-		return fmt.Errorf("store: flush journal: %w", err)
+		sh.suspect = true
+		sh.jw.Reset(sh.journal)
+		return sh.st.countIO(fmt.Errorf("store: flush journal: %w", err))
+	}
+	if err := sh.journal.Sync(); err != nil {
+		// A failed fsync leaves the kernel's view of the file unknown;
+		// treat the journal as suspect and recover through a compaction.
+		sh.suspect = true
+		return sh.st.countIO(fmt.Errorf("store: sync journal: %w", err))
 	}
 	return nil
 }
@@ -763,32 +883,52 @@ func (s *Store) compactAllLocked() error {
 		}
 	}
 	sort.Slice(list, func(i, j int) bool { return list[i].ID < list[j].ID })
-	data, err := json.MarshalIndent(list, "", " ")
+	// The new snapshot gets the next epoch: once it is renamed into
+	// place, every record still sitting in the journals carries an older
+	// epoch and will be skipped on replay — which is what makes a crash
+	// anywhere between the rename and the truncation below harmless.
+	newEpoch := s.epoch.Load() + 1
+	data, err := json.MarshalIndent(snapshotEnvelope{Epoch: newEpoch, Patterns: list}, "", " ")
 	if err != nil {
 		return fmt.Errorf("store: marshal snapshot: %w", err)
 	}
 	tmp := filepath.Join(s.dir, snapshotFile+".tmp")
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("store: write snapshot: %w", err)
+	f, err := s.fs.Create(tmp)
+	if err != nil {
+		return s.countIO(fmt.Errorf("store: write snapshot: %w", err))
 	}
-	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotFile)); err != nil {
-		return fmt.Errorf("store: commit snapshot: %w", err)
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return s.countIO(fmt.Errorf("store: write snapshot: %w", err))
 	}
-	// Snapshot durable: restart every journal.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return s.countIO(fmt.Errorf("store: sync snapshot: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		return s.countIO(fmt.Errorf("store: close snapshot: %w", err))
+	}
+	if err := s.fs.Rename(tmp, filepath.Join(s.dir, snapshotFile)); err != nil {
+		return s.countIO(fmt.Errorf("store: commit snapshot: %w", err))
+	}
+	// Snapshot durable: records written from here on belong to the new
+	// epoch, and all journal content from before it — including anything
+	// still buffered or torn — is dead weight the snapshot already holds.
+	// Discard the buffers outright and truncate the files; this is also
+	// what clears a suspect journal after an I/O error.
+	s.epoch.Store(newEpoch)
 	for _, sh := range s.shards {
 		if sh.journal == nil {
 			continue
 		}
-		if err := sh.jw.Flush(); err != nil {
-			return err
-		}
+		sh.jw.Reset(sh.journal)
 		if err := sh.journal.Truncate(0); err != nil {
-			return fmt.Errorf("store: truncate journal: %w", err)
+			return s.countIO(fmt.Errorf("store: truncate journal: %w", err))
 		}
 		if _, err := sh.journal.Seek(0, io.SeekStart); err != nil {
-			return fmt.Errorf("store: rewind journal: %w", err)
+			return s.countIO(fmt.Errorf("store: rewind journal: %w", err))
 		}
-		sh.jw.Reset(sh.journal)
+		sh.suspect = false
 	}
 	s.jcount.Store(0)
 	return nil

@@ -1,0 +1,257 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"path/filepath"
+	"testing"
+)
+
+// exercise runs one representative op sequence against an FS and returns
+// the observable outcomes, so OS and Fault can be compared directly.
+func exercise(t *testing.T, fsys FS, dir string) (names []string, content string) {
+	t.Helper()
+	if err := fsys.MkdirAll(dir); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	tmp := filepath.Join(dir, "snap.tmp")
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := f.Write([]byte("hello ")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if _, err := f.Write([]byte("world")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	final := filepath.Join(dir, "snap.json")
+	if err := fsys.Rename(tmp, final); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if err := fsys.Stat(final); err != nil {
+		t.Fatalf("Stat after rename: %v", err)
+	}
+	if err := fsys.Stat(tmp); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Stat of renamed-away file = %v, want ErrNotExist", err)
+	}
+	j, err := fsys.OpenAppend(filepath.Join(dir, "j.wal"))
+	if err != nil {
+		t.Fatalf("OpenAppend: %v", err)
+	}
+	j.Write([]byte("a\nb\n"))
+	if err := j.Truncate(0); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	if _, err := j.Seek(0, io.SeekStart); err != nil {
+		t.Fatalf("Seek: %v", err)
+	}
+	j.Write([]byte("c\n"))
+	j.Close()
+	names, err = fsys.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	data, err := fsys.ReadFile(filepath.Join(dir, "j.wal"))
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	// Read back through Open as well.
+	r, err := fsys.Open(final)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	all, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	r.Close()
+	return names, string(all) + "|" + string(data)
+}
+
+// TestOSFaultParity runs the same op sequence on the real filesystem and
+// the fault filesystem and requires identical observable results — the
+// property that makes Fault a valid stand-in for OS in every store test.
+func TestOSFaultParity(t *testing.T) {
+	osNames, osContent := exercise(t, OS{}, filepath.Join(t.TempDir(), "db"))
+	fNames, fContent := exercise(t, NewFault(), "db")
+	if len(osNames) != len(fNames) {
+		t.Fatalf("ReadDir mismatch: OS %v, Fault %v", osNames, fNames)
+	}
+	for i := range osNames {
+		if osNames[i] != fNames[i] {
+			t.Fatalf("ReadDir mismatch: OS %v, Fault %v", osNames, fNames)
+		}
+	}
+	if osContent != fContent {
+		t.Fatalf("content mismatch: OS %q, Fault %q", osContent, fContent)
+	}
+}
+
+func TestFaultCrashLosesUnsyncedData(t *testing.T) {
+	f := NewFault()
+	f.MkdirAll("db")
+	w, _ := f.Create("db/a")
+	w.Write([]byte("synced"))
+	w.Sync()
+	w.Write([]byte(" unsynced"))
+
+	img := f.Image()
+	got, _ := img.ReadFile("db/a")
+	if string(got) != "synced" {
+		t.Fatalf("crash image = %q, want only synced bytes", got)
+	}
+
+	f.KeepUnsynced(true)
+	img = f.Image()
+	got, _ = img.ReadFile("db/a")
+	if string(got) != "synced unsynced" {
+		t.Fatalf("KeepUnsynced crash image = %q, want all bytes", got)
+	}
+}
+
+func TestFaultRenameDurableButContentNeedsSync(t *testing.T) {
+	f := NewFault()
+	f.MkdirAll("db")
+	w, _ := f.Create("db/a.tmp")
+	w.Write([]byte("payload"))
+	w.Close() // no sync
+	f.Rename("db/a.tmp", "db/a")
+
+	img := f.Image()
+	if err := img.Stat("db/a"); err != nil {
+		t.Fatalf("rename must be durable: %v", err)
+	}
+	got, _ := img.ReadFile("db/a")
+	if len(got) != 0 {
+		t.Fatalf("unsynced content survived the crash: %q", got)
+	}
+}
+
+func TestFaultCrashAtStepFreezesDisk(t *testing.T) {
+	// Count the steps of a tiny workload, then crash at each and check
+	// the disk is frozen afterwards.
+	workload := func(f *Fault) {
+		f.MkdirAll("db")           // step 1
+		w, err := f.Create("db/x") // step 2
+		if err != nil {
+			return
+		}
+		w.Write([]byte("abcd"))  // step 3
+		w.Sync()                 // step 4
+		f.Rename("db/x", "db/y") // step 5
+	}
+	probe := NewFault()
+	workload(probe)
+	n := probe.Steps()
+	if n != 5 {
+		t.Fatalf("workload steps = %d, want 5", n)
+	}
+	for k := 1; k <= n; k++ {
+		f := NewFault()
+		f.CrashAtStep(k)
+		workload(f)
+		if !f.Crashed() {
+			t.Fatalf("crash at step %d did not fire", k)
+		}
+		if err := f.MkdirAll("other"); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("disk not frozen after crash at %d: %v", k, err)
+		}
+		if _, err := f.ReadFile("db/x"); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("reads not frozen after crash at %d: %v", k, err)
+		}
+	}
+	// Crash at the sync step: only a prefix of the written bytes is
+	// durable (a torn tail), never more than was written.
+	f := NewFault()
+	f.CrashAtStep(4)
+	workload(f)
+	got, ok := f.Image().ReadFile("db/x")
+	if ok != nil {
+		t.Fatalf("file missing from crash image: %v", ok)
+	}
+	if len(got) >= 4 || string(got) != "abcd"[:len(got)] {
+		t.Fatalf("torn sync image = %q, want a strict prefix of abcd", got)
+	}
+}
+
+func TestFaultFailpoints(t *testing.T) {
+	t.Run("fail nth write", func(t *testing.T) {
+		f := NewFault()
+		w, _ := f.Create("a")
+		f.FailWrite(2)
+		if _, err := w.Write([]byte("one")); err != nil {
+			t.Fatalf("write 1: %v", err)
+		}
+		if _, err := w.Write([]byte("two")); !errors.Is(err, ErrInjected) {
+			t.Fatalf("write 2 = %v, want ErrInjected", err)
+		}
+		if _, err := w.Write([]byte("three")); err != nil {
+			t.Fatalf("write 3: %v", err)
+		}
+		got, _ := f.Content("a")
+		if string(got) != "onethree" {
+			t.Fatalf("content = %q, want onethree", got)
+		}
+	})
+	t.Run("torn write", func(t *testing.T) {
+		f := NewFault()
+		w, _ := f.Create("a")
+		f.TruncateWrite(1, 2)
+		if n, err := w.Write([]byte("abcdef")); n != 2 || !errors.Is(err, ErrInjected) {
+			t.Fatalf("torn write = (%d, %v), want (2, ErrInjected)", n, err)
+		}
+		got, _ := f.Content("a")
+		if string(got) != "ab" {
+			t.Fatalf("content = %q, want ab", got)
+		}
+	})
+	t.Run("fail nth sync", func(t *testing.T) {
+		f := NewFault()
+		w, _ := f.Create("a")
+		w.Write([]byte("data"))
+		f.FailSync(1)
+		if err := w.Sync(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("sync = %v, want ErrInjected", err)
+		}
+		if got, _ := f.Image().ReadFile("a"); len(got) != 0 {
+			t.Fatalf("failed sync still promoted data: %q", got)
+		}
+		if err := w.Sync(); err != nil {
+			t.Fatalf("second sync: %v", err)
+		}
+		if got, _ := f.Image().ReadFile("a"); string(got) != "data" {
+			t.Fatalf("sync after failed sync = %q, want data", got)
+		}
+	})
+	t.Run("enospc", func(t *testing.T) {
+		f := NewFault()
+		f.SetDiskBudget(5)
+		w, _ := f.Create("a")
+		if _, err := w.Write([]byte("123")); err != nil {
+			t.Fatalf("within budget: %v", err)
+		}
+		n, err := w.Write([]byte("456"))
+		if !errors.Is(err, ErrNoSpace) || !errors.Is(err, ErrInjected) {
+			t.Fatalf("over budget = (%d, %v), want ErrNoSpace", n, err)
+		}
+		if _, err := w.Write([]byte("x")); !errors.Is(err, ErrNoSpace) {
+			t.Fatalf("budget did not stay exhausted: %v", err)
+		}
+	})
+	t.Run("stat failure", func(t *testing.T) {
+		f := NewFault()
+		injected := errors.New("permission denied")
+		f.FailStat("db/journal.wal", injected)
+		if err := f.Stat("db/journal.wal"); !errors.Is(err, injected) {
+			t.Fatalf("stat = %v, want injected error", err)
+		}
+	})
+}

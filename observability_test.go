@@ -430,3 +430,76 @@ func TestMergeFromAtomicParserRefresh(t *testing.T) {
 		t.Error("probe message must still match after the merges")
 	}
 }
+
+// TestSnapshotConcurrentWithMergeFrom hammers Snapshot while MergeFrom
+// rewrites the pattern set underneath it. Run under -race this pins the
+// contract that the read-only observability surface needs no external
+// locking against instance mutation; the value checks assert snapshots
+// are never torn into negative or regressing pattern counts.
+func TestSnapshotConcurrentWithMergeFrom(t *testing.T) {
+	target, err := sequence.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer target.Close()
+	if _, err := target.AnalyzeByService(sshdRecords(10), now); err != nil {
+		t.Fatal(err)
+	}
+	floor := target.Snapshot().StorePatterns
+
+	stop := make(chan struct{})
+	var torn atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := floor
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := target.Snapshot()
+				// MergeFrom only adds patterns; a snapshot below the
+				// floor or below a previous read is a torn view.
+				if s.StorePatterns < last {
+					torn.Add(1)
+				}
+				last = s.StorePatterns
+			}
+		}()
+	}
+
+	for i := 0; i < 10; i++ {
+		other, err := sequence.Open("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := make([]sequence.Record, 0, 10)
+		for j := 0; j < 10; j++ {
+			recs = append(recs, sequence.Record{
+				Service: fmt.Sprintf("merge-%d", i),
+				Message: fmt.Sprintf("round %d event %d finished in %d ms", i, j, 10+j),
+			})
+		}
+		if _, err := other.AnalyzeByService(recs, now); err != nil {
+			t.Fatal(err)
+		}
+		if err := target.MergeFrom(other); err != nil {
+			t.Fatal(err)
+		}
+		if err := other.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if n := torn.Load(); n != 0 {
+		t.Errorf("%d torn snapshots observed a regressing pattern count", n)
+	}
+	if got := target.Snapshot().StorePatterns; got < floor {
+		t.Errorf("final pattern count %d below pre-merge floor %d", got, floor)
+	}
+}
