@@ -51,7 +51,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: loggen workload|loghub [flags]
 
-  workload  -n N [-services S] [-events E] [-seed SEED]
+  workload  -n N [-services S] [-events E] [-seed SEED] [-target URL -rate R [-framing newline|octet]]
   loghub    -dataset NAME [-n N] [-view raw|content|pre] [-labels] [-seed SEED]
 
 datasets: `+strings.Join(loghub.Names(), ", "))
@@ -63,9 +63,15 @@ func cmdWorkload(args []string) error {
 	services := fs.Int("services", 241, "number of services")
 	events := fs.Int("events", 12, "mean events per service")
 	seed := fs.Int64("seed", 1, "random seed")
+	target := fs.String("target", "", "replay over the network instead of stdout: udp://host:port, tcp://host:port or http://host:port (a running `seqrtg serve`)")
+	rate := fs.Int("rate", 0, "messages per second when replaying to -target (0 = unthrottled)")
+	framing := fs.String("framing", "newline", "TCP syslog framing for -target tcp://: newline | octet")
 	fs.Parse(args)
 
 	gen := workload.New(workload.Config{Services: *services, EventsPerService: *events, Seed: *seed})
+	if *target != "" {
+		return replayTarget(gen, *target, *n, *rate, *framing)
+	}
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
 	return gen.Stream(w, *n)

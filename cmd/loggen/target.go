@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/ingest"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// replayTarget sends the workload over the network instead of stdout,
+// exercising a running `seqrtg serve`:
+//
+//	udp://host:port   RFC 5424 syslog datagrams
+//	tcp://host:port   RFC 5424 syslog over TCP (-framing newline|octet)
+//	http://host:port  NDJSON batches to POST /api/v1/ingest
+//
+// rate is messages per second (0 = as fast as possible).
+func replayTarget(gen *workload.Generator, target string, n, rate int, framing string) error {
+	u, err := url.Parse(target)
+	if err != nil {
+		return fmt.Errorf("parse -target: %w", err)
+	}
+	var send func(ingest.Record) error
+	var flush func() error
+	host, _ := os.Hostname()
+	if host == "" {
+		host = "loggen"
+	}
+
+	switch u.Scheme {
+	case "udp":
+		conn, err := net.Dial("udp", u.Host)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		send = func(rec ingest.Record) error {
+			_, err := conn.Write([]byte(server.FormatRFC5424(rec, host, time.Now())))
+			return err
+		}
+	case "tcp":
+		conn, err := net.Dial("tcp", u.Host)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		bw := bufio.NewWriter(conn)
+		switch framing {
+		case "newline":
+			send = func(rec ingest.Record) error {
+				_, err := fmt.Fprintf(bw, "%s\n", server.FormatRFC5424(rec, host, time.Now()))
+				return err
+			}
+		case "octet":
+			send = func(rec ingest.Record) error {
+				msg := server.FormatRFC5424(rec, host, time.Now())
+				_, err := fmt.Fprintf(bw, "%d %s", len(msg), msg)
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown -framing %q (want newline or octet)", framing)
+		}
+		flush = bw.Flush
+	case "http":
+		send, flush = httpSender(u)
+	default:
+		return fmt.Errorf("unknown -target scheme %q (want udp, tcp or http)", u.Scheme)
+	}
+
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if rate > 0 {
+			// Pace against the start time so bursts of scheduler delay
+			// do not lower the achieved rate.
+			due := start.Add(time.Duration(i) * time.Second / time.Duration(rate))
+			if d := time.Until(due); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		if err := send(gen.Next()); err != nil {
+			return fmt.Errorf("send record %d: %w", i, err)
+		}
+	}
+	if flush != nil {
+		if err := flush(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "loggen: sent %d records to %s in %v\n", n, target, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// httpSender batches records into NDJSON bodies for POST /api/v1/ingest.
+func httpSender(u *url.URL) (send func(ingest.Record) error, flush func() error) {
+	const batchLimit = 500
+	var (
+		body  strings.Builder
+		count int
+	)
+	endpoint := u.Scheme + "://" + u.Host + "/api/v1/ingest"
+	post := func() error {
+		if count == 0 {
+			return nil
+		}
+		resp, err := http.Post(endpoint, "application/x-ndjson", strings.NewReader(body.String()))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			return fmt.Errorf("POST %s: status %d: %s", endpoint, resp.StatusCode, strings.TrimSpace(string(b)))
+		}
+		body.Reset()
+		count = 0
+		return nil
+	}
+	send = func(rec ingest.Record) error {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		body.Write(b)
+		body.WriteByte('\n')
+		count++
+		if count >= batchLimit {
+			return post()
+		}
+		return nil
+	}
+	return send, post
+}

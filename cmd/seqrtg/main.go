@@ -12,10 +12,16 @@
 // Usage:
 //
 //	seqrtg analyze   -db DIR [-batch N] [-classic] [-plain -service S]
+//	seqrtg serve     -db DIR [-syslog-udp ADDR] [-syslog-tcp ADDR] [-http ADDR] [-queue-depth N]
 //	seqrtg parse     -db DIR [-plain -service S]
 //	seqrtg export    -db DIR -format patterndb|yaml|grok [-min-count N] [-max-complexity F] [-service S]
 //	seqrtg stats     -db DIR
 //	seqrtg purge     -db DIR -min-count N [-older-than DAYS]
+//
+// serve runs the network ingestion daemon instead of reading stdin:
+// RFC 5424/3164 syslog over UDP and TCP (both RFC 6587 framings) and
+// NDJSON over HTTP, with the mined patterns queryable at
+// GET /api/v1/patterns and exportable at GET /api/v1/export.
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 	"time"
 
 	sequence "repro"
+	"repro/internal/server"
 )
 
 func main() {
@@ -45,6 +52,8 @@ func main() {
 	switch os.Args[1] {
 	case "analyze":
 		err = cmdAnalyze(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "parse":
 		err = cmdParse(os.Args[2:])
 	case "export":
@@ -73,6 +82,7 @@ func usage() {
 
 commands:
   analyze   mine patterns from the JSON-lines stream on stdin
+  serve     run the network ingestion daemon (syslog UDP/TCP + HTTP API)
   parse     match stdin messages against the pattern database
   export    write stored patterns as patterndb XML, YAML or Grok
   stats     summarise the pattern database
@@ -194,6 +204,85 @@ func cmdAnalyze(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "total: %d messages, %d matched, %d new patterns, %d patterns stored\n",
 		total.Messages, total.Matched, total.NewPatterns, rtg.PatternCount())
+	return nil
+}
+
+// cmdServe runs the network ingestion daemon: the paper's child-process
+// deployment turned into a standalone service.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	db := fs.String("db", "", "pattern database directory (empty = in-memory)")
+	syslogUDP := fs.String("syslog-udp", "", "UDP syslog listen address (e.g. :5514); empty disables")
+	syslogTCP := fs.String("syslog-tcp", "", "TCP syslog listen address (RFC 6587 octet-counting and newline framing); empty disables")
+	httpAddr := fs.String("http", "", "HTTP API listen address (POST /api/v1/ingest, GET /api/v1/patterns, GET /api/v1/export); empty disables")
+	queueDepth := fs.Int("queue-depth", 0, "bounded record queue depth (default 65536)")
+	batch := fs.Int("batch", sequence.DefaultBatchSize, "analysis batch size")
+	linger := fs.Duration("linger", 250*time.Millisecond, "max wait for a partial batch before analysing it")
+	pushTimeout := fs.Duration("push-timeout", 100*time.Millisecond, "how long a listener blocks on a full queue before shedding")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound for draining accepted records")
+	service := fs.String("service", "unknown", "service name for records without one")
+	threshold := fs.Int64("save-threshold", 0, "drop patterns matched fewer times in their discovery batch")
+	concurrency := fs.Int("concurrency", 1, "services analysed in parallel")
+	shards := fs.Int("shards", 0, "store/parser shard count (0 = GOMAXPROCS)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars (expvar) and /debug/pprof on this address")
+	quiet := fs.Bool("quiet", false, "suppress per-batch progress")
+	fs.Parse(args)
+
+	rtg, err := openDB(*db,
+		sequence.WithSaveThreshold(*threshold),
+		sequence.WithConcurrency(*concurrency),
+		sequence.WithStoreShards(*shards))
+	if err != nil {
+		return err
+	}
+	defer rtg.Close()
+
+	if *metricsAddr != "" {
+		serveObservability(*metricsAddr, rtg)
+	}
+
+	srv, err := server.New(rtg, server.Options{
+		SyslogUDP:      *syslogUDP,
+		SyslogTCP:      *syslogTCP,
+		HTTP:           *httpAddr,
+		QueueDepth:     *queueDepth,
+		BatchSize:      *batch,
+		Linger:         *linger,
+		PushTimeout:    *pushTimeout,
+		DrainTimeout:   *drainTimeout,
+		DefaultService: *service,
+		Metrics:        rtg.Metrics(),
+		Report: func(r sequence.BatchResult) {
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "batch: %d messages, %d matched, %d new patterns, %d services, %v\n",
+					r.Messages, r.Matched, r.NewPatterns, r.Services, r.Duration.Round(time.Millisecond))
+			}
+		},
+		OnError: func(err error) {
+			fmt.Fprintln(os.Stderr, "seqrtg: serve:", err)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	for _, l := range []struct{ name, addr string }{
+		{"syslog/udp", srv.SyslogUDPAddr()},
+		{"syslog/tcp", srv.SyslogTCPAddr()},
+		{"http", srv.HTTPAddr()},
+	} {
+		if l.addr != "" {
+			fmt.Fprintf(os.Stderr, "seqrtg: listening %s on %s\n", l.name, l.addr)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Run(ctx); err != nil {
+		return err
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "seqrtg: drained, %d patterns stored\n", rtg.PatternCount())
+	}
 	return nil
 }
 

@@ -387,13 +387,14 @@ func (e *Engine) harvest(a *analyzer.Analyzer, now time.Time) (int, error) {
 	return saved, nil
 }
 
-// Run drains an ingest stream batch by batch through AnalyzeByService,
+// Run drains a batch source batch by batch through AnalyzeByService,
 // calling report (if non-nil) after every batch. It is the main loop of
-// the production deployment: syslog-ng pipes unmatched messages to the
-// Sequence-RTG child process, which waits for a full batch and analyses
-// it (§III, §IV).
-func (e *Engine) Run(r *ingest.Reader, report func(BatchResult)) (BatchResult, error) {
-	return e.RunContext(context.Background(), r, report)
+// the production deployment: the source is the stdin ingest.Reader when
+// syslog-ng pipes unmatched messages to the Sequence-RTG child process
+// (§III, §IV), or the server's bounded queue when seqrtg runs as a
+// network daemon.
+func (e *Engine) Run(src ingest.BatchSource, report func(BatchResult)) (BatchResult, error) {
+	return e.RunContext(context.Background(), src, report)
 }
 
 // RunContext is Run with cancellation: the loop checks ctx between
@@ -401,13 +402,13 @@ func (e *Engine) Run(r *ingest.Reader, report func(BatchResult)) (BatchResult, e
 // ctx.Err() once cancelled, after flushing the store. A batch in flight
 // when ctx fires is the most that completes — RunContext returns within
 // one batch of cancellation.
-func (e *Engine) RunContext(ctx context.Context, r *ingest.Reader, report func(BatchResult)) (BatchResult, error) {
+func (e *Engine) RunContext(ctx context.Context, src ingest.BatchSource, report func(BatchResult)) (BatchResult, error) {
 	var total BatchResult
 	for {
 		if err := ctx.Err(); err != nil {
 			return total, err
 		}
-		batch, err := r.NextBatch()
+		batch, err := src.NextBatch()
 		if err == io.EOF {
 			break
 		}

@@ -49,12 +49,14 @@ type Options struct {
 	// DefaultService is the service for plain-text records and for JSON
 	// records missing a service field.
 	DefaultService string
-	// MaxLineBytes bounds one input line (1 MiB when zero).
+	// MaxLineBytes bounds one input line (1 MiB when zero). An oversized
+	// line is discarded and counted like a malformed record; it does not
+	// end the stream.
 	MaxLineBytes int
 	// Strict makes NextBatch fail with a *BadRecordError on the first
-	// undecodable line instead of counting and skipping it. The default
-	// (false) is the production behaviour: an ingester must not die on
-	// one bad message.
+	// undecodable (or oversized) line instead of counting and skipping
+	// it. The default (false) is the production behaviour: an ingester
+	// must not die on one bad message.
 	Strict bool
 	// Metrics receives ingest instrumentation (lines read, decode
 	// errors, batches, batch fill time). A fresh private instance is
@@ -62,14 +64,23 @@ type Options struct {
 	Metrics *obs.Metrics
 }
 
+// BatchSource yields batches of records for the engine's run loop. The
+// stdin Reader and the server's bounded Queue both implement it.
+type BatchSource interface {
+	// NextBatch returns the next batch of records; the final batch may
+	// be short, and io.EOF follows once the source is exhausted.
+	NextBatch() ([]Record, error)
+}
+
 // Reader pulls batches of records from a stream.
 type Reader struct {
 	opts      Options
-	scanner   *bufio.Scanner
+	lr        *lineReader
 	err       error
 	lines     int64
 	records   int64
 	malformed int64
+	oversize  int64
 	lastBad   *BadRecordError
 	m         *obs.Metrics
 }
@@ -85,28 +96,21 @@ func NewReader(r io.Reader, opts Options) *Reader {
 	if opts.MaxLineBytes <= 0 {
 		opts.MaxLineBytes = 1 << 20
 	}
-	sc := bufio.NewScanner(r)
-	// The scanner's effective cap is max(cap(buf), MaxLineBytes); keep the
-	// initial buffer within the configured bound so small limits bind.
-	initial := 64 * 1024
-	if opts.MaxLineBytes < initial {
-		initial = opts.MaxLineBytes
-	}
-	sc.Buffer(make([]byte, initial), opts.MaxLineBytes)
 	m := opts.Metrics
 	if m == nil {
 		m = obs.New()
 	}
-	return &Reader{opts: opts, scanner: sc, m: m}
+	return &Reader{opts: opts, lr: newLineReader(r, opts.MaxLineBytes), m: m}
 }
 
 // NextBatch returns the next batch of records. The final batch may be
 // shorter than the batch size; after the stream is exhausted NextBatch
 // returns io.EOF. Malformed JSON lines are counted and skipped — a
-// production ingester must not die on one bad message — unless
-// Options.Strict is set, in which case the first bad line fails the
-// batch with a *BadRecordError (matchable with errors.Is(err,
-// ErrBadRecord)).
+// production ingester must not die on one bad message — and so are
+// lines exceeding MaxLineBytes (the discarded prefix is kept in
+// LastBadRecord for inspection). Options.Strict instead fails the batch
+// on the first bad or oversized line with a *BadRecordError (matchable
+// with errors.Is(err, ErrBadRecord)).
 func (r *Reader) NextBatch() ([]Record, error) {
 	if r.err != nil {
 		return nil, r.err
@@ -114,17 +118,33 @@ func (r *Reader) NextBatch() ([]Record, error) {
 	start := time.Now()
 	batch := make([]Record, 0, r.opts.BatchSize)
 	for len(batch) < r.opts.BatchSize {
-		if !r.scanner.Scan() {
-			if err := r.scanner.Err(); err != nil {
-				r.err = fmt.Errorf("ingest: read stream: %w", err)
-			} else {
+		line, tooLong, err := r.lr.next()
+		if tooLong {
+			// One huge line must not kill the stream: discard it, count
+			// it, and continue at the next line (unless strict).
+			r.lines++
+			r.m.IngestLines.Inc()
+			r.oversize++
+			r.m.IngestOversize.Inc()
+			r.lastBad = badRecord(r.lines, line, bufio.ErrTooLong)
+			if r.opts.Strict {
+				r.err = r.lastBad
+				return nil, r.err
+			}
+		}
+		if err != nil {
+			if err == io.EOF {
 				r.err = io.EOF
+			} else {
+				r.err = fmt.Errorf("ingest: read stream: %w", err)
 			}
 			break
 		}
+		if tooLong {
+			continue
+		}
 		r.lines++
 		r.m.IngestLines.Inc()
-		line := r.scanner.Bytes()
 		if len(line) == 0 {
 			continue
 		}
@@ -158,15 +178,31 @@ func (r *Reader) decode(line []byte) (Record, *BadRecordError) {
 	if r.opts.PlainText {
 		return Record{Service: r.opts.DefaultService, Message: string(line)}, nil
 	}
+	return decodeLine(r.lines, line, r.opts.DefaultService)
+}
+
+func decodeLine(lineNo int64, line []byte, defaultService string) (Record, *BadRecordError) {
 	var rec Record
 	if err := json.Unmarshal(line, &rec); err != nil {
-		return Record{}, badRecord(r.lines, line, err)
+		return Record{}, badRecord(lineNo, line, err)
 	}
 	if rec.Message == "" {
-		return Record{}, badRecord(r.lines, line, nil)
+		return Record{}, badRecord(lineNo, line, nil)
 	}
 	if rec.Service == "" {
-		rec.Service = r.opts.DefaultService
+		rec.Service = defaultService
+	}
+	return rec, nil
+}
+
+// Decode decodes one JSON wire-format line ({"service":...,
+// "message":...}) into a Record, applying defaultService when the line
+// carries no service field. It is the single decoder shared by the
+// stdin Reader and the network listeners; failures match ErrBadRecord.
+func Decode(line []byte, defaultService string) (Record, error) {
+	rec, bad := decodeLine(0, line, defaultService)
+	if bad != nil {
+		return Record{}, bad
 	}
 	return rec, nil
 }
@@ -176,6 +212,10 @@ func (r *Reader) Records() int64 { return r.records }
 
 // Malformed returns how many lines were skipped as undecodable.
 func (r *Reader) Malformed() int64 { return r.malformed }
+
+// Oversize returns how many lines were discarded for exceeding
+// MaxLineBytes.
+func (r *Reader) Oversize() int64 { return r.oversize }
 
 // Lines returns how many input lines have been read so far, including
 // empty and malformed ones.

@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"bufio"
 	"bytes"
 	"errors"
 	"fmt"
@@ -142,16 +143,84 @@ func TestStreamErrorSurfaces(t *testing.T) {
 	}
 }
 
-func TestOversizedLineSurfacesError(t *testing.T) {
+func TestOversizedLineSkippedAndCounted(t *testing.T) {
+	// Regression: an oversized line used to be a terminal stream error
+	// (bufio.Scanner's ErrTooLong). It must be skipped and counted like
+	// a malformed record — one absurd message must not kill the stream.
+	huge := strings.Repeat("x", 4096)
+	var in bytes.Buffer
+	in.Write(Marshal(Record{Service: "s", Message: "before"}))
+	in.Write(Marshal(Record{Service: "s", Message: huge}))
+	in.Write(Marshal(Record{Service: "s", Message: "after"}))
+	r := NewReader(&in, Options{BatchSize: 10, MaxLineBytes: 1024})
+	b, err := r.NextBatch()
+	if err != nil {
+		t.Fatalf("NextBatch: %v", err)
+	}
+	if len(b) != 2 || b[0].Message != "before" || b[1].Message != "after" {
+		t.Fatalf("records around the oversized line lost: %+v", b)
+	}
+	if r.Oversize() != 1 {
+		t.Errorf("Oversize = %d, want 1", r.Oversize())
+	}
+	if bad := r.LastBadRecord(); bad == nil || !errors.Is(bad, bufio.ErrTooLong) {
+		t.Errorf("LastBadRecord = %v, want one wrapping bufio.ErrTooLong", bad)
+	}
+	if r.Err() != nil {
+		t.Errorf("oversized line must not be a terminal error: %v", r.Err())
+	}
+	if _, err := r.NextBatch(); err != io.EOF {
+		t.Fatalf("want io.EOF after exhaustion, got %v", err)
+	}
+}
+
+func TestOversizedLineStrict(t *testing.T) {
 	huge := strings.Repeat("x", 4096)
 	in := strings.NewReader(string(Marshal(Record{Service: "s", Message: huge})))
-	r := NewReader(in, Options{BatchSize: 10, MaxLineBytes: 1024})
+	r := NewReader(in, Options{BatchSize: 10, MaxLineBytes: 1024, Strict: true})
 	_, err := r.NextBatch()
-	if err == nil || errors.Is(err, io.EOF) {
-		t.Fatalf("oversized line should surface a read error, got %v", err)
+	if !errors.Is(err, ErrBadRecord) || !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("strict mode should fail with a bad-record error wrapping ErrTooLong, got %v", err)
 	}
 	if r.Err() == nil {
 		t.Fatal("Err() should report the failure")
+	}
+}
+
+func TestOversizedFinalLineWithoutNewline(t *testing.T) {
+	// The stream ends inside the oversized line: it is still counted,
+	// and the next call reports a clean EOF.
+	in := strings.NewReader(string(Marshal(Record{Service: "s", Message: "ok"})) + strings.Repeat("y", 4096))
+	r := NewReader(in, Options{BatchSize: 10, MaxLineBytes: 1024})
+	b, err := r.NextBatch()
+	if err != nil || len(b) != 1 {
+		t.Fatalf("got %v, %v", b, err)
+	}
+	if r.Oversize() != 1 {
+		t.Errorf("Oversize = %d, want 1", r.Oversize())
+	}
+	if _, err := r.NextBatch(); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+	if r.Err() != nil {
+		t.Errorf("Err() = %v, want nil after clean EOF", r.Err())
+	}
+}
+
+func TestDecode(t *testing.T) {
+	rec, err := Decode([]byte(`{"service":"sshd","message":"hi"}`), "fallback")
+	if err != nil || rec.Service != "sshd" || rec.Message != "hi" {
+		t.Fatalf("Decode = %+v, %v", rec, err)
+	}
+	rec, err = Decode([]byte(`{"message":"hi"}`), "fallback")
+	if err != nil || rec.Service != "fallback" {
+		t.Fatalf("Decode without service = %+v, %v", rec, err)
+	}
+	if _, err = Decode([]byte(`not json`), "x"); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("Decode garbage = %v, want ErrBadRecord", err)
+	}
+	if _, err = Decode([]byte(`{"service":"s"}`), "x"); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("Decode without message = %v, want ErrBadRecord", err)
 	}
 }
 

@@ -1,0 +1,235 @@
+package ingest
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Queue errors.
+var (
+	// ErrQueueFull is returned by Push when the queue stayed full past
+	// the block deadline: the record is shed, not accepted.
+	ErrQueueFull = errors.New("ingest: queue full")
+	// ErrQueueClosed is returned by Push after Close.
+	ErrQueueClosed = errors.New("ingest: queue closed")
+)
+
+// Queue defaults.
+const (
+	// DefaultQueueDepth bounds the in-memory record queue. At the
+	// paper's ~300-byte mean message this is ~20 MB of buffered log
+	// data — enough to ride out one slow batch, small enough that an
+	// overloaded daemon sheds instead of swapping.
+	DefaultQueueDepth = 65536
+	// DefaultBlockTimeout is how long Push blocks on a full queue
+	// before shedding the record.
+	DefaultBlockTimeout = 100 * time.Millisecond
+	// DefaultLinger is how long NextBatch waits to top up a non-empty
+	// batch before handing it to analysis.
+	DefaultLinger = 250 * time.Millisecond
+)
+
+// QueueOptions configures a Queue.
+type QueueOptions struct {
+	// Depth is the maximum number of buffered records
+	// (DefaultQueueDepth when zero or negative).
+	Depth int
+	// BatchSize is the number of records per NextBatch
+	// (DefaultBatchSize when zero or negative).
+	BatchSize int
+	// Linger is the longest NextBatch waits to top up a non-empty batch
+	// (DefaultLinger when zero or negative). Network traffic trickles;
+	// without a linger bound a quiet hour would strand records short of
+	// a full batch.
+	Linger time.Duration
+	// BlockTimeout is how long Push blocks on a full queue before
+	// shedding with ErrQueueFull (DefaultBlockTimeout when zero or
+	// negative). This is the explicit overload policy: block producers
+	// briefly so a transient analysis stall loses nothing, then shed so
+	// memory stays bounded.
+	BlockTimeout time.Duration
+	// Metrics receives the queue depth gauge. A fresh private instance
+	// is used when nil.
+	Metrics *obs.Metrics
+}
+
+// Queue is the bounded in-memory record queue between the network
+// listeners and the analysis loop. Producers Push concurrently; one
+// consumer drains batches with NextBatch. Memory is bounded by Depth:
+// when analysis cannot keep up, Push blocks up to BlockTimeout and then
+// sheds, which is the caller's signal to reject (HTTP 503) or drop (UDP)
+// with an accounted counter instead of growing without bound.
+type Queue struct {
+	opts    QueueOptions
+	ch      chan queued
+	closing chan struct{}
+	once    sync.Once
+	// mu makes Close a barrier: Push holds the read half across its
+	// send, so after Close acquires and releases the write half no
+	// accepted record can still be in flight — the drain contract
+	// ("lose no accepted record") depends on it.
+	mu sync.RWMutex
+	m  *obs.Metrics
+}
+
+type queued struct {
+	rec Record
+	at  time.Time
+}
+
+// NewQueue returns a queue ready for concurrent producers.
+func NewQueue(opts QueueOptions) *Queue {
+	if opts.Depth <= 0 {
+		opts.Depth = DefaultQueueDepth
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = DefaultBatchSize
+	}
+	if opts.Linger <= 0 {
+		opts.Linger = DefaultLinger
+	}
+	if opts.BlockTimeout <= 0 {
+		opts.BlockTimeout = DefaultBlockTimeout
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = obs.New()
+	}
+	return &Queue{
+		opts:    opts,
+		ch:      make(chan queued, opts.Depth),
+		closing: make(chan struct{}),
+		m:       opts.Metrics,
+	}
+}
+
+// Push enqueues one record. On a full queue it blocks up to
+// BlockTimeout and then sheds with ErrQueueFull; after Close it returns
+// ErrQueueClosed. A nil return means the record is accepted: it will be
+// delivered by NextBatch before the queue reports io.EOF.
+func (q *Queue) Push(rec Record) error {
+	return q.push(rec, true)
+}
+
+// TryPush is Push without the blocking grace: a full queue sheds
+// immediately. Used to fast-fail the rest of a request once one of its
+// records has already shed.
+func (q *Queue) TryPush(rec Record) error {
+	return q.push(rec, false)
+}
+
+func (q *Queue) push(rec Record, block bool) error {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	select {
+	case <-q.closing:
+		return ErrQueueClosed
+	default:
+	}
+	it := queued{rec: rec, at: time.Now()}
+	select {
+	case q.ch <- it:
+		q.m.ServerQueueDepth.Add(1)
+		return nil
+	default:
+	}
+	if !block {
+		return ErrQueueFull
+	}
+	t := time.NewTimer(q.opts.BlockTimeout)
+	defer t.Stop()
+	select {
+	case q.ch <- it:
+		q.m.ServerQueueDepth.Add(1)
+		return nil
+	case <-q.closing:
+		return ErrQueueClosed
+	case <-t.C:
+		return ErrQueueFull
+	}
+}
+
+// Len returns the number of records currently buffered.
+func (q *Queue) Len() int { return len(q.ch) }
+
+// Close stops the queue: subsequent Pushes fail with ErrQueueClosed,
+// already-accepted records stay readable, and NextBatch returns io.EOF
+// once the buffer is drained. Close returns only after every in-flight
+// Push has completed, so "accepted" and "will be delivered" coincide.
+// Safe to call more than once.
+func (q *Queue) Close() {
+	q.once.Do(func() { close(q.closing) })
+	q.mu.Lock()
+	//lint:ignore SA2001 the empty critical section is the barrier.
+	q.mu.Unlock()
+}
+
+// NextBatch implements BatchSource: it blocks until at least one record
+// is available, tops the batch up for at most Linger (or until
+// BatchSize), and returns io.EOF once the queue is closed and drained.
+func (q *Queue) NextBatch() ([]Record, error) {
+	recs, _, err := q.NextBatchMeta()
+	return recs, err
+}
+
+// NextBatchMeta is NextBatch plus the enqueue time of the batch's
+// oldest record, which the server uses for its ingest-to-persist
+// latency histogram.
+func (q *Queue) NextBatchMeta() ([]Record, time.Time, error) {
+	batch := make([]Record, 0, min(q.opts.BatchSize, q.opts.Depth))
+	var oldest time.Time
+	take := func(it queued) {
+		q.m.ServerQueueDepth.Add(-1)
+		if oldest.IsZero() {
+			oldest = it.at
+		}
+		batch = append(batch, it.rec)
+	}
+	// drain empties what is buffered, up to the batch size, without
+	// blocking.
+	drain := func() {
+		for len(batch) < q.opts.BatchSize {
+			select {
+			case it := <-q.ch:
+				take(it)
+			default:
+				return
+			}
+		}
+	}
+
+	// Block for the first record.
+	select {
+	case it := <-q.ch:
+		take(it)
+	case <-q.closing:
+		// Wait out in-flight pushes (the Close barrier), then whatever
+		// is buffered is all there will ever be.
+		q.mu.Lock()
+		q.mu.Unlock()
+		drain()
+		if len(batch) == 0 {
+			return nil, time.Time{}, io.EOF
+		}
+		return batch, oldest, nil
+	}
+
+	// Top up: wait at most Linger for the batch to fill.
+	linger := time.NewTimer(q.opts.Linger)
+	defer linger.Stop()
+	for len(batch) < q.opts.BatchSize {
+		select {
+		case it := <-q.ch:
+			take(it)
+		case <-q.closing:
+			drain()
+			return batch, oldest, nil
+		case <-linger.C:
+			return batch, oldest, nil
+		}
+	}
+	return batch, oldest, nil
+}

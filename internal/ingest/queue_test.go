@@ -1,0 +1,165 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestQueueBatchOrder(t *testing.T) {
+	q := NewQueue(QueueOptions{Depth: 16, BatchSize: 8, Linger: 10 * time.Millisecond})
+	for i := 0; i < 5; i++ {
+		if err := q.Push(Record{Service: "s", Message: fmt.Sprintf("m%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch, err := q.NextBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 5 {
+		t.Fatalf("got %d records, want 5", len(batch))
+	}
+	for i, r := range batch {
+		if r.Message != fmt.Sprintf("m%d", i) {
+			t.Errorf("batch[%d] = %q, out of order", i, r.Message)
+		}
+	}
+}
+
+func TestQueueShedsWhenFull(t *testing.T) {
+	m := obs.New()
+	q := NewQueue(QueueOptions{Depth: 2, BatchSize: 10, BlockTimeout: 5 * time.Millisecond, Metrics: m})
+	if err := q.Push(Record{Service: "s", Message: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(Record{Service: "s", Message: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	// No consumer: the third push must block briefly, then shed.
+	start := time.Now()
+	err := q.Push(Record{Service: "s", Message: "c"})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Push on full queue = %v, want ErrQueueFull", err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Error("Push shed before the block deadline")
+	}
+	if err := q.TryPush(Record{Service: "s", Message: "d"}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("TryPush on full queue = %v, want immediate ErrQueueFull", err)
+	}
+	if got := m.ServerQueueDepth.Value(); got != 2 {
+		t.Errorf("queue depth gauge = %d, want 2", got)
+	}
+}
+
+func TestQueueCloseDrainsThenEOF(t *testing.T) {
+	q := NewQueue(QueueOptions{Depth: 16, BatchSize: 4, Linger: time.Millisecond})
+	for i := 0; i < 10; i++ {
+		if err := q.Push(Record{Service: "s", Message: fmt.Sprintf("m%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+	if err := q.Push(Record{Service: "s", Message: "late"}); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("Push after Close = %v, want ErrQueueClosed", err)
+	}
+	var got int
+	for {
+		batch, err := q.NextBatch()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got += len(batch)
+	}
+	if got != 10 {
+		t.Fatalf("drained %d records, want all 10 accepted before Close", got)
+	}
+}
+
+func TestQueueConcurrentProducersLoseNothingAccepted(t *testing.T) {
+	m := obs.New()
+	q := NewQueue(QueueOptions{Depth: 32, BatchSize: 16, Linger: time.Millisecond,
+		BlockTimeout: time.Millisecond, Metrics: m})
+
+	const producers, perProducer = 8, 200
+	var accepted, shed sync.Map
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			var acc, sh int64
+			for i := 0; i < perProducer; i++ {
+				err := q.Push(Record{Service: "s", Message: fmt.Sprintf("p%d-%d", p, i)})
+				switch {
+				case err == nil:
+					acc++
+				case errors.Is(err, ErrQueueFull):
+					sh++
+				default:
+					t.Errorf("Push: %v", err)
+				}
+			}
+			accepted.Store(p, acc)
+			shed.Store(p, sh)
+		}(p)
+	}
+
+	var consumed int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			batch, err := q.NextBatch()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				t.Errorf("NextBatch: %v", err)
+				return
+			}
+			consumed += int64(len(batch))
+		}
+	}()
+
+	wg.Wait()
+	q.Close()
+	<-done
+
+	var totalAccepted, totalShed int64
+	accepted.Range(func(_, v any) bool { totalAccepted += v.(int64); return true })
+	shed.Range(func(_, v any) bool { totalShed += v.(int64); return true })
+	if totalAccepted+totalShed != producers*perProducer {
+		t.Fatalf("accepted %d + shed %d != sent %d", totalAccepted, totalShed, producers*perProducer)
+	}
+	if consumed != totalAccepted {
+		t.Fatalf("consumed %d != accepted %d: an accepted record was lost (or a shed one delivered)", consumed, totalAccepted)
+	}
+	if got := m.ServerQueueDepth.Value(); got != 0 {
+		t.Errorf("queue depth gauge = %d after full drain, want 0", got)
+	}
+}
+
+func TestQueueLingerReturnsPartialBatch(t *testing.T) {
+	q := NewQueue(QueueOptions{Depth: 16, BatchSize: 100, Linger: 5 * time.Millisecond})
+	if err := q.Push(Record{Service: "s", Message: "only"}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	batch, err := q.NextBatch()
+	if err != nil || len(batch) != 1 {
+		t.Fatalf("got %v, %v", batch, err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("NextBatch waited far past the linger bound")
+	}
+}

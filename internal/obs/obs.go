@@ -132,6 +132,20 @@ func (v *CounterVec) Values() []int64 {
 	return out
 }
 
+// Listener indices for the server's per-listener counter vectors. The
+// network ingestion daemon has a fixed set of listeners, so per-listener
+// counters are dense vectors indexed by these constants and rendered
+// with the matching ListenerNames label value.
+const (
+	ListenerUDP = iota
+	ListenerTCP
+	ListenerHTTP
+	numListeners
+)
+
+// ListenerNames maps listener indices to their metric label values.
+var ListenerNames = []string{"udp", "tcp", "http"}
+
 // DefBuckets is the default latency bucket layout in seconds. It spans
 // sub-millisecond parses to the paper's 7.5 s production batches with
 // headroom for slow disks.
@@ -273,8 +287,17 @@ type Metrics struct {
 	IngestLines        Counter    // input lines read, including empty and malformed
 	IngestRecords      Counter    // well-formed records decoded
 	IngestDecodeErrors Counter    // malformed lines skipped (or rejected in strict mode)
+	IngestOversize     Counter    // input lines discarded for exceeding the line-size bound
 	IngestBatches      Counter    // batches handed to analysis
 	IngestBatchFill    *Histogram // seconds to fill one batch from the stream
+
+	// Server: the network ingestion daemon (syslog + HTTP listeners in
+	// front of a bounded record queue).
+	ServerAccepted      CounterVec // records accepted into the queue, per listener
+	ServerParseErrors   CounterVec // datagrams/frames/lines rejected as unparseable, per listener
+	ServerShed          CounterVec // records shed because the queue stayed full past the deadline, per listener
+	ServerQueueDepth    Gauge      // records currently queued between listeners and analysis
+	ServerIngestLatency *Histogram // seconds from queue admission to durable persistence
 
 	// Engine: the AnalyzeByService workflow.
 	EngineBatches         Counter    // batches analysed
@@ -309,13 +332,18 @@ type Metrics struct {
 
 // New returns a ready-to-use Metrics with the default bucket layout.
 func New() *Metrics {
-	return &Metrics{
+	m := &Metrics{
 		start:                   time.Now(),
 		IngestBatchFill:         NewHistogram(),
 		EngineServiceAnalysis:   NewHistogram(),
 		EngineBatchDuration:     NewHistogram(),
 		StoreCompactionDuration: NewHistogram(),
+		ServerIngestLatency:     NewHistogram(),
 	}
+	m.ServerAccepted.EnsureLen(numListeners)
+	m.ServerParseErrors.EnsureLen(numListeners)
+	m.ServerShed.EnsureLen(numListeners)
+	return m
 }
 
 // Snapshot is a point-in-time copy of every metric, for programmatic
@@ -326,8 +354,16 @@ type Snapshot struct {
 	IngestLines        int64             `json:"ingest_lines"`
 	IngestRecords      int64             `json:"ingest_records"`
 	IngestDecodeErrors int64             `json:"ingest_decode_errors"`
+	IngestOversize     int64             `json:"ingest_oversize"`
 	IngestBatches      int64             `json:"ingest_batches"`
 	IngestBatchFill    HistogramSnapshot `json:"ingest_batch_fill_seconds"`
+
+	// The server vectors are keyed by listener name (udp, tcp, http).
+	ServerAccepted      map[string]int64  `json:"server_accepted,omitempty"`
+	ServerParseErrors   map[string]int64  `json:"server_parse_errors,omitempty"`
+	ServerShed          map[string]int64  `json:"server_shed,omitempty"`
+	ServerQueueDepth    int64             `json:"server_queue_depth"`
+	ServerIngestLatency HistogramSnapshot `json:"server_ingest_to_persist_seconds"`
 
 	EngineBatches         int64             `json:"engine_batches"`
 	EngineMessages        int64             `json:"engine_messages"`
@@ -357,6 +393,22 @@ type Snapshot struct {
 	StoreCompactionDuration HistogramSnapshot `json:"store_compaction_seconds"`
 }
 
+// listenerMap renders a per-listener counter vector as a name-keyed map
+// (nil when the vector was never sized, i.e. the zero Metrics).
+func listenerMap(v *CounterVec) map[string]int64 {
+	vals := v.Values()
+	if vals == nil {
+		return nil
+	}
+	out := make(map[string]int64, len(vals))
+	for i, val := range vals {
+		if i < len(ListenerNames) {
+			out[ListenerNames[i]] = val
+		}
+	}
+	return out
+}
+
 // ParseHitRatio returns the fraction of engine messages matched by a
 // known pattern (0 when no messages were processed).
 func (s Snapshot) ParseHitRatio() float64 {
@@ -375,8 +427,15 @@ func (m *Metrics) Snapshot() Snapshot {
 		IngestLines:        m.IngestLines.Value(),
 		IngestRecords:      m.IngestRecords.Value(),
 		IngestDecodeErrors: m.IngestDecodeErrors.Value(),
+		IngestOversize:     m.IngestOversize.Value(),
 		IngestBatches:      m.IngestBatches.Value(),
 		IngestBatchFill:    m.IngestBatchFill.snapshot(),
+
+		ServerAccepted:      listenerMap(&m.ServerAccepted),
+		ServerParseErrors:   listenerMap(&m.ServerParseErrors),
+		ServerShed:          listenerMap(&m.ServerShed),
+		ServerQueueDepth:    m.ServerQueueDepth.Value(),
+		ServerIngestLatency: m.ServerIngestLatency.snapshot(),
 
 		EngineBatches:         m.EngineBatches.Value(),
 		EngineMessages:        m.EngineMessages.Value(),
@@ -438,6 +497,9 @@ type metricDesc struct {
 	// label is the label name each CounterVec slot index is rendered
 	// under (e.g. shard="3").
 	label string
+	// labelVals, when set, renders slot i with labelVals[i] instead of
+	// the numeric index (e.g. listener="udp").
+	labelVals []string
 }
 
 func (m *Metrics) descs() []metricDesc {
@@ -445,8 +507,15 @@ func (m *Metrics) descs() []metricDesc {
 		{name: "seqrtg_ingest_lines_total", help: "Input lines read from the stream, including empty and malformed ones.", kind: "counter", c: &m.IngestLines},
 		{name: "seqrtg_ingest_records_total", help: "Well-formed records decoded from the stream.", kind: "counter", c: &m.IngestRecords},
 		{name: "seqrtg_ingest_decode_errors_total", help: "Malformed input lines skipped (or rejected in strict mode).", kind: "counter", c: &m.IngestDecodeErrors},
+		{name: "seqrtg_ingest_oversize_total", help: "Input lines discarded for exceeding the line-size bound.", kind: "counter", c: &m.IngestOversize},
 		{name: "seqrtg_ingest_batches_total", help: "Batches handed from the ingester to analysis.", kind: "counter", c: &m.IngestBatches},
 		{name: "seqrtg_ingest_batch_fill_seconds", help: "Seconds spent filling one batch from the input stream.", kind: "histogram", h: m.IngestBatchFill},
+
+		{name: "seqrtg_server_accepted_total", help: "Records accepted into the server's ingestion queue, per listener.", kind: "countervec", v: &m.ServerAccepted, label: "listener", labelVals: ListenerNames},
+		{name: "seqrtg_server_parse_errors_total", help: "Datagrams, frames or lines rejected as unparseable, per listener.", kind: "countervec", v: &m.ServerParseErrors, label: "listener", labelVals: ListenerNames},
+		{name: "seqrtg_server_shed_total", help: "Records shed because the ingestion queue stayed full past the push deadline, per listener.", kind: "countervec", v: &m.ServerShed, label: "listener", labelVals: ListenerNames},
+		{name: "seqrtg_server_queue_depth", help: "Records currently queued between the network listeners and analysis.", kind: "gauge", g: &m.ServerQueueDepth},
+		{name: "seqrtg_server_ingest_to_persist_seconds", help: "Seconds from queue admission to durable persistence of a batch's oldest record.", kind: "histogram", h: m.ServerIngestLatency},
 
 		{name: "seqrtg_engine_batches_total", help: "Batches analysed by the engine.", kind: "counter", c: &m.EngineBatches},
 		{name: "seqrtg_engine_messages_total", help: "Messages processed by the engine.", kind: "counter", c: &m.EngineMessages},
@@ -495,7 +564,11 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 			bw.printf("%s %d\n", d.name, d.g.Value())
 		case "countervec":
 			for i, val := range d.v.Values() {
-				bw.printf("%s{%s=\"%d\"} %d\n", d.name, d.label, i, val)
+				if i < len(d.labelVals) {
+					bw.printf("%s{%s=%q} %d\n", d.name, d.label, d.labelVals[i], val)
+				} else {
+					bw.printf("%s{%s=\"%d\"} %d\n", d.name, d.label, i, val)
+				}
 			}
 		case "histogram":
 			s := d.h.snapshot()

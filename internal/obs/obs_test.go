@@ -254,8 +254,8 @@ func TestHistogramZeroObservations(t *testing.T) {
 // them out of the finite bucket, and still sums them.
 func TestHistogramSingleBucketOverflow(t *testing.T) {
 	h := NewHistogram(1)
-	h.Observe(1)             // boundary: le is inclusive
-	h.Observe(1000000)       // far overflow
+	h.Observe(1)       // boundary: le is inclusive
+	h.Observe(1000000) // far overflow
 	h.Observe(math.MaxFloat64)
 	s := h.snapshot()
 	if len(s.Buckets) != 2 {

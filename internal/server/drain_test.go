@@ -1,0 +1,142 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	sequence "repro"
+	"repro/internal/server"
+)
+
+// TestGracefulDrainLosesNothing exercises the shutdown contract: the
+// linger and batch size are set so large that no analysis happens while
+// the server is serving, records are pushed mid-batch, and cancellation
+// must still flow every accepted record through analysis into the store
+// before Run returns.
+func TestGracefulDrainLosesNothing(t *testing.T) {
+	rtg, err := sequence.Open("")
+	if err != nil {
+		t.Fatalf("sequence.Open: %v", err)
+	}
+	defer rtg.Close()
+
+	srv, err := server.New(rtg, server.Options{
+		SyslogTCP:    "127.0.0.1:0",
+		BatchSize:    1 << 20, // never fills
+		Linger:       time.Hour,
+		DrainTimeout: 20 * time.Second,
+		Metrics:      rtg.Metrics(),
+	})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(ctx) }()
+
+	const n = 500
+	conn, err := net.Dial("tcp", srv.SyslogTCPAddr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(conn, "<13>Feb  5 17:32:18 h drainsvc: request %d completed with status %d\n", i, 200)
+	}
+	conn.Close()
+
+	// Every record must be accepted (the default queue depth dwarfs n)
+	// before we pull the plug; the records are then mid-batch — queued
+	// but unanalysed, because the batch never fills and the linger is an
+	// hour.
+	waitFor(t, 10*time.Second, func() bool {
+		return rtg.Metrics().Snapshot().ServerAccepted["tcp"] == n
+	}, "all records accepted")
+	if got := rtg.Metrics().Snapshot().EngineMessages; got != 0 {
+		t.Fatalf("engine processed %d records before shutdown; the drain test needs them queued", got)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run returned %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("Run did not return within the drain deadline")
+	}
+
+	snap := rtg.Metrics().Snapshot()
+	if snap.EngineMessages != n {
+		t.Fatalf("engine processed %d records, want %d: accepted records were lost in shutdown", snap.EngineMessages, n)
+	}
+	if snap.ServerQueueDepth != 0 {
+		t.Fatalf("queue depth after drain = %d, want 0", snap.ServerQueueDepth)
+	}
+	// The drained records are in the store, not just through analysis.
+	found := false
+	for _, p := range rtg.Patterns() {
+		if p.Service == "drainsvc" && p.Count == n {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("drained pattern missing from store; patterns: %d", len(rtg.Patterns()))
+	}
+
+	// The latency histogram observed the drained batch.
+	if snap.ServerIngestLatency.Count == 0 {
+		t.Error("seqrtg_server_ingest_to_persist_seconds observed nothing")
+	}
+}
+
+// TestDrainWithInFlightConnection cancels while a TCP connection is
+// still open; already-delivered frames must survive.
+func TestDrainWithInFlightConnection(t *testing.T) {
+	rtg, err := sequence.Open("")
+	if err != nil {
+		t.Fatalf("sequence.Open: %v", err)
+	}
+	defer rtg.Close()
+
+	srv, err := server.New(rtg, server.Options{
+		SyslogTCP: "127.0.0.1:0",
+		BatchSize: 1 << 20,
+		Linger:    time.Hour,
+		Metrics:   rtg.Metrics(),
+	})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(ctx) }()
+
+	conn, err := net.Dial("tcp", srv.SyslogTCPAddr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	const n = 25
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(conn, "<13>Feb  5 17:32:18 h livesvc: heartbeat %d ok\n", i)
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		return rtg.Metrics().Snapshot().ServerAccepted["tcp"] == n
+	}, "records accepted on the live connection")
+
+	cancel() // connection still open
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run returned %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("Run did not return with a connection open")
+	}
+	if got := rtg.Metrics().Snapshot().EngineMessages; got != n {
+		t.Fatalf("engine processed %d, want %d", got, n)
+	}
+}

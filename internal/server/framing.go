@@ -1,0 +1,134 @@
+package server
+
+import (
+	"bufio"
+	"io"
+)
+
+// frameReader extracts syslog messages from a TCP stream, supporting
+// both RFC 6587 framings and auto-detecting them per frame:
+//
+//   - octet counting: "MSG-LEN SP MSG", MSG-LEN a decimal byte count.
+//     A frame always starts with a non-zero digit, which no syslog
+//     message does (they start with '<'), so detection is unambiguous.
+//   - non-transparent framing: messages separated by LF.
+//
+// Frames larger than max are consumed and discarded (tooLong=true) so
+// one absurd sender cannot park the connection or the daemon's memory.
+type frameReader struct {
+	br  *bufio.Reader
+	max int
+	buf []byte
+}
+
+func newFrameReader(r io.Reader, max int) *frameReader {
+	size := 64 * 1024
+	if max < size {
+		size = max
+	}
+	if size < 16 {
+		size = 16
+	}
+	return &frameReader{br: bufio.NewReaderSize(r, size), max: max}
+}
+
+// next returns the next frame. tooLong reports an oversized frame that
+// was discarded (frame is nil then). err is io.EOF at a clean end of
+// stream, or the underlying read error.
+func (f *frameReader) next() (frame []byte, tooLong bool, err error) {
+	c, err := f.br.ReadByte()
+	if err != nil {
+		return nil, false, err
+	}
+	if c >= '1' && c <= '9' {
+		return f.nextOctetCounted(int(c - '0'))
+	}
+	if err := f.br.UnreadByte(); err != nil {
+		return nil, false, err
+	}
+	return f.nextLine()
+}
+
+// nextOctetCounted reads "MSG-LEN SP MSG" with the first length digit
+// already consumed.
+func (f *frameReader) nextOctetCounted(n int) ([]byte, bool, error) {
+	for digits := 1; ; digits++ {
+		c, err := f.br.ReadByte()
+		if err != nil {
+			return nil, false, f.eofMidFrame(err)
+		}
+		if c == ' ' {
+			break
+		}
+		if c < '0' || c > '9' || digits >= 9 {
+			return nil, false, errBadFrame
+		}
+		n = n*10 + int(c-'0')
+	}
+	if n > f.max {
+		// Consume the advertised payload so the stream stays in sync,
+		// but never buffer it.
+		if _, err := f.br.Discard(n); err != nil {
+			return nil, true, f.eofMidFrame(err)
+		}
+		return nil, true, nil
+	}
+	if cap(f.buf) < n {
+		f.buf = make([]byte, n)
+	}
+	f.buf = f.buf[:n]
+	if _, err := io.ReadFull(f.br, f.buf); err != nil {
+		return nil, false, f.eofMidFrame(err)
+	}
+	return f.buf, false, nil
+}
+
+// nextLine reads one LF-terminated message, discarding it if it
+// exceeds the bound (like the ingest line reader).
+func (f *frameReader) nextLine() ([]byte, bool, error) {
+	f.buf = f.buf[:0]
+	for {
+		chunk, err := f.br.ReadSlice('\n')
+		f.buf = append(f.buf, chunk...)
+		if err == bufio.ErrBufferFull {
+			if len(f.buf) > f.max {
+				return nil, true, f.discardLine()
+			}
+			continue
+		}
+		if err != nil && err != io.EOF {
+			return nil, false, err
+		}
+		if len(f.buf) == 0 {
+			return nil, false, io.EOF
+		}
+		line := trimTrailingEOL(f.buf)
+		if len(line) > f.max {
+			return nil, true, nil
+		}
+		return line, false, nil
+	}
+}
+
+func (f *frameReader) discardLine() error {
+	for {
+		_, err := f.br.ReadSlice('\n')
+		switch err {
+		case nil, io.EOF:
+			return nil
+		case bufio.ErrBufferFull:
+			continue
+		default:
+			return err
+		}
+	}
+}
+
+// eofMidFrame upgrades an EOF inside a frame to a framing error: the
+// peer closed the connection mid-message.
+func (f *frameReader) eofMidFrame(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return errConnClosed
+	}
+	return err
+}

@@ -1,0 +1,49 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzSyslogParse hammers the network-facing syslog parser: whatever a
+// peer sends, parsing must not panic, and an accepted message must
+// yield a usable record (non-empty service and message, no framing
+// bytes leaking through).
+func FuzzSyslogParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"<13>",
+		"<34>1 2026-08-05T22:14:15.003Z mymachine.example.com su - ID47 - 'su root' failed for lonvick on /dev/pts/8",
+		`<165>1 2026-08-05T22:14:15.003Z mymachine evntslog - ID47 [exampleSDID@32473 iut="3" eventSource="Application"] An application event log entry`,
+		`<165>1 2026-08-05T22:14:15.003Z host app - - [sd p="tricky \] value"] real message`,
+		"<13>1 2026-08-05T22:14:15Z host - - - - hello world",
+		"<13>1 2026-08-05T22:14:15Z host app - - - \xEF\xBB\xBFbom message",
+		"<34>Oct 11 22:14:15 mymachine su: 'su root' failed for lonvick",
+		"<13>Feb  5 17:32:18 host sshd[4721]: Accepted publickey for root",
+		"<13>Feb  5 17:32:18 host something without a colon tag",
+		"<13>busted header but still a message",
+		"<192>out of range pri",
+		"<013>leading zero",
+		"<1000>four digits",
+		"no pri at all",
+		"<13>1 2026-08-05T22:14:15Z h app - - [open sd",
+		"<13>Feb  5 17:32:18 host tag[]: empty pid",
+		"<13>\n",
+		strings.Repeat("<13>[", 100),
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := ParseSyslog(data, "fuzz-default")
+		if err != nil {
+			return
+		}
+		if rec.Service == "" {
+			t.Fatalf("accepted record with empty service: input %q", data)
+		}
+		if rec.Message == "" {
+			t.Fatalf("accepted record with empty message: input %q", data)
+		}
+	})
+}

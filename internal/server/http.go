@@ -1,0 +1,203 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/export"
+	"repro/internal/ingest"
+	"repro/internal/obs"
+)
+
+// httpMux builds the HTTP API:
+//
+//	POST /api/v1/ingest          NDJSON body of ingest records
+//	GET  /api/v1/patterns        mined patterns (filters: service, min_count)
+//	GET  /api/v1/export          patterns in a deployable format (format=grok|patterndb|yaml)
+//	GET  /healthz                liveness
+func (s *Server) httpMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/ingest", s.handleIngest)
+	mux.HandleFunc("GET /api/v1/patterns", s.handlePatterns)
+	mux.HandleFunc("GET /api/v1/export", s.handleExport)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// ingestResponse is the POST /api/v1/ingest reply. Every line of the
+// request body is accounted for in exactly one of the three counters.
+type ingestResponse struct {
+	// Accepted records are in the queue; the drain contract guarantees
+	// they reach the store.
+	Accepted int64 `json:"accepted"`
+	// Malformed lines (undecodable JSON, oversized) were skipped.
+	Malformed int64 `json:"malformed"`
+	// Shed records were rejected by the overload policy; the client
+	// should retry them after a backoff.
+	Shed int64 `json:"shed"`
+}
+
+// handleIngest streams the NDJSON body into the queue. Overload policy:
+// each record may block up to the push timeout; once one record is shed
+// the rest of the body is pushed without blocking (a saturated queue
+// must not hold the request for lines×timeout) and the response is 503
+// with the shed count, so the client knows exactly what to resend.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	// The reader gets a private metrics instance: its line/error totals
+	// are redundant with the per-listener server counters.
+	rd := ingest.NewReader(r.Body, ingest.Options{
+		BatchSize:      1024,
+		DefaultService: s.opts.DefaultService,
+		MaxLineBytes:   s.opts.MaxMessageBytes,
+	})
+	var resp ingestResponse
+	shedding := false
+	for {
+		recs, err := rd.NextBatch()
+		for _, rec := range recs {
+			perr := error(nil)
+			if shedding {
+				perr = s.q.TryPush(rec)
+			} else {
+				perr = s.q.Push(rec)
+			}
+			if perr != nil {
+				shedding = true
+				resp.Shed++
+				s.m.ServerShed.Inc(obs.ListenerHTTP)
+				continue
+			}
+			resp.Accepted++
+			s.m.ServerAccepted.Inc(obs.ListenerHTTP)
+		}
+		if err != nil {
+			break
+		}
+	}
+	resp.Malformed = rd.Malformed() + rd.Oversize()
+	if resp.Malformed > 0 {
+		s.m.ServerParseErrors.Add(obs.ListenerHTTP, resp.Malformed)
+	}
+	code := http.StatusOK
+	if resp.Shed > 0 {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
+}
+
+// patternDTO is the wire shape of one mined pattern.
+type patternDTO struct {
+	ID          string    `json:"id"`
+	Service     string    `json:"service"`
+	Pattern     string    `json:"pattern"`
+	Count       int64     `json:"count"`
+	Complexity  float64   `json:"complexity"`
+	FirstSeen   time.Time `json:"first_seen"`
+	LastMatched time.Time `json:"last_matched"`
+	Examples    []string  `json:"examples,omitempty"`
+}
+
+func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
+	service := r.URL.Query().Get("service")
+	minCount := int64(0)
+	if v := r.URL.Query().Get("min_count"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "min_count must be a non-negative integer")
+			return
+		}
+		minCount = n
+	}
+	dtos := []patternDTO{}
+	for _, p := range s.miner.Patterns() {
+		if service != "" && p.Service != service {
+			continue
+		}
+		if p.Count < minCount {
+			continue
+		}
+		dtos = append(dtos, patternDTO{
+			ID:          p.ID,
+			Service:     p.Service,
+			Pattern:     p.Text(),
+			Count:       p.Count,
+			Complexity:  p.Complexity(),
+			FirstSeen:   p.FirstSeen,
+			LastMatched: p.LastMatched,
+			Examples:    p.Examples,
+		})
+	}
+	sort.Slice(dtos, func(i, j int) bool {
+		if dtos[i].Service != dtos[j].Service {
+			return dtos[i].Service < dtos[j].Service
+		}
+		if dtos[i].Count != dtos[j].Count {
+			return dtos[i].Count > dtos[j].Count
+		}
+		return dtos[i].ID < dtos[j].ID
+	})
+	writeJSON(w, http.StatusOK, struct {
+		Patterns []patternDTO `json:"patterns"`
+	}{dtos})
+}
+
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var f export.Format
+	switch q.Get("format") {
+	case "grok":
+		f = export.FormatGrok
+	case "patterndb":
+		f = export.FormatPatternDB
+	case "yaml":
+		f = export.FormatYAML
+	default:
+		httpError(w, http.StatusBadRequest, "format must be grok, patterndb or yaml")
+		return
+	}
+	opts := export.Options{RulesetID: q.Get("ruleset")}
+	if svc := q.Get("service"); svc != "" {
+		opts.Services = []string{svc}
+	}
+	if v := q.Get("min_count"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "min_count must be a non-negative integer")
+			return
+		}
+		opts.MinCount = n
+	}
+	switch f {
+	case export.FormatPatternDB:
+		w.Header().Set("Content-Type", "application/xml")
+	case export.FormatYAML:
+		w.Header().Set("Content-Type", "application/yaml")
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	}
+	if err := s.miner.Export(w, f, opts); err != nil {
+		// Headers are gone; all we can do is surface the failure.
+		s.reportErr(fmt.Errorf("server: export: %w", err))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, struct {
+		Error string `json:"error"`
+	}{msg})
+}

@@ -1,0 +1,322 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	sequence "repro"
+	"repro/internal/core"
+	"repro/internal/export"
+	"repro/internal/ingest"
+	"repro/internal/obs"
+	"repro/internal/patterns"
+	"repro/internal/server"
+)
+
+// The daemon is wired against the real miner through this interface;
+// keep the structural match honest at compile time.
+var _ server.Miner = (*sequence.RTG)(nil)
+
+type patternsReply struct {
+	Patterns []struct {
+		ID      string `json:"id"`
+		Service string `json:"service"`
+		Pattern string `json:"pattern"`
+		Count   int64  `json:"count"`
+	} `json:"patterns"`
+}
+
+func startServer(t *testing.T, m server.Miner, opts server.Options) (*server.Server, context.CancelFunc, chan error) {
+	t.Helper()
+	srv, err := server.New(m, opts)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(ctx); close(done) }()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Error("server did not stop")
+		}
+	})
+	return srv, cancel, done
+}
+
+func getPatterns(t *testing.T, httpAddr, service string) patternsReply {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s/api/v1/patterns?service=%s", httpAddr, service))
+	if err != nil {
+		t.Fatalf("GET patterns: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET patterns: status %d", resp.StatusCode)
+	}
+	var pr patternsReply
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatalf("decode patterns: %v", err)
+	}
+	return pr
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestServerEndToEnd drives all three listeners against a real miner
+// and reads the mined patterns back through the query API.
+func TestServerEndToEnd(t *testing.T) {
+	rtg, err := sequence.Open("")
+	if err != nil {
+		t.Fatalf("sequence.Open: %v", err)
+	}
+	defer rtg.Close()
+
+	srv, cancel, done := startServer(t, rtg, server.Options{
+		SyslogUDP: "127.0.0.1:0",
+		SyslogTCP: "127.0.0.1:0",
+		HTTP:      "127.0.0.1:0",
+		BatchSize: 16,
+		Linger:    20 * time.Millisecond,
+		Metrics:   rtg.Metrics(),
+	})
+
+	// Three or more same-shape messages per service, one service per
+	// ingestion path (MinGroupMessages defaults to 3).
+	now := time.Now()
+	udpConn, err := net.Dial("udp", srv.SyslogUDPAddr())
+	if err != nil {
+		t.Fatalf("dial udp: %v", err)
+	}
+	for _, user := range []string{"alice", "bob", "carol", "dave"} {
+		line := server.FormatRFC5424(ingest.Record{
+			Service: "udpauth",
+			Message: fmt.Sprintf("login failed for user %s from 10.0.0.7", user),
+		}, "h1", now)
+		if _, err := udpConn.Write([]byte(line)); err != nil {
+			t.Fatalf("udp write: %v", err)
+		}
+	}
+	udpConn.Close()
+
+	// TCP, newline framing.
+	tcpConn, err := net.Dial("tcp", srv.SyslogTCPAddr())
+	if err != nil {
+		t.Fatalf("dial tcp: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		fmt.Fprintf(tcpConn, "<13>Feb  5 17:32:18 h2 tcpline: request %d served in %d ms\n", 1000+i, 10+i)
+	}
+	tcpConn.Close()
+
+	// TCP, octet-counting framing, on a second connection.
+	tcpConn2, err := net.Dial("tcp", srv.SyslogTCPAddr())
+	if err != nil {
+		t.Fatalf("dial tcp: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		msg := server.FormatRFC5424(ingest.Record{
+			Service: "tcpoctet",
+			Message: fmt.Sprintf("worker %d finished job %d", i, 9000+i),
+		}, "h3", now)
+		fmt.Fprintf(tcpConn2, "%d %s", len(msg), msg)
+	}
+	tcpConn2.Close()
+
+	// HTTP NDJSON.
+	var body strings.Builder
+	for i := 0; i < 4; i++ {
+		fmt.Fprintf(&body, `{"service":"httpsvc","message":"session %d expired after %d minutes"}`+"\n", i, 30+i)
+	}
+	resp, err := http.Post("http://"+srv.HTTPAddr()+"/api/v1/ingest", "application/x-ndjson", strings.NewReader(body.String()))
+	if err != nil {
+		t.Fatalf("POST ingest: %v", err)
+	}
+	var ir struct{ Accepted, Malformed, Shed int64 }
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		t.Fatalf("decode ingest response: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ir.Accepted != 4 || ir.Shed != 0 || ir.Malformed != 0 {
+		t.Fatalf("ingest response: status %d, %+v", resp.StatusCode, ir)
+	}
+
+	for _, svc := range []string{"udpauth", "tcpline", "tcpoctet", "httpsvc"} {
+		svc := svc
+		waitFor(t, 10*time.Second, func() bool {
+			pr := getPatterns(t, srv.HTTPAddr(), svc)
+			for _, p := range pr.Patterns {
+				if p.Service == svc && p.Count >= 3 {
+					return true
+				}
+			}
+			return false
+		}, "patterns for service "+svc)
+	}
+
+	// The export endpoint reuses internal/export.
+	eresp, err := http.Get("http://" + srv.HTTPAddr() + "/api/v1/export?format=grok")
+	if err != nil {
+		t.Fatalf("GET export: %v", err)
+	}
+	exported, _ := io.ReadAll(eresp.Body)
+	eresp.Body.Close()
+	if eresp.StatusCode != http.StatusOK || len(exported) == 0 {
+		t.Fatalf("export: status %d, %d bytes", eresp.StatusCode, len(exported))
+	}
+	badresp, err := http.Get("http://" + srv.HTTPAddr() + "/api/v1/export?format=csv")
+	if err != nil {
+		t.Fatalf("GET export: %v", err)
+	}
+	badresp.Body.Close()
+	if badresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad format: status %d, want 400", badresp.StatusCode)
+	}
+
+	// Parse errors are counted, not fatal: garbage on each listener.
+	u, _ := net.Dial("udp", srv.SyslogUDPAddr())
+	u.Write([]byte("no pri at all"))
+	u.Close()
+	snap := func() obs.Snapshot { return rtg.Metrics().Snapshot() }
+	waitFor(t, 5*time.Second, func() bool { return snap().ServerParseErrors["udp"] >= 1 }, "udp parse error count")
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+}
+
+// blockingMiner lets a test saturate the queue: analysis stalls until
+// the gate is closed, then it counts every record it sees.
+type blockingMiner struct {
+	gate chan struct{}
+
+	mu   sync.Mutex
+	seen int64
+}
+
+func (b *blockingMiner) AnalyzeByServiceContext(ctx context.Context, recs []ingest.Record, _ time.Time) (core.BatchResult, error) {
+	select {
+	case <-b.gate:
+	case <-ctx.Done():
+		return core.BatchResult{}, ctx.Err()
+	}
+	b.mu.Lock()
+	b.seen += int64(len(recs))
+	b.mu.Unlock()
+	return core.BatchResult{Messages: len(recs)}, nil
+}
+
+func (b *blockingMiner) Flush() error                  { return nil }
+func (b *blockingMiner) Patterns() []*patterns.Pattern { return nil }
+func (b *blockingMiner) Export(io.Writer, export.Format, export.Options) error {
+	return nil
+}
+
+func (b *blockingMiner) count() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seen
+}
+
+// TestServerOverloadSheds fills a tiny queue while analysis is stalled
+// and checks the overload contract: memory stays bounded, the HTTP
+// response is 503, the shed counter accounts for every rejected record,
+// and every accepted record is still analysed.
+func TestServerOverloadSheds(t *testing.T) {
+	miner := &blockingMiner{gate: make(chan struct{})}
+	m := obs.New()
+	srv, cancel, done := startServer(t, miner, server.Options{
+		HTTP:        "127.0.0.1:0",
+		QueueDepth:  4,
+		BatchSize:   4,
+		Linger:      5 * time.Millisecond,
+		PushTimeout: 20 * time.Millisecond,
+		Metrics:     m,
+	})
+
+	const sent = 64
+	var body strings.Builder
+	for i := 0; i < sent; i++ {
+		fmt.Fprintf(&body, `{"service":"s","message":"event %d"}`+"\n", i)
+	}
+	resp, err := http.Post("http://"+srv.HTTPAddr()+"/api/v1/ingest", "application/x-ndjson", strings.NewReader(body.String()))
+	if err != nil {
+		t.Fatalf("POST ingest: %v", err)
+	}
+	var ir struct{ Accepted, Malformed, Shed int64 }
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if ir.Shed == 0 {
+		t.Fatal("expected shed records with a depth-4 queue and stalled analysis")
+	}
+	if ir.Accepted+ir.Shed != sent {
+		t.Fatalf("accepted(%d) + shed(%d) != sent(%d)", ir.Accepted, ir.Shed, sent)
+	}
+	snap := m.Snapshot()
+	if snap.ServerShed["http"] != ir.Shed {
+		t.Fatalf("seqrtg_server_shed_total{listener=http} = %d, want %d", snap.ServerShed["http"], ir.Shed)
+	}
+	if snap.ServerAccepted["http"] != ir.Accepted {
+		t.Fatalf("accepted counter = %d, want %d", snap.ServerAccepted["http"], ir.Accepted)
+	}
+
+	// Release analysis: every accepted record must come through.
+	close(miner.gate)
+	waitFor(t, 10*time.Second, func() bool { return miner.count() == ir.Accepted }, "accepted records analysed")
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return")
+	}
+	if got := miner.count(); got != ir.Accepted {
+		t.Fatalf("analysed %d records, want %d", got, ir.Accepted)
+	}
+	if snap := m.Snapshot(); snap.ServerQueueDepth != 0 {
+		t.Fatalf("queue depth after drain = %d, want 0", snap.ServerQueueDepth)
+	}
+}
+
+// TestServerRequiresListener pins the constructor contract.
+func TestServerRequiresListener(t *testing.T) {
+	if _, err := server.New(&blockingMiner{gate: make(chan struct{})}, server.Options{}); err == nil {
+		t.Fatal("New with no listeners should fail")
+	}
+}

@@ -346,6 +346,11 @@ func (r *RTG) Purge(minCount int64, olderThan time.Time) (int, error) {
 	return r.engine.Purge(minCount, olderThan)
 }
 
+// Flush forces buffered journal writes of the pattern database to disk
+// — the durability barrier a long-running server takes after each
+// analysed batch.
+func (r *RTG) Flush() error { return r.store.Flush() }
+
 // Compact writes a fresh snapshot of a file-backed pattern database and
 // truncates its journal.
 func (r *RTG) Compact() error { return r.store.Compact() }
