@@ -1,0 +1,77 @@
+// Command seqlint runs the repo's invariant analyzers
+// (internal/analysis) over Go packages and exits non-zero on any
+// finding. It is a required CI job; run it locally with
+//
+//	go run ./cmd/seqlint ./...
+//
+// Suppress a single finding with a directive comment naming the
+// analyzer and the reason:
+//
+//	//seqlint:ignore guardedby construction-phase, not shared yet
+//
+// The directive covers its own line and the statement or declaration
+// beginning on the next line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+	"repro/internal/analysis/load"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	debug := flag.Bool("debug", false, "print per-unit type-check diagnostics (benign for external test packages)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: seqlint [flags] [packages]\n\nFlags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\nAnalyzers:\n")
+		printAnalyzers(os.Stderr)
+	}
+	flag.Parse()
+
+	if *list {
+		printAnalyzers(os.Stdout)
+		return
+	}
+
+	ldr, err := load.New(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seqlint:", err)
+		os.Exit(2)
+	}
+	units, err := ldr.Load(flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seqlint:", err)
+		os.Exit(2)
+	}
+	if *debug {
+		for _, u := range units {
+			for _, te := range u.TypeErrors {
+				fmt.Fprintf(os.Stderr, "seqlint: %s: type-check: %v\n", u.Path, te)
+			}
+		}
+	}
+
+	diags, err := driver.RunUnits(ldr.Fset, units, analysis.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seqlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func printAnalyzers(w *os.File) {
+	for _, a := range analysis.All() {
+		fmt.Fprintf(w, "  %-12s %s\n", a.Name, a.Doc)
+	}
+}

@@ -1,0 +1,24 @@
+// Package analysis is the registry of seqlint analyzers: the repo's
+// cross-cutting invariants (durability seams, lock annotations, metric
+// naming, error-wrapping contracts) expressed as machine-checked rules.
+// cmd/seqlint drives them; DESIGN.md's "invariants as analyzers"
+// section explains why each exists.
+package analysis
+
+import (
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/guardedby"
+	"repro/internal/analysis/metricnames"
+	"repro/internal/analysis/persisterr"
+	"repro/internal/analysis/vfsonly"
+)
+
+// All returns every registered analyzer in stable order.
+func All() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		guardedby.Analyzer,
+		metricnames.Analyzer,
+		persisterr.Analyzer,
+		vfsonly.Analyzer,
+	}
+}

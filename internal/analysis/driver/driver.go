@@ -1,0 +1,138 @@
+// Package driver runs seqlint analyzers over loaded package units,
+// applies //seqlint:ignore suppressions, and returns ordered
+// diagnostics. Both cmd/seqlint and the analysistest harness go through
+// this package, so suppression semantics are identical in production
+// runs and in fixtures.
+package driver
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/load"
+)
+
+// ignoreRegion is one //seqlint:ignore directive: the named analyzers
+// are muted on the directive's own line and, when the next line starts
+// a statement or declaration, through the end of that outermost node.
+// That lets one directive cover a whole annotated loop or function:
+//
+//	//seqlint:ignore guardedby construction-phase, not yet shared
+//	for _, sh := range s.shards {
+//	    sh.journal = j
+//	}
+type ignoreRegion struct {
+	file      string
+	names     map[string]bool
+	from, to  int // line range, inclusive
+	reason    string
+	directive token.Pos
+}
+
+var ignoreRE = regexp.MustCompile(`^//seqlint:ignore\s+([\w,]+)\s*(.*)$`)
+
+// collectIgnores scans a unit's comments for //seqlint:ignore
+// directives and resolves each one's suppression region.
+func collectIgnores(fset *token.FileSet, files []*ast.File) []ignoreRegion {
+	var regions []ignoreRegion
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				r := ignoreRegion{
+					file:      pos.Filename,
+					names:     make(map[string]bool),
+					from:      pos.Line,
+					to:        pos.Line,
+					reason:    strings.TrimSpace(m[2]),
+					directive: c.Pos(),
+				}
+				for _, n := range strings.Split(m[1], ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						r.names[n] = true
+					}
+				}
+				// Extend over the outermost statement or declaration
+				// beginning on the following line. ast.Inspect is
+				// pre-order, so the first node starting there is the
+				// outermost one.
+				target := pos.Line + 1
+				ast.Inspect(f, func(n ast.Node) bool {
+					if n == nil || r.to > r.from {
+						return r.to == r.from
+					}
+					switch n.(type) {
+					case ast.Stmt, ast.Decl:
+						if fset.Position(n.Pos()).Line == target {
+							r.to = fset.Position(n.End()).Line
+							return false
+						}
+					}
+					return true
+				})
+				regions = append(regions, r)
+			}
+		}
+	}
+	return regions
+}
+
+func (r *ignoreRegion) covers(name string, pos token.Position) bool {
+	return r.names[name] && r.file == pos.Filename && r.from <= pos.Line && pos.Line <= r.to
+}
+
+// RunUnits applies every analyzer to every unit and returns the
+// surviving diagnostics sorted by position. An analyzer returning an
+// error (an internal failure, not a finding) aborts the run.
+func RunUnits(fset *token.FileSet, units []*load.Unit, analyzers []*framework.Analyzer) ([]framework.Diagnostic, error) {
+	var diags []framework.Diagnostic
+	for _, u := range units {
+		regions := collectIgnores(fset, u.Files)
+		for _, a := range analyzers {
+			a := a
+			pass := &framework.Pass{
+				Analyzer:   a,
+				Fset:       fset,
+				Files:      u.Files,
+				Path:       u.Path,
+				Pkg:        u.Pkg,
+				TypesInfo:  u.Info,
+				TypeErrors: u.TypeErrors,
+			}
+			pass.Report = func(pos token.Pos, message string) {
+				p := fset.Position(pos)
+				for i := range regions {
+					if regions[i].covers(a.Name, p) {
+						return
+					}
+				}
+				diags = append(diags, framework.Diagnostic{Pos: p, Analyzer: a.Name, Message: message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

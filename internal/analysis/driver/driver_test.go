@@ -1,0 +1,86 @@
+package driver
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/load"
+)
+
+const src = `package p
+
+func a() int {
+	//seqlint:ignore testcheck covered: directive plus next statement
+	x := map[string]int{
+		"k": 1,
+	}
+	y := 2
+	if y > 1 { //seqlint:ignore othercheck wrong analyzer, no effect
+		y = 3
+	}
+	return x["k"] + y
+}
+`
+
+// reportAssigns flags every assignment statement, giving the test a
+// deterministic diagnostic source.
+var reportAssigns = func(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				pass.Reportf(as.Pos(), "assignment")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func runOn(t *testing.T, name string) []framework.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	unit := &load.Unit{Path: "p", Files: []*ast.File{f}, Info: load.NewInfo()}
+	a := &framework.Analyzer{Name: name, Doc: "test analyzer", Run: reportAssigns}
+	diags, err := RunUnits(fset, []*load.Unit{unit}, []*framework.Analyzer{a})
+	if err != nil {
+		t.Fatalf("RunUnits: %v", err)
+	}
+	return diags
+}
+
+// TestIgnoreCoversNextStatement checks the directive's region: its own
+// line plus the outermost statement starting on the following line —
+// here a multi-line composite assignment — and nothing after it.
+func TestIgnoreCoversNextStatement(t *testing.T) {
+	diags := runOn(t, "testcheck")
+	var lines []int
+	for _, d := range diags {
+		lines = append(lines, d.Pos.Line)
+	}
+	// x := map... (line 5) is suppressed; y := 2 (line 8) and y = 3
+	// (line 10) survive.
+	if len(diags) != 2 || lines[0] != 8 || lines[1] != 10 {
+		t.Fatalf("diagnostics on lines %v, want [8 10]", lines)
+	}
+}
+
+// TestIgnoreIsPerAnalyzer checks a directive naming another analyzer
+// suppresses nothing.
+func TestIgnoreIsPerAnalyzer(t *testing.T) {
+	diags := runOn(t, "unrelated")
+	if len(diags) != 3 {
+		var msgs []string
+		for _, d := range diags {
+			msgs = append(msgs, d.String())
+		}
+		t.Fatalf("got %d diagnostics, want 3 (no suppression):\n%s", len(diags), strings.Join(msgs, "\n"))
+	}
+}

@@ -1,0 +1,92 @@
+// Package framework is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis driver surface: an Analyzer is a
+// named Run function over a Pass, a Pass is one type-checked package
+// unit plus a Report sink. The repo is stdlib-only by policy, so the
+// seqlint analyzers (internal/analysis/...) are written against this
+// package instead of x/tools; the API mirrors go/analysis closely
+// enough that porting them onto the real multichecker is a rename.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //seqlint:ignore directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the invariant the analyzer
+	// enforces, shown by cmd/seqlint.
+	Doc string
+	// Run reports diagnostics for one package unit via pass.Report.
+	// The returned error aborts the whole seqlint run (loader or
+	// internal failures — not findings; findings are diagnostics).
+	Run func(pass *Pass) error
+}
+
+// Pass is one package unit (its syntax plus type information) handed to
+// an Analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files is the unit's parsed syntax, comments included.
+	Files []*ast.File
+	// Path is the unit's import path. External test packages (package
+	// foo_test) form their own unit whose Path carries a "_test" suffix.
+	Path string
+	// Pkg and TypesInfo hold the unit's type information. They are
+	// always non-nil, but a unit that failed to type-check completely
+	// (TypeErrors non-empty) may have gaps; analyzers that depend on
+	// full type information should skip objects they cannot resolve.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// TypeErrors collects the unit's type-check errors. The main
+	// packages always type-check (tier-1 gates on go build); external
+	// test units may carry benign errors (references to in-package test
+	// helpers that live outside their unit).
+	TypeErrors []error
+	// Report delivers one diagnostic.
+	Report func(pos token.Pos, message string)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(pos, fmt.Sprintf(format, args...))
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Analyzers
+// that check non-test code only (vfsonly, guardedby, persisterr) use it
+// to skip test files that legitimately reach around the invariant.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
+}
+
+// PathHasSuffix reports whether the slash-separated import path ends in
+// the given element suffix: PathHasSuffix("repro/internal/store",
+// "internal/store") is true, but "x/notinternal/store" does not match.
+// Analyzers use it to target packages by role so that analysistest
+// fixtures (whose paths lack the module prefix) match the same rule as
+// the real tree.
+func PathHasSuffix(path, suffix string) bool {
+	if path == suffix {
+		return true
+	}
+	return strings.HasSuffix(path, "/"+suffix)
+}
+
+// Diagnostic is one finding, positioned and attributed.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}

@@ -1,0 +1,248 @@
+// Package guardedby machine-checks the repo's lock-annotation comments.
+// A struct field carrying a `// guarded by mu` comment may only be
+// touched in functions that visibly acquire that mutex on the same
+// receiver first; `// guarded by mu (send)` restricts only channel
+// sends (receives and len are the lock-free side of the protocol).
+//
+// The check is intraprocedural and position-ordered: an access is legal
+// if, earlier in the same function body, one of
+//
+//   - base.mu.Lock() or base.mu.RLock() on the same base variable,
+//   - a base.lock()/base.rlock() helper call (which acquires whichever
+//     mutex the type wraps), or
+//   - a lockAll() call (which locks every shard, so it clears accesses
+//     on any base for the rest of the function)
+//
+// appears. Functions whose name ends in "Locked" are exempt by
+// convention — the suffix is the documented contract that the caller
+// holds the lock. Unlock is deliberately not tracked: the analyzer
+// over-approximates the critical section to the rest of the function,
+// trading false positives for zero false "unguarded" noise; release-
+// then-touch bugs are the race detector's jurisdiction. Only accesses
+// through a plain identifier base (s.field, sh.field) are checked.
+// Test files are skipped.
+package guardedby
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "guardedby",
+	Doc: "fields annotated `// guarded by <mu>` may only be accessed in " +
+		"functions that acquire <mu> on the same receiver first " +
+		"(`(send)` mode restricts channel sends only); functions named " +
+		"*Locked are exempt",
+	Run: run,
+}
+
+var annotRE = regexp.MustCompile(`guarded by ([A-Za-z_]\w*)(?:\s*\((send)\))?`)
+
+type annot struct {
+	mu   string
+	send bool
+}
+
+func run(pass *framework.Pass) error {
+	guarded := collectAnnotations(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue
+			}
+			checkFunc(pass, fd, guarded)
+		}
+	}
+	return nil
+}
+
+// collectAnnotations maps annotated field objects to their guard.
+func collectAnnotations(pass *framework.Pass) map[types.Object]annot {
+	guarded := make(map[types.Object]annot)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				text := ""
+				if field.Doc != nil {
+					text += field.Doc.Text()
+				}
+				if field.Comment != nil {
+					text += field.Comment.Text()
+				}
+				m := annotRE.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				a := annot{mu: m[1], send: m[2] == "send"}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guarded[obj] = a
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+type eventKind int
+
+const (
+	lockEvent eventKind = iota // base.mu.Lock / base.lock helper
+	lockAllEvent
+	accessEvent
+)
+
+type event struct {
+	pos   token.Pos
+	kind  eventKind
+	base  types.Object // lock/access: the receiver variable
+	mu    string       // lockEvent: mutex name, or "*" for lock helpers
+	field types.Object // accessEvent
+	node  ast.Node
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl, guarded map[types.Object]annot) {
+	var events []event
+
+	// sendChans records expressions appearing as the channel of a send;
+	// send-mode annotations restrict only those.
+	sendChans := make(map[ast.Expr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if s, ok := n.(*ast.SendStmt); ok {
+			sendChans[s.Chan] = true
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if ev, ok := lockCall(pass, n); ok {
+				events = append(events, ev)
+			}
+		case *ast.SelectorExpr:
+			base, ok := n.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			sel, ok := pass.TypesInfo.Selections[n]
+			if !ok || sel.Kind() != types.FieldVal {
+				return true
+			}
+			fieldObj := sel.Obj()
+			a, ok := guarded[fieldObj]
+			if !ok {
+				return true
+			}
+			if a.send && !sendChans[n] {
+				return true
+			}
+			if baseObj := objOf(pass, base); baseObj != nil {
+				events = append(events, event{pos: n.Pos(), kind: accessEvent, base: baseObj, mu: a.mu, field: fieldObj, node: n})
+			}
+		}
+		return true
+	})
+
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	type heldKey struct {
+		base types.Object
+		mu   string
+	}
+	held := make(map[heldKey]bool)
+	allLocked := false
+	for _, ev := range events {
+		switch ev.kind {
+		case lockEvent:
+			held[heldKey{ev.base, ev.mu}] = true
+		case lockAllEvent:
+			allLocked = true
+		case accessEvent:
+			if allLocked || held[heldKey{ev.base, ev.mu}] || held[heldKey{ev.base, "*"}] {
+				continue
+			}
+			sel := ev.node.(*ast.SelectorExpr)
+			what := "accessed"
+			if a := ev.field; guarded[a].send {
+				what = "sent to"
+			}
+			pass.Reportf(ev.pos, "%s.%s %s in %s without holding %s (annotated `guarded by %s`)",
+				exprString(sel.X), sel.Sel.Name, what, fd.Name.Name, ev.mu, ev.mu)
+		}
+	}
+}
+
+// lockCall classifies a call expression as a lock acquisition:
+// base.mu.Lock(), base.mu.RLock(), the base.lock()/base.rlock()
+// helpers, or a lockAll() sweep.
+func lockCall(pass *framework.Pass, call *ast.CallExpr) (event, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return event{}, false
+	}
+	name := sel.Sel.Name
+	if name == "lockAll" {
+		return event{pos: call.Pos(), kind: lockAllEvent}, true
+	}
+	switch name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		// base.mu.Lock(): the receiver expression is itself a field
+		// selector on an identifier.
+		muSel, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return event{}, false
+		}
+		base, ok := muSel.X.(*ast.Ident)
+		if !ok {
+			return event{}, false
+		}
+		if baseObj := objOf(pass, base); baseObj != nil {
+			return event{pos: call.Pos(), kind: lockEvent, base: baseObj, mu: muSel.Sel.Name}, true
+		}
+	case "lock", "rlock":
+		// base.lock() helper: grants whichever mutex the type wraps.
+		base, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return event{}, false
+		}
+		if baseObj := objOf(pass, base); baseObj != nil {
+			return event{pos: call.Pos(), kind: lockEvent, base: baseObj, mu: "*"}, true
+		}
+	}
+	return event{}, false
+}
+
+func objOf(pass *framework.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Defs[id]
+}
+
+func exprString(e ast.Expr) string {
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name
+	}
+	return "?"
+}

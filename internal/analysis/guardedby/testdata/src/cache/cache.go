@@ -1,0 +1,99 @@
+// Fixture: `// guarded by mu` annotations and every acquisition shape
+// the analyzer recognises — direct Lock/RLock, lock()/rlock() helpers,
+// lockAll sweeps, the *Locked naming contract, send-mode channels, and
+// the //seqlint:ignore escape hatch.
+package cache
+
+import "sync"
+
+type Cache struct {
+	mu sync.Mutex
+	m  map[string]int // guarded by mu
+	// guarded by mu (send): pushes hold the lock, receives and len are
+	// the lock-free side of the protocol.
+	ch chan int
+}
+
+func New() *Cache {
+	c := &Cache{ch: make(chan int, 8)}
+	//seqlint:ignore guardedby construction phase, c is not shared yet
+	c.m = make(map[string]int)
+	return c
+}
+
+func (c *Cache) Good(k string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[k]
+}
+
+func (c *Cache) Bad(k string) int {
+	return c.m[k] // want `c\.m accessed in Bad without holding mu`
+}
+
+func (c *Cache) BadWrite(k string, v int) {
+	c.m[k] = v // want `c\.m accessed in BadWrite without holding mu`
+}
+
+// getLocked documents via its suffix that the caller holds mu.
+func (c *Cache) getLocked(k string) int { return c.m[k] }
+
+// lock is a helper the analyzer treats as acquiring whichever mutex
+// the type wraps.
+func (c *Cache) lock() { c.mu.Lock() }
+
+func (c *Cache) HelperGood(k string) int {
+	c.lock()
+	defer c.mu.Unlock()
+	return c.m[k]
+}
+
+func (c *Cache) SendGood(v int) {
+	c.mu.Lock()
+	c.ch <- v
+	c.mu.Unlock()
+}
+
+func (c *Cache) SendBad(v int) {
+	c.ch <- v // want `c\.ch sent to in SendBad without holding mu`
+}
+
+// Receives and len are deliberately outside the send-mode contract.
+func (c *Cache) RecvOK() int { return <-c.ch }
+func (c *Cache) LenOK() int  { return len(c.ch) }
+
+type Pool struct {
+	caches []*Cache
+}
+
+// lockAll acquires every cache's lock; calling it clears guarded
+// accesses on any base for the rest of the function.
+func (p *Pool) lockAll() {
+	for _, c := range p.caches {
+		c.mu.Lock()
+	}
+}
+
+func (p *Pool) unlockAll() {
+	for _, c := range p.caches {
+		c.mu.Unlock()
+	}
+}
+
+func (p *Pool) Sum() int {
+	p.lockAll()
+	defer p.unlockAll()
+	n := 0
+	for _, c := range p.caches {
+		n += len(c.m)
+	}
+	return n
+}
+
+func (p *Pool) SumBad() int {
+	n := 0
+	for _, c := range p.caches {
+		n += len(c.m) // want `c\.m accessed in SumBad without holding mu`
+	}
+	return n
+}

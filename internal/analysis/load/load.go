@@ -1,0 +1,276 @@
+// Package load turns Go packages into type-checked units for the
+// seqlint analyzers, on the standard library alone.
+//
+// x/tools' go/packages is not available to this repo (stdlib-only), so
+// the loader recreates the narrow slice seqlint needs:
+//
+//   - package enumeration via `go list -json <patterns>`;
+//   - import resolution via compiler export data: one up-front
+//     `go list -deps -test -export -json` fills an import-path →
+//     export-file map, and go/importer's gc mode reads the files lazily
+//     (with an on-demand `go list -export` fallback for anything the
+//     prefetch missed);
+//   - syntax + types for the target packages only, parsed with comments
+//     (the guardedby annotations live there) and checked with
+//     go/types.
+//
+// A package's non-test files and in-package test files form one unit;
+// external test files (package foo_test) form a second, separate unit.
+// External test units may reference helpers declared in the in-package
+// test files of the package under test, which are invisible through
+// export data, so their type errors are recorded rather than fatal and
+// analyzers degrade to syntax-only checks there.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Unit is one type-checked collection of files: a package (with its
+// in-package tests) or an external test package.
+type Unit struct {
+	// Path is the import path; external test units carry the package's
+	// path with a "_test" suffix (matching their package name).
+	Path  string
+	Dir   string
+	Files []*ast.File
+	// Test marks an external test unit.
+	Test       bool
+	Pkg        *types.Package
+	Info       *types.Info
+	TypeErrors []error
+}
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	ImportPath   string
+	Dir          string
+	Export       string
+	ForTest      string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Error        *struct{ Err string }
+}
+
+// Loader loads units of one module.
+type Loader struct {
+	// ModRoot is the module root directory (where go.mod lives); go
+	// list runs there, so relative patterns like ./... are
+	// module-rooted regardless of the caller's working directory.
+	ModRoot string
+	Fset    *token.FileSet
+
+	exports map[string]string // import path → export data file
+	imp     types.Importer
+}
+
+// New returns a loader rooted at the module containing dir (found via
+// `go env GOMOD`).
+func New(dir string) (*Loader, error) {
+	out, err := runGo(dir, "env", "GOMOD")
+	if err != nil {
+		return nil, fmt.Errorf("load: locate module root: %w", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return nil, fmt.Errorf("load: %s is not inside a module", dir)
+	}
+	l := &Loader{
+		ModRoot: filepath.Dir(gomod),
+		Fset:    token.NewFileSet(),
+		exports: make(map[string]string),
+	}
+	l.imp = importer.ForCompiler(l.Fset, "gc", l.lookup)
+	return l, nil
+}
+
+func runGo(dir string, args ...string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %s: %v: %s", strings.Join(args, " "), err, errb.String())
+	}
+	return out.Bytes(), nil
+}
+
+func decodePackages(data []byte) ([]*listPackage, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var pkgs []*listPackage
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			return pkgs, nil
+		} else if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, &p)
+	}
+}
+
+// lookup feeds go/importer with export data. Paths outside the prefetch
+// map (rare: an import added between the prefetch and the parse) fall
+// back to a one-off `go list -export`.
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	file, ok := l.exports[path]
+	if !ok {
+		out, err := runGo(l.ModRoot, "list", "-export", "-f", "{{.Export}}", "--", path)
+		if err != nil {
+			return nil, fmt.Errorf("load: no export data for %q: %w", path, err)
+		}
+		file = strings.TrimSpace(string(out))
+		l.exports[path] = file
+	}
+	if file == "" {
+		return nil, fmt.Errorf("load: no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// prefetchExports fills the export map for the patterns' packages, their
+// test variants and the transitive dependency closure of both.
+func (l *Loader) prefetchExports(patterns []string) error {
+	args := append([]string{"list", "-e", "-deps", "-test", "-export", "-json=ImportPath,Export,ForTest"}, patterns...)
+	out, err := runGo(l.ModRoot, args...)
+	if err != nil {
+		return err
+	}
+	pkgs, err := decodePackages(out)
+	if err != nil {
+		return fmt.Errorf("load: decode go list -export output: %w", err)
+	}
+	for _, p := range pkgs {
+		// Skip test variants ("repro/internal/store [repro/internal/store.test]"):
+		// imports must resolve to the plain package, and the plain entry
+		// is always present in a -deps -test listing.
+		if p.ForTest != "" || p.Export == "" {
+			continue
+		}
+		l.exports[p.ImportPath] = p.Export
+	}
+	return nil
+}
+
+// Load enumerates the packages matching patterns and returns their
+// type-checked units in deterministic (path-sorted) order.
+func (l *Loader) Load(patterns ...string) ([]*Unit, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if err := l.prefetchExports(patterns); err != nil {
+		return nil, err
+	}
+	out, err := runGo(l.ModRoot, append([]string{"list", "-json=ImportPath,Dir,GoFiles,TestGoFiles,XTestGoFiles,Error"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := decodePackages(out)
+	if err != nil {
+		return nil, fmt.Errorf("load: decode go list output: %w", err)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+
+	var units []*Unit
+	for _, p := range pkgs {
+		if p.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		files, err := l.parseFiles(p.Dir, append(append([]string(nil), p.GoFiles...), p.TestGoFiles...))
+		if err != nil {
+			return nil, err
+		}
+		if len(files) > 0 {
+			units = append(units, l.check(p.ImportPath, p.Dir, files, false))
+		}
+		if len(p.XTestGoFiles) > 0 {
+			xfiles, err := l.parseFiles(p.Dir, p.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			units = append(units, l.check(p.ImportPath+"_test", p.Dir, xfiles, true))
+		}
+	}
+	return units, nil
+}
+
+func (l *Loader) parseFiles(dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// check type-checks one unit with the export-data importer. Type errors
+// are collected, not fatal: the main packages always compile (tier-1
+// gates on go build), and external test units may have benign gaps.
+func (l *Loader) check(path, dir string, files []*ast.File, test bool) *Unit {
+	u := &Unit{Path: path, Dir: dir, Files: files, Test: test, Info: NewInfo()}
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { u.TypeErrors = append(u.TypeErrors, err) },
+	}
+	pkg, err := conf.Check(path, l.Fset, files, u.Info)
+	if pkg == nil {
+		pkg = types.NewPackage(path, "")
+	}
+	if err != nil && len(u.TypeErrors) == 0 {
+		u.TypeErrors = append(u.TypeErrors, err)
+	}
+	u.Pkg = pkg
+	return u
+}
+
+// Importer exposes the loader's export-data importer so fixture loading
+// (internal/analysis/analysistest) can resolve stdlib and module
+// imports the same way.
+func (l *Loader) Importer() types.Importer { return l.imp }
+
+// CheckFiles type-checks an ad-hoc unit (analysistest fixtures) with
+// the given importer.
+func CheckFiles(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, []error) {
+	info := NewInfo()
+	var terrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { terrs = append(terrs, err) },
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if pkg == nil {
+		pkg = types.NewPackage(path, "")
+	}
+	if err != nil && len(terrs) == 0 {
+		terrs = append(terrs, err)
+	}
+	return pkg, info, terrs
+}

@@ -1,0 +1,109 @@
+// Package metricnames keeps the Prometheus metric namespace honest:
+// every metric name in the repo's namespace must be spelled exactly
+// once, as an exported package-level constant in internal/obs, and
+// referenced through that constant everywhere else. A raw string
+// literal drifts silently — README tables, tests, and dashboards end up
+// asserting names the exporter never emits (two such drifts existed in
+// README.md before this analyzer).
+package metricnames
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "metricnames",
+	Doc: "metric names in the repo's namespace must be exported constants in " +
+		"internal/obs, declared exactly once, and referenced via the constant " +
+		"(never retyped as a string literal) everywhere else",
+	Run: run,
+}
+
+// prefix is the repo's metric namespace. Spelled in two pieces so this
+// file does not itself contain a literal metric-namespace string — the
+// analyzer runs over its own source in the ./... smoke pass.
+var prefix = "seqrtg" + "_"
+
+func run(pass *framework.Pass) error {
+	home := framework.PathHasSuffix(pass.Path, "internal/obs")
+	seen := make(map[string]token.Pos)
+	for _, f := range pass.Files {
+		if home && !pass.InTestFile(f.Pos()) {
+			checkHomeFile(pass, f, seen)
+		} else {
+			checkForeignFile(pass, f)
+		}
+	}
+	return nil
+}
+
+// lit returns the unquoted value of a string literal containing the
+// metric namespace prefix, or "".
+func lit(n ast.Node) (string, bool) {
+	bl, ok := n.(*ast.BasicLit)
+	if !ok || bl.Kind != token.STRING {
+		return "", false
+	}
+	v, err := strconv.Unquote(bl.Value)
+	if err != nil || !strings.Contains(v, prefix) {
+		return "", false
+	}
+	return v, true
+}
+
+// checkForeignFile flags every namespace literal outside internal/obs.
+func checkForeignFile(pass *framework.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		if v, ok := lit(n); ok {
+			pass.Reportf(n.Pos(), "raw metric name %q: reference the exported constant in internal/obs instead", v)
+		}
+		return true
+	})
+}
+
+// checkHomeFile enforces the declaration rules inside internal/obs:
+// namespace literals may appear only as the value of an exported
+// package-level const, and no two consts may declare the same name.
+// seen carries declarations across the package's files.
+func checkHomeFile(pass *framework.Pass, f *ast.File, seen map[string]token.Pos) {
+	allowed := make(map[*ast.BasicLit]bool)
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, val := range vs.Values {
+				v, ok := lit(val)
+				if !ok {
+					continue
+				}
+				allowed[val.(*ast.BasicLit)] = true
+				if i < len(vs.Names) && !vs.Names[i].IsExported() {
+					pass.Reportf(vs.Names[i].Pos(), "metric name %q declared as unexported constant %s: export it so other packages can reference it", v, vs.Names[i].Name)
+					continue
+				}
+				if firstPos, dup := seen[v]; dup {
+					pass.Reportf(val.Pos(), "metric name %q declared more than once (first at %s)", v, pass.Fset.Position(firstPos))
+				} else {
+					seen[v] = val.Pos()
+				}
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if v, ok := lit(n); ok && !allowed[n.(*ast.BasicLit)] {
+			pass.Reportf(n.Pos(), "metric name %q outside a package-level const declaration: metric names live in the exported const block", v)
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package metricnames_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/metricnames"
+)
+
+func TestMetricNames(t *testing.T) {
+	analysistest.Run(t, metricnames.Analyzer, "internal/obs", "app")
+}

@@ -1,0 +1,20 @@
+// Fixture: outside internal/obs every namespace literal is a
+// violation; referencing the exported constant is the fix.
+package app
+
+import "internal/obs"
+
+var raw = "seqrtg_raw_total" // want `raw metric name "seqrtg_raw_total"`
+
+func helpText() string {
+	return "# HELP seqrtg_good_total count\n" // want `raw metric name`
+}
+
+func fine() string {
+	return obs.MetricGood + "_bucket"
+}
+
+func alsoFine() string {
+	// Strings outside the namespace are nobody's business.
+	return "seqrtg-dashboard"
+}

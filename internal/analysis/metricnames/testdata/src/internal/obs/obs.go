@@ -1,0 +1,28 @@
+// Fixture: the home package may declare namespace names only as
+// exported package-level constants, each exactly once.
+package obs
+
+// MetricGood is the canonical declaration shape.
+const MetricGood = "seqrtg_good_total"
+
+const (
+	// MetricAlso shows grouped const blocks are fine.
+	MetricAlso = "seqrtg_also_total"
+
+	metricHidden = "seqrtg_hidden_total" // want `unexported constant metricHidden`
+
+	// MetricDup re-declares MetricGood's name under a second constant.
+	MetricDup = "seqrtg_good_total" // want `declared more than once`
+)
+
+// Namespace literals anywhere else in the home package are violations.
+var leaked = "seqrtg_leaked_total" // want `outside a package-level const declaration`
+
+func helpLine() string {
+	return "# HELP seqrtg_good_total count of good\n" // want `outside a package-level const declaration`
+}
+
+// Derived names built from the constant are the sanctioned idiom.
+func bucketName() string {
+	return MetricGood + "_bucket"
+}

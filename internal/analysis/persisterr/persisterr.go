@@ -1,0 +1,208 @@
+// Package persisterr enforces the engine's durability error contract:
+// an error born in the store must not escape internal/core naked. The
+// public API documents that persistence failures surface as
+// *core.PersistError (callers branch on Retryable()), so a raw
+// `return err` or a bare fmt.Errorf wrap silently strips the retry
+// signal from every caller downstream.
+//
+// The check is an intraprocedural taint pass per function in
+// internal/core: calls to methods on the store's Store type taint
+// their error results; taint propagates through assignments and through
+// fmt.Errorf / errors.Join arguments; constructing a PersistError
+// composite literal sanitizes; returning a tainted value is the
+// violation.
+package persisterr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "persisterr",
+	Doc: "errors from store methods must leave internal/core wrapped in " +
+		"core.PersistError so callers keep the Retryable signal; returning " +
+		"them naked or inside a plain fmt.Errorf is a contract violation",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	if !framework.PathHasSuffix(pass.Path, "internal/core") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// checkFunc runs the taint pass over one function body. ast.Inspect is
+// pre-order, which matches source order closely enough for the
+// assignment-before-return flows this invariant cares about.
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	tainted := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			assign(pass, tainted, s)
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				if isTainted(pass, tainted, res) {
+					pass.Reportf(res.Pos(), "store error returned from %s without core.PersistError wrapping; callers lose the Retryable signal", fd.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// assign updates the taint set for one assignment statement.
+func assign(pass *framework.Pass, tainted map[types.Object]bool, s *ast.AssignStmt) {
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		// Multi-value form: ids, err := e.store.PurgeIDs(...) — the
+		// error-typed results carry the taint.
+		taint := isTainted(pass, tainted, s.Rhs[0])
+		for _, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := objOf(pass, id); obj != nil && isErrorType(obj.Type()) {
+					tainted[obj] = taint
+				}
+			}
+		}
+		return
+	}
+	for i, lhs := range s.Lhs {
+		if i >= len(s.Rhs) {
+			break
+		}
+		if id, ok := lhs.(*ast.Ident); ok {
+			if obj := objOf(pass, id); obj != nil {
+				tainted[obj] = isTainted(pass, tainted, s.Rhs[i])
+			}
+		}
+	}
+}
+
+// isTainted reports whether the expression carries an unwrapped store
+// error. PersistError composite literals sanitize; fmt.Errorf and
+// errors.Join propagate taint from their arguments (wrapping in a plain
+// fmt.Errorf keeps the violation — the Retryable signal is still lost).
+func isTainted(pass *framework.Pass, tainted map[types.Object]bool, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := objOf(pass, e)
+		return obj != nil && tainted[obj]
+	case *ast.ParenExpr:
+		return isTainted(pass, tainted, e.X)
+	case *ast.UnaryExpr:
+		return isTainted(pass, tainted, e.X)
+	case *ast.CompositeLit:
+		if isPersistError(pass, e.Type) {
+			return false
+		}
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if isTainted(pass, tainted, kv.Value) {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		if isStoreCall(pass, e) {
+			return true
+		}
+		if isErrWrapper(pass, e) {
+			for _, arg := range e.Args {
+				if isTainted(pass, tainted, arg) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func objOf(pass *framework.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Defs[id]
+}
+
+// isStoreCall reports whether the call is a method on the store's Store
+// type (a named type Store declared in a package whose path ends in
+// internal/store).
+func isStoreCall(pass *framework.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Store" && obj.Pkg() != nil &&
+		framework.PathHasSuffix(obj.Pkg().Path(), "internal/store")
+}
+
+// isErrWrapper matches fmt.Errorf and errors.Join — wrappers that keep
+// the store error in the chain but do not restore the PersistError
+// contract.
+func isErrWrapper(pass *framework.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	path := pn.Imported().Path()
+	return (path == "fmt" && sel.Sel.Name == "Errorf") ||
+		(path == "errors" && sel.Sel.Name == "Join")
+}
+
+// isPersistError reports whether the composite literal's type is named
+// PersistError. The package is deliberately not pinned so analysistest
+// fixtures (which cannot import the real internal/core) can declare
+// their own.
+func isPersistError(pass *framework.Pass, t ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[t]
+	if !ok {
+		return false
+	}
+	typ := tv.Type
+	if p, ok := typ.(*types.Pointer); ok {
+		typ = p.Elem()
+	}
+	named, ok := typ.(*types.Named)
+	return ok && named.Obj().Name() == "PersistError"
+}

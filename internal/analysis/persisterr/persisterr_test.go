@@ -1,0 +1,12 @@
+package persisterr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/persisterr"
+)
+
+func TestPersistErr(t *testing.T) {
+	analysistest.Run(t, persisterr.Analyzer, "internal/core")
+}

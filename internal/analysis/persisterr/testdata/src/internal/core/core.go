@@ -1,0 +1,72 @@
+// Fixture: errors born in the store must leave internal/core wrapped
+// in PersistError. Naked returns and plain fmt.Errorf wraps are
+// violations; the PersistError composite literal sanitizes.
+package core
+
+import (
+	"fmt"
+
+	"internal/store"
+)
+
+type PersistError struct{ Err error }
+
+func (e *PersistError) Error() string { return "persist: " + e.Err.Error() }
+func (e *PersistError) Unwrap() error { return e.Err }
+
+type Engine struct {
+	store *store.Store
+}
+
+func (e *Engine) FlushNaked() error {
+	return e.store.Flush() // want `store error returned from FlushNaked without core\.PersistError wrapping`
+}
+
+func (e *Engine) FlushVar() error {
+	err := e.store.Flush()
+	if err != nil {
+		return err // want `store error returned from FlushVar`
+	}
+	return nil
+}
+
+func (e *Engine) FlushFmt() error {
+	if err := e.store.Flush(); err != nil {
+		// fmt.Errorf keeps the chain but loses the Retryable contract.
+		return fmt.Errorf("flush: %w", err) // want `store error returned from FlushFmt`
+	}
+	return nil
+}
+
+func (e *Engine) PurgeMulti() (int, error) {
+	ids, err := e.store.PurgeIDs(3)
+	return len(ids), err // want `store error returned from PurgeMulti`
+}
+
+func (e *Engine) FlushWrapped() error {
+	if err := e.store.Flush(); err != nil {
+		return &PersistError{Err: err}
+	}
+	return nil
+}
+
+func (e *Engine) FlushReassigned() error {
+	err := e.store.Flush()
+	if err != nil {
+		err = &PersistError{Err: err}
+	}
+	return err
+}
+
+func (e *Engine) PurgeWrapped() (int, error) {
+	ids, err := e.store.PurgeIDs(3)
+	if err != nil {
+		return len(ids), &PersistError{Err: err}
+	}
+	return len(ids), nil
+}
+
+// Errors that never touched the store are outside the contract.
+func (e *Engine) Unrelated() error {
+	return fmt.Errorf("config: bad value")
+}

@@ -1,0 +1,14 @@
+// Fixture: a minimal stand-in for the repo's store. What matters to the
+// analyzer is the named type Store in a package whose path ends in
+// internal/store — its error-returning methods are the taint sources.
+package store
+
+import "errors"
+
+type Store struct{}
+
+func (s *Store) Flush() error { return errors.New("disk full") }
+
+func (s *Store) PurgeIDs(min int64) ([]string, error) {
+	return nil, errors.New("disk full")
+}

@@ -1,0 +1,57 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+	"repro/internal/analysis/load"
+)
+
+// TestRegistry pins the analyzer set: a new analyzer must be
+// registered, named, and documented to ship.
+func TestRegistry(t *testing.T) {
+	all := analysis.All()
+	if len(all) < 4 {
+		t.Fatalf("registry has %d analyzers, want at least 4", len(all))
+	}
+	seen := make(map[string]bool)
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
+// TestSeqlintCleanOverRepo is the smoke gate: the full analyzer suite
+// must run clean over the whole module, exactly as `go run ./cmd/seqlint
+// ./...` does in CI. A failure here is a real invariant violation in
+// the tree (or a new rule that needs its real-code fallout fixed in the
+// same change — the analyzers and the code they police ship together).
+func TestSeqlintCleanOverRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	ldr, err := load.New(".")
+	if err != nil {
+		t.Fatalf("load.New: %v", err)
+	}
+	units, err := ldr.Load("./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(units) < 10 {
+		t.Fatalf("loaded %d units from ./..., expected the whole module", len(units))
+	}
+	diags, err := driver.RunUnits(ldr.Fset, units, analysis.All())
+	if err != nil {
+		t.Fatalf("RunUnits: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

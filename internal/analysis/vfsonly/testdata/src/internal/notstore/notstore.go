@@ -1,0 +1,13 @@
+// Fixture: the invariant is scoped to internal/store; other packages
+// may use the os package directly.
+package notstore
+
+import "os"
+
+func fine(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

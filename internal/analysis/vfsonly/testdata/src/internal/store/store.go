@@ -1,0 +1,31 @@
+// Fixture: direct os file operations inside internal/store are
+// violations; process-level os helpers and other packages are not.
+package store
+
+import (
+	"io/ioutil" // want `io/ioutil import in internal/store`
+	"os"
+)
+
+func bad(path string) error {
+	f, err := os.Create(path) // want `direct os\.Create in internal/store`
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := os.ReadFile(path); err != nil { // want `direct os\.ReadFile in internal/store`
+		return err
+	}
+	return os.Rename(path, path+".bak") // want `direct os\.Rename in internal/store`
+}
+
+func legacy() error {
+	// The import itself is the finding; uses need no second diagnostic.
+	_, err := ioutil.ReadFile("x")
+	return err
+}
+
+func fine() int {
+	// Process-level helpers are not file operations.
+	return os.Getpid() + len(os.Getenv("HOME"))
+}

@@ -1,0 +1,13 @@
+// Fixture: test files may reach around the VFS to set up corruption
+// scenarios, so nothing here is flagged.
+package store
+
+import "os"
+
+func helperForTests(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

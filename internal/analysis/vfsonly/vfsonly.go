@@ -1,0 +1,70 @@
+// Package vfsonly enforces the store's durability seam: every disk
+// access in internal/store goes through vfs.FS, never the os package
+// directly. The fault-injection VFS and the crash-consistency harness
+// only see I/O routed through that interface, so a direct os.Create is
+// not just a style miss — it is a write the crash tests cannot observe
+// or fail.
+package vfsonly
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// fileOps are the os functions that touch the filesystem. Process-level
+// helpers (os.Getpid, os.Getenv, os.DevNull, ...) stay legal.
+var fileOps = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "ReadDir": true,
+	"Remove": true, "RemoveAll": true, "Rename": true,
+	"Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+	"Stat": true, "Lstat": true, "Truncate": true,
+	"Chmod": true, "Chtimes": true, "Link": true, "Symlink": true,
+	"NewFile": true,
+}
+
+var Analyzer = &framework.Analyzer{
+	Name: "vfsonly",
+	Doc: "internal/store must perform all disk access through vfs.FS; " +
+		"direct os.* file operations and io/ioutil bypass the fault-injection " +
+		"VFS and the crash-consistency harness",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	if !framework.PathHasSuffix(strings.TrimSuffix(pass.Path, "_test"), "internal/store") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue // tests may poke at real files to set up corruption
+		}
+		for _, imp := range f.Imports {
+			if imp.Path.Value == `"io/ioutil"` {
+				pass.Reportf(imp.Pos(), "io/ioutil import in internal/store: route file access through vfs.FS")
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			if pn.Imported().Path() == "os" && fileOps[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(), "direct os.%s in internal/store: route file access through vfs.FS so fault injection and crash tests see it", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

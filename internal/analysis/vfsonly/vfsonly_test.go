@@ -1,0 +1,12 @@
+package vfsonly_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/vfsonly"
+)
+
+func TestVFSOnly(t *testing.T) {
+	analysistest.Run(t, vfsonly.Analyzer, "internal/store", "internal/notstore")
+}

@@ -104,10 +104,10 @@ func (c Config) withDefaults() Config {
 // concurrent use.
 type Detector struct {
 	mu      sync.Mutex
-	cfg     Config
-	series  map[string]*series
-	alerts  []Alert
-	started time.Time
+	cfg     Config             // guarded by mu
+	series  map[string]*series // guarded by mu
+	alerts  []Alert            // guarded by mu
+	started time.Time          // guarded by mu
 }
 
 type series struct {

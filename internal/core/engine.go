@@ -357,7 +357,10 @@ func (e *Engine) Purge(minCount int64, olderThan time.Time) (int, error) {
 	for _, id := range ids {
 		e.parser.Remove(id)
 	}
-	return len(ids), err
+	if err != nil {
+		return len(ids), &PersistError{Err: err}
+	}
+	return len(ids), nil
 }
 
 // harvest extracts, filters, stores and registers the patterns mined by

@@ -64,7 +64,9 @@ type QueueOptions struct {
 // sheds, which is the caller's signal to reject (HTTP 503) or drop (UDP)
 // with an accounted counter instead of growing without bound.
 type Queue struct {
-	opts    QueueOptions
+	opts QueueOptions
+	// Sends require the read half of mu (receives and len are the
+	// lock-free side of the close protocol). guarded by mu (send).
 	ch      chan queued
 	closing chan struct{}
 	once    sync.Once

@@ -29,6 +29,54 @@ import (
 	"time"
 )
 
+// Exported metric names, one constant per Metrics field. These are the
+// single source of truth for the seqrtg_* namespace: registration
+// (descs), tests and documentation all reference the constants, and the
+// metricnames analyzer (internal/analysis/metricnames) rejects any raw
+// seqrtg_ string literal outside this block, so an exposition name can
+// never drift from the name a test or dashboard expects.
+const (
+	MetricIngestLines        = "seqrtg_ingest_lines_total"
+	MetricIngestRecords      = "seqrtg_ingest_records_total"
+	MetricIngestDecodeErrors = "seqrtg_ingest_decode_errors_total"
+	MetricIngestOversize     = "seqrtg_ingest_oversize_total"
+	MetricIngestBatches      = "seqrtg_ingest_batches_total"
+	MetricIngestBatchFill    = "seqrtg_ingest_batch_fill_seconds"
+
+	MetricServerAccepted      = "seqrtg_server_accepted_total"
+	MetricServerParseErrors   = "seqrtg_server_parse_errors_total"
+	MetricServerShed          = "seqrtg_server_shed_total"
+	MetricServerQueueDepth    = "seqrtg_server_queue_depth"
+	MetricServerIngestLatency = "seqrtg_server_ingest_to_persist_seconds"
+
+	MetricEngineBatches         = "seqrtg_engine_batches_total"
+	MetricEngineMessages        = "seqrtg_engine_messages_total"
+	MetricEngineParseHits       = "seqrtg_engine_parse_hits_total"
+	MetricEngineUnmatched       = "seqrtg_engine_unmatched_total"
+	MetricEnginePatternsMined   = "seqrtg_engine_patterns_mined_total"
+	MetricEngineEarlyHarvests   = "seqrtg_engine_early_harvests_total"
+	MetricEngineTrieNodesPeak   = "seqrtg_engine_trie_nodes_peak"
+	MetricEngineServiceAnalysis = "seqrtg_engine_service_analysis_seconds"
+	MetricEngineBatchDuration   = "seqrtg_engine_batch_seconds"
+
+	MetricParserMatchAttempts = "seqrtg_parser_match_attempts_total"
+	MetricParserMatchMisses   = "seqrtg_parser_match_misses_total"
+	MetricParserPatterns      = "seqrtg_parser_patterns"
+
+	MetricStoreUpserts            = "seqrtg_store_upserts_total"
+	MetricStoreTouches            = "seqrtg_store_touches_total"
+	MetricStoreTouchUnknown       = "seqrtg_store_touch_unknown_total"
+	MetricStoreDeletes            = "seqrtg_store_deletes_total"
+	MetricStoreJournalAppends     = "seqrtg_store_journal_appends_total"
+	MetricStoreIOErrors           = "seqrtg_store_io_errors_total"
+	MetricStoreCompactions        = "seqrtg_store_compactions_total"
+	MetricStorePatterns           = "seqrtg_store_patterns"
+	MetricStoreShards             = "seqrtg_store_shards"
+	MetricStoreShardContention    = "seqrtg_store_shard_contention_total"
+	MetricStoreShardOps           = "seqrtg_store_shard_ops_total"
+	MetricStoreCompactionDuration = "seqrtg_store_compaction_seconds"
+)
+
 // Counter is a monotonically increasing atomic counter.
 type Counter struct {
 	v atomic.Int64
@@ -504,45 +552,45 @@ type metricDesc struct {
 
 func (m *Metrics) descs() []metricDesc {
 	return []metricDesc{
-		{name: "seqrtg_ingest_lines_total", help: "Input lines read from the stream, including empty and malformed ones.", kind: "counter", c: &m.IngestLines},
-		{name: "seqrtg_ingest_records_total", help: "Well-formed records decoded from the stream.", kind: "counter", c: &m.IngestRecords},
-		{name: "seqrtg_ingest_decode_errors_total", help: "Malformed input lines skipped (or rejected in strict mode).", kind: "counter", c: &m.IngestDecodeErrors},
-		{name: "seqrtg_ingest_oversize_total", help: "Input lines discarded for exceeding the line-size bound.", kind: "counter", c: &m.IngestOversize},
-		{name: "seqrtg_ingest_batches_total", help: "Batches handed from the ingester to analysis.", kind: "counter", c: &m.IngestBatches},
-		{name: "seqrtg_ingest_batch_fill_seconds", help: "Seconds spent filling one batch from the input stream.", kind: "histogram", h: m.IngestBatchFill},
+		{name: MetricIngestLines, help: "Input lines read from the stream, including empty and malformed ones.", kind: "counter", c: &m.IngestLines},
+		{name: MetricIngestRecords, help: "Well-formed records decoded from the stream.", kind: "counter", c: &m.IngestRecords},
+		{name: MetricIngestDecodeErrors, help: "Malformed input lines skipped (or rejected in strict mode).", kind: "counter", c: &m.IngestDecodeErrors},
+		{name: MetricIngestOversize, help: "Input lines discarded for exceeding the line-size bound.", kind: "counter", c: &m.IngestOversize},
+		{name: MetricIngestBatches, help: "Batches handed from the ingester to analysis.", kind: "counter", c: &m.IngestBatches},
+		{name: MetricIngestBatchFill, help: "Seconds spent filling one batch from the input stream.", kind: "histogram", h: m.IngestBatchFill},
 
-		{name: "seqrtg_server_accepted_total", help: "Records accepted into the server's ingestion queue, per listener.", kind: "countervec", v: &m.ServerAccepted, label: "listener", labelVals: ListenerNames},
-		{name: "seqrtg_server_parse_errors_total", help: "Datagrams, frames or lines rejected as unparseable, per listener.", kind: "countervec", v: &m.ServerParseErrors, label: "listener", labelVals: ListenerNames},
-		{name: "seqrtg_server_shed_total", help: "Records shed because the ingestion queue stayed full past the push deadline, per listener.", kind: "countervec", v: &m.ServerShed, label: "listener", labelVals: ListenerNames},
-		{name: "seqrtg_server_queue_depth", help: "Records currently queued between the network listeners and analysis.", kind: "gauge", g: &m.ServerQueueDepth},
-		{name: "seqrtg_server_ingest_to_persist_seconds", help: "Seconds from queue admission to durable persistence of a batch's oldest record.", kind: "histogram", h: m.ServerIngestLatency},
+		{name: MetricServerAccepted, help: "Records accepted into the server's ingestion queue, per listener.", kind: "countervec", v: &m.ServerAccepted, label: "listener", labelVals: ListenerNames},
+		{name: MetricServerParseErrors, help: "Datagrams, frames or lines rejected as unparseable, per listener.", kind: "countervec", v: &m.ServerParseErrors, label: "listener", labelVals: ListenerNames},
+		{name: MetricServerShed, help: "Records shed because the ingestion queue stayed full past the push deadline, per listener.", kind: "countervec", v: &m.ServerShed, label: "listener", labelVals: ListenerNames},
+		{name: MetricServerQueueDepth, help: "Records currently queued between the network listeners and analysis.", kind: "gauge", g: &m.ServerQueueDepth},
+		{name: MetricServerIngestLatency, help: "Seconds from queue admission to durable persistence of a batch's oldest record.", kind: "histogram", h: m.ServerIngestLatency},
 
-		{name: "seqrtg_engine_batches_total", help: "Batches analysed by the engine.", kind: "counter", c: &m.EngineBatches},
-		{name: "seqrtg_engine_messages_total", help: "Messages processed by the engine.", kind: "counter", c: &m.EngineMessages},
-		{name: "seqrtg_engine_parse_hits_total", help: "Messages matched by an already-known pattern (the parse-first short circuit).", kind: "counter", c: &m.EngineParseHits},
-		{name: "seqrtg_engine_unmatched_total", help: "Messages that went to trie analysis.", kind: "counter", c: &m.EngineUnmatched},
-		{name: "seqrtg_engine_patterns_mined_total", help: "Patterns discovered and saved, after the save threshold.", kind: "counter", c: &m.EnginePatternsMined},
-		{name: "seqrtg_engine_early_harvests_total", help: "Analysis tries harvested early because MaxTrieNodes was exceeded.", kind: "counter", c: &m.EngineEarlyHarvests},
-		{name: "seqrtg_engine_trie_nodes_peak", help: "Largest per-service analysis trie observed, in nodes.", kind: "gauge", g: &m.EngineTrieNodesPeak},
-		{name: "seqrtg_engine_service_analysis_seconds", help: "Per-service analysis wall time.", kind: "histogram", h: m.EngineServiceAnalysis},
-		{name: "seqrtg_engine_batch_seconds", help: "Whole-batch analysis wall time.", kind: "histogram", h: m.EngineBatchDuration},
+		{name: MetricEngineBatches, help: "Batches analysed by the engine.", kind: "counter", c: &m.EngineBatches},
+		{name: MetricEngineMessages, help: "Messages processed by the engine.", kind: "counter", c: &m.EngineMessages},
+		{name: MetricEngineParseHits, help: "Messages matched by an already-known pattern (the parse-first short circuit).", kind: "counter", c: &m.EngineParseHits},
+		{name: MetricEngineUnmatched, help: "Messages that went to trie analysis.", kind: "counter", c: &m.EngineUnmatched},
+		{name: MetricEnginePatternsMined, help: "Patterns discovered and saved, after the save threshold.", kind: "counter", c: &m.EnginePatternsMined},
+		{name: MetricEngineEarlyHarvests, help: "Analysis tries harvested early because MaxTrieNodes was exceeded.", kind: "counter", c: &m.EngineEarlyHarvests},
+		{name: MetricEngineTrieNodesPeak, help: "Largest per-service analysis trie observed, in nodes.", kind: "gauge", g: &m.EngineTrieNodesPeak},
+		{name: MetricEngineServiceAnalysis, help: "Per-service analysis wall time.", kind: "histogram", h: m.EngineServiceAnalysis},
+		{name: MetricEngineBatchDuration, help: "Whole-batch analysis wall time.", kind: "histogram", h: m.EngineBatchDuration},
 
-		{name: "seqrtg_parser_match_attempts_total", help: "Pattern match attempts.", kind: "counter", c: &m.ParserMatchAttempts},
-		{name: "seqrtg_parser_match_misses_total", help: "Pattern match attempts that found no pattern.", kind: "counter", c: &m.ParserMatchMisses},
-		{name: "seqrtg_parser_patterns", help: "Patterns currently registered in the parser.", kind: "gauge", g: &m.ParserPatterns},
+		{name: MetricParserMatchAttempts, help: "Pattern match attempts.", kind: "counter", c: &m.ParserMatchAttempts},
+		{name: MetricParserMatchMisses, help: "Pattern match attempts that found no pattern.", kind: "counter", c: &m.ParserMatchMisses},
+		{name: MetricParserPatterns, help: "Patterns currently registered in the parser.", kind: "gauge", g: &m.ParserPatterns},
 
-		{name: "seqrtg_store_upserts_total", help: "Patterns inserted into or merged with the store.", kind: "counter", c: &m.StoreUpserts},
-		{name: "seqrtg_store_touches_total", help: "Match-statistic updates applied to stored patterns.", kind: "counter", c: &m.StoreTouches},
-		{name: "seqrtg_store_touch_unknown_total", help: "Match-statistic updates for patterns no longer in the store (purged mid-batch), recovered by re-upsert.", kind: "counter", c: &m.StoreTouchUnknown},
-		{name: "seqrtg_store_deletes_total", help: "Patterns deleted from the store, including purges.", kind: "counter", c: &m.StoreDeletes},
-		{name: "seqrtg_store_journal_appends_total", help: "Records appended to the write-ahead journal.", kind: "counter", c: &m.StoreJournalAppends},
-		{name: "seqrtg_store_io_errors_total", help: "Failed disk operations in the pattern store (journal append/flush/sync, snapshot write).", kind: "counter", c: &m.StoreIOErrors},
-		{name: "seqrtg_store_compactions_total", help: "Snapshot compactions of the pattern database.", kind: "counter", c: &m.StoreCompactions},
-		{name: "seqrtg_store_patterns", help: "Patterns currently stored.", kind: "gauge", g: &m.StorePatterns},
-		{name: "seqrtg_store_shards", help: "Service-hash shards of the pattern store.", kind: "gauge", g: &m.StoreShards},
-		{name: "seqrtg_store_shard_contention_total", help: "Shard lock acquisitions that had to wait for another goroutine, per shard.", kind: "countervec", v: &m.StoreShardContention, label: "shard"},
-		{name: "seqrtg_store_shard_ops_total", help: "Store mutations (upsert/touch/delete) applied, per shard.", kind: "countervec", v: &m.StoreShardOps, label: "shard"},
-		{name: "seqrtg_store_compaction_seconds", help: "Pattern database compaction wall time.", kind: "histogram", h: m.StoreCompactionDuration},
+		{name: MetricStoreUpserts, help: "Patterns inserted into or merged with the store.", kind: "counter", c: &m.StoreUpserts},
+		{name: MetricStoreTouches, help: "Match-statistic updates applied to stored patterns.", kind: "counter", c: &m.StoreTouches},
+		{name: MetricStoreTouchUnknown, help: "Match-statistic updates for patterns no longer in the store (purged mid-batch), recovered by re-upsert.", kind: "counter", c: &m.StoreTouchUnknown},
+		{name: MetricStoreDeletes, help: "Patterns deleted from the store, including purges.", kind: "counter", c: &m.StoreDeletes},
+		{name: MetricStoreJournalAppends, help: "Records appended to the write-ahead journal.", kind: "counter", c: &m.StoreJournalAppends},
+		{name: MetricStoreIOErrors, help: "Failed disk operations in the pattern store (journal append/flush/sync, snapshot write).", kind: "counter", c: &m.StoreIOErrors},
+		{name: MetricStoreCompactions, help: "Snapshot compactions of the pattern database.", kind: "counter", c: &m.StoreCompactions},
+		{name: MetricStorePatterns, help: "Patterns currently stored.", kind: "gauge", g: &m.StorePatterns},
+		{name: MetricStoreShards, help: "Service-hash shards of the pattern store.", kind: "gauge", g: &m.StoreShards},
+		{name: MetricStoreShardContention, help: "Shard lock acquisitions that had to wait for another goroutine, per shard.", kind: "countervec", v: &m.StoreShardContention, label: "shard"},
+		{name: MetricStoreShardOps, help: "Store mutations (upsert/touch/delete) applied, per shard.", kind: "countervec", v: &m.StoreShardOps, label: "shard"},
+		{name: MetricStoreCompactionDuration, help: "Pattern database compaction wall time.", kind: "histogram", h: m.StoreCompactionDuration},
 	}
 }
 

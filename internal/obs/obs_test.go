@@ -128,16 +128,16 @@ func TestWritePrometheusFormat(t *testing.T) {
 	out := buf.String()
 
 	for _, want := range []string{
-		"# HELP seqrtg_ingest_lines_total ",
-		"# TYPE seqrtg_ingest_lines_total counter\n",
-		"seqrtg_ingest_lines_total 7\n",
-		"seqrtg_engine_parse_hits_total 3\n",
-		"# TYPE seqrtg_store_patterns gauge\n",
-		"seqrtg_store_patterns 42\n",
-		"# TYPE seqrtg_engine_batch_seconds histogram\n",
-		`seqrtg_engine_batch_seconds_bucket{le="0.0025"} 1` + "\n",
-		`seqrtg_engine_batch_seconds_bucket{le="+Inf"} 2` + "\n",
-		"seqrtg_engine_batch_seconds_count 2\n",
+		"# HELP " + MetricIngestLines + " ",
+		"# TYPE " + MetricIngestLines + " counter\n",
+		MetricIngestLines + " 7\n",
+		MetricEngineParseHits + " 3\n",
+		"# TYPE " + MetricStorePatterns + " gauge\n",
+		MetricStorePatterns + " 42\n",
+		"# TYPE " + MetricEngineBatchDuration + " histogram\n",
+		MetricEngineBatchDuration + `_bucket{le="0.0025"} 1` + "\n",
+		MetricEngineBatchDuration + `_bucket{le="+Inf"} 2` + "\n",
+		MetricEngineBatchDuration + "_count 2\n",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q\n%s", want, out)

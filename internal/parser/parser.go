@@ -28,8 +28,8 @@ import (
 // pshard is one service-hash partition of the pattern index.
 type pshard struct {
 	mu    sync.RWMutex
-	index map[string]map[int]*bucket
-	byID  map[string]*patterns.Pattern
+	index map[string]map[int]*bucket   // guarded by mu
+	byID  map[string]*patterns.Pattern // guarded by mu
 }
 
 func newPshard() *pshard {

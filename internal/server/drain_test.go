@@ -8,6 +8,7 @@ import (
 	"time"
 
 	sequence "repro"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -88,7 +89,7 @@ func TestGracefulDrainLosesNothing(t *testing.T) {
 
 	// The latency histogram observed the drained batch.
 	if snap.ServerIngestLatency.Count == 0 {
-		t.Error("seqrtg_server_ingest_to_persist_seconds observed nothing")
+		t.Error(obs.MetricServerIngestLatency + " observed nothing")
 	}
 }
 

@@ -134,14 +134,14 @@ type Server struct {
 	httpSrv *http.Server
 
 	connMu sync.Mutex
-	conns  map[net.Conn]struct{}
+	conns  map[net.Conn]struct{} // guarded by connMu
 
 	lwg      sync.WaitGroup // listener goroutines
 	stopOnce sync.Once
 	drainCtx atomic.Pointer[context.Context]
 
 	errMu sync.Mutex
-	errs  []error
+	errs  []error // guarded by errMu
 }
 
 // New binds the configured listeners (so ephemeral ports are resolved

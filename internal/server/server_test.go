@@ -287,7 +287,7 @@ func TestServerOverloadSheds(t *testing.T) {
 	}
 	snap := m.Snapshot()
 	if snap.ServerShed["http"] != ir.Shed {
-		t.Fatalf("seqrtg_server_shed_total{listener=http} = %d, want %d", snap.ServerShed["http"], ir.Shed)
+		t.Fatalf(obs.MetricServerShed+"{listener=http} = %d, want %d", snap.ServerShed["http"], ir.Shed)
 	}
 	if snap.ServerAccepted["http"] != ir.Accepted {
 		t.Fatalf("accepted counter = %d, want %d", snap.ServerAccepted["http"], ir.Accepted)

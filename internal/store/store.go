@@ -116,21 +116,22 @@ type Options struct {
 }
 
 // shard is one service-hash partition of the store: its own pattern
-// maps, mutex and journal file. All fields after construction are
-// guarded by mu.
+// maps, mutex and journal file. The field annotations below are
+// machine-checked by the guardedby analyzer (cmd/seqlint).
 type shard struct {
 	id      int
 	st      *Store
 	mu      sync.Mutex
-	byID    map[string]*patterns.Pattern
-	bySvc   map[string]map[string]*patterns.Pattern // service → id → pattern
-	journal vfs.File
-	jw      *bufio.Writer
+	byID    map[string]*patterns.Pattern            // guarded by mu
+	bySvc   map[string]map[string]*patterns.Pattern // service → id → pattern; guarded by mu
+	journal vfs.File                                // guarded by mu
+	jw      *bufio.Writer                           // guarded by mu
 	// suspect marks the journal as possibly ending in a torn or
 	// half-flushed record after an I/O error: appending more records
 	// after such a tail would make them unreadable on replay, so the
 	// next Flush recovers by compacting (the snapshot is rebuilt from
 	// memory and the journal truncated) instead of trusting the file.
+	// guarded by mu.
 	suspect bool
 }
 
@@ -214,6 +215,7 @@ func OpenOptions(dir string, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	//seqlint:ignore guardedby construction phase: the store is not yet shared
 	for _, sh := range s.shards {
 		f, err := s.fs.OpenAppend(filepath.Join(dir, journalName(sh.id)))
 		if err != nil {
@@ -244,6 +246,7 @@ func OpenOptions(dir string, opts Options) (*Store, error) {
 }
 
 func (s *Store) closeJournals() {
+	//seqlint:ignore guardedby only called from OpenOptions before the store is shared
 	for _, sh := range s.shards {
 		if sh.journal != nil {
 			sh.journal.Close()
@@ -530,9 +533,9 @@ func (s *Store) countIO(err error) error {
 	return err
 }
 
-// log appends one record to the shard's journal. Callers hold the shard
+// logLocked appends one record to the shard's journal. Callers hold the shard
 // lock; compaction is scheduled by the caller after releasing it.
-func (sh *shard) log(r record) error {
+func (sh *shard) logLocked(r record) error {
 	if sh.jw == nil {
 		sh.st.jcount.Add(1)
 		return nil
@@ -595,7 +598,7 @@ func (s *Store) Upsert(p *patterns.Pattern) error {
 	s.m.StoreUpserts.Inc()
 	s.m.StoreShardOps.Inc(sh.id)
 	s.m.StorePatterns.Set(s.count.Load())
-	err := sh.log(record{Op: "upsert", Pattern: p})
+	err := sh.logLocked(record{Op: "upsert", Pattern: p})
 	sh.mu.Unlock()
 	if err != nil {
 		return err
@@ -645,7 +648,7 @@ func (sh *shard) touch(id string, n int64, when time.Time, example string) (bool
 	}
 	s.m.StoreTouches.Inc()
 	s.m.StoreShardOps.Inc(sh.id)
-	err := sh.log(r)
+	err := sh.logLocked(r)
 	sh.mu.Unlock()
 	if err != nil {
 		return true, err
@@ -668,7 +671,7 @@ func (s *Store) Delete(id string) error {
 		s.m.StoreDeletes.Inc()
 		s.m.StoreShardOps.Inc(sh.id)
 		s.m.StorePatterns.Set(s.count.Load())
-		err := sh.log(record{Op: "delete", ID: id})
+		err := sh.logLocked(record{Op: "delete", ID: id})
 		sh.mu.Unlock()
 		if err != nil {
 			return err
@@ -704,7 +707,7 @@ func (s *Store) PurgeIDs(minCount int64, olderThan time.Time) ([]string, error) 
 				sh.deleteLocked(id)
 				s.m.StoreDeletes.Inc()
 				s.m.StoreShardOps.Inc(sh.id)
-				if err = sh.log(record{Op: "delete", ID: id}); err != nil {
+				if err = sh.logLocked(record{Op: "delete", ID: id}); err != nil {
 					break
 				}
 				removed = append(removed, id)

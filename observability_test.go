@@ -19,6 +19,7 @@ import (
 	"time"
 
 	sequence "repro"
+	"repro/internal/obs"
 )
 
 func TestSnapshotReconcilesWithBatchResults(t *testing.T) {
@@ -134,13 +135,13 @@ func TestWriteMetricsPrometheusExposition(t *testing.T) {
 
 	// Every pipeline stage must be covered.
 	for _, name := range []string{
-		"seqrtg_ingest_lines_total",
-		"seqrtg_engine_messages_total",
-		"seqrtg_engine_parse_hits_total",
-		"seqrtg_engine_batch_seconds_bucket",
-		"seqrtg_parser_match_attempts_total",
-		"seqrtg_store_upserts_total",
-		"seqrtg_store_patterns",
+		obs.MetricIngestLines,
+		obs.MetricEngineMessages,
+		obs.MetricEngineParseHits,
+		obs.MetricEngineBatchDuration + "_bucket",
+		obs.MetricParserMatchAttempts,
+		obs.MetricStoreUpserts,
+		obs.MetricStorePatterns,
 	} {
 		if !strings.Contains(out, "\n"+name+" ") && !strings.Contains(out, "\n"+name+"{") {
 			t.Errorf("exposition missing metric %s", name)
