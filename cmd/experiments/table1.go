@@ -57,8 +57,8 @@ func typeSummary(toks []token.Token) string {
 	seen := map[string]bool{}
 	for _, t := range toks {
 		name := t.Type.String()
-		if t.Key != "" {
-			name = "kv-value(" + t.Key + ")"
+		if t.HasKey() {
+			name = "kv-value(" + t.Key() + ")"
 		}
 		if seen[name] {
 			continue

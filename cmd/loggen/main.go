@@ -11,6 +11,12 @@
 //	    emits one of the sixteen synthetic LogHub stand-ins used by the
 //	    accuracy experiments (Tables II and III). With -labels each line
 //	    is prefixed by its ground-truth event id and a tab.
+//
+//	loggen corpus -count 1000 [-seed 1] [-services 241] [-format text|jsonl]
+//	    emits a deterministic fixed-seed corpus to stdout: the exact same
+//	    (seed, count, services) always produces the exact same bytes. This
+//	    is the shared corpus mode used by cmd/seqbench and by the fuzz
+//	    seed corpora — benchmarks and fuzzing exercise identical input.
 package main
 
 import (
@@ -35,6 +41,8 @@ func main() {
 		err = cmdWorkload(os.Args[2:])
 	case "loghub":
 		err = cmdLoghub(os.Args[2:])
+	case "corpus":
+		err = cmdCorpus(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -49,10 +57,11 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: loggen workload|loghub [flags]
+	fmt.Fprintln(os.Stderr, `usage: loggen workload|loghub|corpus [flags]
 
   workload  -n N [-services S] [-events E] [-seed SEED] [-target URL -rate R [-framing newline|octet]]
   loghub    -dataset NAME [-n N] [-view raw|content|pre] [-labels] [-seed SEED]
+  corpus    -count N [-seed SEED] [-services S] [-format text|jsonl]
 
 datasets: `+strings.Join(loghub.Names(), ", "))
 }
@@ -114,4 +123,33 @@ func cmdLoghub(args []string) error {
 		}
 	}
 	return nil
+}
+
+// cmdCorpus emits a deterministic corpus: same flags, same bytes. It is
+// the single source of benchmark and fuzz-seed input, so throughput
+// numbers and fuzz coverage are measured on the same distribution.
+func cmdCorpus(args []string) error {
+	fs := flag.NewFlagSet("corpus", flag.ExitOnError)
+	count := fs.Int("count", 1000, "number of records")
+	seed := fs.Int64("seed", 1, "random seed (the corpus is a pure function of the flags)")
+	services := fs.Int("services", 241, "number of services")
+	format := fs.String("format", "text", "text (message per line) | jsonl ({service,message} records)")
+	fs.Parse(args)
+
+	gen := workload.New(workload.Config{Services: *services, Seed: *seed})
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	switch *format {
+	case "jsonl":
+		return gen.Stream(w, *count)
+	case "text":
+		for i := 0; i < *count; i++ {
+			if _, err := fmt.Fprintln(w, gen.Next().Message); err != nil {
+				return fmt.Errorf("corpus: write: %w", err)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown format %q (want text or jsonl)", *format)
+	}
 }

@@ -1,0 +1,342 @@
+// Command seqbench measures the Sequence-RTG hot path on a fixed-seed
+// synthetic corpus and writes the results as stable-schema JSON, the
+// committed benchmark trajectory of the repository (BENCH_<pr>.json).
+//
+// Every stage runs through testing.Benchmark over the SAME corpus (the
+// deterministic `loggen corpus` generator, in process), so numbers are
+// comparable across stages and across commits:
+//
+//	scan_legacy       frozen pre-redesign string scanner (internal/token/reference)
+//	scan              byte-slice scanner, pooled, ScanBytes (the "after" of the redesign)
+//	analyze           scan + enrich + trie mining (analyzer.Add)
+//	parse_hit         scan + enrich + pattern match, every message known
+//	parse_hit_cached  verbatim-message cache hit (MatchExact), no scanning
+//	parse_miss        scan + enrich + match against a service with no patterns
+//	e2e               AnalyzeByService steady state, exact cache on, single worker
+//	e2e_nocache       AnalyzeByService steady state, exact cache disabled
+//
+// Usage:
+//
+//	seqbench [-count N] [-seed S] [-services K] [-out BENCH_6.json]
+//	seqbench -check BENCH_6.json
+//
+// -check validates an existing result file against the schema (used by
+// CI to keep committed trajectories well-formed).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/analyzer"
+	"repro/internal/core"
+	"repro/internal/ingest"
+	"repro/internal/parser"
+	"repro/internal/patterns"
+	"repro/internal/store"
+	"repro/internal/token"
+	"repro/internal/token/reference"
+	"repro/internal/workload"
+)
+
+// SchemaVersion identifies the result-file layout. Bump only on
+// incompatible changes; CI and tooling match on the prefix "seqbench/".
+const SchemaVersion = "seqbench/1"
+
+// Result is the top-level JSON document.
+type Result struct {
+	Schema     string    `json:"schema"`
+	PR         int       `json:"pr"`
+	GitSHA     string    `json:"git_sha"`
+	GoVersion  string    `json:"go_version"`
+	GOOS       string    `json:"goos"`
+	GOARCH     string    `json:"goarch"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Timestamp  time.Time `json:"timestamp"`
+	Corpus     Corpus    `json:"corpus"`
+	Stages     []Stage   `json:"stages"`
+	Baseline   *Baseline `json:"baseline,omitempty"`
+}
+
+// Corpus records exactly how to regenerate the input.
+type Corpus struct {
+	Generator string `json:"generator"` // "workload" (loggen corpus)
+	Seed      int64  `json:"seed"`
+	Count     int    `json:"count"`
+	Services  int    `json:"services"`
+}
+
+// Stage is one measured pipeline stage. All figures are per message.
+type Stage struct {
+	Name         string  `json:"name"`
+	MsgsPerSec   float64 `json:"msgs_per_sec"`
+	NsPerMsg     float64 `json:"ns_per_msg"`
+	AllocsPerMsg float64 `json:"allocs_per_msg"`
+	BytesPerMsg  float64 `json:"bytes_per_msg"`
+}
+
+// Baseline pins the number the trajectory is measured against: the PR 2
+// end-to-end throughput recorded before the zero-allocation redesign.
+type Baseline struct {
+	PR            int     `json:"pr"`
+	E2EMsgsPerSec float64 `json:"e2e_msgs_per_sec"`
+}
+
+func main() {
+	count := flag.Int("count", 20000, "corpus size in messages")
+	seed := flag.Int64("seed", 1, "corpus seed")
+	services := flag.Int("services", 241, "corpus service population")
+	out := flag.String("out", "", "write JSON here instead of stdout")
+	check := flag.String("check", "", "validate an existing result file and exit")
+	flag.Parse()
+
+	if *check != "" {
+		if err := checkFile(*check); err != nil {
+			fmt.Fprintln(os.Stderr, "seqbench: check:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("seqbench: %s ok\n", *check)
+		return
+	}
+
+	res := run(Corpus{Generator: "workload", Seed: *seed, Count: *count, Services: *services})
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seqbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "seqbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "seqbench: wrote %s\n", *out)
+}
+
+func run(c Corpus) *Result {
+	res := &Result{
+		Schema:     SchemaVersion,
+		PR:         6,
+		GitSHA:     gitSHA(),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC(),
+		Corpus:     c,
+		// PR 2 measured ~200k msgs/s end to end on this class of corpus
+		// (see BENCH history / ROADMAP); the redesign is judged against it.
+		Baseline: &Baseline{PR: 2, E2EMsgsPerSec: 200000},
+	}
+
+	recs := workload.New(workload.Config{Services: c.Services, Seed: c.Seed}).Records(c.Count)
+	msgs := make([]string, len(recs))
+	bmsgs := make([][]byte, len(recs))
+	for i, r := range recs {
+		msgs[i] = r.Message
+		bmsgs[i] = []byte(r.Message)
+	}
+
+	stage := func(name string, fn func(b *testing.B)) {
+		fmt.Fprintf(os.Stderr, "seqbench: running %s...\n", name)
+		r := testing.Benchmark(fn)
+		perMsg := float64(r.NsPerOp()) / float64(len(recs))
+		res.Stages = append(res.Stages, Stage{
+			Name:         name,
+			MsgsPerSec:   1e9 / perMsg,
+			NsPerMsg:     perMsg,
+			AllocsPerMsg: float64(r.AllocsPerOp()) / float64(len(recs)),
+			BytesPerMsg:  float64(r.AllocedBytesPerOp()) / float64(len(recs)),
+		})
+	}
+
+	stage("scan_legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		var s reference.Scanner
+		for i := 0; i < b.N; i++ {
+			for _, m := range msgs {
+				reference.Enrich(s.Scan(m))
+			}
+		}
+	})
+
+	stage("scan", func(b *testing.B) {
+		b.ReportAllocs()
+		s := token.NewScanner(token.Config{})
+		defer s.Release()
+		for i := 0; i < b.N; i++ {
+			for _, m := range bmsgs {
+				token.Enrich(s.ScanBytes(m))
+			}
+		}
+	})
+
+	now := time.Now()
+
+	stage("analyze", func(b *testing.B) {
+		b.ReportAllocs()
+		s := token.NewScanner(token.Config{})
+		defer s.Release()
+		for i := 0; i < b.N; i++ {
+			a := analyzer.New("bench", analyzer.Config{})
+			for j, m := range msgs {
+				a.Add(token.Enrich(s.Scan(m)), recs[j].Message)
+			}
+		}
+	})
+
+	// Learn the corpus once so the parse stages see a fully-known load.
+	learned := learn(recs, now)
+	p := parser.New()
+	for _, pat := range learned {
+		p.Add(pat)
+	}
+	hits := 0
+	{
+		s := token.NewScanner(token.Config{})
+		for i, m := range msgs {
+			if _, ok := p.Match(recs[i].Service, token.Enrich(s.Scan(m))); ok {
+				hits++
+			}
+		}
+		s.Release()
+	}
+	fmt.Fprintf(os.Stderr, "seqbench: learned %d patterns, parse hit rate %.1f%%\n",
+		len(learned), 100*float64(hits)/float64(len(msgs)))
+
+	stage("parse_hit", func(b *testing.B) {
+		b.ReportAllocs()
+		s := token.NewScanner(token.Config{})
+		defer s.Release()
+		for i := 0; i < b.N; i++ {
+			for j, m := range msgs {
+				toks := token.Enrich(s.Scan(m))
+				p.Match(recs[j].Service, toks)
+			}
+		}
+	})
+
+	// Prime the verbatim cache, then measure pure MatchExact traffic.
+	{
+		s := token.NewScanner(token.Config{})
+		for i, m := range msgs {
+			if pat, ok := p.Match(recs[i].Service, token.Enrich(s.Scan(m))); ok {
+				p.CacheExact(recs[i].Service, m, pat)
+			}
+		}
+		s.Release()
+	}
+	stage("parse_hit_cached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j, m := range msgs {
+				p.MatchExact(recs[j].Service, m)
+			}
+		}
+	})
+
+	stage("parse_miss", func(b *testing.B) {
+		b.ReportAllocs()
+		s := token.NewScanner(token.Config{})
+		defer s.Release()
+		for i := 0; i < b.N; i++ {
+			for _, m := range msgs {
+				toks := token.Enrich(s.Scan(m))
+				p.Match("no-such-service", toks)
+			}
+		}
+	})
+
+	stage("e2e", func(b *testing.B) { e2e(b, recs, now, false) })
+	stage("e2e_nocache", func(b *testing.B) { e2e(b, recs, now, true) })
+	return res
+}
+
+// learn mines the corpus once through the full engine and returns the
+// discovered patterns, so the parse stages measure against exactly the
+// pattern set a production instance would hold after one batch.
+func learn(recs []ingest.Record, now time.Time) []*patterns.Pattern {
+	st, err := store.Open("")
+	if err != nil {
+		panic(err)
+	}
+	eng := core.NewEngine(st, core.Config{Concurrency: 1})
+	if _, err := eng.AnalyzeByService(recs, now); err != nil {
+		panic(err)
+	}
+	return st.All()
+}
+
+// e2e measures the full AnalyzeByService path in steady state: the
+// engine has already learned the corpus, so the measured passes are the
+// production mix of parse hits plus match-statistic flushes. Single
+// worker (Concurrency 1) so the number is per-core.
+func e2e(b *testing.B, recs []ingest.Record, now time.Time, nocache bool) {
+	st, err := store.Open("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := core.NewEngine(st, core.Config{Concurrency: 1, DisableExactCache: nocache})
+	if _, err := eng.AnalyzeByService(recs, now); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.AnalyzeByService(recs, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// checkFile validates a committed trajectory file: well-formed JSON,
+// known schema, sane stage set.
+func checkFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var r Result
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if !strings.HasPrefix(r.Schema, "seqbench/") {
+		return fmt.Errorf("%s: schema %q is not seqbench/*", path, r.Schema)
+	}
+	if r.PR <= 0 || r.Corpus.Count <= 0 || r.Corpus.Generator == "" {
+		return fmt.Errorf("%s: missing pr or corpus metadata", path)
+	}
+	if len(r.Stages) == 0 {
+		return fmt.Errorf("%s: no stages", path)
+	}
+	for _, s := range r.Stages {
+		if s.Name == "" || s.MsgsPerSec <= 0 || s.NsPerMsg <= 0 {
+			return fmt.Errorf("%s: stage %+v has non-positive figures", path, s)
+		}
+		if s.AllocsPerMsg < 0 || s.BytesPerMsg < 0 {
+			return fmt.Errorf("%s: stage %q has negative allocation figures", path, s.Name)
+		}
+	}
+	return nil
+}
+
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}

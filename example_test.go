@@ -73,7 +73,7 @@ func ExampleRTG_Export() {
 
 func ExampleScan() {
 	for _, tok := range sequence.Scan("Failed password from 10.0.0.1 port 22") {
-		fmt.Printf("%s %q\n", tok.Type, tok.Value)
+		fmt.Printf("%s %q\n", tok.Type, tok.Value())
 	}
 	// Output:
 	// literal "Failed"

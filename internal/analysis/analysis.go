@@ -6,6 +6,7 @@
 package analysis
 
 import (
+	"repro/internal/analysis/bufownership"
 	"repro/internal/analysis/framework"
 	"repro/internal/analysis/guardedby"
 	"repro/internal/analysis/metricnames"
@@ -16,6 +17,7 @@ import (
 // All returns every registered analyzer in stable order.
 func All() []*framework.Analyzer {
 	return []*framework.Analyzer{
+		bufownership.Analyzer,
 		guardedby.Analyzer,
 		metricnames.Analyzer,
 		persisterr.Analyzer,

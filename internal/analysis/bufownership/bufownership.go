@@ -1,0 +1,161 @@
+// Package bufownership enforces the token-span lifetime rule of the
+// byte-slice scanner: tokens returned by Scanner.Scan / ScanBytes are
+// views into the scanner's pooled buffers, so using them after the
+// scanner's Release() has run is a use-after-free in disguise — the
+// pooled buffer may already be rewritten by an unrelated goroutine.
+//
+// The check is per function and textual: a token-slice variable
+// assigned from s.Scan/s.ScanBytes (possibly wrapped in token.Enrich)
+// must not be used after a non-deferred s.Release() statement in the
+// same function body. The idiomatic `defer s.Release()` is always safe
+// and never reported. ScanCopy results are self-contained and exempt.
+package bufownership
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "bufownership",
+	Doc: "token spans returned by Scanner.Scan/ScanBytes alias pooled buffers " +
+		"and must not be used after the scanner's Release() in the same function; " +
+		"use defer s.Release(), or ScanCopy for self-contained tokens",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Body != nil {
+				checkBody(pass, fn.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// checkBody treats one function body (closures included) as a single
+// textual flow: collect scanner Release positions and scanner-derived
+// token variables, then report every use of such a variable positioned
+// after its scanner's earliest Release.
+func checkBody(pass *framework.Pass, body *ast.BlockStmt) {
+	released := map[types.Object]token.Pos{}   // scanner -> earliest s.Release() statement
+	derived := map[types.Object]types.Object{} // token var -> scanner it aliases
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.DeferStmt:
+			return false // defer s.Release() runs at exit: always safe
+		case *ast.ExprStmt:
+			if sc := releaseTarget(pass, st.X); sc != nil {
+				if p, ok := released[sc]; !ok || st.Pos() < p {
+					released[sc] = st.Pos()
+				}
+			}
+		case *ast.AssignStmt:
+			if len(st.Lhs) == 1 && len(st.Rhs) == 1 {
+				if sc := scanSource(pass, st.Rhs[0]); sc != nil {
+					if id, ok := st.Lhs[0].(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Defs[id]; obj != nil {
+							derived[obj] = sc
+						} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+							derived[obj] = sc
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(released) == 0 || len(derived) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		sc, ok := derived[obj]
+		if !ok {
+			return true
+		}
+		if rel, ok := released[sc]; ok && id.Pos() > rel {
+			pass.Reportf(id.Pos(), "token spans in %q used after %q was released: they alias the pooled scan buffer; move the use before Release, use defer, or ScanCopy", id.Name, sc.Name())
+		}
+		return true
+	})
+}
+
+// releaseTarget returns the scanner object when expr is a bare
+// s.Release() call on a *token.Scanner.
+func releaseTarget(pass *framework.Pass, expr ast.Expr) types.Object {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Release" {
+		return nil
+	}
+	return scannerObject(pass, sel.X)
+}
+
+// scanSource returns the scanner object when expr produces aliasing
+// tokens from it: s.Scan(...), s.ScanBytes(...), or token.Enrich of
+// either. ScanCopy is deliberately not matched — its tokens own their
+// bytes.
+func scanSource(pass *framework.Pass, expr ast.Expr) types.Object {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if sel.Sel.Name == "Enrich" && len(call.Args) == 1 {
+		return scanSource(pass, call.Args[0])
+	}
+	if sel.Sel.Name != "Scan" && sel.Sel.Name != "ScanBytes" {
+		return nil
+	}
+	return scannerObject(pass, sel.X)
+}
+
+// scannerObject resolves expr to a variable of type token.Scanner or
+// *token.Scanner.
+func scannerObject(pass *framework.Pass, expr ast.Expr) types.Object {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	t := obj.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	tn := named.Obj()
+	if tn.Name() != "Scanner" || tn.Pkg() == nil {
+		return nil
+	}
+	if !framework.PathHasSuffix(tn.Pkg().Path(), "internal/token") {
+		return nil
+	}
+	return obj
+}

@@ -1,0 +1,12 @@
+package bufownership_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/bufownership"
+)
+
+func TestBufOwnership(t *testing.T) {
+	analysistest.Run(t, bufownership.Analyzer, "example/logproc")
+}

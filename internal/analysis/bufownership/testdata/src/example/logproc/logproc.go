@@ -1,0 +1,53 @@
+// Fixture: token slices from Scan/ScanBytes must not be used after the
+// scanner's Release; defer and ScanCopy are the sanctioned idioms.
+package logproc
+
+import "repro/internal/token"
+
+func usedAfterRelease(msgs []string) int {
+	s := token.NewScanner(token.Config{})
+	toks := token.Enrich(s.Scan(msgs[0]))
+	s.Release()
+	return len(toks) // want `token spans in "toks" used after "s" was released`
+}
+
+func scanBytesAfterRelease(msg []byte) string {
+	s := token.NewScanner(token.Config{})
+	toks := s.ScanBytes(msg)
+	s.Release()
+	v := toks[0].Value() // want `token spans in "toks" used after "s" was released`
+	return v
+}
+
+func deferredReleaseIsFine(msg string) int {
+	s := token.NewScanner(token.Config{})
+	defer s.Release()
+	toks := token.Enrich(s.Scan(msg))
+	return len(toks)
+}
+
+func scanCopyIsFine(msg string) string {
+	s := token.NewScanner(token.Config{})
+	toks := s.ScanCopy(msg)
+	s.Release()
+	return toks[0].Value() // self-contained: ScanCopy tokens own their bytes
+}
+
+func useBeforeReleaseIsFine(msg string) int {
+	s := token.NewScanner(token.Config{})
+	toks := s.Scan(msg)
+	n := len(toks)
+	s.Release()
+	return n
+}
+
+func twoScannersAreIndependent(msg string) int {
+	a := token.NewScanner(token.Config{})
+	b := token.NewScanner(token.Config{})
+	defer b.Release()
+	ta := a.Scan(msg)
+	na := len(ta)
+	a.Release()
+	tb := b.Scan(msg)
+	return na + len(tb) // b is still live; only a was released
+}

@@ -95,11 +95,17 @@ type Analyzer struct {
 	service string
 	tries   map[int]*node // token count -> trie root
 	nodes   int           // total node count, for memory accounting
+	// lit interns literal token values: tokens are byte-slice views into
+	// a scan buffer the caller will recycle, so everything the trie
+	// retains must be materialised — but the same literal words recur in
+	// every message, and interning makes the second and later sightings
+	// allocation free (map lookup keyed by string(span) does not copy).
+	lit map[string]string
 }
 
 // New returns an analyzer for one service's messages.
 func New(service string, cfg Config) *Analyzer {
-	return &Analyzer{cfg: cfg.withDefaults(), service: service, tries: make(map[int]*node)}
+	return &Analyzer{cfg: cfg.withDefaults(), service: service, tries: make(map[int]*node), lit: make(map[string]string)}
 }
 
 // Service returns the service this analyzer mines.
@@ -151,7 +157,9 @@ type node struct {
 
 // Add inserts one tokenized message. Tokens must already be enriched
 // (token.Enrich); raw is the original message text kept as a pattern
-// example.
+// example. The tokens need not outlive the call: everything the trie
+// retains is materialised (interned literals, census values, key names),
+// so callers may hand over a pooled scanner's buffer directly.
 func (a *Analyzer) Add(tokens []token.Token, raw string) {
 	if len(tokens) == 0 {
 		return
@@ -165,17 +173,17 @@ func (a *Analyzer) Add(tokens []token.Token, raw string) {
 	root.msgs++
 	cur := root
 	for _, t := range tokens {
-		k := keyFor(t)
+		k := a.keyFor(t)
 		child := cur.children[k]
 		if child == nil {
-			child = &node{key: k, children: make(map[nodeKey]*node), spaceBefore: t.SpaceBefore, kvKey: t.Key}
+			child = &node{key: k, children: make(map[nodeKey]*node), spaceBefore: t.SpaceBefore, kvKey: t.Key()}
 			cur.children[k] = child
 			a.nodes++
 		}
 		child.msgs++
 		if k.v {
-			child.observe(t.Value, 1)
-			if child.kvKey != t.Key {
+			child.observeSpan(t.Span, 1)
+			if !t.KeyEquals(child.kvKey) {
 				child.kvKey = "" // inconsistent keys: drop the name hint
 			}
 		}
@@ -186,11 +194,22 @@ func (a *Analyzer) Add(tokens []token.Token, raw string) {
 	}
 }
 
-func keyFor(t token.Token) nodeKey {
+func (a *Analyzer) keyFor(t token.Token) nodeKey {
 	if t.Type.IsVariable() {
 		return nodeKey{typ: t.Type, v: true, space: t.SpaceBefore}
 	}
-	return nodeKey{typ: token.Literal, val: t.Value, space: t.SpaceBefore}
+	return nodeKey{typ: token.Literal, val: a.intern(t.Span), space: t.SpaceBefore}
+}
+
+// intern returns the canonical string for a span, allocating only the
+// first time a value is seen by this analyzer.
+func (a *Analyzer) intern(b []byte) string {
+	if s, ok := a.lit[string(b)]; ok { // keyed lookup does not allocate
+		return s
+	}
+	s := string(b)
+	a.lit[s] = s
+	return s
 }
 
 func (n *node) observe(val string, count int64) {
@@ -206,6 +225,28 @@ func (n *node) observe(val string, count int64) {
 		return
 	}
 	n.values[val] += count
+}
+
+// observeSpan is observe for a byte-slice value: the value is only
+// materialised when it enters the census, so repeat sightings (and
+// everything past the overflow point) allocate nothing.
+func (n *node) observeSpan(val []byte, count int64) {
+	if n.overflow {
+		return
+	}
+	if n.values == nil {
+		n.values = make(map[string]int64, 2)
+	}
+	if _, ok := n.values[string(val)]; ok { // keyed lookup does not allocate
+		n.values[string(val)] += count
+		return
+	}
+	if len(n.values) >= maxTrackedValues {
+		n.overflow = true
+		n.values = nil
+		return
+	}
+	n.values[string(val)] += count
 }
 
 // constantValue returns the single observed value when the census proves
@@ -393,12 +434,13 @@ func (ex *extractor) buildPattern(elems []patterns.Element, count int64, example
 			p.Multiline = true
 		}
 	}
-	var s token.Scanner
+	s := token.NewScanner(token.Config{})
 	for _, x := range examples {
 		if _, ok := p.Match(token.Enrich(s.Scan(x))); ok {
 			p.AddExample(x)
 		}
 	}
+	s.Release()
 	p.ComputeID()
 	ex.out = append(ex.out, p)
 }

@@ -60,6 +60,11 @@ type Config struct {
 	// Scanner enables the optional scanner extensions (unpadded times,
 	// path FSM); the zero value is the published scanner.
 	Scanner token.Config
+	// DisableExactCache turns off the parser's verbatim-message cache
+	// (repeated byte-identical messages skip scanning and matching).
+	// Useful on memory-constrained deployments and for benchmarking the
+	// uncached path; the default (false) keeps the cache on.
+	DisableExactCache bool
 	// Metrics receives engine, parser and store instrumentation. A fresh
 	// private instance is used when nil, so instrumentation is always on
 	// and callers that do not care pay only the atomic adds.
@@ -137,7 +142,8 @@ func (r *BatchResult) add(o BatchResult) {
 // without learning anything, returning the pattern and the extracted
 // variable values.
 func (e *Engine) Parse(service, message string) (*patterns.Pattern, map[string]string, bool) {
-	s := token.Scanner{Config: e.cfg.Scanner}
+	s := token.NewScanner(e.cfg.Scanner)
+	defer s.Release()
 	toks := token.Enrich(s.Scan(message))
 	p, ok := e.parser.Match(service, toks)
 	if !ok {
@@ -154,11 +160,14 @@ func (e *Engine) Parse(service, message string) (*patterns.Pattern, map[string]s
 func (e *Engine) Analyze(records []ingest.Record, now time.Time) (BatchResult, error) {
 	start := time.Now()
 	a := analyzer.New("mixed", e.cfg.Analyzer)
-	s := token.Scanner{Config: e.cfg.Scanner}
+	s := token.NewScanner(e.cfg.Scanner)
+	defer s.Release()
 	services := make(map[string]struct{}, 64)
 	for _, rec := range records {
 		services[rec.Service] = struct{}{}
-		a.Add(token.Enrich(s.ScanCopy(rec.Message)), rec.Message)
+		// Add interns what it keeps, so handing it the scanner's reused
+		// buffer (Scan, not ScanCopy) is safe and allocation-free.
+		a.Add(token.Enrich(s.Scan(rec.Message)), rec.Message)
 	}
 	res := BatchResult{Messages: len(records), Unmatched: len(records), Services: len(services)}
 	n, err := e.harvest(a, now)
@@ -269,7 +278,8 @@ func (e *Engine) analyzeService(svc string, msgs []string, now time.Time) (Batch
 	defer e.m.EngineServiceAnalysis.ObserveSince(start)
 	res := BatchResult{Messages: len(msgs)}
 	a := analyzer.New(svc, e.cfg.Analyzer)
-	s := token.Scanner{Config: e.cfg.Scanner}
+	s := token.NewScanner(e.cfg.Scanner)
+	defer s.Release()
 
 	// Accumulate per-pattern match statistics and flush them once at the
 	// end, so a pattern matched a thousand times costs one journal record.
@@ -286,23 +296,40 @@ func (e *Engine) analyzeService(svc string, msgs []string, now time.Time) (Batch
 		return err
 	}
 
+	record := func(p *patterns.Pattern, msg string) {
+		res.Matched++
+		h := hits[p.ID]
+		if h == nil {
+			h = &hit{pat: p}
+			hits[p.ID] = h
+		}
+		h.n++
+		if h.example == "" {
+			h.example = msg
+		}
+	}
+
 	for _, msg := range msgs {
+		// Repetitive traffic fast path: a byte-identical message seen since
+		// the last pattern mutation skips scanning and matching entirely.
+		if !e.cfg.DisableExactCache {
+			if p, ok := e.parser.MatchExact(svc, msg); ok {
+				record(p, msg)
+				continue
+			}
+		}
 		toks := token.Enrich(s.Scan(msg))
 		if p, ok := e.parser.Match(svc, toks); ok {
-			res.Matched++
-			h := hits[p.ID]
-			if h == nil {
-				h = &hit{pat: p}
-				hits[p.ID] = h
+			if !e.cfg.DisableExactCache {
+				e.parser.CacheExact(svc, msg, p)
 			}
-			h.n++
-			if h.example == "" {
-				h.example = msg
-			}
+			record(p, msg)
 			continue
 		}
 		res.Unmatched++
-		a.Add(append([]token.Token(nil), toks...), msg)
+		// Add interns everything it keeps, so the scanner's reused token
+		// buffer can be handed over without copying.
+		a.Add(toks, msg)
 		if e.cfg.MaxTrieNodes > 0 && a.NodeCount() > e.cfg.MaxTrieNodes {
 			e.m.EngineTrieNodesPeak.SetMax(int64(a.NodeCount()))
 			e.m.EngineEarlyHarvests.Inc()

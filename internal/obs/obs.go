@@ -59,9 +59,10 @@ const (
 	MetricEngineServiceAnalysis = "seqrtg_engine_service_analysis_seconds"
 	MetricEngineBatchDuration   = "seqrtg_engine_batch_seconds"
 
-	MetricParserMatchAttempts = "seqrtg_parser_match_attempts_total"
-	MetricParserMatchMisses   = "seqrtg_parser_match_misses_total"
-	MetricParserPatterns      = "seqrtg_parser_patterns"
+	MetricParserMatchAttempts  = "seqrtg_parser_match_attempts_total"
+	MetricParserMatchMisses    = "seqrtg_parser_match_misses_total"
+	MetricParserExactCacheHits = "seqrtg_parser_exact_cache_hits_total"
+	MetricParserPatterns       = "seqrtg_parser_patterns"
 
 	MetricStoreUpserts            = "seqrtg_store_upserts_total"
 	MetricStoreTouches            = "seqrtg_store_touches_total"
@@ -359,9 +360,10 @@ type Metrics struct {
 	EngineBatchDuration   *Histogram // whole-batch wall seconds
 
 	// Parser: matching against known patterns.
-	ParserMatchAttempts Counter // Match calls
-	ParserMatchMisses   Counter // Match calls that found no pattern
-	ParserPatterns      Gauge   // patterns currently registered
+	ParserMatchAttempts  Counter // Match calls
+	ParserMatchMisses    Counter // Match calls that found no pattern
+	ParserExactCacheHits Counter // MatchExact hits (verbatim-message cache)
+	ParserPatterns       Gauge   // patterns currently registered
 
 	// Store: the persistent pattern database.
 	StoreUpserts            Counter    // patterns inserted or merged
@@ -423,9 +425,10 @@ type Snapshot struct {
 	EngineServiceAnalysis HistogramSnapshot `json:"engine_service_analysis_seconds"`
 	EngineBatchDuration   HistogramSnapshot `json:"engine_batch_seconds"`
 
-	ParserMatchAttempts int64 `json:"parser_match_attempts"`
-	ParserMatchMisses   int64 `json:"parser_match_misses"`
-	ParserPatterns      int64 `json:"parser_patterns"`
+	ParserMatchAttempts  int64 `json:"parser_match_attempts"`
+	ParserMatchMisses    int64 `json:"parser_match_misses"`
+	ParserExactCacheHits int64 `json:"parser_exact_cache_hits"`
+	ParserPatterns       int64 `json:"parser_patterns"`
 
 	StoreUpserts            int64             `json:"store_upserts"`
 	StoreTouches            int64             `json:"store_touches"`
@@ -495,9 +498,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		EngineServiceAnalysis: m.EngineServiceAnalysis.snapshot(),
 		EngineBatchDuration:   m.EngineBatchDuration.snapshot(),
 
-		ParserMatchAttempts: m.ParserMatchAttempts.Value(),
-		ParserMatchMisses:   m.ParserMatchMisses.Value(),
-		ParserPatterns:      m.ParserPatterns.Value(),
+		ParserMatchAttempts:  m.ParserMatchAttempts.Value(),
+		ParserMatchMisses:    m.ParserMatchMisses.Value(),
+		ParserExactCacheHits: m.ParserExactCacheHits.Value(),
+		ParserPatterns:       m.ParserPatterns.Value(),
 
 		StoreUpserts:            m.StoreUpserts.Value(),
 		StoreTouches:            m.StoreTouches.Value(),
@@ -577,6 +581,7 @@ func (m *Metrics) descs() []metricDesc {
 
 		{name: MetricParserMatchAttempts, help: "Pattern match attempts.", kind: "counter", c: &m.ParserMatchAttempts},
 		{name: MetricParserMatchMisses, help: "Pattern match attempts that found no pattern.", kind: "counter", c: &m.ParserMatchMisses},
+		{name: MetricParserExactCacheHits, help: "Matches served from the verbatim-message cache without tokenizing.", kind: "counter", c: &m.ParserExactCacheHits},
 		{name: MetricParserPatterns, help: "Patterns currently registered in the parser.", kind: "gauge", g: &m.ParserPatterns},
 
 		{name: MetricStoreUpserts, help: "Patterns inserted into or merged with the store.", kind: "counter", c: &m.StoreUpserts},

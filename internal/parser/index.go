@@ -66,5 +66,5 @@ func (b *bucket) empty() bool {
 // first token is t: the exact-first-literal bucket and the variable-first
 // list.
 func (b *bucket) candidates(t token.Token) ([]*patterns.Pattern, []*patterns.Pattern) {
-	return b.byFirst[t.Value], b.varFirst
+	return b.byFirst[string(t.Span)], b.varFirst // keyed lookup does not allocate
 }

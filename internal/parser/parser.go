@@ -30,7 +30,19 @@ type pshard struct {
 	mu    sync.RWMutex
 	index map[string]map[int]*bucket   // guarded by mu
 	byID  map[string]*patterns.Pattern // guarded by mu
+	// exact caches verbatim message -> matched pattern per service, so a
+	// message seen before skips scanning and matching entirely (identical
+	// bytes always tokenize identically, so replaying the previous answer
+	// is sound). Any pattern mutation on the shard clears the cache.
+	exact  map[string]map[string]*patterns.Pattern // guarded by mu
+	exactN int                                     // guarded by mu; entries across services
 }
+
+// maxExactPerShard bounds the verbatim-message cache. On overflow the
+// whole shard cache is dropped rather than evicted entry-by-entry: the
+// cache refills from live traffic in one batch, and clear-on-overflow
+// keeps the hot path free of LRU bookkeeping.
+const maxExactPerShard = 1 << 15
 
 func newPshard() *pshard {
 	return &pshard{
@@ -110,6 +122,7 @@ func (sh *pshard) addLocked(pat *patterns.Pattern) bool {
 		sh.removeLocked(old)
 		fresh = false
 	}
+	sh.clearExactLocked()
 	sh.byID[pat.ID] = pat
 	svc := sh.index[pat.Service]
 	if svc == nil {
@@ -154,6 +167,8 @@ func (p *Parser) Replace(pats []*patterns.Pattern) {
 		sh.mu.Lock()
 		sh.index = fresh[i].index
 		sh.byID = fresh[i].byID
+		sh.exact = nil
+		sh.exactN = 0
 		total += int64(len(sh.byID))
 		sh.mu.Unlock()
 	}
@@ -179,7 +194,15 @@ func (p *Parser) Remove(id string) bool {
 	return false
 }
 
+func (sh *pshard) clearExactLocked() {
+	if sh.exactN > 0 {
+		sh.exact = nil
+		sh.exactN = 0
+	}
+}
+
 func (sh *pshard) removeLocked(pat *patterns.Pattern) {
+	sh.clearExactLocked()
 	delete(sh.byID, pat.ID)
 	svc := sh.index[pat.Service]
 	if svc == nil {
@@ -259,6 +282,56 @@ func (p *Parser) Match(service string, tokens []token.Token) (best *patterns.Pat
 		p.m.ParserMatchMisses.Inc()
 	}
 	return best, bestScore >= 0
+}
+
+// MatchExact looks the verbatim message up in the exact-message cache and
+// returns the pattern a byte-identical message matched earlier. A hit
+// skips scanning, enrichment and candidate matching entirely — the fast
+// path for the highly repetitive traffic the paper targets. The cache is
+// cleared on any pattern mutation of the service's shard, so a hit is
+// always consistent with the current pattern set.
+func (p *Parser) MatchExact(service, msg string) (*patterns.Pattern, bool) {
+	sh := p.shardFor(service)
+	sh.mu.RLock()
+	svc := sh.exact[service]
+	pat := svc[msg]
+	sh.mu.RUnlock()
+	if pat == nil {
+		return nil, false
+	}
+	p.m.ParserMatchAttempts.Inc()
+	p.m.ParserExactCacheHits.Inc()
+	return pat, true
+}
+
+// CacheExact records that the verbatim message matched pat, so the next
+// byte-identical message is served by MatchExact. The entry is dropped
+// silently if pat is no longer registered (a mutation raced the caller's
+// Match); on overflow the shard's whole cache is cleared
+// (maxExactPerShard).
+func (p *Parser) CacheExact(service, msg string, pat *patterns.Pattern) {
+	sh := p.shardFor(service)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.byID[pat.ID] != pat {
+		return // pattern replaced or removed since the caller matched it
+	}
+	if sh.exactN >= maxExactPerShard {
+		sh.exact = nil
+		sh.exactN = 0
+	}
+	if sh.exact == nil {
+		sh.exact = make(map[string]map[string]*patterns.Pattern)
+	}
+	svc := sh.exact[service]
+	if svc == nil {
+		svc = make(map[string]*patterns.Pattern)
+		sh.exact[service] = svc
+	}
+	if _, dup := svc[msg]; !dup {
+		svc[msg] = pat
+		sh.exactN++
+	}
 }
 
 // All returns a snapshot of every registered pattern.

@@ -227,3 +227,102 @@ func BenchmarkMatch(b *testing.B) {
 		}
 	}
 }
+
+func TestExactCache(t *testing.T) {
+	p := New()
+	pat := mustPattern(t, "%action% from %srcip% port %srcport%", "sshd")
+	p.Add(pat)
+	msg := "accepted from 10.0.0.1 port 22"
+
+	if _, ok := p.MatchExact("sshd", msg); ok {
+		t.Fatal("cache hit before anything was cached")
+	}
+	got, ok := p.Match("sshd", scan(msg))
+	if !ok {
+		t.Fatal("Match missed")
+	}
+	p.CacheExact("sshd", msg, got)
+
+	hit, ok := p.MatchExact("sshd", msg)
+	if !ok || hit != got {
+		t.Fatalf("MatchExact = %v, %v; want cached pattern", hit, ok)
+	}
+	if _, ok := p.MatchExact("other", msg); ok {
+		t.Fatal("cache leaked across services")
+	}
+}
+
+func TestExactCacheInvalidation(t *testing.T) {
+	msg := "accepted from 10.0.0.1 port 22"
+	prime := func(t *testing.T) (*Parser, *patterns.Pattern) {
+		t.Helper()
+		p := New()
+		pat := mustPattern(t, "%action% from %srcip% port %srcport%", "sshd")
+		p.Add(pat)
+		got, ok := p.Match("sshd", scan(msg))
+		if !ok {
+			t.Fatal("Match missed")
+		}
+		p.CacheExact("sshd", msg, got)
+		if _, ok := p.MatchExact("sshd", msg); !ok {
+			t.Fatal("cache not primed")
+		}
+		return p, pat
+	}
+
+	t.Run("Add", func(t *testing.T) {
+		p, _ := prime(t)
+		p.Add(mustPattern(t, "unrelated %int%", "sshd"))
+		if _, ok := p.MatchExact("sshd", msg); ok {
+			t.Fatal("Add did not clear the exact cache")
+		}
+	})
+	t.Run("Remove", func(t *testing.T) {
+		p, pat := prime(t)
+		p.Remove(pat.ID)
+		if _, ok := p.MatchExact("sshd", msg); ok {
+			t.Fatal("Remove did not clear the exact cache")
+		}
+	})
+	t.Run("Replace", func(t *testing.T) {
+		p, _ := prime(t)
+		p.Replace([]*patterns.Pattern{mustPattern(t, "unrelated %int%", "sshd")})
+		if _, ok := p.MatchExact("sshd", msg); ok {
+			t.Fatal("Replace did not clear the exact cache")
+		}
+	})
+	t.Run("StalePatternNotCached", func(t *testing.T) {
+		p, pat := prime(t)
+		p.Remove(pat.ID)
+		p.CacheExact("sshd", msg, pat) // pat is no longer registered
+		if _, ok := p.MatchExact("sshd", msg); ok {
+			t.Fatal("CacheExact accepted an unregistered pattern")
+		}
+	})
+}
+
+func TestExactCacheOverflowClears(t *testing.T) {
+	p := NewSharded(1)
+	pat := mustPattern(t, "msg %int%", "svc")
+	p.Add(pat)
+	sh := p.shards[0]
+	for i := 0; i < maxExactPerShard; i++ {
+		p.CacheExact("svc", fmt.Sprintf("msg %d", i), pat)
+	}
+	sh.mu.RLock()
+	n := sh.exactN
+	sh.mu.RUnlock()
+	if n != maxExactPerShard {
+		t.Fatalf("exactN = %d, want %d", n, maxExactPerShard)
+	}
+	p.CacheExact("svc", "one more", pat)
+	sh.mu.RLock()
+	n = sh.exactN
+	sh.mu.RUnlock()
+	if n != 1 {
+		t.Fatalf("exactN after overflow = %d, want 1 (cleared then re-added)", n)
+	}
+	if _, ok := p.MatchExact("svc", "one more"); !ok {
+		t.Fatal("post-overflow entry not served")
+	}
+}

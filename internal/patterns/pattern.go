@@ -49,7 +49,9 @@ func (e Element) Matches(t token.Token) bool {
 		return true
 	}
 	if !e.Var {
-		return t.Value == e.Value
+		// string(span) == string compiles to an allocation-free compare;
+		// matching is the hot path and must not materialise token values.
+		return string(t.Span) == e.Value
 	}
 	return t.Type == e.Type
 }
@@ -148,7 +150,7 @@ func (p *Pattern) Extract(tokens []token.Token) (map[string]string, bool) {
 			break
 		}
 		if e.Var {
-			vals[e.Name] = tokens[i].Value
+			vals[e.Name] = tokens[i].Value()
 		}
 	}
 	return vals, true

@@ -54,7 +54,7 @@ func FromText(text, service string) (*Pattern, error) {
 			end++
 		}
 		for k, lt := range scratch.Scan(text[i:end]) {
-			e := Element{Type: token.Literal, Value: lt.Value, SpaceBefore: lt.SpaceBefore}
+			e := Element{Type: token.Literal, Value: lt.Value(), SpaceBefore: lt.SpaceBefore}
 			if k == 0 {
 				e.SpaceBefore = spaceBefore
 			}

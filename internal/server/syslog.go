@@ -205,7 +205,7 @@ func strip3164Header(b []byte) (content []byte, ok bool) {
 	if len(b) < 16 || b[15] != ' ' {
 		return nil, false
 	}
-	if _, err := time.Parse(time.Stamp, string(b[:15])); err != nil {
+	if !valid3164Stamp(b[:15]) {
 		return nil, false
 	}
 	rest := b[16:]
@@ -220,6 +220,60 @@ func strip3164Header(b []byte) (content []byte, ok bool) {
 		return nil, false
 	}
 	return rest[sp+1:], true
+}
+
+// stampMonths are the RFC 3164 month abbreviations, in "MmmXMmmY..."
+// form for an allocation-free three-byte comparison.
+const stampMonths = "JanFebMarAprMayJunJulAugSepOctNovDec"
+
+// valid3164Stamp checks a 15-byte "Mmm _d hh:mm:ss" timestamp without
+// time.Parse, whose string conversion was the ingest path's last
+// per-datagram allocation. It is calendar-lenient — any day 1..31 is
+// accepted for any month — which only widens the already-lenient 3164
+// header detection (a bogus "Feb 30" header falls through to the
+// all-CONTENT fallback either way on real traffic).
+func valid3164Stamp(b []byte) bool {
+	month := false
+	for i := 0; i < len(stampMonths); i += 3 {
+		if b[0] == stampMonths[i] && b[1] == stampMonths[i+1] && b[2] == stampMonths[i+2] {
+			month = true
+			break
+		}
+	}
+	if !month || b[3] != ' ' {
+		return false
+	}
+	// Day: space- or zero-padded ("Jan  2", "Jan 02", "Jan 12"), 1..31.
+	if !isDigit(b[5]) {
+		return false
+	}
+	day := int(b[5] - '0')
+	switch {
+	case b[4] == ' ':
+	case isDigit(b[4]):
+		day += 10 * int(b[4]-'0')
+	default:
+		return false
+	}
+	if day < 1 || day > 31 {
+		return false
+	}
+	if b[6] != ' ' || b[9] != ':' || b[12] != ':' {
+		return false
+	}
+	hh, ok1 := twoDigits(b[7], b[8])
+	mm, ok2 := twoDigits(b[10], b[11])
+	ss, ok3 := twoDigits(b[13], b[14])
+	return ok1 && ok2 && ok3 && hh < 24 && mm < 60 && ss < 60
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func twoDigits(a, b byte) (int, bool) {
+	if !isDigit(a) || !isDigit(b) {
+		return 0, false
+	}
+	return 10*int(a-'0') + int(b-'0'), true
 }
 
 // splitTag splits "tag: msg" or "tag[pid]: msg" into tag and message.

@@ -1,14 +1,14 @@
 package token
 
-import "strings"
-
 // Enrich runs the analysis-time detections the paper attributes to the
 // Sequence analyser rather than the scanner: key=value pairs, e-mail
 // addresses and host names. It mutates the slice in place and returns it.
 //
 // Both the analyzer (when learning patterns) and the parser (when matching
 // messages) must run the same enrichment so that a message tokenizes
-// identically on both paths.
+// identically on both paths. Enrichment runs on every message of the hot
+// path, so all detections work on the token spans and allocate nothing:
+// a key=value key is recorded as KeySpan, a view of the key token's bytes.
 func Enrich(tokens []Token) []Token {
 	for i := range tokens {
 		t := &tokens[i]
@@ -16,22 +16,22 @@ func Enrich(tokens []Token) []Token {
 			continue
 		}
 		switch {
-		case isEmailWord(t.Value):
+		case isEmailWord(t.Span):
 			t.Type = Email
-		case isHostWord(t.Value):
+		case isHostWord(t.Span):
 			t.Type = Host
 		}
 	}
 	// key=value: a literal word, a bare '=', and a value token. The key is
 	// attached to the value token and later names the pattern variable.
 	for i := 1; i+1 < len(tokens); i++ {
-		if tokens[i].Type != Literal || tokens[i].Value != "=" {
+		if tokens[i].Type != Literal || len(tokens[i].Span) != 1 || tokens[i].Span[0] != '=' {
 			continue
 		}
 		k := &tokens[i-1]
 		v := &tokens[i+1]
-		if k.Type == Literal && isWordLiteral(k.Value) && v.Type != TailAny && !v.IsPunct() {
-			v.Key = strings.ToLower(k.Value)
+		if k.Type == Literal && isWordLiteral(k.Span) && v.Type != TailAny && !v.IsPunct() {
+			v.KeySpan = k.Span
 		}
 	}
 	return tokens
@@ -39,7 +39,7 @@ func Enrich(tokens []Token) []Token {
 
 // isWordLiteral reports whether s looks like an identifier usable as a
 // key=value key: letters, digits, '_', '-', '.' with at least one letter.
-func isWordLiteral(s string) bool {
+func isWordLiteral(s []byte) bool {
 	letters := 0
 	for i := 0; i < len(s); i++ {
 		c := s[i]
@@ -54,17 +54,59 @@ func isWordLiteral(s string) bool {
 	return letters > 0
 }
 
-func isEmailWord(s string) bool {
-	at := strings.IndexByte(s, '@')
-	if at <= 0 || at != strings.LastIndexByte(s, '@') || at == len(s)-1 {
+// isEmailWord reports whether s is local@domain.tld with an identifier
+// local part ('+' tags allowed) and a dotted identifier domain. It is the
+// byte-level equivalent of the frozen reference implementation, written
+// as single passes so the hot path never allocates.
+func isEmailWord(s []byte) bool {
+	at := -1
+	for i := 0; i < len(s); i++ {
+		if s[i] == '@' {
+			if at >= 0 {
+				return false // more than one '@'
+			}
+			at = i
+		}
+	}
+	if at <= 0 || at == len(s)-1 {
 		return false
 	}
-	local, domain := s[:at], s[at+1:]
-	if !isWordLiteral(strings.ReplaceAll(local, "+", "")) {
+	// Local part: isWordLiteral with '+' stripped — letters, digits,
+	// '_', '-', '.', '+', at least one letter.
+	letters := 0
+	for i := 0; i < at; i++ {
+		c := s[i]
+		switch {
+		case isAlpha(c):
+			letters++
+		case isDigit(c) || c == '_' || c == '-' || c == '.' || c == '+':
+		default:
+			return false
+		}
+	}
+	if letters == 0 {
 		return false
 	}
-	dot := strings.IndexByte(domain, '.')
-	return dot > 0 && dot < len(domain)-1 && isWordLiteral(strings.ReplaceAll(domain, ".", ""))
+	// Domain: first dot must be internal, characters are identifier
+	// bytes or dots, at least one letter overall.
+	domain := s[at+1:]
+	firstDot := -1
+	letters = 0
+	for i := 0; i < len(domain); i++ {
+		c := domain[i]
+		switch {
+		case c == '.':
+			if firstDot < 0 {
+				firstDot = i
+			}
+		case isAlpha(c):
+			letters++
+		case isDigit(c) || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return firstDot > 0 && firstDot < len(domain)-1 && letters > 0
 }
 
 // hostTLDs is the conservative suffix set used for host-name detection.
@@ -78,24 +120,50 @@ var hostTLDs = map[string]bool{
 	"cn": true, "jp": true, "ru": true, "nl": true, "ch": true, "it": true,
 }
 
-func isHostWord(s string) bool {
-	if strings.Count(s, ".") < 2 || strings.ContainsAny(s, "/@:") {
-		return false
-	}
-	labels := strings.Split(s, ".")
+// maxTLDLen bounds the lower-casing scratch buffer for the final label;
+// every entry of hostTLDs fits ("localdomain" is the longest at 11).
+const maxTLDLen = 16
+
+// isHostWord reports whether s is a dotted host name ending in a known
+// TLD: at least two dots, no empty labels, label bytes restricted to
+// letters, digits, '-' and '_', at least one letter somewhere. One pass,
+// no allocation (the TLD lookup lowercases into a stack buffer).
+func isHostWord(s []byte) bool {
+	dots := 0
 	letters := false
-	for _, l := range labels {
-		if l == "" {
+	lastLabel := 0 // start of the label being read
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '.':
+			if i == lastLabel {
+				return false // empty label
+			}
+			dots++
+			lastLabel = i + 1
+		case isAlpha(c):
+			letters = true
+		case isDigit(c) || c == '-' || c == '_':
+		case c == '/' || c == '@' || c == ':':
+			return false
+		default:
 			return false
 		}
-		for i := 0; i < len(l); i++ {
-			c := l[i]
-			if isAlpha(c) {
-				letters = true
-			} else if !isDigit(c) && c != '-' && c != '_' {
-				return false
-			}
-		}
 	}
-	return letters && hostTLDs[strings.ToLower(labels[len(labels)-1])]
+	if dots < 2 || !letters || lastLabel >= len(s) {
+		return false
+	}
+	tld := s[lastLabel:]
+	if len(tld) > maxTLDLen {
+		return false // longer than any known TLD
+	}
+	var low [maxTLDLen]byte
+	for i := 0; i < len(tld); i++ {
+		c := tld[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		low[i] = c
+	}
+	return hostTLDs[string(low[:len(tld)])]
 }

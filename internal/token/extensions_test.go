@@ -87,7 +87,7 @@ func TestPathFSMInContext(t *testing.T) {
 	if len(got) != 3 {
 		t.Fatalf("got %v", got)
 	}
-	if got[1].Type != Path || got[1].Value != "/var/run/app.pid" {
+	if got[1].Type != Path || got[1].Value() != "/var/run/app.pid" {
 		t.Errorf("path token = %+v", got[1])
 	}
 	if Reconstruct(got) != "opening /var/run/app.pid failed" {

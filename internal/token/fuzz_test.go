@@ -30,11 +30,11 @@ func FuzzScan(f *testing.F) {
 				if tok.Type == TailAny {
 					continue
 				}
-				if tok.Value == "" {
+				if len(tok.Span) == 0 {
 					t.Fatalf("empty token value in %q: %+v", msg, tokens)
 				}
-				if !strings.Contains(msg, tok.Value) {
-					t.Fatalf("token %q not a substring of %q", tok.Value, msg)
+				if !strings.Contains(msg, tok.Value()) {
+					t.Fatalf("token %q not a substring of %q", tok.Value(), msg)
 				}
 			}
 			// Enrichment must be safe on any token stream.
@@ -119,7 +119,7 @@ func FuzzTimeFSM(f *testing.F) {
 	f.Add("0:7:20:444", true)
 	f.Fuzz(func(t *testing.T, s string, unpadded bool) {
 		for i := 0; i <= len(s) && i < 64; i++ {
-			end, ok := matchTime(s, i, unpadded)
+			end, ok := matchTime([]byte(s), i, unpadded)
 			if !ok {
 				continue
 			}

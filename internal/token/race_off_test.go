@@ -1,0 +1,5 @@
+//go:build !race
+
+package token_test
+
+const raceEnabled = false

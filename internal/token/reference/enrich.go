@@ -1,0 +1,101 @@
+package reference
+
+import "strings"
+
+// Enrich runs the analysis-time detections the paper attributes to the
+// Sequence analyser rather than the scanner: key=value pairs, e-mail
+// addresses and host names. It mutates the slice in place and returns it.
+//
+// Both the analyzer (when learning patterns) and the parser (when matching
+// messages) must run the same enrichment so that a message tokenizes
+// identically on both paths.
+func Enrich(tokens []Token) []Token {
+	for i := range tokens {
+		t := &tokens[i]
+		if t.Type != Literal {
+			continue
+		}
+		switch {
+		case isEmailWord(t.Value):
+			t.Type = Email
+		case isHostWord(t.Value):
+			t.Type = Host
+		}
+	}
+	// key=value: a literal word, a bare '=', and a value token. The key is
+	// attached to the value token and later names the pattern variable.
+	for i := 1; i+1 < len(tokens); i++ {
+		if tokens[i].Type != Literal || tokens[i].Value != "=" {
+			continue
+		}
+		k := &tokens[i-1]
+		v := &tokens[i+1]
+		if k.Type == Literal && isWordLiteral(k.Value) && v.Type != TailAny && !v.IsPunct() {
+			v.Key = strings.ToLower(k.Value)
+		}
+	}
+	return tokens
+}
+
+// isWordLiteral reports whether s looks like an identifier usable as a
+// key=value key: letters, digits, '_', '-', '.' with at least one letter.
+func isWordLiteral(s string) bool {
+	letters := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case isAlpha(c):
+			letters++
+		case isDigit(c) || c == '_' || c == '-' || c == '.':
+		default:
+			return false
+		}
+	}
+	return letters > 0
+}
+
+func isEmailWord(s string) bool {
+	at := strings.IndexByte(s, '@')
+	if at <= 0 || at != strings.LastIndexByte(s, '@') || at == len(s)-1 {
+		return false
+	}
+	local, domain := s[:at], s[at+1:]
+	if !isWordLiteral(strings.ReplaceAll(local, "+", "")) {
+		return false
+	}
+	dot := strings.IndexByte(domain, '.')
+	return dot > 0 && dot < len(domain)-1 && isWordLiteral(strings.ReplaceAll(domain, ".", ""))
+}
+
+// hostTLDs is the conservative suffix set used for host-name detection.
+// Sequence-RTG is deliberately conservative here: the original Sequence
+// "tends to add too many variables into patterns" (limitation 4 in the
+// paper) and over-eager host detection is one source of that.
+var hostTLDs = map[string]bool{
+	"com": true, "net": true, "org": true, "edu": true, "gov": true,
+	"mil": true, "int": true, "io": true, "local": true, "internal": true,
+	"localdomain": true, "fr": true, "de": true, "uk": true, "us": true,
+	"cn": true, "jp": true, "ru": true, "nl": true, "ch": true, "it": true,
+}
+
+func isHostWord(s string) bool {
+	if strings.Count(s, ".") < 2 || strings.ContainsAny(s, "/@:") {
+		return false
+	}
+	labels := strings.Split(s, ".")
+	letters := false
+	for _, l := range labels {
+		if l == "" {
+			return false
+		}
+		for i := 0; i < len(l); i++ {
+			c := l[i]
+			if isAlpha(c) {
+				letters = true
+			} else if !isDigit(c) && c != '-' && c != '_' {
+				return false
+			}
+		}
+	}
+	return letters && hostTLDs[strings.ToLower(labels[len(labels)-1])]
+}

@@ -1,4 +1,4 @@
-package token
+package reference
 
 // The hexadecimal finite state machine.
 //
@@ -19,7 +19,7 @@ package token
 
 // matchHex attempts the hexadecimal FSM at s[i]. On success it returns the
 // end offset (exclusive) and the token type (Mac, IPv6 or HexString).
-func matchHex(s []byte, i int) (end int, typ Type, ok bool) {
+func matchHex(s string, i int) (end int, typ Type, ok bool) {
 	if e, m := matchMac(s, i); m {
 		return e, Mac, true
 	}
@@ -39,7 +39,7 @@ func matchHex(s []byte, i int) (end int, typ Type, ok bool) {
 // means no letter is required, so all-digit UUIDs tokenize identically to
 // mixed ones — without this, message shapes would depend on the random
 // content of each UUID.
-func matchUUID(s []byte, i int) (end int, ok bool) {
+func matchUUID(s string, i int) (end int, ok bool) {
 	j := i
 	for _, groupLen := range [5]int{8, 4, 4, 4, 12} {
 		if j > i {
@@ -61,7 +61,7 @@ func matchUUID(s []byte, i int) (end int, ok bool) {
 	return j, true
 }
 
-func matchMac(s []byte, i int) (end int, ok bool) {
+func matchMac(s string, i int) (end int, ok bool) {
 	// Six groups of exactly two hex digits with a consistent separator.
 	var sep byte
 	j := i
@@ -89,7 +89,7 @@ func matchMac(s []byte, i int) (end int, ok bool) {
 	return j, true
 }
 
-func matchIPv6(s []byte, i int) (end int, ok bool) {
+func matchIPv6(s string, i int) (end int, ok bool) {
 	j := i
 	groups := 0
 	doubleColon := false
@@ -152,7 +152,7 @@ func matchIPv6(s []byte, i int) (end int, ok bool) {
 	return j, true
 }
 
-func matchHexString(s []byte, i int) (end int, ok bool) {
+func matchHexString(s string, i int) (end int, ok bool) {
 	j := i
 	if j+2 < len(s) && s[j] == '0' && (s[j+1] == 'x' || s[j+1] == 'X') && isHexDigit(s[j+2]) {
 		j += 2

@@ -1,0 +1,316 @@
+package reference
+
+import "strings"
+
+// hard delimiters always form their own single-byte literal token.
+const hardDelims = `()[]{}"',;=<>|`
+
+func isHardDelim(c byte) bool { return strings.IndexByte(hardDelims, c) >= 0 }
+
+// Config enables the optional scanner extensions from the paper's
+// future-work section (§VI). The zero value is the published Sequence-RTG
+// scanner.
+type Config struct {
+	// UnpaddedTimes lets the datetime FSM accept single-digit time parts
+	// ("20171224-0:7:20:444"), fixing the HealthApp limitation of §IV.
+	UnpaddedTimes bool
+	// PathFSM enables the fourth finite state machine: absolute
+	// filesystem paths become their own token class instead of literals.
+	PathFSM bool
+}
+
+// Scanner tokenizes log messages. The zero value is ready to use; a single
+// Scanner may be reused across messages but not across goroutines.
+type Scanner struct {
+	// Config holds the optional extensions; the zero value reproduces
+	// the paper's scanner exactly.
+	Config Config
+	// buf is reused between Scan calls to avoid per-message allocation of
+	// the token slice backing array.
+	buf []Token
+}
+
+// Scan tokenizes one log message and returns its tokens. The returned slice
+// is valid until the next call to Scan on the same Scanner; callers that
+// retain tokens must copy them (ScanCopy does this).
+//
+// Multi-line messages are processed only up to the first line break, per
+// the Sequence-RTG design: a TailAny marker token is appended so that the
+// resulting pattern matches the first line and ignores the rest.
+func (s *Scanner) Scan(msg string) []Token {
+	s.buf = s.buf[:0]
+	i := 0
+	spaceBefore := false
+
+	for i < len(msg) {
+		c := msg[i]
+		if isSpace(c) {
+			spaceBefore = true
+			i++
+			continue
+		}
+		if c == '\n' || c == '\r' {
+			// Multi-line message: pattern covers the first line only.
+			if strings.TrimSpace(msg[i:]) != "" {
+				s.buf = append(s.buf, Token{Type: TailAny, SpaceBefore: spaceBefore})
+			}
+			break
+		}
+
+		// Hexadecimal FSM first: a MAC address contains colon-separated
+		// pairs that the datetime FSM would otherwise claim as a clock
+		// time ("12:34:56:78:9a:bc").
+		if isHexDigit(c) || c == ':' {
+			if end, typ, ok := matchHex(msg, i); ok {
+				s.buf = append(s.buf, Token{Type: typ, Value: msg[i:end], SpaceBefore: spaceBefore})
+				i = end
+				spaceBefore = false
+				continue
+			}
+		}
+		// Datetime FSM next: timestamps span spaces and colons that the
+		// general FSM would split.
+		if end, ok := matchTime(msg, i, s.Config.UnpaddedTimes); ok {
+			s.buf = append(s.buf, Token{Type: Time, Value: msg[i:end], SpaceBefore: spaceBefore})
+			i = end
+			spaceBefore = false
+			continue
+		}
+		// URLs run to the next whitespace even across hard delimiters
+		// (query strings contain '=' and '&').
+		if hasURLScheme(msg[i:]) {
+			end := i
+			for end < len(msg) && !isSpace(msg[end]) && msg[end] != '\n' && msg[end] != '\r' {
+				end++
+			}
+			s.buf = append(s.buf, Token{Type: URL, Value: msg[i:end], SpaceBefore: spaceBefore})
+			i = end
+			spaceBefore = false
+			continue
+		}
+		// Hard delimiters are single-byte literal tokens.
+		if isHardDelim(c) {
+			s.buf = append(s.buf, Token{Type: Literal, Value: msg[i : i+1], SpaceBefore: spaceBefore})
+			i++
+			spaceBefore = false
+			continue
+		}
+
+		// General FSM: read a word up to whitespace or a hard delimiter,
+		// then classify it.
+		end := i
+		for end < len(msg) && !isSpace(msg[end]) && msg[end] != '\n' && msg[end] != '\r' && !isHardDelim(msg[end]) {
+			end++
+		}
+		word := msg[i:end]
+		s.emitWord(word, spaceBefore)
+		i = end
+		spaceBefore = false
+	}
+	return s.buf
+}
+
+// ScanCopy is Scan but returns a freshly allocated slice safe to retain.
+func (s *Scanner) ScanCopy(msg string) []Token {
+	t := s.Scan(msg)
+	out := make([]Token, len(t))
+	copy(out, t)
+	return out
+}
+
+// emitWord classifies one whitespace/delimiter-bounded word and appends the
+// resulting token(s). Trailing sentence punctuation (.,:!?) is split off
+// into its own literal tokens; an IPv4:port word is split into three
+// tokens.
+func (s *Scanner) emitWord(word string, spaceBefore bool) {
+	// Split trailing sentence punctuation: "failed:" -> "failed", ":".
+	var tail []byte
+	for len(word) > 1 {
+		last := word[len(word)-1]
+		if last == ':' || last == '.' || last == '!' || last == '?' {
+			tail = append(tail, last)
+			word = word[:len(word)-1]
+			continue
+		}
+		break
+	}
+
+	s.classifyAndAppend(word, spaceBefore)
+	for k := len(tail) - 1; k >= 0; k-- {
+		s.buf = append(s.buf, Token{Type: Literal, Value: string(tail[k]), SpaceBefore: false})
+	}
+}
+
+func (s *Scanner) classifyAndAppend(word string, spaceBefore bool) {
+	switch {
+	case isIntegerWord(word):
+		s.buf = append(s.buf, Token{Type: Integer, Value: word, SpaceBefore: spaceBefore})
+	case isFloatWord(word):
+		s.buf = append(s.buf, Token{Type: Float, Value: word, SpaceBefore: spaceBefore})
+	case isIPv4Word(word):
+		s.buf = append(s.buf, Token{Type: IPv4, Value: word, SpaceBefore: spaceBefore})
+	case isURLWord(word):
+		s.buf = append(s.buf, Token{Type: URL, Value: word, SpaceBefore: spaceBefore})
+	default:
+		// IPv4 with a port: "10.0.0.1:8080" -> ipv4, ":", integer.
+		if ip, port, ok := splitIPPort(word); ok {
+			s.buf = append(s.buf,
+				Token{Type: IPv4, Value: ip, SpaceBefore: spaceBefore},
+				Token{Type: Literal, Value: ":"},
+				Token{Type: Integer, Value: port})
+			return
+		}
+		if s.Config.PathFSM && isPathWord(word) {
+			s.buf = append(s.buf, Token{Type: Path, Value: word, SpaceBefore: spaceBefore})
+			return
+		}
+		s.buf = append(s.buf, Token{Type: Literal, Value: word, SpaceBefore: spaceBefore})
+	}
+}
+
+func isIntegerWord(w string) bool {
+	if w == "" {
+		return false
+	}
+	i := 0
+	if w[0] == '-' || w[0] == '+' {
+		i++
+	}
+	if i == len(w) {
+		return false
+	}
+	for ; i < len(w); i++ {
+		if !isDigit(w[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func isFloatWord(w string) bool {
+	i := 0
+	if i < len(w) && (w[0] == '-' || w[0] == '+') {
+		i++
+	}
+	digits, dots := 0, 0
+	for ; i < len(w); i++ {
+		switch {
+		case isDigit(w[i]):
+			digits++
+		case w[i] == '.':
+			dots++
+			if dots > 1 {
+				return false
+			}
+		case (w[i] == 'e' || w[i] == 'E') && digits > 0 && i+1 < len(w):
+			// exponent: e[+-]?digits
+			j := i + 1
+			if w[j] == '+' || w[j] == '-' {
+				j++
+			}
+			if j == len(w) {
+				return false
+			}
+			for ; j < len(w); j++ {
+				if !isDigit(w[j]) {
+					return false
+				}
+			}
+			return dots == 1 || digits > 0
+		default:
+			return false
+		}
+	}
+	return digits > 0 && dots == 1
+}
+
+func isIPv4Word(w string) bool {
+	return checkIPv4(w)
+}
+
+func checkIPv4(w string) bool {
+	octets := 0
+	i := 0
+	for octets < 4 {
+		v, n := 0, 0
+		for i < len(w) && isDigit(w[i]) && n < 3 {
+			v = v*10 + int(w[i]-'0')
+			i++
+			n++
+		}
+		if n == 0 || v > 255 {
+			return false
+		}
+		octets++
+		if octets == 4 {
+			break
+		}
+		if i >= len(w) || w[i] != '.' {
+			return false
+		}
+		i++
+	}
+	return i == len(w)
+}
+
+func splitIPPort(w string) (ip, port string, ok bool) {
+	c := strings.IndexByte(w, ':')
+	if c <= 0 || c == len(w)-1 {
+		return "", "", false
+	}
+	if checkIPv4(w[:c]) && isIntegerWord(w[c+1:]) {
+		return w[:c], w[c+1:], true
+	}
+	return "", "", false
+}
+
+var urlSchemes = []string{"http://", "https://", "ftp://", "ftps://", "file://", "ssh://", "ldap://", "ldaps://", "nfs://", "smb://"}
+
+func isURLWord(w string) bool {
+	return hasURLScheme(w) && len(w) > 0
+}
+
+func hasURLScheme(w string) bool {
+	for _, s := range urlSchemes {
+		if len(w) > len(s) && strings.HasPrefix(w, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// isPathWord implements the optional path FSM: an absolute Unix path
+// (leading '/') or an absolute Windows path (drive letter, colon,
+// backslash), made of non-empty path-safe segments.
+func isPathWord(w string) bool {
+	if len(w) >= 4 && isAlpha(w[0]) && w[1] == ':' && w[2] == '\\' {
+		return isPathBody(w[3:], '\\')
+	}
+	if len(w) >= 2 && w[0] == '/' {
+		return isPathBody(w[1:], '/')
+	}
+	return false
+}
+
+func isPathBody(body string, sep byte) bool {
+	segLen, segs := 0, 0
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		switch {
+		case c == sep:
+			if segLen == 0 {
+				return false // doubled separator or trailing garbage
+			}
+			segs++
+			segLen = 0
+		case isAlnum(c) || c == '.' || c == '_' || c == '-' || c == '+':
+			segLen++
+		default:
+			return false
+		}
+	}
+	if segLen > 0 {
+		segs++
+	}
+	return segs >= 1
+}

@@ -1,4 +1,4 @@
-package token
+package reference
 
 // The datetime finite state machine.
 //
@@ -88,7 +88,7 @@ var weekdayNames = [...]string{
 // digits than their width ("0:7:20" matches "dd:dd:dd") — the §VI
 // future-work fix for HealthApp-style timestamps, off by default to stay
 // faithful to the published FSM.
-func matchTime(s []byte, i int, unpadded bool) (end int, ok bool) {
+func matchTime(s string, i int, unpadded bool) (end int, ok bool) {
 	best := -1
 	for _, l := range timeLayouts {
 		if e, m := matchLayout(s, i, l, unpadded); m && e > best {
@@ -104,7 +104,7 @@ func matchTime(s []byte, i int, unpadded bool) (end int, ok bool) {
 	return best, true
 }
 
-func matchLayout(s []byte, i int, l timeLayout, unpadded bool) (end int, ok bool) {
+func matchLayout(s string, i int, l timeLayout, unpadded bool) (end int, ok bool) {
 	j := i
 	for k := 0; k < len(l.pattern); k++ {
 		if j >= len(s) {
@@ -161,13 +161,13 @@ func matchLayout(s []byte, i int, l timeLayout, unpadded bool) (end int, ok bool
 	return j, true
 }
 
-func matchName(s []byte, i int, names []string) bool {
+func matchName(s string, i int, names []string) bool {
 	if i+3 > len(s) {
 		return false
 	}
 	w := s[i : i+3]
 	for _, n := range names {
-		if string(w) == n {
+		if w == n {
 			return true
 		}
 	}
@@ -177,7 +177,7 @@ func matchName(s []byte, i int, names []string) bool {
 // matchFraction consumes an optional fractional seconds part: a '.' or ','
 // followed by one to nine digits. It returns the new offset (j unchanged
 // when there is no fraction).
-func matchFraction(s []byte, j int) int {
+func matchFraction(s string, j int) int {
 	if j >= len(s) || (s[j] != '.' && s[j] != ',') {
 		return j
 	}
@@ -193,7 +193,7 @@ func matchFraction(s []byte, j int) int {
 
 // matchTimeZone consumes an optional trailing zone: "Z", " +hhmm", " -hhmm",
 // "+hh:mm" or "-hh:mm" (with or without the leading space).
-func matchTimeZone(s []byte, j int) int {
+func matchTimeZone(s string, j int) int {
 	if j < len(s) && s[j] == 'Z' {
 		return j + 1
 	}

@@ -1,4 +1,13 @@
-// Package token implements the Sequence-RTG scanner: a single-pass,
+// Package reference is the FROZEN pre-PR-6 string-based scanner, kept
+// verbatim as the differential-testing oracle and the "before" side of
+// the seqbench before/after comparison. The live scanner in
+// internal/token was redesigned around byte-slice spans (PR 6); this
+// copy preserves the exact prior tokenization semantics. Do not evolve
+// it: behavioural changes to the live scanner must keep parity with
+// this package (see internal/token/parity_test.go) or consciously
+// retire the affected case here with a comment.
+//
+// Historical doc: Package token implements the Sequence-RTG scanner: a single-pass,
 // regex-free tokenizer for system log messages.
 //
 // Following the seminal Sequence design, the scanner runs three cooperating
@@ -17,22 +26,7 @@
 // paper); Sequence-RTG uses this to reconstruct patterns with the exact
 // spacing of the source message, which is what makes the exported patterns
 // usable by external parsers such as syslog-ng's patterndb.
-//
-// # Zero-allocation representation
-//
-// Tokens are byte-slice views (spans) into the scanned message, not string
-// copies: Span and KeySpan alias either the caller's buffer (ScanBytes) or
-// the scanner's internal copy of the message (Scan). Scanning therefore
-// allocates nothing on the steady state, which is what the 1M+ msgs/s hot
-// path target requires. The price is a lifetime rule: a token is valid
-// only while its backing buffer is — until the next Scan/ScanBytes call on
-// the same Scanner, until Release returns a pooled Scanner, or (for
-// ScanBytes) until the caller recycles its own buffer. Callers that retain
-// token values must materialise them with Value()/Key() first, or use
-// ScanCopy, which returns self-contained tokens. DESIGN.md's "hot path"
-// section states the full ownership contract; the seqlint bufownership
-// analyzer machine-checks the Release half of it.
-package token
+package reference
 
 import "strings"
 
@@ -91,17 +85,6 @@ var typeNames = [...]string{
 	Path:      "path",
 }
 
-// typeByName inverts typeNames once at init so that ParseType is a map
-// lookup instead of a linear scan (it runs for every %type% tag when
-// pattern text is parsed back, e.g. on store replay).
-var typeByName = func() map[string]Type {
-	m := make(map[string]Type, len(typeNames))
-	for i, n := range typeNames {
-		m[n] = Type(i)
-	}
-	return m
-}()
-
 // String returns the lower-case tag name used in pattern text, e.g.
 // "integer" for Integer.
 func (t Type) String() string {
@@ -114,8 +97,12 @@ func (t Type) String() string {
 // ParseType converts a tag name back to its Type. The second return value
 // reports whether the name was recognised.
 func ParseType(name string) (Type, bool) {
-	t, ok := typeByName[name]
-	return t, ok
+	for i, n := range typeNames {
+		if n == name {
+			return Type(i), true
+		}
+	}
+	return Literal, false
 }
 
 // IsVariable reports whether tokens of this type are treated as variables
@@ -124,94 +111,27 @@ func ParseType(name string) (Type, bool) {
 func (t Type) IsVariable() bool { return t != Literal }
 
 // Token is one logical piece of a log message.
-//
-// A token does not own its text: Span and KeySpan are views into the scan
-// buffer (see the package comment for the lifetime rules). The Value, Key
-// and Text accessors materialise fresh strings for callers that need to
-// retain them; hot-path consumers work on the spans directly.
 type Token struct {
 	// Type is the syntactic class assigned by the scanner (or by Enrich).
 	Type Type
+	// Value is the exact text of the token as it appeared in the message.
+	Value string
 	// SpaceBefore records whether the token was preceded by whitespace in
 	// the original message. The first token of a message has
 	// SpaceBefore == false.
 	SpaceBefore bool
-	// Span is the exact text of the token as it appeared in the message,
-	// as a view into the scan buffer. It is nil for the TailAny marker.
-	Span []byte
-	// KeySpan is the key name when this token is the value of a key=value
-	// pair, assigned by Enrich as a view of the key token's bytes
-	// (original case; Key() lowercases). Nil otherwise.
-	KeySpan []byte
-}
-
-// Value returns the token text as a freshly allocated string, safe to
-// retain beyond the scan buffer's lifetime. Hot paths should prefer Span
-// (or ValueEquals) to stay allocation free.
-func (t Token) Value() string { return string(t.Span) }
-
-// ValueEquals reports whether the token text equals s without allocating.
-func (t Token) ValueEquals(s string) bool { return string(t.Span) == s }
-
-// HasKey reports whether Enrich attached a key=value key to this token.
-func (t Token) HasKey() bool { return len(t.KeySpan) > 0 }
-
-// Key returns the lower-cased key=value key as a freshly allocated string
-// ("" when the token has none). Enrich only accepts ASCII identifier keys,
-// so ASCII lowering is exact.
-func (t Token) Key() string {
-	b := t.KeySpan
-	if len(b) == 0 {
-		return ""
-	}
-	for i := 0; i < len(b); i++ {
-		if b[i] >= 'A' && b[i] <= 'Z' {
-			low := make([]byte, len(b))
-			for j := 0; j < len(b); j++ {
-				c := b[j]
-				if c >= 'A' && c <= 'Z' {
-					c += 'a' - 'A'
-				}
-				low[j] = c
-			}
-			return string(low)
-		}
-	}
-	return string(b)
-}
-
-// KeyEquals reports whether the token's lower-cased key equals s (itself
-// expected lower case, as stored by consumers) without allocating. A token
-// with no key equals only "".
-func (t Token) KeyEquals(s string) bool {
-	if len(t.KeySpan) != len(s) {
-		return false
-	}
-	for i := 0; i < len(s); i++ {
-		c := t.KeySpan[i]
-		if c >= 'A' && c <= 'Z' {
-			c += 'a' - 'A'
-		}
-		if c != s[i] {
-			return false
-		}
-	}
-	return true
-}
-
-// Make builds a self-contained token from a string value. It is the
-// construction path for tests and for callers synthesising tokens outside
-// a scan (the span is a private copy, so the lifetime rules do not apply).
-func Make(typ Type, value string, space bool) Token {
-	return Token{Type: typ, Span: []byte(value), SpaceBefore: space}
+	// Key is the key name when this token is the value of a key=value
+	// pair, assigned by Enrich. Empty otherwise.
+	Key string
 }
 
 // IsPunct reports whether the token is a single punctuation literal.
 func (t Token) IsPunct() bool {
-	if t.Type != Literal || len(t.Span) != 1 {
+	if t.Type != Literal || len(t.Value) != 1 {
 		return false
 	}
-	return !isAlnum(t.Span[0])
+	c := t.Value[0]
+	return !isAlnum(c)
 }
 
 // Reconstruct joins tokens back into the original message text, honouring
@@ -229,7 +149,7 @@ func Reconstruct(tokens []Token) string {
 		if t.Type == TailAny {
 			continue
 		}
-		b.Write(t.Span)
+		b.WriteString(t.Value)
 	}
 	return b.String()
 }
@@ -244,7 +164,7 @@ func Signature(tokens []Token) string {
 			b.WriteByte('|')
 		}
 		if t.Type == Literal {
-			b.Write(t.Span)
+			b.WriteString(t.Value)
 		} else {
 			b.WriteByte('%')
 			b.WriteString(t.Type.String())

@@ -1,6 +1,10 @@
 package token
 
-import "strings"
+import (
+	"bytes"
+	"strings"
+	"sync"
+)
 
 // hard delimiters always form their own single-byte literal token.
 const hardDelims = `()[]{}"',;=<>|`
@@ -20,7 +24,9 @@ type Config struct {
 }
 
 // Scanner tokenizes log messages. The zero value is ready to use; a single
-// Scanner may be reused across messages but not across goroutines.
+// Scanner may be reused across messages but not across goroutines. Hot
+// paths should borrow a pooled instance with NewScanner and return it with
+// Release, which recycles both the token slice and the copy buffer.
 type Scanner struct {
 	// Config holds the optional extensions; the zero value reproduces
 	// the paper's scanner exactly.
@@ -28,22 +34,80 @@ type Scanner struct {
 	// buf is reused between Scan calls to avoid per-message allocation of
 	// the token slice backing array.
 	buf []Token
+	// src is the reusable copy buffer backing the spans of string-based
+	// Scan calls.
+	src []byte
 }
 
-// Scan tokenizes one log message and returns its tokens. The returned slice
-// is valid until the next call to Scan on the same Scanner; callers that
-// retain tokens must copy them (ScanCopy does this).
+// scannerPool recycles Scanners (token slice + copy buffer) across
+// goroutines. The pooled scan state is what makes the string adapters
+// allocation free after warm-up.
+var scannerPool = sync.Pool{New: func() any { return new(Scanner) }}
+
+// NewScanner returns a pooled Scanner configured with cfg. Callers must
+// Release it when done; every token produced by the scanner dies with the
+// Release (its spans alias the pooled buffers, which the next borrower
+// overwrites).
+func NewScanner(cfg Config) *Scanner {
+	s := scannerPool.Get().(*Scanner)
+	s.Config = cfg
+	return s
+}
+
+// Release returns a pooled Scanner for reuse. All tokens it produced
+// become invalid: their spans alias buffers that the pool hands to the
+// next NewScanner caller. The seqlint bufownership analyzer flags token
+// uses after a Release in the same function.
+func (s *Scanner) Release() {
+	s.buf = s.buf[:0]
+	s.src = s.src[:0]
+	scannerPool.Put(s)
+}
+
+// ScanBytes tokenizes one log message given as raw bytes and returns its
+// tokens. This is the zero-copy hot path: token spans alias msg directly,
+// so the caller must keep msg unchanged for as long as it uses the tokens
+// (a network listener that recycles its datagram buffer must finish with
+// the tokens first). The returned slice is valid until the next call to
+// Scan or ScanBytes on the same Scanner.
 //
 // Multi-line messages are processed only up to the first line break, per
 // the Sequence-RTG design: a TailAny marker token is appended so that the
 // resulting pattern matches the first line and ignores the rest.
+func (s *Scanner) ScanBytes(msg []byte) []Token {
+	s.buf = s.scanInto(s.buf[:0], msg)
+	return s.buf
+}
+
+// Scan tokenizes one log message given as a string. It is the thin
+// adapter over ScanBytes: the message is copied once into the scanner's
+// reusable buffer (no allocation on the steady state) and the tokens'
+// spans alias that buffer. The returned slice is valid until the next
+// call to Scan or ScanBytes on the same Scanner; callers that retain
+// tokens must copy them (ScanCopy does this).
 func (s *Scanner) Scan(msg string) []Token {
-	s.buf = s.buf[:0]
+	s.src = append(s.src[:0], msg...)
+	s.buf = s.scanInto(s.buf[:0], s.src)
+	return s.buf
+}
+
+// ScanCopy is Scan but returns self-contained tokens safe to retain: the
+// message is copied into a fresh private buffer and the token slice is
+// freshly allocated, so neither is invalidated by later scans or by
+// Release.
+func (s *Scanner) ScanCopy(msg string) []Token {
+	src := []byte(msg)
+	return s.scanInto(nil, src)
+}
+
+// scanInto runs the scanner FSMs over src, appending tokens (whose spans
+// alias src) to dst.
+func (s *Scanner) scanInto(dst []Token, src []byte) []Token {
 	i := 0
 	spaceBefore := false
 
-	for i < len(msg) {
-		c := msg[i]
+	for i < len(src) {
+		c := src[i]
 		if isSpace(c) {
 			spaceBefore = true
 			i++
@@ -51,8 +115,8 @@ func (s *Scanner) Scan(msg string) []Token {
 		}
 		if c == '\n' || c == '\r' {
 			// Multi-line message: pattern covers the first line only.
-			if strings.TrimSpace(msg[i:]) != "" {
-				s.buf = append(s.buf, Token{Type: TailAny, SpaceBefore: spaceBefore})
+			if len(bytes.TrimSpace(src[i:])) != 0 {
+				dst = append(dst, Token{Type: TailAny, SpaceBefore: spaceBefore})
 			}
 			break
 		}
@@ -61,8 +125,8 @@ func (s *Scanner) Scan(msg string) []Token {
 		// pairs that the datetime FSM would otherwise claim as a clock
 		// time ("12:34:56:78:9a:bc").
 		if isHexDigit(c) || c == ':' {
-			if end, typ, ok := matchHex(msg, i); ok {
-				s.buf = append(s.buf, Token{Type: typ, Value: msg[i:end], SpaceBefore: spaceBefore})
+			if end, typ, ok := matchHex(src, i); ok {
+				dst = append(dst, Token{Type: typ, Span: src[i:end], SpaceBefore: spaceBefore})
 				i = end
 				spaceBefore = false
 				continue
@@ -70,27 +134,27 @@ func (s *Scanner) Scan(msg string) []Token {
 		}
 		// Datetime FSM next: timestamps span spaces and colons that the
 		// general FSM would split.
-		if end, ok := matchTime(msg, i, s.Config.UnpaddedTimes); ok {
-			s.buf = append(s.buf, Token{Type: Time, Value: msg[i:end], SpaceBefore: spaceBefore})
+		if end, ok := matchTime(src, i, s.Config.UnpaddedTimes); ok {
+			dst = append(dst, Token{Type: Time, Span: src[i:end], SpaceBefore: spaceBefore})
 			i = end
 			spaceBefore = false
 			continue
 		}
 		// URLs run to the next whitespace even across hard delimiters
 		// (query strings contain '=' and '&').
-		if hasURLScheme(msg[i:]) {
+		if hasURLScheme(src[i:]) {
 			end := i
-			for end < len(msg) && !isSpace(msg[end]) && msg[end] != '\n' && msg[end] != '\r' {
+			for end < len(src) && !isSpace(src[end]) && src[end] != '\n' && src[end] != '\r' {
 				end++
 			}
-			s.buf = append(s.buf, Token{Type: URL, Value: msg[i:end], SpaceBefore: spaceBefore})
+			dst = append(dst, Token{Type: URL, Span: src[i:end], SpaceBefore: spaceBefore})
 			i = end
 			spaceBefore = false
 			continue
 		}
 		// Hard delimiters are single-byte literal tokens.
 		if isHardDelim(c) {
-			s.buf = append(s.buf, Token{Type: Literal, Value: msg[i : i+1], SpaceBefore: spaceBefore})
+			dst = append(dst, Token{Type: Literal, Span: src[i : i+1], SpaceBefore: spaceBefore})
 			i++
 			spaceBefore = false
 			continue
@@ -99,77 +163,69 @@ func (s *Scanner) Scan(msg string) []Token {
 		// General FSM: read a word up to whitespace or a hard delimiter,
 		// then classify it.
 		end := i
-		for end < len(msg) && !isSpace(msg[end]) && msg[end] != '\n' && msg[end] != '\r' && !isHardDelim(msg[end]) {
+		for end < len(src) && !isSpace(src[end]) && src[end] != '\n' && src[end] != '\r' && !isHardDelim(src[end]) {
 			end++
 		}
-		word := msg[i:end]
-		s.emitWord(word, spaceBefore)
+		dst = s.emitWord(dst, src[i:end], spaceBefore)
 		i = end
 		spaceBefore = false
 	}
-	return s.buf
-}
-
-// ScanCopy is Scan but returns a freshly allocated slice safe to retain.
-func (s *Scanner) ScanCopy(msg string) []Token {
-	t := s.Scan(msg)
-	out := make([]Token, len(t))
-	copy(out, t)
-	return out
+	return dst
 }
 
 // emitWord classifies one whitespace/delimiter-bounded word and appends the
 // resulting token(s). Trailing sentence punctuation (.,:!?) is split off
 // into its own literal tokens; an IPv4:port word is split into three
 // tokens.
-func (s *Scanner) emitWord(word string, spaceBefore bool) {
+func (s *Scanner) emitWord(dst []Token, word []byte, spaceBefore bool) []Token {
 	// Split trailing sentence punctuation: "failed:" -> "failed", ":".
-	var tail []byte
-	for len(word) > 1 {
-		last := word[len(word)-1]
-		if last == ':' || last == '.' || last == '!' || last == '?' {
-			tail = append(tail, last)
-			word = word[:len(word)-1]
-			continue
+	// The punctuation bytes stay where they are in the buffer; tail is
+	// just the span holding them, so the split allocates nothing.
+	cut := len(word)
+	for cut > 1 {
+		last := word[cut-1]
+		if last != ':' && last != '.' && last != '!' && last != '?' {
+			break
 		}
-		break
+		cut--
 	}
+	tail := word[cut:]
+	word = word[:cut]
 
-	s.classifyAndAppend(word, spaceBefore)
-	for k := len(tail) - 1; k >= 0; k-- {
-		s.buf = append(s.buf, Token{Type: Literal, Value: string(tail[k]), SpaceBefore: false})
+	dst = s.classifyAndAppend(dst, word, spaceBefore)
+	for k := 0; k < len(tail); k++ {
+		dst = append(dst, Token{Type: Literal, Span: tail[k : k+1]})
 	}
+	return dst
 }
 
-func (s *Scanner) classifyAndAppend(word string, spaceBefore bool) {
+func (s *Scanner) classifyAndAppend(dst []Token, word []byte, spaceBefore bool) []Token {
 	switch {
 	case isIntegerWord(word):
-		s.buf = append(s.buf, Token{Type: Integer, Value: word, SpaceBefore: spaceBefore})
+		return append(dst, Token{Type: Integer, Span: word, SpaceBefore: spaceBefore})
 	case isFloatWord(word):
-		s.buf = append(s.buf, Token{Type: Float, Value: word, SpaceBefore: spaceBefore})
+		return append(dst, Token{Type: Float, Span: word, SpaceBefore: spaceBefore})
 	case isIPv4Word(word):
-		s.buf = append(s.buf, Token{Type: IPv4, Value: word, SpaceBefore: spaceBefore})
+		return append(dst, Token{Type: IPv4, Span: word, SpaceBefore: spaceBefore})
 	case isURLWord(word):
-		s.buf = append(s.buf, Token{Type: URL, Value: word, SpaceBefore: spaceBefore})
+		return append(dst, Token{Type: URL, Span: word, SpaceBefore: spaceBefore})
 	default:
 		// IPv4 with a port: "10.0.0.1:8080" -> ipv4, ":", integer.
-		if ip, port, ok := splitIPPort(word); ok {
-			s.buf = append(s.buf,
-				Token{Type: IPv4, Value: ip, SpaceBefore: spaceBefore},
-				Token{Type: Literal, Value: ":"},
-				Token{Type: Integer, Value: port})
-			return
+		if ip, sep, port, ok := splitIPPort(word); ok {
+			return append(dst,
+				Token{Type: IPv4, Span: ip, SpaceBefore: spaceBefore},
+				Token{Type: Literal, Span: sep},
+				Token{Type: Integer, Span: port})
 		}
 		if s.Config.PathFSM && isPathWord(word) {
-			s.buf = append(s.buf, Token{Type: Path, Value: word, SpaceBefore: spaceBefore})
-			return
+			return append(dst, Token{Type: Path, Span: word, SpaceBefore: spaceBefore})
 		}
-		s.buf = append(s.buf, Token{Type: Literal, Value: word, SpaceBefore: spaceBefore})
+		return append(dst, Token{Type: Literal, Span: word, SpaceBefore: spaceBefore})
 	}
 }
 
-func isIntegerWord(w string) bool {
-	if w == "" {
+func isIntegerWord(w []byte) bool {
+	if len(w) == 0 {
 		return false
 	}
 	i := 0
@@ -187,7 +243,7 @@ func isIntegerWord(w string) bool {
 	return true
 }
 
-func isFloatWord(w string) bool {
+func isFloatWord(w []byte) bool {
 	i := 0
 	if i < len(w) && (w[0] == '-' || w[0] == '+') {
 		i++
@@ -224,11 +280,11 @@ func isFloatWord(w string) bool {
 	return digits > 0 && dots == 1
 }
 
-func isIPv4Word(w string) bool {
+func isIPv4Word(w []byte) bool {
 	return checkIPv4(w)
 }
 
-func checkIPv4(w string) bool {
+func checkIPv4(w []byte) bool {
 	octets := 0
 	i := 0
 	for octets < 4 {
@@ -253,26 +309,28 @@ func checkIPv4(w string) bool {
 	return i == len(w)
 }
 
-func splitIPPort(w string) (ip, port string, ok bool) {
-	c := strings.IndexByte(w, ':')
+// splitIPPort splits "10.0.0.1:8080" into its three spans (all views of
+// w, so the split allocates nothing).
+func splitIPPort(w []byte) (ip, sep, port []byte, ok bool) {
+	c := bytes.IndexByte(w, ':')
 	if c <= 0 || c == len(w)-1 {
-		return "", "", false
+		return nil, nil, nil, false
 	}
 	if checkIPv4(w[:c]) && isIntegerWord(w[c+1:]) {
-		return w[:c], w[c+1:], true
+		return w[:c], w[c : c+1], w[c+1:], true
 	}
-	return "", "", false
+	return nil, nil, nil, false
 }
 
 var urlSchemes = []string{"http://", "https://", "ftp://", "ftps://", "file://", "ssh://", "ldap://", "ldaps://", "nfs://", "smb://"}
 
-func isURLWord(w string) bool {
+func isURLWord(w []byte) bool {
 	return hasURLScheme(w) && len(w) > 0
 }
 
-func hasURLScheme(w string) bool {
+func hasURLScheme(w []byte) bool {
 	for _, s := range urlSchemes {
-		if len(w) > len(s) && strings.HasPrefix(w, s) {
+		if len(w) > len(s) && string(w[:len(s)]) == s {
 			return true
 		}
 	}
@@ -282,7 +340,7 @@ func hasURLScheme(w string) bool {
 // isPathWord implements the optional path FSM: an absolute Unix path
 // (leading '/') or an absolute Windows path (drive letter, colon,
 // backslash), made of non-empty path-safe segments.
-func isPathWord(w string) bool {
+func isPathWord(w []byte) bool {
 	if len(w) >= 4 && isAlpha(w[0]) && w[1] == ':' && w[2] == '\\' {
 		return isPathBody(w[3:], '\\')
 	}
@@ -292,7 +350,7 @@ func isPathWord(w string) bool {
 	return false
 }
 
-func isPathBody(body string, sep byte) bool {
+func isPathBody(body []byte, sep byte) bool {
 	segLen, segs := 0, 0
 	for i := 0; i < len(body); i++ {
 		c := body[i]

@@ -8,7 +8,7 @@ import (
 
 // tok is a test helper building expected tokens tersely.
 func tok(typ Type, value string, space bool) Token {
-	return Token{Type: typ, Value: value, SpaceBefore: space}
+	return Make(typ, value, space)
 }
 
 func scanOne(t *testing.T, msg string) []Token {
@@ -24,7 +24,7 @@ func assertTokens(t *testing.T, msg string, want []Token) {
 		t.Fatalf("Scan(%q): got %d tokens %v, want %d %v", msg, len(got), got, len(want), want)
 	}
 	for i := range got {
-		if got[i].Type != want[i].Type || got[i].Value != want[i].Value || got[i].SpaceBefore != want[i].SpaceBefore {
+		if got[i].Type != want[i].Type || got[i].Value() != want[i].Value() || got[i].SpaceBefore != want[i].SpaceBefore {
 			t.Errorf("Scan(%q) token %d: got %+v, want %+v", msg, i, got[i], want[i])
 		}
 	}
@@ -219,7 +219,7 @@ func TestScanMultilineTruncates(t *testing.T) {
 		t.Fatalf("multi-line message must end with TailAny marker, got %v", got)
 	}
 	for _, g := range got[:len(got)-1] {
-		if strings.Contains(g.Value, "two") || strings.Contains(g.Value, "three") {
+		if strings.Contains(g.Value(), "two") || strings.Contains(g.Value(), "three") {
 			t.Fatalf("tokens beyond first line leaked: %v", got)
 		}
 	}
@@ -340,8 +340,8 @@ func TestTableIElements(t *testing.T) {
 	kv := Enrich(s.ScanCopy("uid=1001 gid = 100"))
 	var keys []string
 	for _, tk := range kv {
-		if tk.Key != "" {
-			keys = append(keys, tk.Key)
+		if tk.HasKey() {
+			keys = append(keys, tk.Key())
 		}
 	}
 	if len(keys) != 2 || keys[0] != "uid" || keys[1] != "gid" {

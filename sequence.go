@@ -62,7 +62,9 @@ type Pattern = patterns.Pattern
 // Element is one pattern position: fixed text or a typed variable.
 type Element = patterns.Element
 
-// Token is one scanned piece of a message.
+// Token is one scanned piece of a message. Its value is a byte-slice
+// view (Token.Span) into the scanned buffer; Scan returns self-contained
+// tokens backed by a private copy, so they stay valid indefinitely.
 type Token = token.Token
 
 // BatchResult summarises one processed batch.
@@ -372,8 +374,11 @@ func (r *RTG) MergeFrom(other *RTG) error {
 
 // Scan tokenizes a message with the Sequence scanner (hexadecimal,
 // datetime and general FSMs) and runs the analysis-time enrichment
-// (key=value, e-mail, host detection). Mostly useful for inspection and
-// tooling; Analyze and Parse scan internally.
+// (key=value, e-mail, host detection). The returned tokens are
+// self-contained (their spans are backed by a private copy of message,
+// not a reused scanner buffer). Mostly useful for inspection and
+// tooling; Analyze and Parse scan internally on the zero-allocation
+// pooled path.
 func Scan(message string) []Token {
 	var s token.Scanner
 	return token.Enrich(s.ScanCopy(message))
