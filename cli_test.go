@@ -12,6 +12,9 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	sequence "repro"
+	"repro/internal/store/codec"
 )
 
 var (
@@ -186,6 +189,55 @@ func TestCLIMerge(t *testing.T) {
 	stats, _ := run(t, nil, filepath.Join(bin, "seqrtg"), "stats", "-db", dbT, "-top", "0")
 	if !strings.Contains(stats, "patterns:") {
 		t.Fatalf("stats after merge: %s", stats)
+	}
+}
+
+func TestCLIJournalDump(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+
+	// Hand-craft a journal mixing both encodings plus the torn tail a
+	// crash leaves: one v1 JSON line, one v2 binary frame, half a frame.
+	p, err := sequence.PatternFromText("connection closed by peer", "sshd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := codec.For(codec.FormatV1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := codec.For(codec.FormatV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := v1.AppendRecord(nil, &codec.Record{Op: codec.OpUpsert, Pattern: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err = v2.AppendRecord(buf, &codec.Record{Op: codec.OpTouch, ID: p.ID, N: 7, E: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn, err := v2.AppendRecord(nil, &codec.Record{Op: codec.OpDelete, ID: p.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, torn[:len(torn)/2]...)
+	file := filepath.Join(t.TempDir(), "journal-000.wal")
+	if err := os.WriteFile(file, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, _ := run(t, nil, filepath.Join(bin, "pdbtool"), "journal", "dump", file)
+	for _, frag := range []string{
+		"v1 upsert", "v2 touch", "id=" + p.ID, "n=7", "epoch=1",
+		"torn tail at offset", "2 records",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("journal dump output missing %q:\n%s", frag, out)
+		}
 	}
 }
 

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/store/codec"
+)
+
+// cmdJournal inspects pattern-database journal files. The one
+// subcommand, dump, pretty-prints every record of the given journals,
+// auto-detecting the encoding (v1 JSON lines, v2 binary frames) per
+// record — the operator's view into a database directory when deciding
+// whether a crash left anything behind. A torn tail is reported and is
+// not an error: it is exactly what a crashed process leaves and what
+// replay discards.
+func cmdJournal(args []string) error {
+	if len(args) < 1 || args[0] != "dump" {
+		return fmt.Errorf("usage: pdbtool journal dump FILE...")
+	}
+	files := args[1:]
+	if len(files) == 0 {
+		return fmt.Errorf("journal dump: at least one journal file required")
+	}
+	for _, path := range files {
+		if err := dumpJournal(path); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+func dumpJournal(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	fmt.Printf("%s:\n", path)
+	dec := codec.NewReader(f)
+	n := 0
+	for {
+		off := dec.Offset()
+		var rec codec.Record
+		format, err := dec.Next(&rec)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			var ce *codec.CorruptError
+			if errors.As(err, &ce) {
+				fmt.Printf("  torn tail at offset %d: %s\n", ce.Off, ce.Reason)
+			} else {
+				fmt.Printf("  torn tail at offset %d: %v\n", off, err)
+			}
+			break
+		}
+		printRecord(n, off, format, &rec)
+		n++
+	}
+	fmt.Printf("  %d records\n", n)
+	return nil
+}
+
+func printRecord(n int, off int64, format codec.Format, rec *codec.Record) {
+	fmt.Printf("  [%d] off=%d %s %s epoch=%d", n, off, format, rec.Op, rec.E)
+	switch {
+	case rec.Pattern != nil:
+		p := rec.Pattern
+		fmt.Printf(" id=%s svc=%s count=%d text=%q", p.ID, p.Service, p.Count, p.Text())
+	case rec.Op == codec.OpTouch:
+		fmt.Printf(" id=%s n=%d when=%s", rec.ID, rec.N, rec.When.UTC().Format("2006-01-02T15:04:05Z"))
+		if rec.Example != "" {
+			fmt.Printf(" example=%q", rec.Example)
+		}
+	default:
+		fmt.Printf(" id=%s", rec.ID)
+	}
+	fmt.Println()
+}

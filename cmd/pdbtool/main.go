@@ -7,6 +7,11 @@
 //	pdbtool test  -pdb FILE             validate every rule's test cases
 //	pdbtool match -pdb FILE -program P  classify stdin messages
 //	pdbtool dump  -pdb FILE             list rules per program
+//	pdbtool journal dump FILE...        pretty-print store journal records
+//
+// journal dump is the odd one out — it reads Sequence-RTG's own journal
+// files (either encoding, auto-detected per record), for inspecting a
+// database directory after a crash.
 //
 // The paper's review workflow relies on exactly these checks: "these test
 // cases are used by syslog-ng to ensure that all the example messages
@@ -36,6 +41,8 @@ func main() {
 		err = cmdMatch(os.Args[2:])
 	case "dump":
 		err = cmdDump(os.Args[2:])
+	case "journal":
+		err = cmdJournal(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -50,11 +57,12 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: pdbtool test|match|dump [flags]
+	fmt.Fprintln(os.Stderr, `usage: pdbtool test|match|dump|journal [flags]
 
-  test   -pdb FILE              validate rule test cases (pdbtool test)
-  match  -pdb FILE -program P   classify messages from stdin
-  dump   -pdb FILE              list loaded rules`)
+  test    -pdb FILE              validate rule test cases (pdbtool test)
+  match   -pdb FILE -program P   classify messages from stdin
+  dump    -pdb FILE              list loaded rules
+  journal dump FILE...           pretty-print store journal records (v1/v2 auto-detected)`)
 }
 
 func load(path string) (*syslogng.DB, error) {

@@ -12,8 +12,15 @@
 //	parse_hit         scan + enrich + pattern match, every message known
 //	parse_hit_cached  verbatim-message cache hit (MatchExact), no scanning
 //	parse_miss        scan + enrich + match against a service with no patterns
+//	persist_v1        journal write path, per-record TouchIn, v1 JSON lines
+//	persist_v2_record journal write path, per-record TouchIn, v2 binary frames
+//	persist           journal write path, per-service ApplyBatch group commit, v2
 //	e2e               AnalyzeByService steady state, exact cache on, single worker
 //	e2e_nocache       AnalyzeByService steady state, exact cache disabled
+//
+// The persist stages run on the in-memory fault filesystem so the
+// figures isolate encoding and write-path cost from disk noise; their
+// per-message unit is one matched-pattern touch.
 //
 // Usage:
 //
@@ -31,6 +38,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -43,6 +51,7 @@ import (
 	"repro/internal/store"
 	"repro/internal/token"
 	"repro/internal/token/reference"
+	"repro/internal/vfs"
 	"repro/internal/workload"
 )
 
@@ -127,7 +136,7 @@ func main() {
 func run(c Corpus) *Result {
 	res := &Result{
 		Schema:     SchemaVersion,
-		PR:         6,
+		PR:         7,
 		GitSHA:     gitSHA(),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -148,18 +157,22 @@ func run(c Corpus) *Result {
 		bmsgs[i] = []byte(r.Message)
 	}
 
-	stage := func(name string, fn func(b *testing.B)) {
+	// stageN divides the figures by nops, the number of per-message
+	// units one b.N iteration performs (all messages for the pipeline
+	// stages, all matched-pattern touches for the persist stages).
+	stageN := func(name string, nops int, fn func(b *testing.B)) {
 		fmt.Fprintf(os.Stderr, "seqbench: running %s...\n", name)
 		r := testing.Benchmark(fn)
-		perMsg := float64(r.NsPerOp()) / float64(len(recs))
+		perMsg := float64(r.NsPerOp()) / float64(nops)
 		res.Stages = append(res.Stages, Stage{
 			Name:         name,
 			MsgsPerSec:   1e9 / perMsg,
 			NsPerMsg:     perMsg,
-			AllocsPerMsg: float64(r.AllocsPerOp()) / float64(len(recs)),
-			BytesPerMsg:  float64(r.AllocedBytesPerOp()) / float64(len(recs)),
+			AllocsPerMsg: float64(r.AllocsPerOp()) / float64(nops),
+			BytesPerMsg:  float64(r.AllocedBytesPerOp()) / float64(nops),
 		})
 	}
+	stage := func(name string, fn func(b *testing.B)) { stageN(name, len(recs), fn) }
 
 	stage("scan_legacy", func(b *testing.B) {
 		b.ReportAllocs()
@@ -255,6 +268,92 @@ func run(c Corpus) *Result {
 				toks := token.Enrich(s.Scan(m))
 				p.Match("no-such-service", toks)
 			}
+		}
+	})
+
+	// The persist workload: one touch per matched message, grouped per
+	// service for the batch stage. Matching is done once, up front, so
+	// the persist stages measure the journal write path alone.
+	type touchRef struct{ svc, id string }
+	var touches []touchRef
+	perSvc := make(map[string][]store.Op)
+	{
+		s := token.NewScanner(token.Config{})
+		for i, m := range msgs {
+			if pat, ok := p.Match(recs[i].Service, token.Enrich(s.Scan(m))); ok {
+				touches = append(touches, touchRef{recs[i].Service, pat.ID})
+				perSvc[recs[i].Service] = append(perSvc[recs[i].Service],
+					store.Op{Kind: store.OpTouch, ID: pat.ID, N: 1, When: now})
+			}
+		}
+		s.Release()
+	}
+	svcs := make([]string, 0, len(perSvc))
+	for svc := range perSvc {
+		svcs = append(svcs, svc)
+	}
+	sort.Strings(svcs)
+
+	// persistStore opens a store on the in-memory fault FS seeded with
+	// the learned patterns, so every touch hits a known pattern.
+	persistStore := func(b *testing.B, format store.JournalFormat) *store.Store {
+		st, err := store.OpenOptions("bench-db", store.Options{Shards: 4, FS: vfs.NewFault(), Journal: format})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pat := range learned {
+			if err := st.Upsert(pat); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return st
+	}
+	// compactOffTimer keeps the journal record count below the
+	// auto-compaction threshold so no measured iteration pays for a
+	// snapshot rewrite.
+	compactOffTimer := func(b *testing.B, st *store.Store) {
+		b.StopTimer()
+		if err := st.Compact(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+
+	persistRecord := func(b *testing.B, format store.JournalFormat) {
+		b.ReportAllocs()
+		st := persistStore(b, format)
+		defer st.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, tr := range touches {
+				if err := st.TouchIn(tr.svc, tr.id, 1, now, ""); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := st.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			compactOffTimer(b, st)
+		}
+	}
+
+	stageN("persist_v1", len(touches), func(b *testing.B) { persistRecord(b, store.JournalV1) })
+	stageN("persist_v2_record", len(touches), func(b *testing.B) { persistRecord(b, store.JournalV2) })
+	stageN("persist", len(touches), func(b *testing.B) {
+		b.ReportAllocs()
+		st := persistStore(b, store.JournalV2)
+		defer st.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, svc := range svcs {
+				if _, err := st.ApplyBatch(svc, perSvc[svc]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := st.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			compactOffTimer(b, st)
 		}
 	})
 

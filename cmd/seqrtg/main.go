@@ -134,6 +134,7 @@ func cmdAnalyze(args []string) error {
 	threshold := fs.Int64("save-threshold", 0, "drop patterns matched fewer times in their discovery batch")
 	concurrency := fs.Int("concurrency", 1, "services analysed in parallel")
 	shards := fs.Int("shards", 0, "store/parser shard count (0 = GOMAXPROCS)")
+	journal := fs.String("journal-format", "", "journal record encoding: v2 (binary, default) or v1 (legacy JSON lines)")
 	quiet := fs.Bool("quiet", false, "suppress per-batch progress")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars (expvar) and /debug/pprof on this address")
 	selfReport := fs.Int("self-report", 0, "print a metrics self-report every N batches (0 = off)")
@@ -143,7 +144,8 @@ func cmdAnalyze(args []string) error {
 	rtg, err := openDB(*db,
 		sequence.WithSaveThreshold(*threshold),
 		sequence.WithConcurrency(*concurrency),
-		sequence.WithStoreShards(*shards))
+		sequence.WithStoreShards(*shards),
+		sequence.WithJournalFormat(sequence.JournalFormat(*journal)))
 	if err != nil {
 		return err
 	}
@@ -224,6 +226,7 @@ func cmdServe(args []string) error {
 	threshold := fs.Int64("save-threshold", 0, "drop patterns matched fewer times in their discovery batch")
 	concurrency := fs.Int("concurrency", 1, "services analysed in parallel")
 	shards := fs.Int("shards", 0, "store/parser shard count (0 = GOMAXPROCS)")
+	journal := fs.String("journal-format", "", "journal record encoding: v2 (binary, default) or v1 (legacy JSON lines)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars (expvar) and /debug/pprof on this address")
 	quiet := fs.Bool("quiet", false, "suppress per-batch progress")
 	fs.Parse(args)
@@ -231,7 +234,8 @@ func cmdServe(args []string) error {
 	rtg, err := openDB(*db,
 		sequence.WithSaveThreshold(*threshold),
 		sequence.WithConcurrency(*concurrency),
-		sequence.WithStoreShards(*shards))
+		sequence.WithStoreShards(*shards),
+		sequence.WithJournalFormat(sequence.JournalFormat(*journal)))
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/analysis/bufownership"
 	"repro/internal/analysis/framework"
 	"repro/internal/analysis/guardedby"
+	"repro/internal/analysis/journalcodec"
 	"repro/internal/analysis/metricnames"
 	"repro/internal/analysis/persisterr"
 	"repro/internal/analysis/vfsonly"
@@ -19,6 +20,7 @@ func All() []*framework.Analyzer {
 	return []*framework.Analyzer{
 		bufownership.Analyzer,
 		guardedby.Analyzer,
+		journalcodec.Analyzer,
 		metricnames.Analyzer,
 		persisterr.Analyzer,
 		vfsonly.Analyzer,

@@ -1,0 +1,13 @@
+package journalcodec_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/journalcodec"
+)
+
+func TestJournalCodec(t *testing.T) {
+	analysistest.Run(t, journalcodec.Analyzer, "internal/store")
+	analysistest.Run(t, journalcodec.Analyzer, "internal/store/codec")
+}

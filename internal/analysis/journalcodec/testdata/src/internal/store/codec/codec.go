@@ -1,0 +1,22 @@
+// Fixture: a minimal stand-in for the repo's record codec. What matters
+// to the analyzer is the named types Record and Snapshot in a package
+// whose path ends in internal/store/codec. The codec package itself is
+// the encoding's legal home, so its own json calls are exempt.
+package codec
+
+import "encoding/json"
+
+type Record struct {
+	Op string `json:"op"`
+	ID string `json:"id,omitempty"`
+}
+
+type Snapshot struct {
+	Epoch    int64    `json:"epoch"`
+	Patterns []string `json:"patterns"`
+}
+
+func AppendRecord(buf []byte, r *Record) ([]byte, error) {
+	b, err := json.Marshal(r) // legal: inside the codec package
+	return append(buf, b...), err
+}

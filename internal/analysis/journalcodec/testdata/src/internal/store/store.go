@@ -1,0 +1,60 @@
+// Fixture: every direct encoding/json call on the codec's record types
+// outside internal/store/codec forks the wire format and must be
+// reported; json on unrelated types stays legal.
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+
+	"internal/store/codec"
+)
+
+type record = codec.Record
+
+type config struct {
+	Name string `json:"name"`
+}
+
+func marshalRecord(r *record) ([]byte, error) {
+	return json.Marshal(r) // want `json\.Marshal of codec\.Record outside internal/store/codec`
+}
+
+func marshalValue(r codec.Record) ([]byte, error) {
+	return json.Marshal(r) // want `json\.Marshal of codec\.Record outside internal/store/codec`
+}
+
+func marshalSnapshot(s *codec.Snapshot) ([]byte, error) {
+	return json.MarshalIndent(s, "", " ") // want `json\.MarshalIndent of codec\.Snapshot outside internal/store/codec`
+}
+
+func marshalSlice(rs []codec.Record) ([]byte, error) {
+	return json.Marshal(rs) // want `json\.Marshal of codec\.Record outside internal/store/codec`
+}
+
+func unmarshalRecord(b []byte) (record, error) {
+	var r record
+	err := json.Unmarshal(b, &r) // want `json\.Unmarshal of codec\.Record outside internal/store/codec`
+	return r, err
+}
+
+func decodeRecord(in io.Reader) (record, error) {
+	var r record
+	err := json.NewDecoder(in).Decode(&r) // want `json\.Decoder\.Decode of codec\.Record outside internal/store/codec`
+	return r, err
+}
+
+func encodeRecord(r *record) ([]byte, error) {
+	var buf bytes.Buffer
+	err := json.NewEncoder(&buf).Encode(r) // want `json\.Encoder\.Encode of codec\.Record outside internal/store/codec`
+	return buf.Bytes(), err
+}
+
+func marshalConfig(c *config) ([]byte, error) {
+	return json.Marshal(c) // legal: not a codec type
+}
+
+func throughCodec(r *record) ([]byte, error) {
+	return codec.AppendRecord(nil, r) // legal: the codec layer
+}

@@ -1,0 +1,14 @@
+// Fixture: test files are exempt — tests hand-craft journal bytes to
+// set up corruption and legacy layouts.
+package store
+
+import (
+	"encoding/json"
+
+	"internal/store/codec"
+)
+
+func legacyLine(r *codec.Record) []byte {
+	b, _ := json.Marshal(r)
+	return append(b, '\n')
+}

@@ -170,11 +170,11 @@ func (e *Engine) Analyze(records []ingest.Record, now time.Time) (BatchResult, e
 		a.Add(token.Enrich(s.Scan(rec.Message)), rec.Message)
 	}
 	res := BatchResult{Messages: len(records), Unmatched: len(records), Services: len(services)}
-	n, err := e.harvest(a, now)
-	if err != nil {
-		return res, err
+	ops, saved := e.mineOps(a, now)
+	if _, err := e.store.ApplyBatch("mixed", ops); err != nil {
+		return res, &PersistError{Err: fmt.Errorf("core: save patterns: %w", err)}
 	}
-	res.NewPatterns = n
+	res.NewPatterns = saved
 	res.Duration = time.Since(start)
 	e.m.EngineBatches.Inc()
 	e.m.EngineMessages.Add(int64(res.Messages))
@@ -290,10 +290,15 @@ func (e *Engine) analyzeService(svc string, msgs []string, now time.Time) (Batch
 	}
 	hits := make(map[string]*hit)
 
-	flushMined := func() error {
-		n, err := e.harvest(a, now)
-		res.NewPatterns += n
-		return err
+	// Ops accumulate across the whole partition and commit as one
+	// group-committed ApplyBatch: one shard lock acquisition and one
+	// journal append for the entire service, instead of one per pattern.
+	var ops []store.Op
+
+	flushMined := func() {
+		mined, saved := e.mineOps(a, now)
+		ops = append(ops, mined...)
+		res.NewPatterns += saved
 	}
 
 	record := func(p *patterns.Pattern, msg string) {
@@ -333,43 +338,49 @@ func (e *Engine) analyzeService(svc string, msgs []string, now time.Time) (Batch
 		if e.cfg.MaxTrieNodes > 0 && a.NodeCount() > e.cfg.MaxTrieNodes {
 			e.m.EngineTrieNodesPeak.SetMax(int64(a.NodeCount()))
 			e.m.EngineEarlyHarvests.Inc()
-			if err := flushMined(); err != nil {
-				return res, err
-			}
+			flushMined()
 			a = analyzer.New(svc, e.cfg.Analyzer)
 		}
 	}
 	e.m.EngineTrieNodesPeak.SetMax(int64(a.NodeCount()))
-	if err := flushMined(); err != nil {
-		return res, err
-	}
+	flushMined()
 
-	// Flush every hit even when some fail: a transient journal I/O error
-	// on one pattern must not drop the match statistics of the others.
-	// The store counts each failure (seqrtg_store_io_errors_total); the
-	// joined failures surface as one retryable PersistError.
-	var perr error
+	// One coalesced touch per matched pattern, appended after the mined
+	// upserts, then a single group commit for the whole partition. The
+	// store journals the ops in order, so every touch lands after the
+	// upsert that (re-)introduced its pattern.
 	for id, h := range hits {
-		err := e.store.TouchIn(svc, id, h.n, now, h.example)
-		if errors.Is(err, store.ErrUnknownPattern) {
-			// The parser knew a pattern the store no longer holds — a purge
-			// or external delete ran between registration and this batch.
-			// Not batch-fatal: count it and re-seed the store from the
-			// parser's copy so the pattern's statistics resume from here.
+		ops = append(ops, store.Op{Kind: store.OpTouch, ID: id, N: h.n, When: now, Example: h.example})
+	}
+	unknown, err := e.store.ApplyBatch(svc, ops)
+	if len(unknown) > 0 {
+		// The parser knew patterns the store no longer holds — a purge or
+		// external delete ran between registration and this batch. Not
+		// batch-fatal: count each and re-seed the store from the parser's
+		// copies in a follow-up batch so their statistics resume from here.
+		reseed := make([]store.Op, 0, len(unknown))
+		for _, id := range unknown {
+			h := hits[id]
+			if h == nil {
+				continue
+			}
 			e.m.StoreTouchUnknown.Inc()
 			cp := h.pat.Clone()
 			cp.Count = h.n
 			cp.LastMatched = now
 			cp.Examples = nil
 			cp.AddExample(h.example)
-			err = e.store.Upsert(cp)
+			reseed = append(reseed, store.Op{Kind: store.OpUpsert, Pattern: cp})
 		}
-		if err != nil {
-			perr = errors.Join(perr, fmt.Errorf("core: record matches: %w", err))
+		if _, rerr := e.store.ApplyBatch(svc, reseed); rerr != nil {
+			err = errors.Join(err, rerr)
 		}
 	}
-	if perr != nil {
-		return res, &PersistError{Err: perr}
+	if err != nil {
+		// A failed group commit is retryable: the store counted the I/O
+		// error (seqrtg_store_io_errors_total) and kept its in-memory
+		// state, so the next batch's commit re-covers this one.
+		return res, &PersistError{Err: fmt.Errorf("core: commit batch: %w", err)}
 	}
 	return res, nil
 }
@@ -390,31 +401,25 @@ func (e *Engine) Purge(minCount int64, olderThan time.Time) (int, error) {
 	return len(ids), nil
 }
 
-// harvest extracts, filters, stores and registers the patterns mined by
-// an analyzer, returning the number of saved patterns. Safe to call from
-// concurrent service workers: the store and parser mutations it makes
-// are confined to the analyzer's service shard.
-func (e *Engine) harvest(a *analyzer.Analyzer, now time.Time) (int, error) {
-	saved := 0
-	var perr error
+// mineOps extracts and filters the patterns mined by an analyzer,
+// registers them with the parser, and returns the upsert ops that will
+// commit them to the store. Registration deliberately precedes the
+// store commit: later messages in the same partition match the fresh
+// patterns immediately, and if the batch commit fails the store keeps
+// its in-memory merge while the unknown-touch re-seed path covers a
+// store that lost them entirely. Safe to call from concurrent service
+// workers: the parser mutations are confined to the analyzer's service
+// shard.
+func (e *Engine) mineOps(a *analyzer.Analyzer, now time.Time) (ops []store.Op, saved int) {
 	for _, p := range a.Patterns(now) {
 		if e.cfg.SaveThreshold > 0 && p.Count < e.cfg.SaveThreshold {
 			continue
 		}
-		if err := e.store.Upsert(p); err != nil {
-			// Keep saving the remaining patterns; this one stays out of
-			// the parser so a later rediscovery re-seeds the store rather
-			// than the parser matching a pattern the store never got.
-			perr = errors.Join(perr, fmt.Errorf("core: save pattern: %w", err))
-			continue
-		}
+		ops = append(ops, store.Op{Kind: store.OpUpsert, Pattern: p})
 		e.parser.Add(p)
 		saved++
 	}
-	if perr != nil {
-		return saved, &PersistError{Err: perr}
-	}
-	return saved, nil
+	return ops, saved
 }
 
 // Run drains a batch source batch by batch through AnalyzeByService,

@@ -76,6 +76,10 @@ const (
 	MetricStoreShardContention    = "seqrtg_store_shard_contention_total"
 	MetricStoreShardOps           = "seqrtg_store_shard_ops_total"
 	MetricStoreCompactionDuration = "seqrtg_store_compaction_seconds"
+	MetricStoreBatchRecords       = "seqrtg_store_batch_records_total"
+	MetricStoreBatchCoalesced     = "seqrtg_store_batch_coalesced_total"
+	MetricStoreBatchBytes         = "seqrtg_store_batch_bytes_total"
+	MetricStoreJournalFormat      = "seqrtg_store_journal_format"
 )
 
 // Counter is a monotonically increasing atomic counter.
@@ -378,6 +382,10 @@ type Metrics struct {
 	StoreShardContention    CounterVec // per-shard lock acquisitions that had to wait
 	StoreShardOps           CounterVec // per-shard mutations (upsert/touch/delete)
 	StoreCompactionDuration *Histogram // compaction wall seconds
+	StoreBatchRecords       Counter    // journal records written through ApplyBatch group commits
+	StoreBatchCoalesced     Counter    // touch operations folded into an already-pending record of the same pattern
+	StoreBatchBytes         Counter    // journal bytes written by ApplyBatch group commits
+	StoreJournalFormat      Gauge      // journal format version in effect (1 = JSON lines, 2 = binary frames)
 }
 
 // New returns a ready-to-use Metrics with the default bucket layout.
@@ -442,6 +450,10 @@ type Snapshot struct {
 	StoreShardContention    []int64           `json:"store_shard_contention,omitempty"`
 	StoreShardOps           []int64           `json:"store_shard_ops,omitempty"`
 	StoreCompactionDuration HistogramSnapshot `json:"store_compaction_seconds"`
+	StoreBatchRecords       int64             `json:"store_batch_records"`
+	StoreBatchCoalesced     int64             `json:"store_batch_coalesced"`
+	StoreBatchBytes         int64             `json:"store_batch_bytes"`
+	StoreJournalFormat      int64             `json:"store_journal_format"`
 }
 
 // listenerMap renders a per-listener counter vector as a name-keyed map
@@ -515,6 +527,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		StoreShardContention:    m.StoreShardContention.Values(),
 		StoreShardOps:           m.StoreShardOps.Values(),
 		StoreCompactionDuration: m.StoreCompactionDuration.snapshot(),
+		StoreBatchRecords:       m.StoreBatchRecords.Value(),
+		StoreBatchCoalesced:     m.StoreBatchCoalesced.Value(),
+		StoreBatchBytes:         m.StoreBatchBytes.Value(),
+		StoreJournalFormat:      m.StoreJournalFormat.Value(),
 	}
 }
 
@@ -596,6 +612,10 @@ func (m *Metrics) descs() []metricDesc {
 		{name: MetricStoreShardContention, help: "Shard lock acquisitions that had to wait for another goroutine, per shard.", kind: "countervec", v: &m.StoreShardContention, label: "shard"},
 		{name: MetricStoreShardOps, help: "Store mutations (upsert/touch/delete) applied, per shard.", kind: "countervec", v: &m.StoreShardOps, label: "shard"},
 		{name: MetricStoreCompactionDuration, help: "Pattern database compaction wall time.", kind: "histogram", h: m.StoreCompactionDuration},
+		{name: MetricStoreBatchRecords, help: "Journal records written through ApplyBatch group commits.", kind: "counter", c: &m.StoreBatchRecords},
+		{name: MetricStoreBatchCoalesced, help: "Touch operations folded into an already-pending record of the same pattern by batch coalescing.", kind: "counter", c: &m.StoreBatchCoalesced},
+		{name: MetricStoreBatchBytes, help: "Journal bytes written by ApplyBatch group commits.", kind: "counter", c: &m.StoreBatchBytes},
+		{name: MetricStoreJournalFormat, help: "Journal format version in effect (1 = JSON lines, 2 = binary frames).", kind: "gauge", g: &m.StoreJournalFormat},
 	}
 }
 

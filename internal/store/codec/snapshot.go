@@ -1,0 +1,43 @@
+package codec
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/patterns"
+)
+
+// Snapshot is the on-disk snapshot (patterns.json): the pattern list
+// plus the compaction epoch that wrote it. The snapshot stays
+// human-readable indented JSON in both journal formats — it is written
+// atomically and rarely, so compactness buys nothing, and operators
+// inspect it directly. Snapshots from before the epoch was introduced
+// are a bare JSON array; they load as epoch 0, which every journal
+// record of that era also carries (E omitted == 0), so legacy layouts
+// replay unchanged.
+type Snapshot struct {
+	Epoch    int64               `json:"epoch"`
+	Patterns []*patterns.Pattern `json:"patterns"`
+}
+
+// EncodeSnapshot renders the snapshot file bytes.
+func EncodeSnapshot(s *Snapshot) ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", " ")
+	if err != nil {
+		return nil, fmt.Errorf("codec: marshal snapshot: %w", err)
+	}
+	return data, nil
+}
+
+// DecodeSnapshot parses a snapshot file, accepting both the envelope
+// layout and the pre-epoch bare pattern array.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		if aerr := json.Unmarshal(data, &s.Patterns); aerr != nil {
+			return nil, fmt.Errorf("codec: corrupt snapshot: %w", err)
+		}
+		s.Epoch = 0
+	}
+	return &s, nil
+}

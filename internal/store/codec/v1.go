@@ -1,0 +1,28 @@
+package codec
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// v1Codec is the original journal encoding: one JSON object per
+// newline-terminated line. It is retained so old databases keep
+// replaying, so operators can opt out of the binary format, and as the
+// differential oracle the v2 codec is tested against.
+type v1Codec struct{}
+
+func (v1Codec) Format() Format { return FormatV1 }
+
+func (v1Codec) AppendRecord(buf []byte, r *Record) ([]byte, error) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return buf, fmt.Errorf("codec: marshal v1 record: %w", err)
+	}
+	buf = append(buf, b...)
+	return append(buf, '\n'), nil
+}
+
+// decodeV1Line parses one newline-stripped v1 journal line into rec.
+func decodeV1Line(line []byte, rec *Record) error {
+	return json.Unmarshal(line, rec)
+}

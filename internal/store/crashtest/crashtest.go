@@ -43,21 +43,47 @@ var baseTime = time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
 
 // Op is one step of the scripted workload.
 type Op struct {
-	Kind string // upsert | touch | delete | purge | flush | compact | abandon | reopen
+	Kind string // upsert | touch | delete | purge | flush | compact | abandon | reopen | batch
 	// Svc and Text identify the pattern for upsert/touch/delete (the
-	// pattern ID is derived from them).
+	// pattern ID is derived from them). For batch, Svc is the batch's
+	// service.
 	Svc, Text string
 	// N is the upsert seed count or the touch increment; for purge it is
 	// the minimum count (patterns below it are purged).
 	N int64
 	// Shards is the shard count for reopen.
 	Shards int
+	// Format is the journal format of the store reopened by a reopen op.
+	Format store.JournalFormat
+	// Batch holds the upsert/touch items of a batch op, committed
+	// together through ApplyBatch as one group-committed journal append.
+	Batch []Op
 }
 
-// Script returns the scripted workload: rounds of mutations with
+// Script returns the scripted workload in journal format f: rounds of
+// mutations (including one group-committed batch per round) with
 // barriers between them, reopened under a changing shard count, with one
 // process-kill (abandon: flush, drop the store, reopen) per round.
-func Script() []Op {
+func Script(f store.JournalFormat) []Op {
+	return script(func(int) store.JournalFormat { return f })
+}
+
+// ScriptMixed is Script with the journal format alternating between v1
+// and v2 across reopens, so every crash image mixes both encodings —
+// the live-upgrade (and rollback) path.
+func ScriptMixed() []Op {
+	return script(func(r int) store.JournalFormat {
+		if r%2 == 0 {
+			return store.JournalV1
+		}
+		return store.JournalV2
+	})
+}
+
+// script builds the workload; formatFor picks the journal format of the
+// store opened at the end of round r (the initial open's format is the
+// caller's business — see Probe and RunCrash).
+func script(formatFor func(r int) store.JournalFormat) []Op {
 	shardSeq := []int{2, 3, 1, 2, 3, 1, 4, 2}
 	var ops []Op
 	for r, next := range shardSeq {
@@ -73,6 +99,16 @@ func Script() []Op {
 			Op{Kind: "touch", Svc: svcA, Text: "request handled in ms", N: 3},
 			Op{Kind: "touch", Svc: svcB, Text: "block received from node", N: 2},
 			Op{Kind: "touch", Svc: svcB, Text: "block received from node", N: 2},
+			// One group commit: upserts plus coalescing touches land as a
+			// single journal append, and a crash inside it must lose or
+			// keep the batch without double-applying anything.
+			Op{Kind: "batch", Svc: svcA, Batch: []Op{
+				{Kind: "upsert", Svc: svcA, Text: "batched request completed", N: 1},
+				{Kind: "upsert", Svc: svcA, Text: "batched session opened", N: 1},
+				{Kind: "touch", Svc: svcA, Text: "batched request completed", N: 4},
+				{Kind: "touch", Svc: svcA, Text: "batched request completed", N: 2},
+				{Kind: "touch", Svc: svcA, Text: "batched session opened", N: 3},
+			}},
 			Op{Kind: "flush"},
 			Op{Kind: "delete", Svc: svcA, Text: "connection closed by peer"},
 			Op{Kind: "purge", N: 3}, // removes the scratch entry (count 1)
@@ -85,7 +121,7 @@ func Script() []Op {
 			Op{Kind: "delete", Svc: svcA, Text: "temporary scratch entry"},
 			Op{Kind: "flush"},
 			Op{Kind: "abandon"},
-			Op{Kind: "reopen", Shards: next},
+			Op{Kind: "reopen", Shards: next, Format: formatFor(r)},
 		)
 	}
 	return ops
@@ -107,9 +143,10 @@ type idState struct {
 // runner executes a script against a store on a fault filesystem while
 // maintaining the model.
 type runner struct {
-	f     *vfs.Fault
-	st    *store.Store
-	model map[string]*idState
+	f      *vfs.Fault
+	st     *store.Store
+	format store.JournalFormat
+	model  map[string]*idState
 }
 
 func patternID(svc, text string) (string, error) {
@@ -120,12 +157,12 @@ func patternID(svc, text string) (string, error) {
 	return p.ID, nil
 }
 
-func newRunner(f *vfs.Fault, shards int) (*runner, error) {
-	st, err := store.OpenOptions(dir, store.Options{Shards: shards, FS: f})
+func newRunner(f *vfs.Fault, shards int, format store.JournalFormat) (*runner, error) {
+	st, err := store.OpenOptions(dir, store.Options{Shards: shards, FS: f, Journal: format})
 	if err != nil {
 		return nil, err
 	}
-	return &runner{f: f, st: st, model: map[string]*idState{}}, nil
+	return &runner{f: f, st: st, format: format, model: map[string]*idState{}}, nil
 }
 
 func (r *runner) state(svc, text string) (*idState, error) {
@@ -210,6 +247,45 @@ func (r *runner) run(ops []Op) (bool, error) {
 			if derr != nil {
 				return false, nil
 			}
+		case "batch":
+			// The model is updated before checking the error: ApplyBatch
+			// applies every op in memory before the single journal append,
+			// so a crash image may retain the whole batch in a torn tail.
+			bops := make([]store.Op, 0, len(op.Batch))
+			for _, item := range op.Batch {
+				s, err := r.state(item.Svc, item.Text)
+				if err != nil {
+					return false, err
+				}
+				switch item.Kind {
+				case "upsert":
+					p, err := patterns.FromText(item.Text, item.Svc)
+					if err != nil {
+						return false, err
+					}
+					p.Count = item.N
+					bops = append(bops, store.Op{Kind: store.OpUpsert, Pattern: p})
+					s.curExists = true
+					s.curCount += item.N
+					s.upsertSinceBarrier = true
+				case "touch":
+					id, err := patternID(item.Svc, item.Text)
+					if err != nil {
+						return false, err
+					}
+					bops = append(bops, store.Op{Kind: store.OpTouch, ID: id, N: item.N, When: baseTime})
+					s.curCount += item.N
+				default:
+					return false, fmt.Errorf("unknown batch item kind %q", item.Kind)
+				}
+			}
+			unknown, berr := r.st.ApplyBatch(op.Svc, bops)
+			if len(unknown) > 0 {
+				return false, fmt.Errorf("batch touched unknown patterns %v", unknown)
+			}
+			if berr != nil {
+				return false, nil
+			}
 		case "purge":
 			removed, perr := r.st.PurgeIDs(op.N, baseTime.Add(1000*time.Hour))
 			for _, id := range removed {
@@ -245,7 +321,7 @@ func (r *runner) run(ops []Op) (bool, error) {
 			// The journals are non-empty, so the reopen replays them and
 			// compacts (the migration path).
 			shards := r.st.Shards()
-			st, err := store.OpenOptions(dir, store.Options{Shards: shards, FS: r.f})
+			st, err := store.OpenOptions(dir, store.Options{Shards: shards, FS: r.f, Journal: r.format})
 			if err != nil {
 				return false, nil
 			}
@@ -255,7 +331,8 @@ func (r *runner) run(ops []Op) (bool, error) {
 				return false, nil
 			}
 			r.promoteBarrier()
-			st, err := store.OpenOptions(dir, store.Options{Shards: op.Shards, FS: r.f})
+			r.format = op.Format
+			st, err := store.OpenOptions(dir, store.Options{Shards: op.Shards, FS: r.f, Journal: r.format})
 			if err != nil {
 				return false, nil
 			}
@@ -313,10 +390,11 @@ func stateOf(st *store.Store) map[string]int64 {
 
 // Probe runs the script once with no crash armed and returns the number
 // of mutating disk operations it performs — the crash schedule's bound.
-// It also verifies the complete run satisfies the model exactly.
-func Probe(ops []Op) (int, error) {
+// It also verifies the complete run satisfies the model exactly. format
+// is the initial open's journal format; reopen ops switch to their own.
+func Probe(ops []Op, format store.JournalFormat) (int, error) {
 	f := vfs.NewFault()
-	r, err := newRunner(f, 2)
+	r, err := newRunner(f, 2, format)
 	if err != nil {
 		return 0, err
 	}
@@ -336,12 +414,16 @@ func Probe(ops []Op) (int, error) {
 // RunCrash crashes the scripted workload at mutating disk operation k,
 // reopens the store from the crash image and checks every invariant,
 // including reopening under a different shard count and recovery
-// idempotence (recover, close, recover again: identical state).
-func RunCrash(ops []Op, k int, keepUnsynced bool) error {
+// idempotence (recover, close, recover again: identical state). The
+// recovering opens deliberately use the default journal format whatever
+// the workload wrote: replay auto-detects per record, and recovering a
+// v1 (or mixed) image under the v2 default is exactly the live-upgrade
+// path.
+func RunCrash(ops []Op, k int, keepUnsynced bool, format store.JournalFormat) error {
 	f := vfs.NewFault()
 	f.KeepUnsynced(keepUnsynced)
 	f.CrashAtStep(k)
-	r, err := newRunner(f, 2)
+	r, err := newRunner(f, 2, format)
 	if err != nil && !errors.Is(err, vfs.ErrCrashed) {
 		return fmt.Errorf("initial open: %v", err)
 	}
@@ -393,11 +475,11 @@ func RunCrash(ops []Op, k int, keepUnsynced bool) error {
 // recovery itself at every one of its own mutating disk operations, and
 // checks the invariants still hold after the second crash — recovery
 // must be as crash-safe as normal operation.
-func RunRecoveryCrash(ops []Op, k int, keepUnsynced bool) error {
+func RunRecoveryCrash(ops []Op, k int, keepUnsynced bool, format store.JournalFormat) error {
 	f := vfs.NewFault()
 	f.KeepUnsynced(keepUnsynced)
 	f.CrashAtStep(k)
-	r, err := newRunner(f, 2)
+	r, err := newRunner(f, 2, format)
 	if err != nil && !errors.Is(err, vfs.ErrCrashed) {
 		return fmt.Errorf("initial open: %v", err)
 	}

@@ -1,30 +1,52 @@
 package crashtest
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/store"
+)
+
+// matrix names the format variants the crash harness runs under. CI
+// selects one with -run 'TestCrashMatrix/v2' (or v1, or mixed); a plain
+// go test runs all three.
+var matrix = []struct {
+	name   string
+	format store.JournalFormat // initial open's journal format
+	ops    []Op
+}{
+	{"v1", store.JournalV1, Script(store.JournalV1)},
+	{"v2", store.JournalV2, Script(store.JournalV2)},
+	{"mixed", store.JournalV1, ScriptMixed()},
+}
 
 // TestCrashMatrix crashes the scripted workload at every mutating disk
-// operation it performs, in both crash loss modes, and checks the full
-// durability contract at each point. The issue's acceptance floor is 200
-// distinct crash points; the script is sized to clear it.
+// operation it performs, in both crash loss modes and every journal
+// format variant (pure v1, pure v2, alternating across reopens), and
+// checks the full durability contract at each point. The issue's
+// acceptance floor is 200 distinct crash points per variant; the script
+// is sized to clear it.
 func TestCrashMatrix(t *testing.T) {
-	ops := Script()
-	steps, err := Probe(ops)
-	if err != nil {
-		t.Fatalf("probe run: %v", err)
-	}
-	t.Logf("workload performs %d mutating disk operations", steps)
-	if steps < 200 {
-		t.Fatalf("crash schedule has %d points, want >= 200 — grow the script", steps)
-	}
-	for _, keep := range []bool{false, true} {
-		for k := 1; k <= steps; k++ {
-			if err := RunCrash(ops, k, keep); err != nil {
-				t.Errorf("crash at step %d (keepUnsynced=%v): %v", k, keep, err)
-				if testing.Short() {
-					t.FailNow()
+	for _, m := range matrix {
+		t.Run(m.name, func(t *testing.T) {
+			steps, err := Probe(m.ops, m.format)
+			if err != nil {
+				t.Fatalf("probe run: %v", err)
+			}
+			t.Logf("workload performs %d mutating disk operations", steps)
+			if steps < 200 {
+				t.Fatalf("crash schedule has %d points, want >= 200 — grow the script", steps)
+			}
+			for _, keep := range []bool{false, true} {
+				for k := 1; k <= steps; k++ {
+					if err := RunCrash(m.ops, k, keep, m.format); err != nil {
+						t.Errorf("crash at step %d (keepUnsynced=%v): %v", k, keep, err)
+						if testing.Short() {
+							t.FailNow()
+						}
+					}
 				}
 			}
-		}
+		})
 	}
 }
 
@@ -33,20 +55,23 @@ func TestCrashMatrix(t *testing.T) {
 // first crash point to bound runtime) and re-checks the invariants:
 // recovery must be as crash-safe as normal operation.
 func TestRecoveryCrash(t *testing.T) {
-	ops := Script()
-	steps, err := Probe(ops)
-	if err != nil {
-		t.Fatalf("probe run: %v", err)
-	}
-	stride := 7
-	if testing.Short() {
-		stride = 29
-	}
-	for _, keep := range []bool{false, true} {
-		for k := 1; k <= steps; k += stride {
-			if err := RunRecoveryCrash(ops, k, keep); err != nil {
-				t.Errorf("first crash at step %d (keepUnsynced=%v): %v", k, keep, err)
+	for _, m := range matrix {
+		t.Run(m.name, func(t *testing.T) {
+			steps, err := Probe(m.ops, m.format)
+			if err != nil {
+				t.Fatalf("probe run: %v", err)
 			}
-		}
+			stride := 7
+			if testing.Short() {
+				stride = 29
+			}
+			for _, keep := range []bool{false, true} {
+				for k := 1; k <= steps; k += stride {
+					if err := RunRecoveryCrash(m.ops, k, keep, m.format); err != nil {
+						t.Errorf("first crash at step %d (keepUnsynced=%v): %v", k, keep, err)
+					}
+				}
+			}
+		})
 	}
 }

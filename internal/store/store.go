@@ -64,7 +64,6 @@ package store
 
 import (
 	"bufio"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -80,6 +79,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/patterns"
+	"repro/internal/store/codec"
 	"repro/internal/vfs"
 )
 
@@ -104,11 +104,29 @@ var ErrClosed = errors.New("store: closed")
 // recoverable; test with errors.Is.
 var ErrUnknownPattern = errors.New("store: unknown pattern")
 
+// JournalFormat selects the encoding new journal records are written
+// in; see internal/store/codec for the wire formats. Replay always
+// auto-detects per record, so the format choice affects writes only —
+// a database written in either format (or both, mid-upgrade) opens
+// under any setting.
+type JournalFormat = codec.Format
+
+const (
+	// JournalV1 is the legacy line-oriented JSON journal encoding.
+	JournalV1 = codec.FormatV1
+	// JournalV2 is the compact CRC-framed binary journal encoding (the
+	// default).
+	JournalV2 = codec.FormatV2
+)
+
 // Options tunes OpenOptions.
 type Options struct {
 	// Shards is the number of service-hash shards (and journal files for
 	// a file-backed store). Zero or negative selects GOMAXPROCS.
 	Shards int
+	// Journal is the encoding for new journal records. The zero value
+	// selects JournalV2; JournalV1 keeps writing the legacy JSON lines.
+	Journal JournalFormat
 	// FS is the filesystem the store runs on. Nil selects the real one
 	// (vfs.OS); tests inject vfs.Fault to exercise I/O failures and
 	// crash schedules.
@@ -126,6 +144,15 @@ type shard struct {
 	bySvc   map[string]map[string]*patterns.Pattern // service → id → pattern; guarded by mu
 	journal vfs.File                                // guarded by mu
 	jw      *bufio.Writer                           // guarded by mu
+	// encBuf is the shard's reusable record-encode scratch buffer: every
+	// journal append (single-record or batch) is encoded into it and
+	// written in one piece, so the hot path allocates nothing once the
+	// buffer has grown to the working-set record size. encRec is the
+	// matching scratch record — passing a stack-local record through the
+	// codec interface would escape it to the heap on every append.
+	// Both guarded by mu.
+	encBuf []byte
+	encRec codec.Record
 	// suspect marks the journal as possibly ending in a torn or
 	// half-flushed record after an I/O error: appending more records
 	// after such a tail would make them unreadable on replay, so the
@@ -160,6 +187,11 @@ type Store struct {
 	// are always taken after it, in ascending order.
 	compactMu sync.Mutex
 	m         *obs.Metrics
+	// format and enc are the journal encoding new records are written
+	// in; replay auto-detects per record and is independent of them.
+	// Immutable after OpenOptions.
+	format codec.Format
+	enc    codec.Codec
 }
 
 // SetMetrics redirects the store's instrumentation to m (one Metrics is
@@ -169,6 +201,7 @@ func (s *Store) SetMetrics(m *obs.Metrics) {
 	m.StoreShardContention.EnsureLen(len(s.shards))
 	m.StoreShardOps.EnsureLen(len(s.shards))
 	m.StoreShards.Set(int64(len(s.shards)))
+	m.StoreJournalFormat.Set(s.format.Version())
 	s.m = m
 	m.StorePatterns.Set(s.count.Load())
 }
@@ -192,7 +225,15 @@ func OpenOptions(dir string, opts Options) (*Store, error) {
 	if fsys == nil {
 		fsys = vfs.OS{}
 	}
-	s := &Store{dir: dir, fs: fsys, shards: make([]*shard, n)}
+	format, err := codec.ParseFormat(string(opts.Journal))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	enc, err := codec.For(format)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, fs: fsys, shards: make([]*shard, n), format: format, enc: enc}
 	for i := range s.shards {
 		s.shards[i] = &shard{
 			id:    i,
@@ -290,16 +331,6 @@ func (s *Store) unlockAll() {
 	}
 }
 
-// snapshotEnvelope is the on-disk snapshot format: the pattern list plus
-// the compaction epoch that wrote it. Snapshots from before the epoch was
-// introduced are a bare JSON array; they load as epoch 0, which every
-// journal record of that era also carries (E omitted == 0), so legacy
-// layouts replay unchanged.
-type snapshotEnvelope struct {
-	Epoch    int64               `json:"epoch"`
-	Patterns []*patterns.Pattern `json:"patterns"`
-}
-
 func (s *Store) loadSnapshot() error {
 	data, err := s.fs.ReadFile(filepath.Join(s.dir, snapshotFile))
 	if errors.Is(err, fs.ErrNotExist) {
@@ -308,37 +339,21 @@ func (s *Store) loadSnapshot() error {
 	if err != nil {
 		return fmt.Errorf("store: read snapshot: %w", err)
 	}
-	var env snapshotEnvelope
-	if err := json.Unmarshal(data, &env); err != nil {
-		// Pre-epoch layout: a bare array of patterns.
-		if aerr := json.Unmarshal(data, &env.Patterns); aerr != nil {
-			return fmt.Errorf("store: corrupt snapshot: %w", err)
-		}
-		env.Epoch = 0
+	snap, err := codec.DecodeSnapshot(data)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
 	}
-	s.epoch.Store(env.Epoch)
-	for _, p := range env.Patterns {
+	s.epoch.Store(snap.Epoch)
+	for _, p := range snap.Patterns {
 		s.shardFor(p.Service).insertLocked(p)
 	}
 	s.m.StorePatterns.Set(s.count.Load())
 	return nil
 }
 
-// record is one journal entry. The format is unchanged from the
-// single-journal layout, which is what makes old journals replayable.
-type record struct {
-	Op      string            `json:"op"` // upsert | touch | delete
-	Pattern *patterns.Pattern `json:"pattern,omitempty"`
-	ID      string            `json:"id,omitempty"`
-	N       int64             `json:"n,omitempty"`
-	When    time.Time         `json:"when,omitempty"`
-	Example string            `json:"example,omitempty"`
-	// E is the compaction epoch the record was written under. Replay
-	// skips records older than the snapshot's epoch: they were already
-	// folded into it by a compaction that crashed before truncating the
-	// journals. Zero (omitted) matches pre-epoch journals and snapshots.
-	E int64 `json:"e,omitempty"`
-}
+// record is one journal entry; the wire encodings (JSON v1 lines,
+// binary v2 frames) live in internal/store/codec.
+type record = codec.Record
 
 // replayJournals replays every journal file present in the directory —
 // the legacy single journal.wal and any sharded journal-NNN.wal,
@@ -416,13 +431,15 @@ func (s *Store) replayFile(name string) error {
 		return fmt.Errorf("store: open journal: %w", err)
 	}
 	defer f.Close()
-	dec := json.NewDecoder(bufio.NewReader(f))
+	dec := codec.NewReader(f)
 	for {
 		var r record
-		if err := dec.Decode(&r); err != nil {
+		if _, err := dec.Next(&r); err != nil {
 			// io.EOF is the clean end; anything else is a torn final
 			// record (crash mid-write), expected and tolerated — what was
-			// already replayed is kept.
+			// already replayed is kept. The reader detects each record's
+			// format from its first byte, so v1, v2 and mixed-format
+			// journals all replay here with no layout knowledge.
 			return nil
 		}
 		// Records older than the snapshot's epoch were already folded
@@ -533,19 +550,30 @@ func (s *Store) countIO(err error) error {
 	return err
 }
 
-// logLocked appends one record to the shard's journal. Callers hold the shard
-// lock; compaction is scheduled by the caller after releasing it.
+// logLocked appends one record to the shard's journal, encoded through
+// the shard's reusable buffer (no per-append allocation under v2).
+// Callers hold the shard lock; compaction is scheduled by the caller
+// after releasing it.
 func (sh *shard) logLocked(r record) error {
 	if sh.jw == nil {
 		sh.st.jcount.Add(1)
 		return nil
 	}
 	r.E = sh.st.epoch.Load()
-	b, err := json.Marshal(r)
+	sh.encRec = r
+	buf, err := sh.st.enc.AppendRecord(sh.encBuf[:0], &sh.encRec)
+	sh.encRec = record{} // do not retain the pattern past the append
 	if err != nil {
-		return fmt.Errorf("store: marshal journal record: %w", err)
+		return fmt.Errorf("store: encode journal record: %w", err)
 	}
-	if _, err := sh.jw.Write(append(b, '\n')); err != nil {
+	sh.encBuf = buf
+	return sh.writeFramesLocked(buf, 1)
+}
+
+// writeFramesLocked appends n already-encoded records to the journal in
+// one write. Callers hold the shard lock.
+func (sh *shard) writeFramesLocked(buf []byte, n int64) error {
+	if _, err := sh.jw.Write(buf); err != nil {
 		// The journal may now end mid-record, and bufio keeps its error
 		// sticky. Reset the writer so the shard is not wedged forever and
 		// leave recovery (a truncating compaction) to the next barrier.
@@ -553,8 +581,8 @@ func (sh *shard) logLocked(r record) error {
 		sh.jw.Reset(sh.journal)
 		return sh.st.countIO(fmt.Errorf("store: append journal: %w", err))
 	}
-	sh.st.m.StoreJournalAppends.Inc()
-	sh.st.jcount.Add(1)
+	sh.st.m.StoreJournalAppends.Add(n)
+	sh.st.jcount.Add(n)
 	return nil
 }
 
@@ -583,11 +611,11 @@ func (s *Store) maybeCompact() error {
 
 // Upsert inserts a pattern or merges it with the stored pattern of the
 // same ID (summing counts, merging examples, widening the activity
-// window). The argument is not retained.
+// window). The argument is not retained and not mutated: a pattern
+// handed in without an ID is journaled and stored under its computed
+// ID, but the caller's copy is left untouched.
 func (s *Store) Upsert(p *patterns.Pattern) error {
-	if p.ID == "" {
-		p.ComputeID()
-	}
+	p = withID(p)
 	sh := s.shardFor(p.Service)
 	sh.lock()
 	if s.closed.Load() {
@@ -604,6 +632,17 @@ func (s *Store) Upsert(p *patterns.Pattern) error {
 		return err
 	}
 	return s.maybeCompact()
+}
+
+// withID returns p itself when its ID is set, or a clone carrying the
+// computed ID otherwise — never writing through the caller's pattern.
+func withID(p *patterns.Pattern) *patterns.Pattern {
+	if p.ID != "" {
+		return p
+	}
+	cp := p.Clone()
+	cp.ID = patterns.HashID(cp.Text(), cp.Service)
+	return cp
 }
 
 // Touch records n additional matches of pattern id at time when, with an
@@ -655,6 +694,174 @@ func (sh *shard) touch(id string, n int64, when time.Time, example string) (bool
 	}
 	return true, s.maybeCompact()
 }
+
+// OpKind discriminates the operations of an ApplyBatch batch.
+type OpKind uint8
+
+const (
+	// OpUpsert inserts a pattern or merges it with the stored pattern of
+	// the same ID.
+	OpUpsert OpKind = iota
+	// OpTouch records additional matches of a stored pattern.
+	OpTouch
+)
+
+// Op is one operation of an ApplyBatch batch.
+type Op struct {
+	Kind OpKind
+	// Pattern is the upsert payload (OpUpsert only). Its Service must be
+	// the batch's service. Not retained, not mutated.
+	Pattern *patterns.Pattern
+	// ID, N, When and Example are the touch payload (OpTouch only).
+	ID      string
+	N       int64
+	When    time.Time
+	Example string
+}
+
+// pendingTouch accumulates the coalesced journal record for one
+// pattern ID within a batch.
+type pendingTouch struct {
+	id      string
+	n       int64
+	when    time.Time
+	example string
+}
+
+// ApplyBatch applies a batch of operations for one service under a
+// single shard lock and commits them as one group journal append:
+// upserts are journaled in order, and every touch of the same pattern
+// ID is coalesced into one record (counts summed, latest match time,
+// first example kept), so a pattern matched a thousand times in the
+// batch costs one record and the whole batch costs one write. This is
+// the engine's per-service persistence path; the per-call methods
+// (Upsert, TouchIn) remain for callers outside the batch workflow.
+//
+// Touches apply against the store state at their position in the
+// batch: a touch of an ID upserted earlier in the same batch succeeds.
+// Touches of IDs the store does not hold are not errors — their IDs
+// are returned (deduplicated) so the caller can re-seed the patterns,
+// mirroring TouchIn's ErrUnknownPattern contract; everything else in
+// the batch still commits.
+func (s *Store) ApplyBatch(service string, ops []Op) (unknown []string, err error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	sh := s.shardFor(service)
+	sh.lock()
+	if s.closed.Load() {
+		sh.mu.Unlock()
+		return nil, ErrClosed
+	}
+	var (
+		upserts    []*patterns.Pattern
+		touches    []pendingTouch
+		touchIdx   map[string]int
+		unknownSet map[string]bool
+		coalesced  int64
+	)
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case OpUpsert:
+			if op.Pattern == nil {
+				sh.mu.Unlock()
+				return unknown, errors.New("store: batch upsert with nil pattern")
+			}
+			if op.Pattern.Service != service {
+				sh.mu.Unlock()
+				return unknown, fmt.Errorf("store: batch upsert for service %q in a batch for %q", op.Pattern.Service, service)
+			}
+			p := withID(op.Pattern)
+			sh.mergeLocked(p)
+			upserts = append(upserts, p)
+			s.m.StoreUpserts.Inc()
+			s.m.StoreShardOps.Inc(sh.id)
+		case OpTouch:
+			if !sh.touchLocked(record{Op: codec.OpTouch, ID: op.ID, N: op.N, When: op.When, Example: op.Example}) {
+				if !unknownSet[op.ID] {
+					if unknownSet == nil {
+						unknownSet = make(map[string]bool)
+					}
+					unknownSet[op.ID] = true
+					unknown = append(unknown, op.ID)
+				}
+				continue
+			}
+			s.m.StoreTouches.Inc()
+			s.m.StoreShardOps.Inc(sh.id)
+			if j, ok := touchIdx[op.ID]; ok {
+				t := &touches[j]
+				t.n += op.N
+				if op.When.After(t.when) {
+					t.when = op.When
+				}
+				if t.example == "" {
+					t.example = op.Example
+				}
+				coalesced++
+				continue
+			}
+			if touchIdx == nil {
+				touchIdx = make(map[string]int)
+			}
+			touchIdx[op.ID] = len(touches)
+			touches = append(touches, pendingTouch{id: op.ID, n: op.N, when: op.When, example: op.Example})
+		default:
+			sh.mu.Unlock()
+			return unknown, fmt.Errorf("store: unknown batch op kind %d", op.Kind)
+		}
+	}
+	s.m.StorePatterns.Set(s.count.Load())
+	nrec := int64(len(upserts) + len(touches))
+	s.m.StoreBatchRecords.Add(nrec)
+	s.m.StoreBatchCoalesced.Add(coalesced)
+	if sh.jw == nil || nrec == 0 {
+		s.jcount.Add(nrec)
+		sh.mu.Unlock()
+		return unknown, nil
+	}
+	// Journal layout of the batch: upserts first, then the coalesced
+	// touches. Replay-safe regardless of the original interleaving —
+	// a touch only entered the journal if its pattern was present when
+	// it applied (pre-existing or upserted in this batch), and touch
+	// and upsert merges are commutative (counts sum, match times take
+	// the max), so folding the touches behind the upserts reproduces
+	// the same state.
+	epoch := s.epoch.Load()
+	buf := sh.encBuf[:0]
+	for _, p := range upserts {
+		sh.encRec = record{Op: codec.OpUpsert, Pattern: p, E: epoch}
+		if buf, err = s.enc.AppendRecord(buf, &sh.encRec); err != nil {
+			break
+		}
+	}
+	for i := range touches {
+		if err != nil {
+			break
+		}
+		t := &touches[i]
+		sh.encRec = record{Op: codec.OpTouch, ID: t.id, N: t.n, When: t.when, Example: t.example, E: epoch}
+		buf, err = s.enc.AppendRecord(buf, &sh.encRec)
+	}
+	sh.encRec = record{}
+	sh.encBuf = buf[:0]
+	if err != nil {
+		sh.mu.Unlock()
+		return unknown, fmt.Errorf("store: encode batch: %w", err)
+	}
+	sh.encBuf = buf
+	werr := sh.writeFramesLocked(buf, nrec)
+	sh.mu.Unlock()
+	if werr != nil {
+		return unknown, werr
+	}
+	s.m.StoreBatchBytes.Add(int64(len(buf)))
+	return unknown, s.maybeCompact()
+}
+
+// Format returns the journal encoding new records are written in.
+func (s *Store) Format() JournalFormat { return s.format }
 
 // Delete removes a pattern by ID.
 func (s *Store) Delete(id string) error {
@@ -891,9 +1098,9 @@ func (s *Store) compactAllLocked() error {
 	// epoch and will be skipped on replay — which is what makes a crash
 	// anywhere between the rename and the truncation below harmless.
 	newEpoch := s.epoch.Load() + 1
-	data, err := json.MarshalIndent(snapshotEnvelope{Epoch: newEpoch, Patterns: list}, "", " ")
+	data, err := codec.EncodeSnapshot(&codec.Snapshot{Epoch: newEpoch, Patterns: list})
 	if err != nil {
-		return fmt.Errorf("store: marshal snapshot: %w", err)
+		return fmt.Errorf("store: %w", err)
 	}
 	tmp := filepath.Join(s.dir, snapshotFile+".tmp")
 	f, err := s.fs.Create(tmp)

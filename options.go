@@ -74,6 +74,17 @@ func WithSplitSemiConstants(max int) Option {
 	return func(c *Config) { c.SplitSemiConstants = max }
 }
 
+// WithJournalFormat selects the on-disk journal record encoding for a
+// file-backed pattern database: JournalV2 (the default, compact binary
+// frames with per-record checksums) or JournalV1 (the legacy JSON-lines
+// encoding, for databases that must stay readable by older builds).
+// Reading auto-detects the format per record, so existing databases of
+// either format open under either setting; the setting only governs new
+// writes.
+func WithJournalFormat(f JournalFormat) Option {
+	return func(c *Config) { c.Journal = f }
+}
+
 // WithMetrics makes the instance report into m instead of a private
 // Metrics. Sharing one Metrics across several instances (for example
 // service shards that will later be merged) aggregates their
