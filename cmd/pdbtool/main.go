@@ -8,10 +8,12 @@
 //	pdbtool match -pdb FILE -program P  classify stdin messages
 //	pdbtool dump  -pdb FILE             list rules per program
 //	pdbtool journal dump FILE...        pretty-print store journal records
+//	pdbtool archive ls|dump DIR         inspect a compressed log archive
 //
-// journal dump is the odd one out — it reads Sequence-RTG's own journal
-// files (either encoding, auto-detected per record), for inspecting a
-// database directory after a crash.
+// journal dump and archive are the odd ones out — they read
+// Sequence-RTG's own on-disk state (journal files with either encoding,
+// auto-detected per record, and compressed archive block files), for
+// inspecting a database directory after a crash.
 //
 // The paper's review workflow relies on exactly these checks: "these test
 // cases are used by syslog-ng to ensure that all the example messages
@@ -43,6 +45,8 @@ func main() {
 		err = cmdDump(os.Args[2:])
 	case "journal":
 		err = cmdJournal(os.Args[2:])
+	case "archive":
+		err = cmdArchive(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -57,12 +61,15 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: pdbtool test|match|dump|journal [flags]
+	fmt.Fprintln(os.Stderr, `usage: pdbtool test|match|dump|journal|archive [flags]
 
   test    -pdb FILE              validate rule test cases (pdbtool test)
   match   -pdb FILE -program P   classify messages from stdin
   dump    -pdb FILE              list loaded rules
-  journal dump FILE...           pretty-print store journal records (v1/v2 auto-detected)`)
+  journal dump FILE...           pretty-print store journal records (v1/v2 auto-detected)
+  archive ls DIR                 list archive blocks (corrupt ones reported, not fatal)
+  archive dump DIR [filters]     print archived records as JSON lines
+          [-service S] [-pattern ID] [-from T] [-to T] [-limit N]`)
 }
 
 func load(path string) (*syslogng.DB, error) {

@@ -15,12 +15,17 @@
 //	persist_v1        journal write path, per-record TouchIn, v1 JSON lines
 //	persist_v2_record journal write path, per-record TouchIn, v2 binary frames
 //	persist           journal write path, per-service ApplyBatch group commit, v2
+//	archive_append    compressed log archive append, single worker, per record
+//	archive_query     time-range + variable query over a sealed archive, per query
 //	e2e               AnalyzeByService steady state, exact cache on, single worker
 //	e2e_nocache       AnalyzeByService steady state, exact cache disabled
 //
-// The persist stages run on the in-memory fault filesystem so the
-// figures isolate encoding and write-path cost from disk noise; their
-// per-message unit is one matched-pattern touch.
+// The persist and archive stages run on the in-memory fault filesystem
+// so the figures isolate encoding and write-path cost from disk noise;
+// the persist per-message unit is one matched-pattern touch, the
+// archive_append unit one archived record, the archive_query unit one
+// whole query. The archive stages also record the raw-to-stored
+// compression ratio in the top-level "archive" object.
 //
 // Usage:
 //
@@ -44,7 +49,9 @@ import (
 	"time"
 
 	"repro/internal/analyzer"
+	"repro/internal/archive"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/ingest"
 	"repro/internal/parser"
 	"repro/internal/patterns"
@@ -72,6 +79,20 @@ type Result struct {
 	Corpus     Corpus    `json:"corpus"`
 	Stages     []Stage   `json:"stages"`
 	Baseline   *Baseline `json:"baseline,omitempty"`
+	// Archive reports the compressed log archive's storage figures for
+	// the corpus. Optional so pre-PR-8 trajectory files still validate.
+	Archive *ArchiveStats `json:"archive,omitempty"`
+}
+
+// ArchiveStats summarizes one full-corpus pass through the archive.
+type ArchiveStats struct {
+	Records     int     `json:"records"`
+	Blocks      int     `json:"blocks"`
+	BytesRaw    int64   `json:"bytes_raw"`
+	BytesStored int64   `json:"bytes_stored"`
+	// CompressionRatio is BytesRaw / BytesStored: how many raw message
+	// bytes one stored byte represents.
+	CompressionRatio float64 `json:"compression_ratio"`
 }
 
 // Corpus records exactly how to regenerate the input.
@@ -136,7 +157,7 @@ func main() {
 func run(c Corpus) *Result {
 	res := &Result{
 		Schema:     SchemaVersion,
-		PR:         7,
+		PR:         8,
 		GitSHA:     gitSHA(),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -354,6 +375,110 @@ func run(c Corpus) *Result {
 				b.Fatal(err)
 			}
 			compactOffTimer(b, st)
+		}
+	})
+
+	// The archive workload: every matched message becomes one record of
+	// (service, pattern ID, timestamp, variable values). Extraction is
+	// done once, up front — and the spans copied, since scanner spans
+	// die on the next Scan — so the archive stages measure the archive
+	// alone.
+	type archRec struct {
+		svc, id  string
+		vars     [][]byte
+		msgBytes int
+	}
+	var archRecs []archRec
+	{
+		s := token.NewScanner(token.Config{})
+		for i, m := range msgs {
+			pat, ok := p.Match(recs[i].Service, token.Enrich(s.Scan(m)))
+			if !ok {
+				continue
+			}
+			toks := token.Enrich(s.Scan(m))
+			ar := archRec{svc: recs[i].Service, id: pat.ID, msgBytes: len(m)}
+			for j := range pat.Elements {
+				e := &pat.Elements[j]
+				if e.Type == token.TailAny || j >= len(toks) {
+					break
+				}
+				if e.Var {
+					ar.vars = append(ar.vars, append([]byte(nil), toks[j].Span...))
+				}
+			}
+			archRecs = append(archRecs, ar)
+		}
+		s.Release()
+	}
+
+	openArchive := func(b *testing.B, m *obs.Metrics) *archive.Archive {
+		a, err := archive.Open("bench-archive", archive.Options{FS: vfs.NewFault(), Shards: 1, Metrics: m})
+		if err != nil {
+			if b != nil {
+				b.Fatal(err)
+			}
+			panic(err)
+		}
+		return a
+	}
+
+	stageN("archive_append", len(archRecs), func(b *testing.B) {
+		b.ReportAllocs()
+		a := openArchive(b, nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, r := range archRecs {
+				if err := a.Append(r.svc, r.id, now, r.vars, r.msgBytes); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		if err := a.Close(); err != nil {
+			b.Fatal(err)
+		}
+	})
+
+	// One metered full-corpus pass for the storage figures, reused as
+	// the sealed archive the query stage runs against.
+	am := obs.New()
+	qa := openArchive(nil, am)
+	for _, r := range archRecs {
+		if err := qa.Append(r.svc, r.id, now, r.vars, r.msgBytes); err != nil {
+			panic(err)
+		}
+	}
+	if err := qa.Flush(); err != nil {
+		panic(err)
+	}
+	raw, stored := am.ArchiveBytesRaw.Value(), am.ArchiveBytesStored.Value()
+	res.Archive = &ArchiveStats{
+		Records:     len(archRecs),
+		Blocks:      int(am.ArchiveBlocks.Value()),
+		BytesRaw:    raw,
+		BytesStored: stored,
+	}
+	if stored > 0 {
+		res.Archive.CompressionRatio = float64(raw) / float64(stored)
+	}
+	fmt.Fprintf(os.Stderr, "seqbench: archive %d records in %d blocks, %d -> %d bytes (%.1fx)\n",
+		res.Archive.Records, res.Archive.Blocks, raw, stored, res.Archive.CompressionRatio)
+
+	// Representative query: one service, full time range, one variable
+	// predicate. Warm cache — the steady state of a dashboard poller.
+	qsvc := recs[0].Service
+	stageN("archive_query", 1, func(b *testing.B) {
+		b.ReportAllocs()
+		q := archive.Query{Service: qsvc, From: now.Add(-time.Hour), To: now.Add(time.Hour)}
+		if _, err := qa.Query(q); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := qa.Query(q); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 

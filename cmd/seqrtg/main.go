@@ -11,8 +11,8 @@
 //
 // Usage:
 //
-//	seqrtg analyze   -db DIR [-batch N] [-classic] [-plain -service S]
-//	seqrtg serve     -db DIR [-syslog-udp ADDR] [-syslog-tcp ADDR] [-http ADDR] [-queue-depth N]
+//	seqrtg analyze   -db DIR [-batch N] [-classic] [-plain -service S] [-archive]
+//	seqrtg serve     -db DIR [-syslog-udp ADDR] [-syslog-tcp ADDR] [-http ADDR] [-queue-depth N] [-archive]
 //	seqrtg parse     -db DIR [-plain -service S]
 //	seqrtg export    -db DIR -format patterndb|yaml|grok [-min-count N] [-max-complexity F] [-service S]
 //	seqrtg stats     -db DIR
@@ -135,17 +135,23 @@ func cmdAnalyze(args []string) error {
 	concurrency := fs.Int("concurrency", 1, "services analysed in parallel")
 	shards := fs.Int("shards", 0, "store/parser shard count (0 = GOMAXPROCS)")
 	journal := fs.String("journal-format", "", "journal record encoding: v2 (binary, default) or v1 (legacy JSON lines)")
+	archiveOn := fs.Bool("archive", false, "archive matched messages as compressed (pattern ID, variables) blocks under <db>/archive")
 	quiet := fs.Bool("quiet", false, "suppress per-batch progress")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars (expvar) and /debug/pprof on this address")
 	selfReport := fs.Int("self-report", 0, "print a metrics self-report every N batches (0 = off)")
 	strict := fs.Bool("strict", false, "fail on the first undecodable input line instead of skipping it")
 	fs.Parse(args)
 
-	rtg, err := openDB(*db,
+	dbOpts := []sequence.Option{
 		sequence.WithSaveThreshold(*threshold),
 		sequence.WithConcurrency(*concurrency),
 		sequence.WithStoreShards(*shards),
-		sequence.WithJournalFormat(sequence.JournalFormat(*journal)))
+		sequence.WithJournalFormat(sequence.JournalFormat(*journal)),
+	}
+	if *archiveOn {
+		dbOpts = append(dbOpts, sequence.WithArchive())
+	}
+	rtg, err := openDB(*db, dbOpts...)
 	if err != nil {
 		return err
 	}
@@ -227,15 +233,21 @@ func cmdServe(args []string) error {
 	concurrency := fs.Int("concurrency", 1, "services analysed in parallel")
 	shards := fs.Int("shards", 0, "store/parser shard count (0 = GOMAXPROCS)")
 	journal := fs.String("journal-format", "", "journal record encoding: v2 (binary, default) or v1 (legacy JSON lines)")
+	archiveOn := fs.Bool("archive", false, "archive matched messages and serve GET /api/v1/query over them")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars (expvar) and /debug/pprof on this address")
 	quiet := fs.Bool("quiet", false, "suppress per-batch progress")
 	fs.Parse(args)
 
-	rtg, err := openDB(*db,
+	dbOpts := []sequence.Option{
 		sequence.WithSaveThreshold(*threshold),
 		sequence.WithConcurrency(*concurrency),
 		sequence.WithStoreShards(*shards),
-		sequence.WithJournalFormat(sequence.JournalFormat(*journal)))
+		sequence.WithJournalFormat(sequence.JournalFormat(*journal)),
+	}
+	if *archiveOn {
+		dbOpts = append(dbOpts, sequence.WithArchive())
+	}
+	rtg, err := openDB(*db, dbOpts...)
 	if err != nil {
 		return err
 	}
@@ -256,6 +268,7 @@ func cmdServe(args []string) error {
 		DrainTimeout:   *drainTimeout,
 		DefaultService: *service,
 		Metrics:        rtg.Metrics(),
+		Archive:        rtg.Archive(),
 		Report: func(r sequence.BatchResult) {
 			if !*quiet {
 				fmt.Fprintf(os.Stderr, "batch: %d messages, %d matched, %d new patterns, %d services, %v\n",

@@ -1,0 +1,18 @@
+// Fixture: internal/archive carries the same vfs-only invariant as
+// internal/store — its block files feed the same crash harness.
+package archive
+
+import "os"
+
+func bad(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil { // want `direct os\.MkdirAll in internal/archive`
+		return err
+	}
+	_, err := os.ReadDir(dir) // want `direct os\.ReadDir in internal/archive`
+	return err
+}
+
+func fine() string {
+	// Process-level helpers are not file operations.
+	return os.Getenv("TMPDIR")
+}

@@ -1,9 +1,9 @@
-// Package vfsonly enforces the store's durability seam: every disk
-// access in internal/store goes through vfs.FS, never the os package
-// directly. The fault-injection VFS and the crash-consistency harness
-// only see I/O routed through that interface, so a direct os.Create is
-// not just a style miss — it is a write the crash tests cannot observe
-// or fail.
+// Package vfsonly enforces the durability seam of the on-disk stores:
+// every disk access in internal/store and internal/archive goes through
+// vfs.FS, never the os package directly. The fault-injection VFS and
+// the crash-consistency harnesses only see I/O routed through that
+// interface, so a direct os.Create is not just a style miss — it is a
+// write the crash tests cannot observe or fail.
 package vfsonly
 
 import (
@@ -13,6 +13,10 @@ import (
 
 	"repro/internal/analysis/framework"
 )
+
+// guarded lists the packages whose durability contract depends on the
+// vfs seam. Each gets the invariant enforced independently.
+var guarded = []string{"internal/store", "internal/archive"}
 
 // fileOps are the os functions that touch the filesystem. Process-level
 // helpers (os.Getpid, os.Getenv, os.DevNull, ...) stay legal.
@@ -28,14 +32,28 @@ var fileOps = map[string]bool{
 
 var Analyzer = &framework.Analyzer{
 	Name: "vfsonly",
-	Doc: "internal/store must perform all disk access through vfs.FS; " +
-		"direct os.* file operations and io/ioutil bypass the fault-injection " +
-		"VFS and the crash-consistency harness",
+	Doc: "internal/store and internal/archive must perform all disk access " +
+		"through vfs.FS; direct os.* file operations and io/ioutil bypass the " +
+		"fault-injection VFS and the crash-consistency harnesses",
 	Run: run,
 }
 
+// guardedPkg reports which guarded package (if any) the pass is
+// analyzing. External test packages (path suffixed _test) count as
+// their subject package.
+func guardedPkg(path string) (string, bool) {
+	p := strings.TrimSuffix(path, "_test")
+	for _, g := range guarded {
+		if framework.PathHasSuffix(p, g) {
+			return g, true
+		}
+	}
+	return "", false
+}
+
 func run(pass *framework.Pass) error {
-	if !framework.PathHasSuffix(strings.TrimSuffix(pass.Path, "_test"), "internal/store") {
+	pkg, ok := guardedPkg(pass.Path)
+	if !ok {
 		return nil
 	}
 	for _, f := range pass.Files {
@@ -44,7 +62,7 @@ func run(pass *framework.Pass) error {
 		}
 		for _, imp := range f.Imports {
 			if imp.Path.Value == `"io/ioutil"` {
-				pass.Reportf(imp.Pos(), "io/ioutil import in internal/store: route file access through vfs.FS")
+				pass.Reportf(imp.Pos(), "io/ioutil import in %s: route file access through vfs.FS", pkg)
 			}
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -61,7 +79,7 @@ func run(pass *framework.Pass) error {
 				return true
 			}
 			if pn.Imported().Path() == "os" && fileOps[sel.Sel.Name] {
-				pass.Reportf(sel.Pos(), "direct os.%s in internal/store: route file access through vfs.FS so fault injection and crash tests see it", sel.Sel.Name)
+				pass.Reportf(sel.Pos(), "direct os.%s in %s: route file access through vfs.FS so fault injection and crash tests see it", sel.Sel.Name, pkg)
 			}
 			return true
 		})

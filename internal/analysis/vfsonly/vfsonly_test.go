@@ -8,5 +8,5 @@ import (
 )
 
 func TestVFSOnly(t *testing.T) {
-	analysistest.Run(t, vfsonly.Analyzer, "internal/store", "internal/notstore")
+	analysistest.Run(t, vfsonly.Analyzer, "internal/store", "internal/archive", "internal/notstore")
 }

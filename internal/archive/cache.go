@@ -1,0 +1,74 @@
+package archive
+
+import "sync"
+
+// blockCache is an LRU cache of decoded blocks, keyed by file name.
+// Block files are write-once (published by rename, never rewritten), so
+// a name keys immutable content and entries never need invalidation.
+// Decoded blocks are immutable and may be shared by concurrent readers.
+type blockCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*cacheEntry
+	// Intrusive doubly-linked LRU list; head.next is most recent.
+	head cacheEntry
+}
+
+type cacheEntry struct {
+	name       string
+	block      *blockData
+	prev, next *cacheEntry
+}
+
+func newBlockCache(capacity int) *blockCache {
+	c := &blockCache{cap: capacity, entries: make(map[string]*cacheEntry, capacity)}
+	c.head.prev = &c.head
+	c.head.next = &c.head
+	return c
+}
+
+func (c *blockCache) unlink(e *cacheEntry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+}
+
+func (c *blockCache) pushFront(e *cacheEntry) {
+	e.next = c.head.next
+	e.prev = &c.head
+	e.next.prev = e
+	c.head.next = e
+}
+
+// get returns the cached block for name, promoting it to most recent.
+func (c *blockCache) get(name string) (*blockData, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok {
+		return nil, false
+	}
+	c.unlink(e)
+	c.pushFront(e)
+	return e.block, true
+}
+
+// put inserts a decoded block, evicting the least recently used entry
+// when the cache is full.
+func (c *blockCache) put(name string, b *blockData) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[name]; ok {
+		e.block = b
+		c.unlink(e)
+		c.pushFront(e)
+		return
+	}
+	for len(c.entries) >= c.cap {
+		lru := c.head.prev
+		c.unlink(lru)
+		delete(c.entries, lru.name)
+	}
+	e := &cacheEntry{name: name, block: b}
+	c.entries[name] = e
+	c.pushFront(e)
+}

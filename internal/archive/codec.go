@@ -1,0 +1,452 @@
+package archive
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// The archive block format. Each sealed block is one file holding one
+// self-delimiting frame, following the journal codec's framing
+// conventions (internal/store/codec):
+//
+//	0x00                     frame marker
+//	uvarint                  payload length
+//	4 bytes, little-endian   CRC-32C (Castagnoli) of the payload
+//	payload
+//
+// The payload is columnar. Everything a query needs for pruning —
+// service, time bounds, the pattern dictionary — comes before the
+// compressed section, so a block can be rejected without inflating it:
+//
+//	byte     format version (1)
+//	string   service
+//	svarint  bucket start (unix seconds)
+//	uvarint  record count N
+//	svarint  minimum timestamp (unix nanoseconds)
+//	svarint  maximum timestamp (unix nanoseconds)
+//	uvarint  pattern dictionary size D, then D strings (pattern IDs)
+//	uvarint  timestamp column length, then that many bytes:
+//	         N svarint deltas, each from the previous record's
+//	         timestamp (the first from the bucket start, in nanoseconds)
+//	uvarint  pattern column length, then that many bytes:
+//	         N uvarint dictionary indexes
+//	uvarint  raw variable column length
+//	uvarint  compressed variable column length, then that many bytes:
+//	         DEFLATE of the variable column, which is per record a
+//	         uvarint value count followed by that many
+//	         (uvarint length + bytes) values
+//
+// with string encoded as uvarint length + raw bytes, exactly as in the
+// journal codec. A decoder failure of any kind — short frame, CRC
+// mismatch, bad varint, an index past the dictionary, trailing bytes —
+// is reported as a *CorruptError, never as a partial decode.
+
+// blockMarker opens every block frame.
+const blockMarker = 0x00
+
+// blockVersion is the current payload format version.
+const blockVersion = 1
+
+// maxBlockPayload bounds a frame payload (64 MiB), mirroring the
+// journal codec's cap: a corrupt length prefix must not size a
+// multi-gigabyte read.
+const maxBlockPayload = 1 << 26
+
+// castagnoli is the CRC-32C table used by every frame.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// maxBlockHeader is the worst-case frame header size: marker, uvarint
+// payload length, CRC.
+const maxBlockHeader = 1 + binary.MaxVarintLen64 + 4
+
+// zeroBlockHeader reserves header space in the encode buffer without
+// allocating.
+var zeroBlockHeader [maxBlockHeader]byte
+
+// CorruptError reports a block file that cannot be decoded. Queries
+// skip such files (they are what a crash mid-flush leaves behind, and
+// must never be served); pdbtool surfaces them to the operator.
+type CorruptError struct {
+	File   string // file name, when known
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	if e.File == "" {
+		return fmt.Sprintf("archive: corrupt block: %s", e.Reason)
+	}
+	return fmt.Sprintf("archive: corrupt block %s: %s", e.File, e.Reason)
+}
+
+func corrupt(reason string) error { return &CorruptError{Reason: reason} }
+
+// blockData is one decoded (or in-flight) block. Decoded blocks are
+// immutable and shared through the block cache.
+type blockData struct {
+	service string
+	bucket  int64 // bucket start, unix seconds
+	count   int
+	minTS   int64 // unix nanoseconds
+	maxTS   int64
+	pats    []string // pattern dictionary
+
+	ts     []int64 // absolute timestamp per record, unix nanoseconds
+	pat    []uint32
+	vars   []byte // inflated variable column
+	varOff []int  // per-record offset into vars (len count+1)
+}
+
+// blockEncoder holds the reusable buffers for sealing blocks. One lives
+// in each shard, used under the shard lock.
+type blockEncoder struct {
+	buf  []byte
+	comp bytes.Buffer
+	fw   *flate.Writer
+}
+
+// encode seals b into a single frame, returning a view of the encoder's
+// buffer that is valid until the next encode call.
+func (e *blockEncoder) encode(b *memBlock) ([]byte, error) {
+	e.comp.Reset()
+	if e.fw == nil {
+		// flate.NewWriter only errors on an invalid level.
+		e.fw, _ = flate.NewWriter(&e.comp, flate.DefaultCompression)
+	} else {
+		e.fw.Reset(&e.comp)
+	}
+	if _, err := e.fw.Write(b.vars); err != nil {
+		return nil, fmt.Errorf("archive: compress variable column: %w", err)
+	}
+	if err := e.fw.Close(); err != nil {
+		return nil, fmt.Errorf("archive: compress variable column: %w", err)
+	}
+
+	buf := append(e.buf[:0], zeroBlockHeader[:]...)
+	buf = append(buf, blockVersion)
+	buf = appendString(buf, b.service)
+	buf = binary.AppendVarint(buf, b.bucket)
+	buf = binary.AppendUvarint(buf, uint64(b.count))
+	buf = binary.AppendVarint(buf, b.minTS)
+	buf = binary.AppendVarint(buf, b.maxTS)
+	buf = binary.AppendUvarint(buf, uint64(len(b.pats)))
+	for _, id := range b.pats {
+		buf = appendString(buf, id)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(b.ts)))
+	buf = append(buf, b.ts...)
+	buf = binary.AppendUvarint(buf, uint64(len(b.pat)))
+	buf = append(buf, b.pat...)
+	buf = binary.AppendUvarint(buf, uint64(len(b.vars)))
+	buf = binary.AppendUvarint(buf, uint64(e.comp.Len()))
+	buf = append(buf, e.comp.Bytes()...)
+
+	payload := buf[maxBlockHeader:]
+	if len(payload) > maxBlockPayload {
+		e.buf = buf[:0]
+		return nil, fmt.Errorf("archive: block payload %d bytes exceeds limit", len(payload))
+	}
+	var hdr [maxBlockHeader]byte
+	hdr[0] = blockMarker
+	n := 1 + binary.PutUvarint(hdr[1:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[n:], crc32.Checksum(payload, castagnoli))
+	n += 4
+	copy(buf, hdr[:n])
+	if n < maxBlockHeader {
+		copy(buf[n:], payload)
+		buf = buf[:n+len(payload)]
+	}
+	e.buf = buf
+	return buf, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// blockDecoder walks a checksummed payload. The first failure sticks.
+type blockDecoder struct {
+	b   []byte
+	i   int
+	err error
+}
+
+func (d *blockDecoder) fail(reason string) {
+	if d.err == nil {
+		d.err = corrupt(reason)
+	}
+}
+
+func (d *blockDecoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.i >= len(d.b) {
+		d.fail("payload truncated")
+		return 0
+	}
+	c := d.b[d.i]
+	d.i++
+	return c
+}
+
+func (d *blockDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.i:])
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.i += n
+	return v
+}
+
+func (d *blockDecoder) svarint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.i:])
+	if n <= 0 {
+		d.fail("bad svarint")
+		return 0
+	}
+	d.i += n
+	return v
+}
+
+func (d *blockDecoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)-d.i) {
+		d.fail("string length exceeds payload")
+		return ""
+	}
+	s := string(d.b[d.i : d.i+int(n)])
+	d.i += int(n)
+	return s
+}
+
+func (d *blockDecoder) bytes() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b)-d.i) {
+		d.fail("column length exceeds payload")
+		return nil
+	}
+	b := d.b[d.i : d.i+int(n)]
+	d.i += int(n)
+	return b
+}
+
+// frame splits data into the checksummed payload of its single frame.
+func frame(data []byte) ([]byte, error) {
+	if len(data) == 0 {
+		return nil, corrupt("empty file")
+	}
+	if data[0] != blockMarker {
+		return nil, corrupt("bad frame marker")
+	}
+	plen, n := binary.Uvarint(data[1:])
+	if n <= 0 {
+		return nil, corrupt("bad payload length")
+	}
+	if plen > maxBlockPayload {
+		return nil, corrupt("payload length exceeds limit")
+	}
+	rest := data[1+n:]
+	if len(rest) < 4 {
+		return nil, corrupt("frame truncated before checksum")
+	}
+	sum := binary.LittleEndian.Uint32(rest)
+	payload := rest[4:]
+	if uint64(len(payload)) < plen {
+		return nil, corrupt("frame truncated")
+	}
+	if uint64(len(payload)) > plen {
+		return nil, corrupt("trailing bytes after frame")
+	}
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, corrupt("checksum mismatch")
+	}
+	return payload, nil
+}
+
+// blockHeader is the prune-relevant prefix of a block payload: all the
+// metadata a query needs to reject a block without inflating it.
+type blockHeader struct {
+	service string
+	bucket  int64
+	count   int
+	minTS   int64
+	maxTS   int64
+	pats    []string
+}
+
+// parseHeader walks the header portion of a payload. On return d is
+// positioned at the timestamp column.
+func parseHeader(d *blockDecoder) (blockHeader, error) {
+	var h blockHeader
+	if v := d.byte(); d.err == nil && v != blockVersion {
+		d.fail("unknown block version")
+	}
+	h.service = d.str()
+	h.bucket = d.svarint()
+	count := d.uvarint()
+	h.minTS = d.svarint()
+	h.maxTS = d.svarint()
+	npat := d.uvarint()
+	if npat > uint64(len(d.b)-d.i) {
+		// Every dictionary entry costs at least one payload byte; a count
+		// past the remaining length is garbage and must not size a make().
+		d.fail("pattern count exceeds payload")
+	}
+	if count > uint64(len(d.b)-d.i) {
+		// Every record costs at least one byte in each column.
+		d.fail("record count exceeds payload")
+	}
+	if d.err != nil {
+		return h, d.err
+	}
+	h.count = int(count)
+	h.pats = make([]string, 0, npat)
+	for range npat {
+		s := d.str()
+		if d.err != nil {
+			return h, d.err
+		}
+		h.pats = append(h.pats, s)
+	}
+	return h, nil
+}
+
+// decodeHeader verifies the frame checksum and decodes only the header
+// metadata, leaving the compressed section untouched.
+func decodeHeader(data []byte) (blockHeader, error) {
+	payload, err := frame(data)
+	if err != nil {
+		return blockHeader{}, err
+	}
+	return parseHeader(&blockDecoder{b: payload})
+}
+
+// decodeBlock decodes a complete block file. Any failure is a
+// *CorruptError; the returned block is fully validated — iteration
+// cannot fail afterwards.
+func decodeBlock(data []byte) (*blockData, error) {
+	payload, err := frame(data)
+	if err != nil {
+		return nil, err
+	}
+	d := &blockDecoder{b: payload}
+	h, err := parseHeader(d)
+	if err != nil {
+		return nil, err
+	}
+	b := &blockData{
+		service: h.service,
+		bucket:  h.bucket,
+		count:   h.count,
+		minTS:   h.minTS,
+		maxTS:   h.maxTS,
+		pats:    h.pats,
+	}
+	tsCol := d.bytes()
+	patCol := d.bytes()
+	rawLen := d.uvarint()
+	if rawLen > maxBlockPayload {
+		d.fail("variable column length exceeds limit")
+	}
+	comp := d.bytes()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.i != len(d.b) {
+		return nil, corrupt("trailing payload bytes")
+	}
+
+	// Timestamp column: running-sum the deltas.
+	b.ts = make([]int64, 0, b.count)
+	ts := b.bucket * int64(1e9)
+	for i := 0; i < b.count; i++ {
+		delta, n := binary.Varint(tsCol)
+		if n <= 0 {
+			return nil, corrupt("bad timestamp delta")
+		}
+		tsCol = tsCol[n:]
+		ts += delta
+		b.ts = append(b.ts, ts)
+	}
+	if len(tsCol) != 0 {
+		return nil, corrupt("trailing timestamp column bytes")
+	}
+
+	// Pattern column: dictionary indexes.
+	b.pat = make([]uint32, 0, b.count)
+	for i := 0; i < b.count; i++ {
+		idx, n := binary.Uvarint(patCol)
+		if n <= 0 {
+			return nil, corrupt("bad pattern index")
+		}
+		if idx >= uint64(len(b.pats)) {
+			return nil, corrupt("pattern index past dictionary")
+		}
+		patCol = patCol[n:]
+		b.pat = append(b.pat, uint32(idx))
+	}
+	if len(patCol) != 0 {
+		return nil, corrupt("trailing pattern column bytes")
+	}
+
+	// Variable column: inflate, then walk once to validate and index.
+	b.vars = make([]byte, rawLen)
+	fr := flate.NewReader(bytes.NewReader(comp))
+	if _, err := io.ReadFull(fr, b.vars); err != nil {
+		return nil, corrupt("variable column inflate: " + err.Error())
+	}
+	if n, _ := fr.Read(make([]byte, 1)); n != 0 {
+		return nil, corrupt("variable column longer than declared")
+	}
+	fr.Close()
+	b.varOff = make([]int, 0, b.count+1)
+	vd := &blockDecoder{b: b.vars}
+	for i := 0; i < b.count; i++ {
+		b.varOff = append(b.varOff, vd.i)
+		nv := vd.uvarint()
+		if nv > uint64(len(vd.b)-vd.i) {
+			vd.fail("variable count exceeds column")
+		}
+		for j := uint64(0); j < nv && vd.err == nil; j++ {
+			vd.bytes()
+		}
+		if vd.err != nil {
+			return nil, vd.err
+		}
+	}
+	if vd.i != len(vd.b) {
+		return nil, corrupt("trailing variable column bytes")
+	}
+	b.varOff = append(b.varOff, vd.i)
+	return b, nil
+}
+
+// varsAt appends record i's variable values (views into the block's
+// inflated column) to dst. The block was validated at decode time, so
+// the walk cannot fail.
+func (b *blockData) varsAt(i int, dst [][]byte) [][]byte {
+	d := &blockDecoder{b: b.vars, i: b.varOff[i]}
+	nv := d.uvarint()
+	for j := uint64(0); j < nv; j++ {
+		dst = append(dst, d.bytes())
+	}
+	return dst
+}

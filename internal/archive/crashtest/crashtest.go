@@ -1,0 +1,430 @@
+// Package crashtest is the crash-consistency harness of the compressed
+// log archive: it drives a scripted append workload on a
+// fault-injecting filesystem (internal/vfs), crashes at every mutating
+// disk operation the workload performs — block flushes are the only
+// ones — reopens the archive from the disk image the crash left, and
+// checks the durability contract:
+//
+//   - no torn block: a reopened archive never serves a partially
+//     flushed block — every published block file decodes, Blocks()
+//     reports no corruption, and Query neither errors nor panics;
+//   - no lost acknowledged record: every record appended before the
+//     last completed Flush (or Close) is queryable after reopen;
+//   - no phantom and no double-serve: every served record was appended
+//     exactly once — the (unique sequence number) variable carried by
+//     each record appears at most once, with the service, pattern ID
+//     and timestamp the append gave it;
+//   - recovery is idempotent: reopening the crash image twice (the
+//     first open removes leftover temporary files) yields the same
+//     query results, under any shard count.
+//
+// Both crash loss modes are exercised: the image that keeps only
+// fsynced bytes and the one where the OS happened to write everything
+// back before the cut (vfs.Fault.KeepUnsynced). The harness mirrors
+// internal/store/crashtest and lives in a non-test file for the same
+// reason: the workload and the invariant checker are one reviewable
+// unit.
+package crashtest
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/vfs"
+)
+
+// dir is the simulated archive directory.
+const dir = "archive"
+
+// opts is the archive configuration under test: small buckets and a low
+// seal threshold so the script crosses bucket boundaries and triggers
+// automatic seals, a fixed shard count so the flush order — and with it
+// the crash-step schedule — is deterministic.
+func opts(f *vfs.Fault) archive.Options {
+	return archive.Options{
+		FS:            f,
+		BucketSeconds: 60,
+		FlushRecords:  5,
+		CacheBlocks:   4,
+		Shards:        2,
+	}
+}
+
+// baseTime keeps every timestamp deterministic, so the byte content of
+// the blocks — and with it the step schedule — is identical across runs.
+var baseTime = time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+
+// recState tracks where one appended record stands against the
+// durability contract.
+type recState int
+
+const (
+	// statePending: appended, not yet covered by a flush barrier. A
+	// crash image may or may not serve it (it may have been auto-sealed).
+	statePending recState = iota
+	// stateAcked: a flush barrier succeeded after the append — the
+	// record must be served by every reopen.
+	stateAcked
+	// stateDropped: the archive holding the record was abandoned
+	// (process kill) before any barrier covered it. It may survive only
+	// if an automatic seal happened to flush it first.
+	stateDropped
+)
+
+// rec is the model's view of one appended record. The unique sequence
+// number doubles as the record's single variable value, which is how a
+// served entry is traced back to the append that produced it.
+type rec struct {
+	seq     int
+	service string
+	pattern string
+	ts      time.Time
+	state   recState
+}
+
+// Op is one step of the scripted workload.
+type Op struct {
+	Kind string // append | flush | abandon | reopen
+	// Svc and Pattern identify the appended record; Minute offsets its
+	// timestamp from baseTime (one bucket is 60 s wide, so consecutive
+	// minutes land in different buckets).
+	Svc, Pattern string
+	Minute       int
+}
+
+// Script returns the scripted workload: rounds of appends spread over
+// several services, buckets and patterns — enough per (service, bucket)
+// to trip the automatic seal — with explicit flush barriers, one
+// process-kill (abandon) and one clean close-and-reopen per round.
+func Script() []Op {
+	var ops []Op
+	for r := 0; r < 6; r++ {
+		svcA := fmt.Sprintf("svc-%d-a", r)
+		svcB := fmt.Sprintf("svc-%d-b", r)
+		for i := 0; i < 7; i++ {
+			// svcA's records straddle two buckets; the 7th append to the
+			// first bucket would cross FlushRecords if they shared one.
+			ops = append(ops, Op{Kind: "append", Svc: svcA, Pattern: "p-req", Minute: 2 * r})
+			if i%2 == 0 {
+				ops = append(ops, Op{Kind: "append", Svc: svcA, Pattern: "p-conn", Minute: 2*r + 1})
+			}
+			ops = append(ops, Op{Kind: "append", Svc: svcB, Pattern: "p-blk", Minute: 2 * r})
+		}
+		ops = append(ops, Op{Kind: "flush"})
+		ops = append(ops,
+			Op{Kind: "append", Svc: svcA, Pattern: "p-req", Minute: 2*r + 1},
+			Op{Kind: "append", Svc: svcB, Pattern: "p-blk", Minute: 2*r + 1},
+		)
+		if r%2 == 0 {
+			ops = append(ops, Op{Kind: "abandon"})
+		} else {
+			ops = append(ops, Op{Kind: "reopen"})
+		}
+	}
+	return ops
+}
+
+// runner executes a script against an archive on a fault filesystem
+// while maintaining the model.
+type runner struct {
+	f *vfs.Fault
+	a *archive.Archive
+	// appended is every record an append call was made for, in order —
+	// the upper bound of what a crash image may serve (the record is in
+	// the in-memory block even when the call's auto-seal failed). Each
+	// record's state says whether a reopen must, may, or should not
+	// serve it.
+	appended []rec
+}
+
+// ackPending promotes every pending record to acked: a flush barrier
+// succeeded, so everything appended before it is durable.
+func (r *runner) ackPending() {
+	for i := range r.appended {
+		if r.appended[i].state == statePending {
+			r.appended[i].state = stateAcked
+		}
+	}
+}
+
+// dropPending marks every pending record as dropped: the archive
+// holding them was discarded without a barrier.
+func (r *runner) dropPending() {
+	for i := range r.appended {
+		if r.appended[i].state == statePending {
+			r.appended[i].state = stateDropped
+		}
+	}
+}
+
+func newRunner(f *vfs.Fault) (*runner, error) {
+	a, err := archive.Open(dir, opts(f))
+	if err != nil {
+		return nil, err
+	}
+	return &runner{f: f, a: a}, nil
+}
+
+// run executes ops until the script completes or an operation fails
+// (the armed crash point fired). It returns whether the script ran to
+// completion.
+func (r *runner) run(ops []Op) (bool, error) {
+	for _, op := range ops {
+		switch op.Kind {
+		case "append":
+			seq := len(r.appended)
+			ts := baseTime.Add(time.Duration(op.Minute) * time.Minute).Add(time.Duration(seq) * time.Millisecond)
+			r.appended = append(r.appended, rec{seq: seq, service: op.Svc, pattern: op.Pattern, ts: ts})
+			v := []byte(strconv.Itoa(seq))
+			if err := r.a.Append(op.Svc, op.Pattern, ts, [][]byte{v}, 80); err != nil {
+				return false, nil
+			}
+		case "flush":
+			if err := r.a.Flush(); err != nil {
+				return false, nil
+			}
+			r.ackPending()
+		case "abandon":
+			// Simulate a process kill: drop the archive without closing it
+			// and reopen over the same files. The unsealed tail is lost —
+			// its records were never acknowledged.
+			r.dropPending()
+			a, err := archive.Open(dir, opts(r.f))
+			if err != nil {
+				return false, nil
+			}
+			r.a = a
+		case "reopen":
+			if err := r.a.Close(); err != nil {
+				return false, nil
+			}
+			r.ackPending()
+			a, err := archive.Open(dir, opts(r.f))
+			if err != nil {
+				return false, nil
+			}
+			r.a = a
+		default:
+			return false, fmt.Errorf("unknown op kind %q", op.Kind)
+		}
+	}
+	if err := r.a.Close(); err != nil {
+		return false, nil
+	}
+	r.ackPending()
+	return true, nil
+}
+
+// served queries everything the reopened archive holds and returns it
+// keyed by the sequence number each record carries as its variable.
+func served(a *archive.Archive) (map[int]archive.Entry, error) {
+	entries, err := a.Query(archive.Query{})
+	if err != nil {
+		return nil, fmt.Errorf("query errored: %w", err)
+	}
+	out := make(map[int]archive.Entry, len(entries))
+	for _, e := range entries {
+		if len(e.Vars) != 1 {
+			return nil, fmt.Errorf("served a record with %d variables, want 1: %+v", len(e.Vars), e)
+		}
+		seq, err := strconv.Atoi(e.Vars[0])
+		if err != nil {
+			return nil, fmt.Errorf("served a record with a non-numeric sequence %q", e.Vars[0])
+		}
+		if _, dup := out[seq]; dup {
+			return nil, fmt.Errorf("record %d served twice", seq)
+		}
+		out[seq] = e
+	}
+	return out, nil
+}
+
+// checkInvariants opens an archive over the crash image and verifies it
+// against the model. reopenShards lets the caller vary the recovering
+// process's shard count — the on-disk layout is shard-agnostic.
+func checkInvariants(img *vfs.Fault, appended []rec, reopenShards int) error {
+	o := opts(img)
+	o.Shards = reopenShards
+	a, err := archive.Open(dir, o)
+	if err != nil {
+		return fmt.Errorf("reopen errored: %w", err)
+	}
+	blocks, err := a.Blocks()
+	if err != nil {
+		return fmt.Errorf("block listing errored: %w", err)
+	}
+	for _, b := range blocks {
+		if b.Corrupt != "" {
+			return fmt.Errorf("served a torn block %s: %s", b.File, b.Corrupt)
+		}
+	}
+	got, err := served(a)
+	if err != nil {
+		return err
+	}
+	for seq, e := range got {
+		if seq < 0 || seq >= len(appended) {
+			return fmt.Errorf("phantom record %d: never appended", seq)
+		}
+		want := appended[seq]
+		if e.Service != want.service || e.PatternID != want.pattern || !e.Time.Equal(want.ts) {
+			return fmt.Errorf("record %d mutated: got (%s, %s, %s), appended (%s, %s, %s)",
+				seq, e.Service, e.PatternID, e.Time, want.service, want.pattern, want.ts)
+		}
+	}
+	for _, want := range appended {
+		if want.state != stateAcked {
+			continue
+		}
+		if _, ok := got[want.seq]; !ok {
+			return fmt.Errorf("lost acknowledged record %d (%d of %d appended served)", want.seq, len(got), len(appended))
+		}
+	}
+	return nil
+}
+
+// Probe runs the script once with no crash armed and returns the number
+// of mutating disk operations it performs — the crash schedule's bound.
+// It also verifies the complete run serves exactly the appended set.
+func Probe(ops []Op) (int, error) {
+	f := vfs.NewFault()
+	r, err := newRunner(f)
+	if err != nil {
+		return 0, err
+	}
+	done, err := r.run(ops)
+	if err != nil {
+		return 0, err
+	}
+	if !done {
+		return 0, errors.New("uncrashed run did not complete")
+	}
+	if err := checkInvariants(f.Image(), r.appended, 2); err != nil {
+		return 0, fmt.Errorf("complete run: %w", err)
+	}
+	// The complete run must serve exactly the acknowledged set: every
+	// acked record (checked above) and nothing that was dropped — the
+	// abandoned tails were never sealed, so serving one would mean a
+	// reader looked at state the writer never published.
+	a, err := archive.Open(dir, opts(f.Image()))
+	if err != nil {
+		return 0, err
+	}
+	got, err := served(a)
+	if err != nil {
+		return 0, err
+	}
+	for _, want := range r.appended {
+		if _, ok := got[want.seq]; ok && want.state == stateDropped {
+			return 0, fmt.Errorf("complete run served dropped record %d", want.seq)
+		}
+	}
+	return f.Steps(), nil
+}
+
+// RunCrash crashes the scripted workload at mutating disk operation k,
+// reopens the archive from the crash image and checks every invariant,
+// including reopening under a different shard count and recovery
+// idempotence (the first reopen removes temporary files; a second must
+// serve the identical record set).
+func RunCrash(ops []Op, k int, keepUnsynced bool) error {
+	f := vfs.NewFault()
+	f.KeepUnsynced(keepUnsynced)
+	f.CrashAtStep(k)
+	r, err := newRunner(f)
+	if err != nil && !errors.Is(err, vfs.ErrCrashed) {
+		return fmt.Errorf("initial open: %v", err)
+	}
+	if err == nil {
+		if _, err := r.run(ops); err != nil {
+			return err
+		}
+	} else {
+		r = &runner{f: f}
+	}
+
+	img := f.Image()
+	if err := checkInvariants(img, r.appended, 2); err != nil {
+		return err
+	}
+	// The on-disk layout is shard-agnostic: any recovering shard count
+	// must serve the same records.
+	if err := checkInvariants(f.Image(), r.appended, 5); err != nil {
+		return fmt.Errorf("under 5 shards: %w", err)
+	}
+
+	// Recovery idempotence across the tmp-file cleanup the first open
+	// performs: open, query, open again, compare.
+	a1, err := archive.Open(dir, opts(img))
+	if err != nil {
+		return fmt.Errorf("recovery open: %w", err)
+	}
+	first, err := served(a1)
+	if err != nil {
+		return fmt.Errorf("recovery query: %w", err)
+	}
+	a2, err := archive.Open(dir, opts(img))
+	if err != nil {
+		return fmt.Errorf("second recovery open: %w", err)
+	}
+	second, err := served(a2)
+	if err != nil {
+		return fmt.Errorf("second recovery query: %w", err)
+	}
+	if len(first) != len(second) {
+		return fmt.Errorf("recovery not idempotent: %d records then %d", len(first), len(second))
+	}
+	for seq := range first {
+		if _, ok := second[seq]; !ok {
+			return fmt.Errorf("recovery not idempotent: record %d vanished on the second open", seq)
+		}
+	}
+	return nil
+}
+
+// RunRecoveryCrash crashes the workload at step k, then crashes the
+// recovery itself — whose mutating operations are the removal of
+// leftover temporary files — at every one of its own steps, and checks
+// the invariants still hold: a crashed cleanup must not damage
+// published blocks, and the lingering temporary file must still never
+// be served.
+func RunRecoveryCrash(ops []Op, k int, keepUnsynced bool) error {
+	f := vfs.NewFault()
+	f.KeepUnsynced(keepUnsynced)
+	f.CrashAtStep(k)
+	r, err := newRunner(f)
+	if err != nil && !errors.Is(err, vfs.ErrCrashed) {
+		return fmt.Errorf("initial open: %v", err)
+	}
+	if err == nil {
+		if _, err := r.run(ops); err != nil {
+			return err
+		}
+	} else {
+		r = &runner{f: f}
+	}
+	img := f.Image()
+
+	// Bound the recovery's own crash schedule.
+	probe := img.Image()
+	if _, err := archive.Open(dir, opts(probe)); err != nil {
+		return fmt.Errorf("recovery probe: %w", err)
+	}
+	steps := probe.Steps()
+
+	for j := 1; j <= steps; j++ {
+		img2 := img.Image()
+		img2.KeepUnsynced(keepUnsynced)
+		img2.CrashAtStep(j)
+		// Open absorbs cleanup failures (a lingering tmp file is never
+		// served), so the crash firing mid-cleanup is not an error.
+		_, _ = archive.Open(dir, opts(img2))
+		if err := checkInvariants(img2.Image(), r.appended, 2); err != nil {
+			return fmt.Errorf("after recovery crash at step %d/%d: %w", j, steps, err)
+		}
+	}
+	return nil
+}

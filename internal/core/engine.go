@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/analyzer"
+	"repro/internal/archive"
 	"repro/internal/ingest"
 	"repro/internal/obs"
 	"repro/internal/parser"
@@ -69,6 +70,11 @@ type Config struct {
 	// private instance is used when nil, so instrumentation is always on
 	// and callers that do not care pay only the atomic adds.
 	Metrics *obs.Metrics
+	// Archive, when non-nil, receives every matched message on the parse
+	// path as a (timestamp, pattern ID, variable values) record — the
+	// pattern-aware compressed log store. Nil (the default) disables
+	// archiving entirely.
+	Archive *archive.Archive
 }
 
 // Engine is a Sequence-RTG instance bound to a pattern store.
@@ -314,12 +320,31 @@ func (e *Engine) analyzeService(svc string, msgs []string, now time.Time) (Batch
 		}
 	}
 
+	// archiveAdd appends a matched message to the archive as (timestamp,
+	// pattern ID, variable values). toks may be nil on the exact-cache
+	// fast path, which skips scanning — the archive needs the token spans
+	// back to slice out the variable values, so that path re-scans.
+	// Append failures are not batch-fatal: the archive is a derived
+	// store, counts its own I/O errors, and retries at the next seal.
+	var varScratch [][]byte
+	archiveAdd := func(p *patterns.Pattern, msg string, toks []token.Token) {
+		if e.cfg.Archive == nil {
+			return
+		}
+		if toks == nil {
+			toks = token.Enrich(s.Scan(msg))
+		}
+		varScratch = appendVarSpans(varScratch[:0], p, toks)
+		_ = e.cfg.Archive.Append(svc, p.ID, now, varScratch, len(msg))
+	}
+
 	for _, msg := range msgs {
 		// Repetitive traffic fast path: a byte-identical message seen since
 		// the last pattern mutation skips scanning and matching entirely.
 		if !e.cfg.DisableExactCache {
 			if p, ok := e.parser.MatchExact(svc, msg); ok {
 				record(p, msg)
+				archiveAdd(p, msg, nil)
 				continue
 			}
 		}
@@ -329,6 +354,7 @@ func (e *Engine) analyzeService(svc string, msgs []string, now time.Time) (Batch
 				e.parser.CacheExact(svc, msg, p)
 			}
 			record(p, msg)
+			archiveAdd(p, msg, toks)
 			continue
 		}
 		res.Unmatched++
@@ -399,6 +425,24 @@ func (e *Engine) Purge(minCount int64, olderThan time.Time) (int, error) {
 		return len(ids), &PersistError{Err: err}
 	}
 	return len(ids), nil
+}
+
+// appendVarSpans collects the variable-position token spans of a
+// matched message in pattern order — the positional values the archive
+// stores. The element/token index alignment is the one Pattern.Match
+// and Pattern.Extract establish: element i consumed token i, up to the
+// TailAny marker.
+func appendVarSpans(dst [][]byte, p *patterns.Pattern, toks []token.Token) [][]byte {
+	for i := range p.Elements {
+		e := &p.Elements[i]
+		if e.Type == token.TailAny || i >= len(toks) {
+			break
+		}
+		if e.Var {
+			dst = append(dst, toks[i].Span)
+		}
+	}
+	return dst
 }
 
 // mineOps extracts and filters the patterns mined by an analyzer,

@@ -80,6 +80,14 @@ const (
 	MetricStoreBatchCoalesced     = "seqrtg_store_batch_coalesced_total"
 	MetricStoreBatchBytes         = "seqrtg_store_batch_bytes_total"
 	MetricStoreJournalFormat      = "seqrtg_store_journal_format"
+
+	MetricArchiveBlocks      = "seqrtg_archive_blocks_total"
+	MetricArchiveRecords     = "seqrtg_archive_records_total"
+	MetricArchiveBytesRaw    = "seqrtg_archive_bytes_raw_total"
+	MetricArchiveBytesStored = "seqrtg_archive_bytes_stored_total"
+	MetricArchiveCacheHits   = "seqrtg_archive_cache_hits_total"
+	MetricArchiveCacheMisses = "seqrtg_archive_cache_misses_total"
+	MetricArchiveIOErrors    = "seqrtg_archive_io_errors_total"
 )
 
 // Counter is a monotonically increasing atomic counter.
@@ -386,6 +394,15 @@ type Metrics struct {
 	StoreBatchCoalesced     Counter    // touch operations folded into an already-pending record of the same pattern
 	StoreBatchBytes         Counter    // journal bytes written by ApplyBatch group commits
 	StoreJournalFormat      Gauge      // journal format version in effect (1 = JSON lines, 2 = binary frames)
+
+	// Archive: the pattern-aware compressed log archive.
+	ArchiveBlocks      Counter // block files sealed and published
+	ArchiveRecords     Counter // matched messages appended to the archive
+	ArchiveBytesRaw    Counter // raw message bytes represented by archived records
+	ArchiveBytesStored Counter // bytes written to sealed block files
+	ArchiveCacheHits   Counter // block reads served from the LRU block cache
+	ArchiveCacheMisses Counter // block reads that had to load and decode a file
+	ArchiveIOErrors    Counter // failed archive disk operations (flush write/sync/rename)
 }
 
 // New returns a ready-to-use Metrics with the default bucket layout.
@@ -454,6 +471,14 @@ type Snapshot struct {
 	StoreBatchCoalesced     int64             `json:"store_batch_coalesced"`
 	StoreBatchBytes         int64             `json:"store_batch_bytes"`
 	StoreJournalFormat      int64             `json:"store_journal_format"`
+
+	ArchiveBlocks      int64 `json:"archive_blocks"`
+	ArchiveRecords     int64 `json:"archive_records"`
+	ArchiveBytesRaw    int64 `json:"archive_bytes_raw"`
+	ArchiveBytesStored int64 `json:"archive_bytes_stored"`
+	ArchiveCacheHits   int64 `json:"archive_cache_hits"`
+	ArchiveCacheMisses int64 `json:"archive_cache_misses"`
+	ArchiveIOErrors    int64 `json:"archive_io_errors"`
 }
 
 // listenerMap renders a per-listener counter vector as a name-keyed map
@@ -531,6 +556,14 @@ func (m *Metrics) Snapshot() Snapshot {
 		StoreBatchCoalesced:     m.StoreBatchCoalesced.Value(),
 		StoreBatchBytes:         m.StoreBatchBytes.Value(),
 		StoreJournalFormat:      m.StoreJournalFormat.Value(),
+
+		ArchiveBlocks:      m.ArchiveBlocks.Value(),
+		ArchiveRecords:     m.ArchiveRecords.Value(),
+		ArchiveBytesRaw:    m.ArchiveBytesRaw.Value(),
+		ArchiveBytesStored: m.ArchiveBytesStored.Value(),
+		ArchiveCacheHits:   m.ArchiveCacheHits.Value(),
+		ArchiveCacheMisses: m.ArchiveCacheMisses.Value(),
+		ArchiveIOErrors:    m.ArchiveIOErrors.Value(),
 	}
 }
 
@@ -616,6 +649,14 @@ func (m *Metrics) descs() []metricDesc {
 		{name: MetricStoreBatchCoalesced, help: "Touch operations folded into an already-pending record of the same pattern by batch coalescing.", kind: "counter", c: &m.StoreBatchCoalesced},
 		{name: MetricStoreBatchBytes, help: "Journal bytes written by ApplyBatch group commits.", kind: "counter", c: &m.StoreBatchBytes},
 		{name: MetricStoreJournalFormat, help: "Journal format version in effect (1 = JSON lines, 2 = binary frames).", kind: "gauge", g: &m.StoreJournalFormat},
+
+		{name: MetricArchiveBlocks, help: "Archive block files sealed and published.", kind: "counter", c: &m.ArchiveBlocks},
+		{name: MetricArchiveRecords, help: "Matched messages appended to the archive.", kind: "counter", c: &m.ArchiveRecords},
+		{name: MetricArchiveBytesRaw, help: "Raw message bytes represented by archived records.", kind: "counter", c: &m.ArchiveBytesRaw},
+		{name: MetricArchiveBytesStored, help: "Bytes written to sealed archive block files.", kind: "counter", c: &m.ArchiveBytesStored},
+		{name: MetricArchiveCacheHits, help: "Archive block reads served from the LRU block cache.", kind: "counter", c: &m.ArchiveCacheHits},
+		{name: MetricArchiveCacheMisses, help: "Archive block reads that had to load and decode a block file.", kind: "counter", c: &m.ArchiveCacheMisses},
+		{name: MetricArchiveIOErrors, help: "Failed archive disk operations (flush write/sync/rename).", kind: "counter", c: &m.ArchiveIOErrors},
 	}
 }
 

@@ -6,8 +6,10 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/export"
 	"repro/internal/ingest"
 	"repro/internal/obs"
@@ -18,12 +20,15 @@ import (
 //	POST /api/v1/ingest          NDJSON body of ingest records
 //	GET  /api/v1/patterns        mined patterns (filters: service, min_count)
 //	GET  /api/v1/export          patterns in a deployable format (format=grok|patterndb|yaml)
+//	GET  /api/v1/query           archived matched messages (filters: service,
+//	                             pattern_id, from, to, var.N, limit)
 //	GET  /healthz                liveness
 func (s *Server) httpMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/v1/ingest", s.handleIngest)
 	mux.HandleFunc("GET /api/v1/patterns", s.handlePatterns)
 	mux.HandleFunc("GET /api/v1/export", s.handleExport)
+	mux.HandleFunc("GET /api/v1/query", s.handleQuery)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write([]byte("ok\n"))
@@ -186,6 +191,77 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 		// Headers are gone; all we can do is surface the failure.
 		s.reportErr(fmt.Errorf("server: export: %w", err))
 	}
+}
+
+// queryResponse is the GET /api/v1/query reply.
+type queryResponse struct {
+	Entries []archive.Entry `json:"entries"`
+	Count   int             `json:"count"`
+}
+
+// handleQuery answers time-range + pattern + variable-predicate queries
+// over the compressed log archive. Parameters: service, pattern_id,
+// from and to (RFC 3339, half-open range [from, to)), var.N=value
+// (exact match on the N-th variable position, 0-based) and limit.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Archive == nil {
+		httpError(w, http.StatusNotFound, "archive disabled: run the daemon with archiving enabled (-archive)")
+		return
+	}
+	params := r.URL.Query()
+	q := archive.Query{
+		Service:   params.Get("service"),
+		PatternID: params.Get("pattern_id"),
+	}
+	if v := params.Get("from"); v != "" {
+		t, err := time.Parse(time.RFC3339Nano, v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "from must be an RFC 3339 timestamp")
+			return
+		}
+		q.From = t
+	}
+	if v := params.Get("to"); v != "" {
+		t, err := time.Parse(time.RFC3339Nano, v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "to must be an RFC 3339 timestamp")
+			return
+		}
+		q.To = t
+	}
+	if v := params.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "limit must be a non-negative integer")
+			return
+		}
+		q.Limit = n
+	}
+	for key, vals := range params {
+		idxStr, ok := strings.CutPrefix(key, "var.")
+		if !ok {
+			continue
+		}
+		idx, err := strconv.Atoi(idxStr)
+		if err != nil || idx < 0 || len(vals) == 0 {
+			httpError(w, http.StatusBadRequest, "var.N parameters need a non-negative integer position")
+			return
+		}
+		if q.Vars == nil {
+			q.Vars = make(map[int]string)
+		}
+		q.Vars[idx] = vals[0]
+	}
+	entries, err := s.opts.Archive.Query(q)
+	if err != nil {
+		s.reportErr(fmt.Errorf("server: archive query: %w", err))
+		httpError(w, http.StatusInternalServerError, "archive query failed")
+		return
+	}
+	if entries == nil {
+		entries = []archive.Entry{}
+	}
+	writeJSON(w, http.StatusOK, queryResponse{Entries: entries, Count: len(entries)})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/core"
 	"repro/internal/export"
 	"repro/internal/ingest"
@@ -44,7 +45,7 @@ type Options struct {
 	SyslogTCP string
 	// HTTP is the HTTP API listen address; empty disables. Endpoints:
 	// POST /api/v1/ingest (NDJSON records), GET /api/v1/patterns,
-	// GET /api/v1/export, GET /healthz.
+	// GET /api/v1/export, GET /api/v1/query (archive), GET /healthz.
 	HTTP string
 	// QueueDepth bounds the record queue between the listeners and the
 	// engine (ingest.DefaultQueueDepth when zero).
@@ -77,6 +78,10 @@ type Options struct {
 	// OnError, when non-nil, receives non-fatal errors (listener
 	// hiccups, retryable persistence failures) that the daemon survives.
 	OnError func(error)
+	// Archive, when non-nil, backs the GET /api/v1/query endpoint with
+	// the miner's compressed log archive. When nil the endpoint reports
+	// that archiving is disabled.
+	Archive *archive.Archive
 }
 
 func (o Options) withDefaults() Options {

@@ -85,6 +85,16 @@ func WithJournalFormat(f JournalFormat) Option {
 	return func(c *Config) { c.Journal = f }
 }
 
+// WithArchive enables the pattern-aware compressed log archive: every
+// message matched on the parse path is recorded as (timestamp, pattern
+// ID, variable values) in time-bucketed, columnar, DEFLATE-compressed
+// block files under <dir>/archive (kept in memory for an in-memory
+// instance), queryable through RTG.Archive and the server's
+// /api/v1/query endpoint. Off by default.
+func WithArchive() Option {
+	return func(c *Config) { c.Archive = true }
+}
+
 // WithMetrics makes the instance report into m instead of a private
 // Metrics. Sharing one Metrics across several instances (for example
 // service shards that will later be merged) aggregates their

@@ -37,11 +37,14 @@ package sequence
 
 import (
 	"context"
+	"errors"
 	"io"
+	"path/filepath"
 	"time"
 
 	"repro/internal/analyzer"
 	"repro/internal/anomaly"
+	"repro/internal/archive"
 	"repro/internal/core"
 	"repro/internal/export"
 	"repro/internal/ingest"
@@ -49,6 +52,7 @@ import (
 	"repro/internal/patterns"
 	"repro/internal/store"
 	"repro/internal/token"
+	"repro/internal/vfs"
 )
 
 // Record is one item of the input stream: the source system and the
@@ -69,6 +73,22 @@ type Token = token.Token
 
 // BatchResult summarises one processed batch.
 type BatchResult = core.BatchResult
+
+// Archive is the pattern-aware compressed log store: matched messages
+// recorded as (timestamp, pattern ID, variable values) in time-bucketed,
+// columnar, compressed block files. Enable it with WithArchive and
+// reach it through RTG.Archive.
+type Archive = archive.Archive
+
+// ArchiveQuery selects archived records by service, pattern, half-open
+// time range and positional variable predicates.
+type ArchiveQuery = archive.Query
+
+// ArchiveEntry is one archived record returned by Archive.Query.
+type ArchiveEntry = archive.Entry
+
+// ArchiveBlockInfo describes one archive block file (Archive.Blocks).
+type ArchiveBlockInfo = archive.BlockInfo
 
 // Metrics is the observability surface of one (or several) RTG
 // instances: atomic counters, gauges and latency histograms covering
@@ -177,6 +197,10 @@ type Config struct {
 	// registry is created when nil. Set it (or use WithMetrics) to share
 	// one registry across instances.
 	Metrics *Metrics
+
+	// Archive enables the pattern-aware compressed log archive (see
+	// WithArchive). Off by default.
+	Archive bool
 }
 
 // RTG is a Sequence-RTG instance: a pattern store plus the scanning,
@@ -185,6 +209,7 @@ type RTG struct {
 	store   *store.Store
 	engine  *core.Engine
 	metrics *Metrics
+	archive *archive.Archive // nil unless WithArchive
 }
 
 // Open creates (or reopens) a Sequence-RTG instance. dir is the pattern
@@ -212,6 +237,21 @@ func Open(dir string, opts ...Option) (*RTG, error) {
 	if err != nil {
 		return nil, err
 	}
+	var arc *archive.Archive
+	if c.Archive {
+		// The archive lives beside the pattern database; an in-memory
+		// instance gets an in-memory (fault-FS-backed) archive, so the
+		// code paths are identical either way.
+		afs, adir := vfs.FS(vfs.OS{}), filepath.Join(dir, "archive")
+		if dir == "" {
+			afs, adir = vfs.NewFault(), "archive"
+		}
+		arc, err = archive.Open(adir, archive.Options{FS: afs, Shards: c.StoreShards, Metrics: c.Metrics})
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+	}
 	ac := analyzer.DefaultConfig()
 	if c.MinGroupMessages > 0 {
 		ac.MinGroupMessages = c.MinGroupMessages
@@ -226,12 +266,24 @@ func Open(dir string, opts ...Option) (*RTG, error) {
 		Shards:        c.StoreShards,
 		Scanner:       token.Config{UnpaddedTimes: c.UnpaddedTimes, PathFSM: c.PathFSM},
 		Metrics:       c.Metrics,
+		Archive:       arc,
 	})
-	return &RTG{store: st, engine: engine, metrics: c.Metrics}, nil
+	return &RTG{store: st, engine: engine, metrics: c.Metrics, archive: arc}, nil
 }
 
-// Close flushes and closes the pattern database.
-func (r *RTG) Close() error { return r.store.Close() }
+// Close flushes and closes the pattern database (and the archive, when
+// enabled — sealing its open blocks).
+func (r *RTG) Close() error {
+	var err error
+	if r.archive != nil {
+		err = r.archive.Close()
+	}
+	return errors.Join(err, r.store.Close())
+}
+
+// Archive returns the instance's compressed log archive, or nil when
+// archiving is disabled (the default).
+func (r *RTG) Archive() *Archive { return r.archive }
 
 // AnalyzeByService processes one batch with the Sequence-RTG workflow:
 // partition by service, match known patterns first, mine the unmatched
@@ -367,8 +419,16 @@ func (r *RTG) Purge(minCount int64, olderThan time.Time) (int, error) {
 
 // Flush forces buffered journal writes of the pattern database to disk
 // — the durability barrier a long-running server takes after each
-// analysed batch.
-func (r *RTG) Flush() error { return r.store.Flush() }
+// analysed batch. With the archive enabled it also seals the archive's
+// open blocks, so every record archived before the Flush is queryable
+// after a crash.
+func (r *RTG) Flush() error {
+	err := r.store.Flush()
+	if r.archive != nil {
+		err = errors.Join(err, r.archive.Flush())
+	}
+	return err
+}
 
 // Compact writes a fresh snapshot of a file-backed pattern database and
 // truncates its journal.
