@@ -64,7 +64,7 @@ func cmdArchiveLs(args []string) error {
 		fmt.Printf("%s  service=%s bucket=%s records=%d patterns=%d bytes=%d span=[%s, %s]\n",
 			b.File, b.Service, time.Unix(b.Bucket, 0).UTC().Format(time.RFC3339),
 			b.Records, b.Patterns, b.Bytes,
-			b.MinTime.Format(time.RFC3339Nano), b.MaxTime.Format(time.RFC3339Nano))
+			archive.FormatTime(b.MinTime), archive.FormatTime(b.MaxTime))
 	}
 	fmt.Printf("%d blocks, %d records, %d bytes", len(blocks)-corrupt, records, bytes)
 	if corrupt > 0 {

@@ -17,8 +17,10 @@
 //	persist           journal write path, per-service ApplyBatch group commit, v2
 //	archive_append    compressed log archive append, single worker, per record
 //	archive_query     time-range + variable query over a sealed archive, per query
+//	mask              PII masking stage alone, result cache off, 1-in-8 messages carry PII
 //	e2e               AnalyzeByService steady state, exact cache on, single worker
 //	e2e_nocache       AnalyzeByService steady state, exact cache disabled
+//	e2e_masked        e2e with the masking stage (all built-in detectors, result cache on)
 //
 // The persist and archive stages run on the in-memory fault filesystem
 // so the figures isolate encoding and write-path cost from disk noise;
@@ -51,6 +53,7 @@ import (
 	"repro/internal/analyzer"
 	"repro/internal/archive"
 	"repro/internal/core"
+	"repro/internal/mask"
 	"repro/internal/obs"
 	"repro/internal/ingest"
 	"repro/internal/parser"
@@ -157,7 +160,7 @@ func main() {
 func run(c Corpus) *Result {
 	res := &Result{
 		Schema:     SchemaVersion,
-		PR:         8,
+		PR:         9,
 		GitSHA:     gitSHA(),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -482,8 +485,40 @@ func run(c Corpus) *Result {
 		}
 	})
 
-	stage("e2e", func(b *testing.B) { e2e(b, recs, now, false) })
-	stage("e2e_nocache", func(b *testing.B) { e2e(b, recs, now, true) })
+	// The mask workload: the corpus with every 8th message carrying one
+	// PII value of a rotating kind, the rest clean — a plausible
+	// production mix. Result cache off, so the stage prices the full
+	// detection pass, not the memoized replay the engine enjoys.
+	maskedMsgs := make([]string, len(msgs))
+	for i, m := range msgs {
+		switch {
+		case i%32 == 0:
+			maskedMsgs[i] = m + " user u" + fmt.Sprint(i) + "@example.com"
+		case i%32 == 8:
+			maskedMsgs[i] = m + " password=hunter" + fmt.Sprint(i)
+		case i%32 == 16:
+			maskedMsgs[i] = m + " card 4111111111111111"
+		case i%32 == 24:
+			maskedMsgs[i] = m + " src 203.0.113." + fmt.Sprint(i%200+1)
+		default:
+			maskedMsgs[i] = m
+		}
+	}
+	mk := mask.New(mask.Config{Salt: "bench", DisableCache: true})
+	stage("mask", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, m := range maskedMsgs {
+				mk.Mask(m)
+			}
+		}
+	})
+
+	stage("e2e", func(b *testing.B) { e2e(b, recs, now, false, nil) })
+	stage("e2e_nocache", func(b *testing.B) { e2e(b, recs, now, true, nil) })
+	stage("e2e_masked", func(b *testing.B) {
+		e2e(b, recs, now, false, mask.New(mask.Config{Salt: "bench"}))
+	})
 	return res
 }
 
@@ -505,13 +540,15 @@ func learn(recs []ingest.Record, now time.Time) []*patterns.Pattern {
 // e2e measures the full AnalyzeByService path in steady state: the
 // engine has already learned the corpus, so the measured passes are the
 // production mix of parse hits plus match-statistic flushes. Single
-// worker (Concurrency 1) so the number is per-core.
-func e2e(b *testing.B, recs []ingest.Record, now time.Time, nocache bool) {
+// worker (Concurrency 1) so the number is per-core. A non-nil masker
+// puts the masking stage on the path; its result cache warms during the
+// learning pass, the production steady state.
+func e2e(b *testing.B, recs []ingest.Record, now time.Time, nocache bool, msk *mask.Masker) {
 	st, err := store.Open("")
 	if err != nil {
 		b.Fatal(err)
 	}
-	eng := core.NewEngine(st, core.Config{Concurrency: 1, DisableExactCache: nocache})
+	eng := core.NewEngine(st, core.Config{Concurrency: 1, DisableExactCache: nocache, Mask: msk})
 	if _, err := eng.AnalyzeByService(recs, now); err != nil {
 		b.Fatal(err)
 	}

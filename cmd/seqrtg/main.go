@@ -11,8 +11,8 @@
 //
 // Usage:
 //
-//	seqrtg analyze   -db DIR [-batch N] [-classic] [-plain -service S] [-archive]
-//	seqrtg serve     -db DIR [-syslog-udp ADDR] [-syslog-tcp ADDR] [-http ADDR] [-queue-depth N] [-archive]
+//	seqrtg analyze   -db DIR [-batch N] [-classic] [-plain -service S] [-archive] [-mask] [-mask-rules FILE]
+//	seqrtg serve     -db DIR [-syslog-udp ADDR] [-syslog-tcp ADDR] [-http ADDR] [-queue-depth N] [-archive] [-mask] [-mask-rules FILE]
 //	seqrtg parse     -db DIR [-plain -service S]
 //	seqrtg export    -db DIR -format patterndb|yaml|grok [-min-count N] [-max-complexity F] [-service S]
 //	seqrtg stats     -db DIR
@@ -124,6 +124,45 @@ func serveObservability(addr string, rtg *sequence.RTG) {
 	}()
 }
 
+// maskFlags registers the masking flags shared by analyze and serve.
+type maskFlags struct {
+	on    *bool
+	rules *string
+	salt  *string
+}
+
+func newMaskFlags(fs *flag.FlagSet) maskFlags {
+	return maskFlags{
+		on:    fs.Bool("mask", false, "mask PII (emails, IPs, secrets, card numbers) before analysis and storage"),
+		rules: fs.String("mask-rules", "", "masking rules file (one '<action> <regexp>' per line; implies -mask)"),
+		salt:  fs.String("mask-salt", "", "salt for the hash masking action (set per site so digests are not reversible offline)"),
+	}
+}
+
+// options builds the WithMasking option. The rules file loads
+// leniently: a malformed line is warned about on stderr and counted
+// into seqrtg_mask_errors_total, but must not take ingest down.
+func (mf maskFlags) options() ([]sequence.Option, error) {
+	if !*mf.on && *mf.rules == "" {
+		return nil, nil
+	}
+	mc := sequence.MaskConfig{Salt: *mf.salt}
+	if *mf.rules != "" {
+		f, err := os.Open(*mf.rules)
+		if err != nil {
+			return nil, fmt.Errorf("mask rules: %w", err)
+		}
+		rules, errs := sequence.ParseMaskRulesLenient(f)
+		f.Close()
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "seqrtg: mask rules:", e)
+		}
+		mc.Rules = rules
+		mc.RuleErrors = len(errs)
+	}
+	return []sequence.Option{sequence.WithMasking(mc)}, nil
+}
+
 func cmdAnalyze(args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	db := fs.String("db", "", "pattern database directory (empty = in-memory)")
@@ -136,6 +175,8 @@ func cmdAnalyze(args []string) error {
 	shards := fs.Int("shards", 0, "store/parser shard count (0 = GOMAXPROCS)")
 	journal := fs.String("journal-format", "", "journal record encoding: v2 (binary, default) or v1 (legacy JSON lines)")
 	archiveOn := fs.Bool("archive", false, "archive matched messages as compressed (pattern ID, variables) blocks under <db>/archive")
+	archiveRetention := fs.Duration("archive-retention", 0, "age out archive blocks older than this horizon on flush (0 = keep forever)")
+	mf := newMaskFlags(fs)
 	quiet := fs.Bool("quiet", false, "suppress per-batch progress")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars (expvar) and /debug/pprof on this address")
 	selfReport := fs.Int("self-report", 0, "print a metrics self-report every N batches (0 = off)")
@@ -151,6 +192,14 @@ func cmdAnalyze(args []string) error {
 	if *archiveOn {
 		dbOpts = append(dbOpts, sequence.WithArchive())
 	}
+	if *archiveRetention > 0 {
+		dbOpts = append(dbOpts, sequence.WithArchiveRetention(*archiveRetention))
+	}
+	maskOpts, err := mf.options()
+	if err != nil {
+		return err
+	}
+	dbOpts = append(dbOpts, maskOpts...)
 	rtg, err := openDB(*db, dbOpts...)
 	if err != nil {
 		return err
@@ -234,6 +283,8 @@ func cmdServe(args []string) error {
 	shards := fs.Int("shards", 0, "store/parser shard count (0 = GOMAXPROCS)")
 	journal := fs.String("journal-format", "", "journal record encoding: v2 (binary, default) or v1 (legacy JSON lines)")
 	archiveOn := fs.Bool("archive", false, "archive matched messages and serve GET /api/v1/query over them")
+	archiveRetention := fs.Duration("archive-retention", 0, "age out archive blocks older than this horizon on flush (0 = keep forever)")
+	mf := newMaskFlags(fs)
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars (expvar) and /debug/pprof on this address")
 	quiet := fs.Bool("quiet", false, "suppress per-batch progress")
 	fs.Parse(args)
@@ -247,6 +298,14 @@ func cmdServe(args []string) error {
 	if *archiveOn {
 		dbOpts = append(dbOpts, sequence.WithArchive())
 	}
+	if *archiveRetention > 0 {
+		dbOpts = append(dbOpts, sequence.WithArchiveRetention(*archiveRetention))
+	}
+	maskOpts, err := mf.options()
+	if err != nil {
+		return err
+	}
+	dbOpts = append(dbOpts, maskOpts...)
 	rtg, err := openDB(*db, dbOpts...)
 	if err != nil {
 		return err
@@ -269,6 +328,7 @@ func cmdServe(args []string) error {
 		DefaultService: *service,
 		Metrics:        rtg.Metrics(),
 		Archive:        rtg.Archive(),
+		Mask:           rtg.Masker(),
 		Report: func(r sequence.BatchResult) {
 			if !*quiet {
 				fmt.Fprintf(os.Stderr, "batch: %d messages, %d matched, %d new patterns, %d services, %v\n",

@@ -10,6 +10,7 @@ import (
 	"repro/internal/analysis/framework"
 	"repro/internal/analysis/guardedby"
 	"repro/internal/analysis/journalcodec"
+	"repro/internal/analysis/maskbound"
 	"repro/internal/analysis/metricnames"
 	"repro/internal/analysis/persisterr"
 	"repro/internal/analysis/vfsonly"
@@ -21,6 +22,7 @@ func All() []*framework.Analyzer {
 		bufownership.Analyzer,
 		guardedby.Analyzer,
 		journalcodec.Analyzer,
+		maskbound.Analyzer,
 		metricnames.Analyzer,
 		persisterr.Analyzer,
 		vfsonly.Analyzer,

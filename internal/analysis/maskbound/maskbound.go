@@ -1,0 +1,161 @@
+// Package maskbound enforces the PII boundary on the ingest paths: in
+// internal/core and internal/server, any function that writes to a
+// durable sink — the store's ApplyBatch/Upsert/TouchIn or the
+// archive's Append — must run the masking stage first. The masking
+// contract (DESIGN.md §13) is that raw message text never reaches the
+// journal, snapshots, or archive blocks; that only holds if every
+// ingest function masks before it stores. The check is lexical: a call
+// to a *mask.Masker method or to a mask* helper (maskMsg,
+// maskMessages, maskRecord, ...) must appear earlier in the function
+// body than the sink call it covers. Both real ingest paths satisfy
+// this by construction — the engine masks each partition at the top of
+// analyzeService, and the server masks each record as it is decoded —
+// so a diagnostic here means a new write path skipped the stage.
+package maskbound
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "maskbound",
+	Doc: "ingest functions in internal/core and internal/server must " +
+		"run the masking stage (a mask.Masker method or a mask* helper) " +
+		"before writing to the store (ApplyBatch, Upsert, TouchIn) or " +
+		"the archive (Append)",
+	Run: run,
+}
+
+// sinkMethods maps the durable-write receivers to their sink methods:
+// package path suffix -> type name -> method set.
+var sinkMethods = map[string]map[string]map[string]bool{
+	"internal/store": {
+		"Store": {"ApplyBatch": true, "Upsert": true, "TouchIn": true},
+	},
+	"internal/archive": {
+		"Archive": {"Append": true},
+	},
+}
+
+func run(pass *framework.Pass) error {
+	if !framework.PathHasSuffix(pass.Path, "internal/core") &&
+		!framework.PathHasSuffix(pass.Path, "internal/server") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue // tests may drive the store directly to stage fixtures
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// sink is one durable-write call found in a function body.
+type sink struct {
+	pos  token.Pos
+	name string // display name, e.g. "store.ApplyBatch"
+}
+
+// checkFunc walks one function body (closures included — they share
+// the enclosing function's lexical scope) and reports every sink call
+// with no masking call lexically before it.
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	maskPos := token.NoPos // earliest masking call in the body
+	var sinks []sink
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isMaskCall(pass, call) {
+			if !maskPos.IsValid() || call.Pos() < maskPos {
+				maskPos = call.Pos()
+			}
+			return true
+		}
+		if name := sinkName(pass, call); name != "" {
+			sinks = append(sinks, sink{pos: call.Pos(), name: name})
+		}
+		return true
+	})
+	for _, s := range sinks {
+		if maskPos.IsValid() && maskPos < s.pos {
+			continue
+		}
+		pass.Reportf(s.pos, "%s without a prior masking call in this function: ingest code must run the masking stage (mask.Masker or a mask* helper) before durable writes", s.name)
+	}
+}
+
+// isMaskCall reports whether call invokes the masking stage: any
+// method on *mask.Masker, or any function or method whose name starts
+// with "mask"/"Mask" (the ingest helpers maskMsg, maskMessages,
+// maskRecord wrap the nil-masker check and count as the stage).
+func isMaskCall(pass *framework.Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return hasMaskPrefix(fun.Name)
+	case *ast.SelectorExpr:
+		if hasMaskPrefix(fun.Sel.Name) {
+			return true
+		}
+		if s, ok := pass.TypesInfo.Selections[fun]; ok && s.Kind() == types.MethodVal {
+			return namedIs(s.Recv(), "internal/mask", "Masker")
+		}
+	}
+	return false
+}
+
+func hasMaskPrefix(name string) bool {
+	return strings.HasPrefix(name, "mask") || strings.HasPrefix(name, "Mask")
+}
+
+// sinkName reports the display name of a durable-write call ("" if
+// call is not one): a sinkMethods method on the matching receiver type.
+func sinkName(pass *framework.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return ""
+	}
+	for suffix, typs := range sinkMethods {
+		for typ, methods := range typs {
+			if methods[sel.Sel.Name] && namedIs(s.Recv(), suffix, typ) {
+				short := suffix[strings.LastIndexByte(suffix, '/')+1:]
+				return short + "." + sel.Sel.Name
+			}
+		}
+	}
+	return ""
+}
+
+// namedIs reports whether t (pointers unwrapped) is the named type
+// `name` declared in a package whose import path ends in suffix. The
+// suffix match lets analysistest fixtures declare their own
+// internal/store, internal/archive, and internal/mask.
+func namedIs(t types.Type, suffix, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil &&
+		framework.PathHasSuffix(obj.Pkg().Path(), suffix)
+}

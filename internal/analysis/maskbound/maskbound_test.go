@@ -1,0 +1,13 @@
+package maskbound_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/maskbound"
+)
+
+func TestMaskBound(t *testing.T) {
+	analysistest.Run(t, maskbound.Analyzer, "internal/core")
+	analysistest.Run(t, maskbound.Analyzer, "internal/server")
+}

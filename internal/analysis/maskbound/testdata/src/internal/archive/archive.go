@@ -1,0 +1,6 @@
+// Fixture stand-in for the real internal/archive.
+package archive
+
+type Archive struct{}
+
+func (a *Archive) Append(service, patternID string) error { return nil }

@@ -1,0 +1,6 @@
+// Fixture stand-in for the real internal/mask.
+package mask
+
+type Masker struct{}
+
+func (m *Masker) Mask(msg string) (string, bool) { return msg, false }

@@ -1,0 +1,34 @@
+// Fixture: the server's listeners must mask each record before any
+// durable write, mirroring the real maskRecord helper.
+package server
+
+import (
+	"internal/mask"
+	"internal/store"
+)
+
+type record struct {
+	Message string
+}
+
+type server struct {
+	st  *store.Store
+	msk *mask.Masker
+}
+
+func (s *server) maskRecord(rec *record) {
+	if out, changed := s.msk.Mask(rec.Message); changed {
+		rec.Message = out
+	}
+}
+
+func (s *server) goodIngest(rec record) error {
+	s.maskRecord(&rec)
+	_, err := s.st.ApplyBatch(rec.Message, nil)
+	return err
+}
+
+func (s *server) badIngest(rec record) error {
+	_, err := s.st.ApplyBatch(rec.Message, nil) // want `store\.ApplyBatch without a prior masking call`
+	return err
+}

@@ -1,0 +1,13 @@
+// Fixture stand-in for the real internal/store: only the sink method
+// names and the receiver type name matter to the analyzer.
+package store
+
+type Op struct{}
+
+type Store struct{}
+
+func (s *Store) ApplyBatch(service string, ops []Op) ([]string, error) { return nil, nil }
+
+func (s *Store) Upsert(id string) error { return nil }
+
+func (s *Store) TouchIn(service, id string) error { return nil }

@@ -58,6 +58,15 @@ type Options struct {
 	// Metrics receives archive instrumentation. Defaults to a private
 	// obs.Metrics.
 	Metrics *obs.Metrics
+	// Retention, when positive, ages out published block files: every
+	// Flush (and therefore Close) deletes blocks whose bucket ended more
+	// than Retention before now. Retired blocks count into
+	// seqrtg_archive_retired_blocks_total. Zero keeps blocks forever.
+	Retention time.Duration
+	// Now is the clock the retention horizon is measured against;
+	// defaults to time.Now. Tests and the crash harness inject a fixed
+	// clock for deterministic schedules.
+	Now func() time.Time
 }
 
 func (o Options) withDefaults() Options {
@@ -78,6 +87,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Metrics == nil {
 		o.Metrics = obs.New()
+	}
+	if o.Now == nil {
+		o.Now = time.Now
 	}
 	return o
 }
@@ -342,8 +354,10 @@ func (a *Archive) writeBlockFile(tmp, final string, data []byte) error {
 	return nil
 }
 
-// Flush seals every open in-memory block. After a Flush returns nil,
-// every record appended before the call is durable and queryable.
+// Flush seals every open in-memory block, then applies the retention
+// horizon. After a Flush returns nil, every record appended before the
+// call is durable and queryable (until retention later ages its block
+// out).
 func (a *Archive) Flush() error {
 	var first error
 	for i := range a.shards {
@@ -360,6 +374,48 @@ func (a *Archive) Flush() error {
 			}
 		}
 		sh.mu.Unlock()
+	}
+	if err := a.retire(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// retire deletes published block files older than the retention
+// horizon: a block is retired once its whole bucket — not just its
+// oldest record — lies beyond Retention. Deletion goes through the vfs
+// seam, so the crash harness covers crash-during-retire; a crash here
+// leaves some expired blocks behind, and the next Flush retries them.
+// Retire runs after sealing, never during Open: reopening an archive
+// must not mutate the directory beyond tmp cleanup.
+func (a *Archive) retire() error {
+	if a.opts.Retention <= 0 {
+		return nil
+	}
+	horizon := a.opts.Now().Add(-a.opts.Retention)
+	names, err := a.opts.FS.ReadDir(a.dir)
+	if err != nil {
+		a.m.ArchiveIOErrors.Inc()
+		return fmt.Errorf("archive: retention scan: %w", err)
+	}
+	var first error
+	for _, name := range names {
+		bucket, _, ok := parseBlockName(name)
+		if !ok {
+			continue
+		}
+		bucketEnd := time.Unix(bucket+a.opts.BucketSeconds, 0)
+		if bucketEnd.After(horizon) {
+			continue
+		}
+		if err := a.opts.FS.Remove(filepath.Join(a.dir, name)); err != nil {
+			a.m.ArchiveIOErrors.Inc()
+			if first == nil {
+				first = fmt.Errorf("archive: retire block: %w", err)
+			}
+			continue
+		}
+		a.m.ArchiveRetiredBlocks.Inc()
 	}
 	return first
 }

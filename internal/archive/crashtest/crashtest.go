@@ -127,10 +127,15 @@ func Script() []Op {
 	return ops
 }
 
+// optsFn builds the archive configuration for one harness variant —
+// opts for the base workload, optsRetention for crash-during-retire.
+type optsFn func(*vfs.Fault) archive.Options
+
 // runner executes a script against an archive on a fault filesystem
 // while maintaining the model.
 type runner struct {
 	f *vfs.Fault
+	o optsFn
 	a *archive.Archive
 	// appended is every record an append call was made for, in order —
 	// the upper bound of what a crash image may serve (the record is in
@@ -160,12 +165,12 @@ func (r *runner) dropPending() {
 	}
 }
 
-func newRunner(f *vfs.Fault) (*runner, error) {
-	a, err := archive.Open(dir, opts(f))
+func newRunner(f *vfs.Fault, o optsFn) (*runner, error) {
+	a, err := archive.Open(dir, o(f))
 	if err != nil {
 		return nil, err
 	}
-	return &runner{f: f, a: a}, nil
+	return &runner{f: f, o: o, a: a}, nil
 }
 
 // run executes ops until the script completes or an operation fails
@@ -192,7 +197,7 @@ func (r *runner) run(ops []Op) (bool, error) {
 			// and reopen over the same files. The unsealed tail is lost —
 			// its records were never acknowledged.
 			r.dropPending()
-			a, err := archive.Open(dir, opts(r.f))
+			a, err := archive.Open(dir, r.o(r.f))
 			if err != nil {
 				return false, nil
 			}
@@ -202,7 +207,7 @@ func (r *runner) run(ops []Op) (bool, error) {
 				return false, nil
 			}
 			r.ackPending()
-			a, err := archive.Open(dir, opts(r.f))
+			a, err := archive.Open(dir, r.o(r.f))
 			if err != nil {
 				return false, nil
 			}
@@ -245,8 +250,12 @@ func served(a *archive.Archive) (map[int]archive.Entry, error) {
 // checkInvariants opens an archive over the crash image and verifies it
 // against the model. reopenShards lets the caller vary the recovering
 // process's shard count — the on-disk layout is shard-agnostic.
-func checkInvariants(img *vfs.Fault, appended []rec, reopenShards int) error {
-	o := opts(img)
+// retiredOK, when non-nil, marks records whose block the retention
+// horizon may have aged out: such a record is allowed to be absent even
+// when acknowledged (a crash can land on either side of its block's
+// retire step), but if served it must still be byte-faithful.
+func checkInvariants(img *vfs.Fault, appended []rec, reopenShards int, optsOf optsFn, retiredOK func(rec) bool) error {
+	o := optsOf(img)
 	o.Shards = reopenShards
 	a, err := archive.Open(dir, o)
 	if err != nil {
@@ -279,6 +288,9 @@ func checkInvariants(img *vfs.Fault, appended []rec, reopenShards int) error {
 		if want.state != stateAcked {
 			continue
 		}
+		if retiredOK != nil && retiredOK(want) {
+			continue
+		}
 		if _, ok := got[want.seq]; !ok {
 			return fmt.Errorf("lost acknowledged record %d (%d of %d appended served)", want.seq, len(got), len(appended))
 		}
@@ -289,9 +301,11 @@ func checkInvariants(img *vfs.Fault, appended []rec, reopenShards int) error {
 // Probe runs the script once with no crash armed and returns the number
 // of mutating disk operations it performs — the crash schedule's bound.
 // It also verifies the complete run serves exactly the appended set.
-func Probe(ops []Op) (int, error) {
+func Probe(ops []Op) (int, error) { return probe(ops, opts, nil) }
+
+func probe(ops []Op, optsOf optsFn, retiredOK func(rec) bool) (int, error) {
 	f := vfs.NewFault()
-	r, err := newRunner(f)
+	r, err := newRunner(f, optsOf)
 	if err != nil {
 		return 0, err
 	}
@@ -302,14 +316,16 @@ func Probe(ops []Op) (int, error) {
 	if !done {
 		return 0, errors.New("uncrashed run did not complete")
 	}
-	if err := checkInvariants(f.Image(), r.appended, 2); err != nil {
+	if err := checkInvariants(f.Image(), r.appended, 2, optsOf, retiredOK); err != nil {
 		return 0, fmt.Errorf("complete run: %w", err)
 	}
 	// The complete run must serve exactly the acknowledged set: every
 	// acked record (checked above) and nothing that was dropped — the
 	// abandoned tails were never sealed, so serving one would mean a
-	// reader looked at state the writer never published.
-	a, err := archive.Open(dir, opts(f.Image()))
+	// reader looked at state the writer never published. Under
+	// retention the complete run's final Close has retired every
+	// expired block, so an acked-but-retireable record must be gone.
+	a, err := archive.Open(dir, optsOf(f.Image()))
 	if err != nil {
 		return 0, err
 	}
@@ -318,8 +334,12 @@ func Probe(ops []Op) (int, error) {
 		return 0, err
 	}
 	for _, want := range r.appended {
-		if _, ok := got[want.seq]; ok && want.state == stateDropped {
+		_, ok := got[want.seq]
+		if ok && want.state == stateDropped {
 			return 0, fmt.Errorf("complete run served dropped record %d", want.seq)
+		}
+		if ok && retiredOK != nil && retiredOK(want) {
+			return 0, fmt.Errorf("complete run served record %d past its retention horizon", want.seq)
 		}
 	}
 	return f.Steps(), nil
@@ -331,10 +351,14 @@ func Probe(ops []Op) (int, error) {
 // idempotence (the first reopen removes temporary files; a second must
 // serve the identical record set).
 func RunCrash(ops []Op, k int, keepUnsynced bool) error {
+	return runCrash(ops, k, keepUnsynced, opts, nil)
+}
+
+func runCrash(ops []Op, k int, keepUnsynced bool, optsOf optsFn, retiredOK func(rec) bool) error {
 	f := vfs.NewFault()
 	f.KeepUnsynced(keepUnsynced)
 	f.CrashAtStep(k)
-	r, err := newRunner(f)
+	r, err := newRunner(f, optsOf)
 	if err != nil && !errors.Is(err, vfs.ErrCrashed) {
 		return fmt.Errorf("initial open: %v", err)
 	}
@@ -343,22 +367,22 @@ func RunCrash(ops []Op, k int, keepUnsynced bool) error {
 			return err
 		}
 	} else {
-		r = &runner{f: f}
+		r = &runner{f: f, o: optsOf}
 	}
 
 	img := f.Image()
-	if err := checkInvariants(img, r.appended, 2); err != nil {
+	if err := checkInvariants(img, r.appended, 2, optsOf, retiredOK); err != nil {
 		return err
 	}
 	// The on-disk layout is shard-agnostic: any recovering shard count
 	// must serve the same records.
-	if err := checkInvariants(f.Image(), r.appended, 5); err != nil {
+	if err := checkInvariants(f.Image(), r.appended, 5, optsOf, retiredOK); err != nil {
 		return fmt.Errorf("under 5 shards: %w", err)
 	}
 
 	// Recovery idempotence across the tmp-file cleanup the first open
 	// performs: open, query, open again, compare.
-	a1, err := archive.Open(dir, opts(img))
+	a1, err := archive.Open(dir, optsOf(img))
 	if err != nil {
 		return fmt.Errorf("recovery open: %w", err)
 	}
@@ -366,7 +390,7 @@ func RunCrash(ops []Op, k int, keepUnsynced bool) error {
 	if err != nil {
 		return fmt.Errorf("recovery query: %w", err)
 	}
-	a2, err := archive.Open(dir, opts(img))
+	a2, err := archive.Open(dir, optsOf(img))
 	if err != nil {
 		return fmt.Errorf("second recovery open: %w", err)
 	}
@@ -395,7 +419,7 @@ func RunRecoveryCrash(ops []Op, k int, keepUnsynced bool) error {
 	f := vfs.NewFault()
 	f.KeepUnsynced(keepUnsynced)
 	f.CrashAtStep(k)
-	r, err := newRunner(f)
+	r, err := newRunner(f, opts)
 	if err != nil && !errors.Is(err, vfs.ErrCrashed) {
 		return fmt.Errorf("initial open: %v", err)
 	}
@@ -404,7 +428,7 @@ func RunRecoveryCrash(ops []Op, k int, keepUnsynced bool) error {
 			return err
 		}
 	} else {
-		r = &runner{f: f}
+		r = &runner{f: f, o: opts}
 	}
 	img := f.Image()
 
@@ -422,7 +446,7 @@ func RunRecoveryCrash(ops []Op, k int, keepUnsynced bool) error {
 		// Open absorbs cleanup failures (a lingering tmp file is never
 		// served), so the crash firing mid-cleanup is not an error.
 		_, _ = archive.Open(dir, opts(img2))
-		if err := checkInvariants(img2.Image(), r.appended, 2); err != nil {
+		if err := checkInvariants(img2.Image(), r.appended, 2, opts, nil); err != nil {
 			return fmt.Errorf("after recovery crash at step %d/%d: %w", j, steps, err)
 		}
 	}

@@ -30,6 +30,37 @@ func TestCrashMatrix(t *testing.T) {
 	}
 }
 
+// TestCrashMatrixRetention reruns the crash matrix with the retention
+// horizon armed, so the schedule also lands on every side of each block
+// deletion the retire pass performs. Acknowledged records whose bucket
+// is past the horizon may be absent; everything else keeps the full
+// durability contract, and a complete run must have aged them all out.
+func TestCrashMatrixRetention(t *testing.T) {
+	ops := Script()
+	steps, err := ProbeRetention(ops)
+	if err != nil {
+		t.Fatalf("probe run: %v", err)
+	}
+	t.Logf("retention workload performs %d mutating disk operations", steps)
+	base, err := Probe(ops)
+	if err != nil {
+		t.Fatalf("base probe run: %v", err)
+	}
+	if steps <= base {
+		t.Fatalf("retention adds no crash points (%d vs %d) — retire performed no deletes", steps, base)
+	}
+	for _, keep := range []bool{false, true} {
+		for k := 1; k <= steps; k++ {
+			if err := RunCrashRetention(ops, k, keep); err != nil {
+				t.Errorf("crash at step %d (keepUnsynced=%v): %v", k, keep, err)
+				if testing.Short() {
+					t.FailNow()
+				}
+			}
+		}
+	}
+}
+
 // TestRecoveryCrash crashes the workload, then crashes the recovery
 // itself — the temporary-file cleanup the next open performs — at each
 // of its own disk operations (stride-sampled over the first crash point

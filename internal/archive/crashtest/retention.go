@@ -1,0 +1,56 @@
+package crashtest
+
+import (
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/vfs"
+)
+
+// The retention variant reruns the scripted workload with an ageing
+// horizon armed: the clock is pinned 20 minutes past baseTime and
+// Retention is 14 minutes, so the buckets of rounds 0–2 (minutes 0–5,
+// bucket end ≤ horizon baseTime+6m) are retireable and rounds 3–5 are
+// not. Every block Remove the retire pass performs is a mutating disk
+// operation, so the crash schedule lands on both sides of each
+// deletion. The invariants weaken in exactly one place: an acknowledged
+// record in a retireable bucket may be absent (its block was retired,
+// or the crash cut mid-retire and the next flush will retry) — torn
+// blocks, phantoms, mutations and double-serves stay forbidden, and
+// records past the horizon may never survive a complete run.
+
+// retentionNow pins the retire clock; keeping it constant keeps the
+// crash-step schedule deterministic.
+var retentionNow = baseTime.Add(20 * time.Minute)
+
+const retentionWindow = 14 * time.Minute
+
+func optsRetention(f *vfs.Fault) archive.Options {
+	o := opts(f)
+	o.Retention = retentionWindow
+	o.Now = func() time.Time { return retentionNow }
+	return o
+}
+
+// retireable reports whether the record's whole bucket lies beyond the
+// retention horizon, mirroring the archive's bucket-end comparison.
+func retireable(r rec) bool {
+	bucket := r.ts.Unix() - r.ts.Unix()%60
+	bucketEnd := time.Unix(bucket+60, 0)
+	return !bucketEnd.After(retentionNow.Add(-retentionWindow))
+}
+
+// ProbeRetention runs the retention workload once with no crash armed
+// and returns its mutating-operation count. The complete run must serve
+// exactly the acknowledged records inside the horizon: everything
+// retireable has been aged out by the final Close.
+func ProbeRetention(ops []Op) (int, error) {
+	return probe(ops, optsRetention, retireable)
+}
+
+// RunCrashRetention crashes the retention workload at mutating disk
+// operation k — including every block deletion the retire pass
+// performs — and checks the retention-aware invariants on the image.
+func RunCrashRetention(ops []Op, k int, keepUnsynced bool) error {
+	return runCrash(ops, k, keepUnsynced, optsRetention, retireable)
+}

@@ -3,6 +3,7 @@ package archive
 import (
 	"bytes"
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"math"
 	"path/filepath"
@@ -36,6 +37,50 @@ type Entry struct {
 	Service   string    `json:"service"`
 	PatternID string    `json:"pattern_id"`
 	Vars      []string  `json:"vars,omitempty"`
+}
+
+// entryJSON is Entry's wire form; the timestamp travels as a string in
+// the canonical format.
+type entryJSON struct {
+	Time      string   `json:"time"`
+	Service   string   `json:"service"`
+	PatternID string   `json:"pattern_id"`
+	Vars      []string `json:"vars,omitempty"`
+}
+
+// FormatTime renders an archive timestamp in the one canonical wire
+// format: RFC 3339 with nanoseconds, normalized to UTC. Every surface
+// that prints archive timestamps — pdbtool archive dump/ls and the
+// server's GET /api/v1/query — goes through this (dump and the query
+// endpoint via Entry.MarshalJSON), so operators can cut and paste
+// timestamps between tools without reformatting.
+func FormatTime(t time.Time) string {
+	return t.UTC().Format(time.RFC3339Nano)
+}
+
+// MarshalJSON pins Entry's encoding: timestamps are FormatTime strings
+// regardless of the location the time.Time carries.
+func (e Entry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(entryJSON{
+		Time:      FormatTime(e.Time),
+		Service:   e.Service,
+		PatternID: e.PatternID,
+		Vars:      e.Vars,
+	})
+}
+
+// UnmarshalJSON inverts MarshalJSON.
+func (e *Entry) UnmarshalJSON(data []byte) error {
+	var w entryJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	ts, err := time.Parse(time.RFC3339Nano, w.Time)
+	if err != nil {
+		return fmt.Errorf("archive: entry time: %w", err)
+	}
+	*e = Entry{Time: ts, Service: w.Service, PatternID: w.PatternID, Vars: w.Vars}
+	return nil
 }
 
 // BlockInfo describes one published block file, for operator tooling.

@@ -1,0 +1,120 @@
+package archive
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/vfs"
+)
+
+// TestRetention pins the ageing contract: on Flush, a published block
+// whose whole time bucket lies more than Retention before Now is
+// deleted and counted; younger blocks and queries over the retired
+// range are untouched.
+func TestRetention(t *testing.T) {
+	fs := vfs.NewFault()
+	reg := obs.New()
+	base := time.Date(2026, 3, 1, 10, 0, 0, 0, time.UTC)
+	clock := base
+	opts := Options{
+		FS:            fs,
+		BucketSeconds: 60,
+		FlushRecords:  1 << 20,
+		Shards:        1,
+		Metrics:       reg,
+		Retention:     10 * time.Minute,
+		Now:           func() time.Time { return clock },
+	}
+	a, err := Open("arch", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := base
+	young := base.Add(15 * time.Minute)
+	for ts, v := range map[time.Time]string{old: "old-var", young: "young-var"} {
+		if err := a.Append("svc", "p-1", ts, [][]byte{[]byte(v)}, 20); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// First flush: the old bucket (ends base+60s) is already beyond the
+	// horizon at clock = base+20m.
+	clock = base.Add(20 * time.Minute)
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().ArchiveRetiredBlocks; got != 1 {
+		t.Fatalf("archive_retired_blocks_total = %d, want 1", got)
+	}
+	names, err := fs.ReadDir("arch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 {
+		t.Fatalf("directory holds %d files after retire, want 1: %v", len(names), names)
+	}
+
+	// A query spanning the retired range succeeds and returns only the
+	// surviving records — no error, no phantom entries from the cache.
+	entries, err := a.Query(Query{From: base.Add(-time.Hour), To: base.Add(time.Hour)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Vars[0] != "young-var" {
+		t.Fatalf("query after retire = %+v, want only the young record", entries)
+	}
+
+	// An idle flush retires nothing new.
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().ArchiveRetiredBlocks; got != 1 {
+		t.Fatalf("idle flush retired blocks: counter = %d, want 1", got)
+	}
+
+	// Reopening must not mutate the directory: the young block is now
+	// also expired, but Open never retires — only the next Flush does.
+	clock = base.Add(time.Hour)
+	a2, err := Open("arch", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names, _ := fs.ReadDir("arch"); len(names) != 1 {
+		t.Fatalf("Open retired blocks: %v", names)
+	}
+	if err := a2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if names, _ := fs.ReadDir("arch"); len(names) != 0 {
+		t.Fatalf("flush left expired blocks behind: %v", names)
+	}
+	if got := reg.Snapshot().ArchiveRetiredBlocks; got != 2 {
+		t.Fatalf("archive_retired_blocks_total = %d, want 2", got)
+	}
+}
+
+// TestRetentionDisabled pins the default: zero Retention keeps every
+// block forever.
+func TestRetentionDisabled(t *testing.T) {
+	fs := vfs.NewFault()
+	a, err := Open("arch", Options{FS: fs, BucketSeconds: 60, Shards: 1,
+		Now: func() time.Time { return time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := time.Date(2026, 3, 1, 10, 0, 0, 0, time.UTC)
+	if err := a.Append("svc", "p-1", ts, [][]byte{[]byte("v")}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := fs.ReadDir("arch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 {
+		t.Fatalf("zero retention removed blocks: %v", names)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/analyzer"
 	"repro/internal/archive"
 	"repro/internal/ingest"
+	"repro/internal/mask"
 	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/patterns"
@@ -75,6 +76,12 @@ type Config struct {
 	// pattern-aware compressed log store. Nil (the default) disables
 	// archiving entirely.
 	Archive *archive.Archive
+	// Mask, when non-nil, is the PII masking stage: every message is
+	// rewritten by it before the parser's exact cache, the analyzer, the
+	// store journal, or the archive see the text, so raw sensitive
+	// values never become pattern examples, cache keys, or archived
+	// variable values. Nil (the default) disables masking.
+	Mask *mask.Masker
 }
 
 // Engine is a Sequence-RTG instance bound to a pattern store.
@@ -144,10 +151,39 @@ func (r *BatchResult) add(o BatchResult) {
 	r.NewPatterns += o.NewPatterns
 }
 
+// maskMsg runs the masking stage over one message; a nil masker is a
+// no-op. Patterns are mined from (and matched against) masked text, so
+// every path that feeds text downstream must pass through here first.
+func (e *Engine) maskMsg(msg string) string {
+	if e.cfg.Mask == nil {
+		return msg
+	}
+	out, _ := e.cfg.Mask.Mask(msg)
+	return out
+}
+
+// maskMessages applies the masking stage to a whole service partition
+// in place, before anything downstream (exact cache, analyzer, store,
+// archive) sees the text.
+func (e *Engine) maskMessages(msgs []string) []string {
+	if e.cfg.Mask == nil {
+		return msgs
+	}
+	for i, msg := range msgs {
+		if out, changed := e.cfg.Mask.Mask(msg); changed {
+			msgs[i] = out
+		}
+	}
+	return msgs
+}
+
 // Parse matches a single message against the known patterns of a service
 // without learning anything, returning the pattern and the extracted
-// variable values.
+// variable values. The message passes through the masking stage first:
+// patterns are mined from masked text, so a raw message containing PII
+// only matches after the same rewrite.
 func (e *Engine) Parse(service, message string) (*patterns.Pattern, map[string]string, bool) {
+	message = e.maskMsg(message)
 	s := token.NewScanner(e.cfg.Scanner)
 	defer s.Release()
 	toks := token.Enrich(s.Scan(message))
@@ -171,9 +207,10 @@ func (e *Engine) Analyze(records []ingest.Record, now time.Time) (BatchResult, e
 	services := make(map[string]struct{}, 64)
 	for _, rec := range records {
 		services[rec.Service] = struct{}{}
+		msg := e.maskMsg(rec.Message)
 		// Add interns what it keeps, so handing it the scanner's reused
 		// buffer (Scan, not ScanCopy) is safe and allocation-free.
-		a.Add(token.Enrich(s.Scan(rec.Message)), rec.Message)
+		a.Add(token.Enrich(s.Scan(msg)), msg)
 	}
 	res := BatchResult{Messages: len(records), Unmatched: len(records), Services: len(services)}
 	ops, saved := e.mineOps(a, now)
@@ -283,6 +320,10 @@ func (e *Engine) analyzeService(svc string, msgs []string, now time.Time) (Batch
 	start := time.Now()
 	defer e.m.EngineServiceAnalysis.ObserveSince(start)
 	res := BatchResult{Messages: len(msgs)}
+	// The masking stage rewrites the partition before anything below —
+	// the exact cache, the analyzer trie, the store journal, and the
+	// archive — can observe raw text.
+	msgs = e.maskMessages(msgs)
 	a := analyzer.New(svc, e.cfg.Analyzer)
 	s := token.NewScanner(e.cfg.Scanner)
 	defer s.Release()

@@ -1,0 +1,364 @@
+package mask
+
+import (
+	"bytes"
+
+	"repro/internal/token"
+)
+
+// The built-in detectors walk the enriched token stream of one line and
+// append findings. Detection priority per token is secrets > cards >
+// emails > IPs — a span matched by a stronger (redacting) detector is
+// never also matched by a weaker (hashing) one, so each span yields at
+// most one finding and overlap resolution stays trivial.
+
+// minBearerLen is the minimum length of the token following a "Bearer"
+// literal for it to be treated as a credential. Short words after
+// "bearer" in prose ("bearer of", say) are left alone.
+const minBearerLen = 8
+
+// secretKeys are the key= names whose values are always credentials.
+// Matched case-insensitively against the enriched KeySpan.
+var secretKeys = map[string]bool{
+	"password": true, "passwd": true, "pwd": true,
+	"secret": true, "secret_key": true, "secretkey": true,
+	"token": true, "auth_token": true, "access_token": true, "refresh_token": true,
+	"api_key": true, "apikey": true, "access_key": true, "accesskey": true,
+	"private_key": true, "auth": true, "authorization": true, "bearer": true,
+	"session_id": true, "sessionid": true, "credential": true, "credentials": true,
+}
+
+// secretPrefixes are well-known credential prefixes (API key shapes).
+// A span matches when it starts with the prefix and carries at least 8
+// more bytes of payload.
+var secretPrefixes = []string{
+	"sk-", "ghp_", "gho_", "ghs_", "ghu_", "github_pat_", "glpat-",
+	"xoxb-", "xoxp-", "xoxa-", "xoxr-", "xoxs-",
+}
+
+func (m *Masker) detect(st *state, toks []token.Token) {
+	c := &m.cfg
+	bearer := false
+	for i := 0; i < len(toks); i++ {
+		t := &toks[i]
+		if t.Type == token.TailAny || len(t.Span) == 0 {
+			bearer = false
+			continue
+		}
+		// A span that begins with the redact token is this masker's own
+		// earlier output (possibly fused with trailing punctuation by the
+		// scanner). Re-detecting it would rewrite already-masked bytes
+		// and break idempotence on re-ingested logs.
+		if bytes.HasPrefix(t.Span, redactBytes) {
+			bearer = false
+			continue
+		}
+		start, ok := st.offset(t.Span)
+		if !ok {
+			bearer = false
+			continue
+		}
+		end := start + len(t.Span)
+
+		if !c.DisableSecrets {
+			if bearer && len(t.Span) >= minBearerLen && !t.IsPunct() {
+				st.add(finding{start: start, end: end, act: Redact})
+				bearer = false
+				continue
+			}
+			bearer = eqFold(t.Span, "bearer")
+			if t.HasKey() && isSecretKey(t.KeySpan) {
+				st.add(finding{start: start, end: end, act: Redact})
+				continue
+			}
+			if isSecretShape(t.Span) {
+				st.add(finding{start: start, end: end, act: Redact})
+				continue
+			}
+		}
+		if !c.DisableCards {
+			if t.Type == token.Integer {
+				if n := cardRun(toks, i); n > 0 {
+					runEnd, ok := st.offset(toks[i+n-1].Span)
+					if ok {
+						st.add(finding{start: start, end: runEnd + len(toks[i+n-1].Span), act: KeepLast, keepN: 4})
+						i += n - 1
+						continue
+					}
+				}
+				if isCardDigits(t.Span) {
+					st.add(finding{start: start, end: end, act: KeepLast, keepN: 4})
+					continue
+				}
+			}
+			if t.Type == token.Literal && isGroupedCard(t.Span) {
+				st.add(finding{start: start, end: end, act: KeepLast, keepN: 4})
+				continue
+			}
+		}
+		if !c.DisableEmails && t.Type == token.Email {
+			st.add(finding{start: start, end: end, act: Hash})
+			continue
+		}
+		if !c.DisableIPs && (t.Type == token.IPv4 || t.Type == token.IPv6) {
+			st.add(finding{start: start, end: end, act: Hash})
+			continue
+		}
+	}
+}
+
+// eqFold is a no-allocation ASCII case-insensitive compare of a span
+// against a lowercase needle.
+func eqFold(b []byte, lower string) bool {
+	if len(b) != len(lower) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != lower[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// isSecretKey reports whether a KeySpan names a credential. The key is
+// lowercased into a small stack buffer; keys longer than the buffer
+// cannot be in the set.
+func isSecretKey(key []byte) bool {
+	if len(key) > 32 {
+		return false
+	}
+	var low [32]byte
+	for i, c := range key {
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		low[i] = c
+	}
+	return secretKeys[string(low[:len(key)])]
+}
+
+// isSecretShape reports whether a bare span looks like a credential:
+// a well-known API-key prefix, an AWS access key id, a JWT, or a long
+// mixed-alphabet base64-ish blob.
+func isSecretShape(span []byte) bool {
+	for _, p := range secretPrefixes {
+		if len(span) >= len(p)+8 && hasPrefixFold(span, p) {
+			return true
+		}
+	}
+	// AWS access key id: "AKIA" + 16 uppercase alphanumerics.
+	if len(span) == 20 && span[0] == 'A' && span[1] == 'K' && span[2] == 'I' && span[3] == 'A' {
+		ok := true
+		for _, c := range span[4:] {
+			if !(('A' <= c && c <= 'Z') || isDigit(c)) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	// JWT: three base64url sections, first one starting "eyJ" ('{"' in
+	// base64).
+	if len(span) >= 20 && span[0] == 'e' && span[1] == 'y' && span[2] == 'J' {
+		dots := 0
+		ok := true
+		for _, c := range span[3:] {
+			if c == '.' {
+				dots++
+				continue
+			}
+			if !isBase64URLByte(c) {
+				ok = false
+				break
+			}
+		}
+		if ok && dots == 2 {
+			return true
+		}
+	}
+	// Generic high-entropy blob: 32+ bytes of base64 alphabet with
+	// upper- and lowercase letters and digits all present. Hex strings
+	// (ids, digests) don't qualify: they have no uppercase in practice,
+	// and masking them would destroy useful correlation ids.
+	if len(span) >= 32 {
+		hasUpper, hasLower, hasDigit := false, false, false
+		for _, c := range span {
+			switch {
+			case 'A' <= c && c <= 'Z':
+				hasUpper = true
+			case 'a' <= c && c <= 'z':
+				hasLower = true
+			case isDigit(c):
+				hasDigit = true
+			case c == '+' || c == '/' || c == '=' || c == '-' || c == '_':
+			default:
+				return false
+			}
+		}
+		return hasUpper && hasLower && hasDigit
+	}
+	return false
+}
+
+func hasPrefixFold(span []byte, lower string) bool {
+	if len(span) < len(lower) {
+		return false
+	}
+	return eqFold(span[:len(lower)], lower)
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+func isBase64URLByte(c byte) bool {
+	return ('A' <= c && c <= 'Z') || ('a' <= c && c <= 'z') || isDigit(c) || c == '-' || c == '_' || c == '='
+}
+
+// Credit card detection. Three shapes are recognized, all subject to a
+// Luhn checksum so ordinary numeric ids don't get starred out:
+//
+//   - one Integer token of 13-19 digits ("4111111111111111"),
+//   - one Literal of 3-5 dash- or dot-separated digit groups
+//     ("4111-1111-1111-1111"),
+//   - a run of 3-5 space-separated Integer tokens of 3-6 digits each
+//     ("3782 822463 10005").
+
+const (
+	cardMinDigits = 13
+	cardMaxDigits = 19
+)
+
+// isCardDigits reports whether span is a bare 13-19 digit Luhn-valid
+// number.
+func isCardDigits(span []byte) bool {
+	if len(span) < cardMinDigits || len(span) > cardMaxDigits {
+		return false
+	}
+	for _, c := range span {
+		if !isDigit(c) {
+			return false
+		}
+	}
+	return luhn(span, nil)
+}
+
+// isGroupedCard reports whether a literal span is a separator-grouped
+// Luhn-valid card number ("4111-1111-1111-1111").
+func isGroupedCard(span []byte) bool {
+	digits, groups, groupLen := 0, 1, 0
+	for _, c := range span {
+		switch {
+		case isDigit(c):
+			digits++
+			groupLen++
+			if groupLen > 6 {
+				return false
+			}
+		case c == '-' || c == '.':
+			if groupLen < 3 {
+				return false
+			}
+			groups++
+			groupLen = 0
+		default:
+			return false
+		}
+	}
+	if groupLen < 3 || groups < 3 || groups > 5 {
+		return false
+	}
+	if digits < cardMinDigits || digits > cardMaxDigits {
+		return false
+	}
+	return luhn(span, nil)
+}
+
+// cardRun reports the length (in tokens) of a space-separated card
+// number starting at toks[i], or 0. Each group must be an Integer of
+// 3-6 digits preceded by a space, with 3-5 groups and 13-19 digits
+// total passing Luhn.
+func cardRun(toks []token.Token, i int) int {
+	digits := 0
+	j := i
+	for j < len(toks) && j-i < 5 {
+		t := &toks[j]
+		if t.Type != token.Integer || len(t.Span) < 3 || len(t.Span) > 6 {
+			break
+		}
+		if j > i && !t.SpaceBefore {
+			break
+		}
+		allDigits := true
+		for _, c := range t.Span {
+			if !isDigit(c) {
+				allDigits = false
+				break
+			}
+		}
+		if !allDigits {
+			break
+		}
+		digits += len(t.Span)
+		j++
+		if j-i >= 3 && digits >= cardMinDigits && digits <= cardMaxDigits {
+			if luhn(nil, toks[i:j]) {
+				return j - i
+			}
+		}
+		if digits > cardMaxDigits {
+			break
+		}
+	}
+	return 0
+}
+
+// luhn validates the Luhn checksum over the digits of either a single
+// span (non-digit separators skipped) or a token run. Exactly one of
+// span/run is non-nil.
+func luhn(span []byte, run []token.Token) bool {
+	var digits [cardMaxDigits]byte
+	n := 0
+	collect := func(b []byte) bool {
+		for _, c := range b {
+			if !isDigit(c) {
+				continue
+			}
+			if n >= len(digits) {
+				return false
+			}
+			digits[n] = c - '0'
+			n++
+		}
+		return true
+	}
+	if !collect(span) {
+		return false
+	}
+	for i := range run {
+		if !collect(run[i].Span) {
+			return false
+		}
+	}
+	if n < cardMinDigits {
+		return false
+	}
+	sum, double := 0, false
+	for i := n - 1; i >= 0; i-- {
+		d := int(digits[i])
+		if double {
+			d *= 2
+			if d > 9 {
+				d -= 9
+			}
+		}
+		sum += d
+		double = !double
+	}
+	return sum%10 == 0
+}

@@ -1,0 +1,404 @@
+// Package mask is the PII masking stage of the ingest path: a
+// configurable scrubber that rewrites sensitive spans of a log message
+// before the analyzer, parser, journal, snapshot, or archive ever see
+// the text. Masking this early means raw values cannot leak into
+// pattern examples, exact-match cache keys, journal records, or archive
+// blocks — everything downstream operates on the masked message only.
+//
+// Two detection layers run over each message:
+//
+//   - Built-in detectors walk the zero-alloc token spans produced by
+//     the scanner (emails, IPv4/IPv6 addresses, bearer/API tokens and
+//     common secret shapes, credit card numbers with Luhn validation).
+//   - User rules are regular expressions loaded from a rules file (see
+//     ParseRules), each paired with an action.
+//
+// Three actions exist: Redact replaces the span with the stable literal
+// "%masked%", Hash replaces it with a 16-hex-digit salted SHA-256
+// digest (stable per value, so masked values still correlate across
+// messages and remain usable as variable predicates), and KeepLast
+// stars all but the last N bytes. Replacements are chosen so the
+// scanner still tokenizes them into a single span — a hash digest scans
+// as a HexString and therefore becomes a %hexstring% variable position
+// during mining — and so that re-masking a masked message is a no-op
+// (the engine and the server may both run the stage).
+//
+// The hot path is allocation-free for non-matching messages: the
+// message is copied into a pooled buffer, scanned with the zero-copy
+// ScanBytes, and the detectors only read token spans. A bounded
+// verbatim-result cache makes the steady state (the same messages
+// arriving again) one map lookup regardless of match status.
+package mask
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/token"
+)
+
+// RedactToken is the stable replacement emitted by the Redact action.
+// It scans as a single literal token, so redacted positions converge in
+// mining instead of exploding the literal space.
+const RedactToken = "%masked%"
+
+// redactBytes is RedactToken for byte-slice comparisons on the hot path.
+var redactBytes = []byte(RedactToken)
+
+// hashLen is the hex-digit length of the Hash action's replacement. 16
+// hex digits (64 bits of the salted SHA-256) are enough to keep
+// distinct values distinct in practice while staying shorter than most
+// of the values they replace.
+const hashLen = 16
+
+// cacheLimit bounds the verbatim-result cache. A full cache is dropped
+// wholesale rather than evicted piecewise: log traffic is heavily
+// repetitive, so the working set re-fills almost immediately and the
+// occasional full recompute is cheaper than per-entry bookkeeping.
+const cacheLimit = 64 << 10
+
+// promoteMin is the smallest dirty-overflow size worth merging into the
+// frozen read map; below it, promotion overhead would dominate.
+const promoteMin = 512
+
+// Config configures a Masker. The zero value enables every built-in
+// detector with no user rules, an empty salt, and the result cache on.
+type Config struct {
+	// DisableEmails, DisableIPs, DisableSecrets and DisableCards turn
+	// off the corresponding built-in detector. All run by default.
+	DisableEmails  bool
+	DisableIPs     bool
+	DisableSecrets bool
+	DisableCards   bool
+
+	// Rules are the user-supplied regexp rules, applied after the
+	// built-in detectors (built-ins win on overlap).
+	Rules []Rule
+
+	// Salt is mixed into the Hash action's digest so masked values
+	// cannot be reversed by hashing candidate inputs offline. Deployments
+	// should set a per-site secret.
+	Salt string
+
+	// Scanner configures the tokenizer used by the built-in detectors;
+	// it should match the engine's scanner configuration.
+	Scanner token.Config
+
+	// Metrics receives the seqrtg_mask_* counters. Nil means a private
+	// unexported registry (metrics still count, but are not exposed).
+	Metrics *obs.Metrics
+
+	// DisableCache turns off the verbatim-result cache. The cache is
+	// what keeps the steady-state cost of the stage at roughly one map
+	// lookup per message; disable it only for memory-constrained
+	// embedders or benchmarks of the raw detection pass.
+	DisableCache bool
+
+	// RuleErrors is the number of rule lines rejected while loading the
+	// rules file leniently (see ParseRulesLenient); it is counted into
+	// seqrtg_mask_errors_total so operators can alert on a rules file
+	// that silently stopped matching.
+	RuleErrors int
+}
+
+// Masker applies the masking stage to messages. It is safe for
+// concurrent use; construct it once with New and share it between the
+// engine and the server listeners.
+type Masker struct {
+	cfg Config
+	m   *obs.Metrics
+
+	// The verbatim-result cache (cacheOn false when disabled) is split
+	// into an immutable frozen map, read lock-free through an atomic
+	// pointer — the steady-state masked hot path is exactly one map
+	// lookup, no lock — and a small mutex-guarded dirty overflow for
+	// messages seen since the last promotion. The overflow is merged
+	// into a new frozen map once it reaches a fixed fraction of the
+	// frozen size (geometric growth keeps the total merge work linear),
+	// and the whole cache is dropped at cacheLimit entries.
+	cacheOn bool
+	frozen  atomic.Pointer[map[string]cached]
+	mu      sync.Mutex
+	dirty   map[string]cached
+}
+
+// cached is one verbatim-result cache entry. A zero entry means the
+// message is unchanged by masking; matches and redacted replay the
+// metric contribution on every hit so the counters keep meaning
+// "per message seen", not "per distinct message".
+type cached struct {
+	out      string
+	matches  uint32
+	redacted uint32
+}
+
+// New builds a Masker from cfg. The rules-loaded and rule-error
+// counters are bumped once here, at construction.
+func New(cfg Config) *Masker {
+	m := cfg.Metrics
+	if m == nil {
+		m = obs.New()
+	}
+	msk := &Masker{cfg: cfg, m: m}
+	if !cfg.DisableCache {
+		msk.cacheOn = true
+		empty := map[string]cached{}
+		msk.frozen.Store(&empty)
+	}
+	m.MaskRulesLoaded.Add(int64(len(cfg.Rules)))
+	m.MaskErrors.Add(int64(cfg.RuleErrors))
+	return msk
+}
+
+// Rules returns the number of user rules the Masker carries.
+func (m *Masker) Rules() int { return len(m.cfg.Rules) }
+
+// finding is one span to rewrite: a half-open byte range of the
+// message plus the action to apply.
+type finding struct {
+	start, end int
+	act        Action
+	keepN      int
+}
+
+// state is the pooled per-call scratch: the private copy of the
+// message the token spans alias, the finding list, the rewrite output
+// buffer, and the salt||value buffer for hashing.
+type state struct {
+	buf    []byte
+	finds  []finding
+	out    []byte
+	salted []byte
+}
+
+var statePool = sync.Pool{New: func() any { return new(state) }}
+
+// offset recovers the absolute byte offset of span within st.buf. Every
+// span the scanner produces is a subslice of the buffer it was given,
+// so the offset falls out of slice-capacity arithmetic — no unsafe, no
+// searching. The bounds check rejects spans that do not alias the
+// buffer (there are none today; this keeps a future scanner change from
+// corrupting a rewrite).
+func (st *state) offset(span []byte) (int, bool) {
+	off := cap(st.buf) - cap(span)
+	if off < 0 || off+len(span) > len(st.buf) {
+		return 0, false
+	}
+	return off, true
+}
+
+func (st *state) add(f finding) {
+	if f.end > f.start {
+		st.finds = append(st.finds, f)
+	}
+}
+
+// Mask applies the masking stage to msg. It returns the masked message
+// and whether anything was rewritten; when nothing matches, the input
+// string is returned as-is with no allocation. Mask is idempotent for
+// the built-in detectors: masking an already-masked message yields the
+// same bytes.
+func (m *Masker) Mask(msg string) (string, bool) {
+	if m == nil || msg == "" {
+		return msg, false
+	}
+	if m.cacheOn {
+		c, ok := (*m.frozen.Load())[msg]
+		if !ok {
+			m.mu.Lock()
+			c, ok = m.dirty[msg]
+			m.mu.Unlock()
+		}
+		if ok {
+			if c.matches == 0 {
+				return msg, false
+			}
+			m.m.MaskMatches.Add(int64(c.matches))
+			m.m.MaskBytesRedacted.Add(int64(c.redacted))
+			return c.out, true
+		}
+	}
+
+	st := statePool.Get().(*state)
+	st.buf = append(st.buf[:0], msg...)
+	st.finds = st.finds[:0]
+
+	// Built-in detectors walk token spans. ScanBytes stops at the first
+	// line break, so multi-line payloads are scanned line by line; the
+	// capacity arithmetic in offset() yields absolute offsets because
+	// every line is a subslice of the same buffer.
+	if m.builtinsEnabled() {
+		sc := token.NewScanner(m.cfg.Scanner)
+		for base := 0; base < len(st.buf); {
+			line := st.buf[base:]
+			if nl := bytes.IndexByte(line, '\n'); nl >= 0 {
+				line = line[:nl]
+			}
+			if len(line) > 0 {
+				m.detect(st, token.Enrich(sc.ScanBytes(line)))
+			}
+			base += len(line) + 1
+		}
+		sc.Release()
+	}
+
+	// User rules run over the whole message text.
+	for i := range m.cfg.Rules {
+		r := &m.cfg.Rules[i]
+		if !r.Pattern.MatchString(msg) {
+			continue
+		}
+		for _, loc := range r.Pattern.FindAllStringIndex(msg, -1) {
+			st.add(finding{start: loc[0], end: loc[1], act: r.Action, keepN: r.KeepN})
+		}
+	}
+
+	if len(st.finds) == 0 {
+		statePool.Put(st)
+		m.store(msg, "", 0, 0)
+		return msg, false
+	}
+
+	sortFindings(st.finds)
+	out, matches, redacted := m.rewrite(st, msg)
+	statePool.Put(st)
+	if matches == 0 {
+		m.store(msg, "", 0, 0)
+		return msg, false
+	}
+	m.m.MaskMatches.Add(int64(matches))
+	m.m.MaskBytesRedacted.Add(int64(redacted))
+	m.store(msg, out, matches, redacted)
+	return out, true
+}
+
+func (m *Masker) builtinsEnabled() bool {
+	c := &m.cfg
+	return !(c.DisableEmails && c.DisableIPs && c.DisableSecrets && c.DisableCards)
+}
+
+// sortFindings orders findings by start offset (longer first on ties)
+// so the rewrite can resolve overlaps with a single left-to-right pass.
+// Insertion sort: the list is tiny and mostly sorted (token findings
+// arrive in span order), and it allocates nothing.
+func sortFindings(f []finding) {
+	for i := 1; i < len(f); i++ {
+		for j := i; j > 0; j-- {
+			a, b := &f[j-1], &f[j]
+			if a.start < b.start || (a.start == b.start && a.end >= b.end) {
+				break
+			}
+			f[j-1], f[j] = f[j], f[j-1]
+		}
+	}
+}
+
+// rewrite splices the replacements into a fresh string. Overlapping
+// findings are resolved first-wins: a finding starting inside an
+// already-rewritten range is dropped. Returns the output plus the
+// number of spans masked and raw bytes hidden (both 0 if every finding
+// degenerated, e.g. keep-last-N over a span of at most N bytes).
+func (m *Masker) rewrite(st *state, msg string) (string, int, int) {
+	st.out = st.out[:0]
+	last, matches, redacted := 0, 0, 0
+	for _, f := range st.finds {
+		if f.start < last {
+			continue
+		}
+		val := msg[f.start:f.end]
+		switch f.act {
+		case Hash:
+			st.out = append(st.out, msg[last:f.start]...)
+			st.out = m.appendHash(st, st.out, val)
+			redacted += len(val)
+		case KeepLast:
+			if f.keepN >= len(val) {
+				continue // nothing would be hidden; leave the span alone
+			}
+			st.out = append(st.out, msg[last:f.start]...)
+			for i := 0; i < len(val)-f.keepN; i++ {
+				st.out = append(st.out, '*')
+			}
+			st.out = append(st.out, val[len(val)-f.keepN:]...)
+			redacted += len(val) - f.keepN
+		default: // Redact
+			st.out = append(st.out, msg[last:f.start]...)
+			st.out = append(st.out, RedactToken...)
+			redacted += len(val)
+		}
+		last = f.end
+		matches++
+	}
+	if matches == 0 {
+		return msg, 0, 0
+	}
+	st.out = append(st.out, msg[last:]...)
+	return string(st.out), matches, redacted
+}
+
+// appendHash appends the Hash action's replacement for val: the first
+// 16 hex digits of SHA-256(salt || val), adjusted to always contain at
+// least one decimal digit and one letter so the scanner classifies the
+// replacement as a HexString (and mining therefore treats it as a
+// %hexstring% variable position, like the IPs and ids it replaces).
+func (m *Masker) appendHash(st *state, dst []byte, val string) []byte {
+	st.salted = append(append(st.salted[:0], m.cfg.Salt...), val...)
+	sum := sha256.Sum256(st.salted)
+	var hx [hashLen]byte
+	hex.Encode(hx[:], sum[:hashLen/2])
+	hasDigit, hasAlpha := false, false
+	for _, c := range hx {
+		if c >= '0' && c <= '9' {
+			hasDigit = true
+		} else {
+			hasAlpha = true
+		}
+	}
+	if !hasDigit {
+		hx[0] = '0' + sum[8]%10
+	} else if !hasAlpha {
+		hx[0] = 'a' + sum[8]%6
+	}
+	return append(dst, hx[:]...)
+}
+
+// store records the result for msg in the dirty overflow and promotes
+// the overflow into a fresh frozen map when it has grown to an eighth
+// of the frozen size (at least promoteMin): promotions stay amortized
+// linear, and at most ~12% of a stable working set is ever served from
+// the locked overflow instead of the lock-free frozen map.
+func (m *Masker) store(msg, out string, matches, redacted int) {
+	if !m.cacheOn {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.dirty == nil {
+		m.dirty = make(map[string]cached)
+	}
+	m.dirty[msg] = cached{out: out, matches: uint32(matches), redacted: uint32(redacted)}
+	frozen := *m.frozen.Load()
+	if len(m.dirty) < promoteMin || len(m.dirty)*8 < len(frozen) {
+		return
+	}
+	if len(frozen)+len(m.dirty) > cacheLimit {
+		// Working set outgrew the bound: drop everything and re-learn.
+		empty := map[string]cached{}
+		m.frozen.Store(&empty)
+		m.dirty = nil
+		return
+	}
+	merged := make(map[string]cached, len(frozen)+len(m.dirty))
+	for k, v := range frozen {
+		merged[k] = v
+	}
+	for k, v := range m.dirty {
+		merged[k] = v
+	}
+	m.frozen.Store(&merged)
+	m.dirty = nil
+}

@@ -1,0 +1,5 @@
+//go:build race
+
+package mask
+
+const raceEnabled = true

@@ -1,0 +1,133 @@
+package mask
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Action is what happens to a matched span.
+type Action uint8
+
+const (
+	// Redact replaces the span with the stable literal "%masked%".
+	Redact Action = iota
+	// Hash replaces the span with a 16-hex-digit salted SHA-256 digest.
+	// The digest is stable per value, preserving cross-message
+	// correlation without revealing the value.
+	Hash
+	// KeepLast stars all but the last KeepN bytes of the span.
+	KeepLast
+)
+
+func (a Action) String() string {
+	switch a {
+	case Redact:
+		return "redact"
+	case Hash:
+		return "hash"
+	case KeepLast:
+		return "keep-last"
+	default:
+		return fmt.Sprintf("action(%d)", uint8(a))
+	}
+}
+
+// Rule is one user masking rule: spans matching Pattern get Action
+// applied. Rules run after the built-in detectors; on overlap the
+// earlier (built-in) finding wins.
+type Rule struct {
+	Action  Action
+	KeepN   int
+	Pattern *regexp.Regexp
+}
+
+// maxKeepN bounds keep-last-N so a typo'd rule cannot effectively
+// disable masking by keeping everything.
+const maxKeepN = 64
+
+// ParseRules reads a rules file strictly: the first malformed line is
+// returned as an error and no rules are produced. One rule per line:
+//
+//	redact <regexp>
+//	hash <regexp>
+//	keep-last-<N> <regexp>
+//
+// Blank lines and lines starting with '#' are ignored. The regexp is
+// everything after the first space, verbatim (RE2 syntax; it may itself
+// contain spaces).
+func ParseRules(r io.Reader) ([]Rule, error) {
+	rules, errs := ParseRulesLenient(r)
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+	return rules, nil
+}
+
+// ParseRulesLenient reads a rules file, skipping malformed lines and
+// returning them as errors alongside the rules that did parse. This is
+// the production loading mode: a bad line must not take ingest down,
+// but it is surfaced (and counted into seqrtg_mask_errors_total via
+// Config.RuleErrors) so operators notice a rule that silently stopped
+// masking.
+func ParseRulesLenient(r io.Reader) ([]Rule, []error) {
+	var rules []Rule
+	var errs []error
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		rule, ok, err := parseRuleLine(sc.Text())
+		if err != nil {
+			errs = append(errs, fmt.Errorf("rules line %d: %w", lineNo, err))
+			continue
+		}
+		if ok {
+			rules = append(rules, rule)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("rules line %d: %w", lineNo+1, err))
+	}
+	return rules, errs
+}
+
+// parseRuleLine parses one line; ok is false for blank and comment
+// lines.
+func parseRuleLine(line string) (Rule, bool, error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return Rule{}, false, nil
+	}
+	verb, expr, found := strings.Cut(line, " ")
+	if !found || strings.TrimSpace(expr) == "" {
+		return Rule{}, false, fmt.Errorf("want %q, got %q", "<action> <regexp>", line)
+	}
+	expr = strings.TrimSpace(expr)
+	var rule Rule
+	switch {
+	case verb == "redact":
+		rule.Action = Redact
+	case verb == "hash":
+		rule.Action = Hash
+	case strings.HasPrefix(verb, "keep-last-"):
+		n, err := strconv.Atoi(verb[len("keep-last-"):])
+		if err != nil || n < 0 || n > maxKeepN {
+			return Rule{}, false, fmt.Errorf("bad keep-last count in %q (0-%d)", verb, maxKeepN)
+		}
+		rule.Action = KeepLast
+		rule.KeepN = n
+	default:
+		return Rule{}, false, fmt.Errorf("unknown action %q (want redact, hash or keep-last-<N>)", verb)
+	}
+	re, err := regexp.Compile(expr)
+	if err != nil {
+		return Rule{}, false, fmt.Errorf("bad pattern: %v", err)
+	}
+	rule.Pattern = re
+	return rule, true, nil
+}

@@ -88,6 +88,13 @@ const (
 	MetricArchiveCacheHits   = "seqrtg_archive_cache_hits_total"
 	MetricArchiveCacheMisses = "seqrtg_archive_cache_misses_total"
 	MetricArchiveIOErrors    = "seqrtg_archive_io_errors_total"
+
+	MetricArchiveRetiredBlocks = "seqrtg_archive_retired_blocks_total"
+
+	MetricMaskMatches       = "seqrtg_mask_matches_total"
+	MetricMaskBytesRedacted = "seqrtg_mask_bytes_redacted_total"
+	MetricMaskRulesLoaded   = "seqrtg_mask_rules_loaded_total"
+	MetricMaskErrors        = "seqrtg_mask_errors_total"
 )
 
 // Counter is a monotonically increasing atomic counter.
@@ -403,6 +410,15 @@ type Metrics struct {
 	ArchiveCacheHits   Counter // block reads served from the LRU block cache
 	ArchiveCacheMisses Counter // block reads that had to load and decode a file
 	ArchiveIOErrors    Counter // failed archive disk operations (flush write/sync/rename)
+
+	// ArchiveRetiredBlocks counts block files deleted by retention.
+	ArchiveRetiredBlocks Counter
+
+	// Mask: the PII masking stage of the ingest path.
+	MaskMatches       Counter // spans rewritten by a detector or rule
+	MaskBytesRedacted Counter // raw input bytes hidden by masking
+	MaskRulesLoaded   Counter // user rules loaded from rules files
+	MaskErrors        Counter // rule lines rejected by lenient rule loading
 }
 
 // New returns a ready-to-use Metrics with the default bucket layout.
@@ -479,6 +495,13 @@ type Snapshot struct {
 	ArchiveCacheHits   int64 `json:"archive_cache_hits"`
 	ArchiveCacheMisses int64 `json:"archive_cache_misses"`
 	ArchiveIOErrors    int64 `json:"archive_io_errors"`
+
+	ArchiveRetiredBlocks int64 `json:"archive_retired_blocks"`
+
+	MaskMatches       int64 `json:"mask_matches"`
+	MaskBytesRedacted int64 `json:"mask_bytes_redacted"`
+	MaskRulesLoaded   int64 `json:"mask_rules_loaded"`
+	MaskErrors        int64 `json:"mask_errors"`
 }
 
 // listenerMap renders a per-listener counter vector as a name-keyed map
@@ -564,6 +587,13 @@ func (m *Metrics) Snapshot() Snapshot {
 		ArchiveCacheHits:   m.ArchiveCacheHits.Value(),
 		ArchiveCacheMisses: m.ArchiveCacheMisses.Value(),
 		ArchiveIOErrors:    m.ArchiveIOErrors.Value(),
+
+		ArchiveRetiredBlocks: m.ArchiveRetiredBlocks.Value(),
+
+		MaskMatches:       m.MaskMatches.Value(),
+		MaskBytesRedacted: m.MaskBytesRedacted.Value(),
+		MaskRulesLoaded:   m.MaskRulesLoaded.Value(),
+		MaskErrors:        m.MaskErrors.Value(),
 	}
 }
 
@@ -657,6 +687,12 @@ func (m *Metrics) descs() []metricDesc {
 		{name: MetricArchiveCacheHits, help: "Archive block reads served from the LRU block cache.", kind: "counter", c: &m.ArchiveCacheHits},
 		{name: MetricArchiveCacheMisses, help: "Archive block reads that had to load and decode a block file.", kind: "counter", c: &m.ArchiveCacheMisses},
 		{name: MetricArchiveIOErrors, help: "Failed archive disk operations (flush write/sync/rename).", kind: "counter", c: &m.ArchiveIOErrors},
+		{name: MetricArchiveRetiredBlocks, help: "Archive block files deleted by the retention horizon.", kind: "counter", c: &m.ArchiveRetiredBlocks},
+
+		{name: MetricMaskMatches, help: "Sensitive spans rewritten by a masking detector or rule.", kind: "counter", c: &m.MaskMatches},
+		{name: MetricMaskBytesRedacted, help: "Raw input bytes hidden by the masking stage.", kind: "counter", c: &m.MaskBytesRedacted},
+		{name: MetricMaskRulesLoaded, help: "User masking rules loaded from rules files.", kind: "counter", c: &m.MaskRulesLoaded},
+		{name: MetricMaskErrors, help: "Masking rule lines rejected by lenient rule loading.", kind: "counter", c: &m.MaskErrors},
 	}
 }
 

@@ -67,6 +67,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	for {
 		recs, err := rd.NextBatch()
 		for _, rec := range recs {
+			s.maskRecord(&rec)
 			perr := error(nil)
 			if shedding {
 				perr = s.q.TryPush(rec)

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/export"
 	"repro/internal/ingest"
+	"repro/internal/mask"
 	"repro/internal/obs"
 	"repro/internal/patterns"
 )
@@ -82,6 +83,12 @@ type Options struct {
 	// the miner's compressed log archive. When nil the endpoint reports
 	// that archiving is disabled.
 	Archive *archive.Archive
+	// Mask, when non-nil, is the PII masking stage, applied by every
+	// listener (UDP, TCP, HTTP) at enqueue time so raw values never sit
+	// in the record queue or survive into the drain. Pass the miner's
+	// masker; masking is idempotent, so the engine running the same
+	// stage again is harmless.
+	Mask *mask.Masker
 }
 
 func (o Options) withDefaults() Options {
@@ -356,14 +363,29 @@ func (s *Server) batchErr(aerr, ferr error, n int) error {
 	return nil
 }
 
-// ingestSyslog parses one datagram/frame and pushes it, maintaining the
-// per-listener counters. It reports whether the record was accepted.
+// maskRecord runs the masking stage over one record's message before it
+// is enqueued; a nil masker is a no-op. Masking here (not only in the
+// engine) keeps raw values out of the in-memory queue and out of any
+// batch still draining at shutdown.
+func (s *Server) maskRecord(rec *ingest.Record) {
+	if s.opts.Mask == nil {
+		return
+	}
+	if out, changed := s.opts.Mask.Mask(rec.Message); changed {
+		rec.Message = out
+	}
+}
+
+// ingestSyslog parses one datagram/frame, masks it, and pushes it,
+// maintaining the per-listener counters. It reports whether the record
+// was accepted.
 func (s *Server) ingestSyslog(listener int, data []byte) bool {
 	rec, err := ParseSyslog(data, s.opts.DefaultService)
 	if err != nil {
 		s.m.ServerParseErrors.Inc(listener)
 		return false
 	}
+	s.maskRecord(&rec)
 	if err := s.q.Push(rec); err != nil {
 		s.m.ServerShed.Inc(listener)
 		return false

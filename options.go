@@ -1,5 +1,7 @@
 package sequence
 
+import "time"
+
 // Option configures an RTG instance at Open time. Options are applied in
 // order, so later options win; start from WithConfig when migrating code
 // that built a Config struct by hand.
@@ -93,6 +95,27 @@ func WithJournalFormat(f JournalFormat) Option {
 // /api/v1/query endpoint. Off by default.
 func WithArchive() Option {
 	return func(c *Config) { c.Archive = true }
+}
+
+// WithArchiveRetention ages out archive block files on every archive
+// flush: a block is deleted once its whole time bucket lies more than d
+// before now, counted as seqrtg_archive_retired_blocks_total. Zero (the
+// default) keeps blocks forever. Only meaningful together with
+// WithArchive.
+func WithArchiveRetention(d time.Duration) Option {
+	return func(c *Config) { c.ArchiveRetention = d }
+}
+
+// WithMasking enables the PII masking stage: every message is rewritten
+// by the configured detectors and rules before the analyzer, the
+// parser's exact cache, the journal, and the archive see it, so raw
+// sensitive values never reach a durable artifact. The zero MaskConfig
+// enables all built-in detectors (emails, IPs, secrets, Luhn-valid card
+// numbers) with no user rules:
+//
+//	rtg, err := sequence.Open(dir, sequence.WithMasking(sequence.MaskConfig{}))
+func WithMasking(mc MaskConfig) Option {
+	return func(c *Config) { c.Masking = &mc }
 }
 
 // WithMetrics makes the instance report into m instead of a private

@@ -48,6 +48,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/export"
 	"repro/internal/ingest"
+	"repro/internal/mask"
 	"repro/internal/obs"
 	"repro/internal/patterns"
 	"repro/internal/store"
@@ -89,6 +90,46 @@ type ArchiveEntry = archive.Entry
 
 // ArchiveBlockInfo describes one archive block file (Archive.Blocks).
 type ArchiveBlockInfo = archive.BlockInfo
+
+// Masker is the PII masking stage: it rewrites sensitive spans (emails,
+// IPs, secrets, card numbers, user-defined patterns) out of messages
+// before the analyzer, parser cache, journal, and archive see the text.
+// Enable it with WithMasking and reach the instance's masker through
+// RTG.Masker (for example to share it with a server frontend).
+type Masker = mask.Masker
+
+// MaskConfig configures the masking stage (WithMasking). The zero value
+// enables every built-in detector with no user rules.
+type MaskConfig = mask.Config
+
+// MaskRule is one user masking rule: spans matching a regular
+// expression get an action applied.
+type MaskRule = mask.Rule
+
+// MaskAction is what happens to a masked span.
+type MaskAction = mask.Action
+
+// The masking actions.
+const (
+	// MaskRedact replaces the span with the stable literal "%masked%".
+	MaskRedact = mask.Redact
+	// MaskHash replaces the span with a salted, truncated SHA-256 digest
+	// (stable per value, so masked values still correlate).
+	MaskHash = mask.Hash
+	// MaskKeepLast stars all but the last N bytes of the span.
+	MaskKeepLast = mask.KeepLast
+)
+
+// ParseMaskRules reads a masking rules file strictly: the first
+// malformed line is an error. See the internal/mask documentation and
+// DESIGN.md §13 for the line format.
+func ParseMaskRules(r io.Reader) ([]MaskRule, error) { return mask.ParseRules(r) }
+
+// ParseMaskRulesLenient reads a masking rules file skipping malformed
+// lines, returning them as errors alongside the rules that parsed; the
+// count of rejected lines belongs in MaskConfig.RuleErrors so it is
+// visible as seqrtg_mask_errors_total.
+func ParseMaskRulesLenient(r io.Reader) ([]MaskRule, []error) { return mask.ParseRulesLenient(r) }
 
 // Metrics is the observability surface of one (or several) RTG
 // instances: atomic counters, gauges and latency histograms covering
@@ -201,6 +242,15 @@ type Config struct {
 	// Archive enables the pattern-aware compressed log archive (see
 	// WithArchive). Off by default.
 	Archive bool
+
+	// ArchiveRetention, when positive, ages out archive block files
+	// whose time bucket ended more than this long ago, on every archive
+	// flush (see WithArchiveRetention). Zero keeps blocks forever.
+	ArchiveRetention time.Duration
+
+	// Masking, when non-nil, enables the PII masking stage with this
+	// configuration (see WithMasking).
+	Masking *MaskConfig
 }
 
 // RTG is a Sequence-RTG instance: a pattern store plus the scanning,
@@ -210,6 +260,7 @@ type RTG struct {
 	engine  *core.Engine
 	metrics *Metrics
 	archive *archive.Archive // nil unless WithArchive
+	masker  *mask.Masker     // nil unless WithMasking
 }
 
 // Open creates (or reopens) a Sequence-RTG instance. dir is the pattern
@@ -246,11 +297,24 @@ func Open(dir string, opts ...Option) (*RTG, error) {
 		if dir == "" {
 			afs, adir = vfs.NewFault(), "archive"
 		}
-		arc, err = archive.Open(adir, archive.Options{FS: afs, Shards: c.StoreShards, Metrics: c.Metrics})
+		arc, err = archive.Open(adir, archive.Options{FS: afs, Shards: c.StoreShards, Metrics: c.Metrics, Retention: c.ArchiveRetention})
 		if err != nil {
 			st.Close()
 			return nil, err
 		}
+	}
+	var msk *mask.Masker
+	if c.Masking != nil {
+		mc := *c.Masking
+		if mc.Metrics == nil {
+			mc.Metrics = c.Metrics
+		}
+		if mc.Scanner == (token.Config{}) {
+			// Default the masker's tokenizer to the engine's, so detector
+			// spans line up with what mining sees.
+			mc.Scanner = token.Config{UnpaddedTimes: c.UnpaddedTimes, PathFSM: c.PathFSM}
+		}
+		msk = mask.New(mc)
 	}
 	ac := analyzer.DefaultConfig()
 	if c.MinGroupMessages > 0 {
@@ -267,8 +331,9 @@ func Open(dir string, opts ...Option) (*RTG, error) {
 		Scanner:       token.Config{UnpaddedTimes: c.UnpaddedTimes, PathFSM: c.PathFSM},
 		Metrics:       c.Metrics,
 		Archive:       arc,
+		Mask:          msk,
 	})
-	return &RTG{store: st, engine: engine, metrics: c.Metrics, archive: arc}, nil
+	return &RTG{store: st, engine: engine, metrics: c.Metrics, archive: arc, masker: msk}, nil
 }
 
 // Close flushes and closes the pattern database (and the archive, when
@@ -284,6 +349,13 @@ func (r *RTG) Close() error {
 // Archive returns the instance's compressed log archive, or nil when
 // archiving is disabled (the default).
 func (r *RTG) Archive() *Archive { return r.archive }
+
+// Masker returns the instance's PII masking stage, or nil when masking
+// is disabled (the default). Frontends that buffer messages before
+// handing them to the engine (the bundled server, say) should run the
+// same masker at enqueue time so raw values never sit in queues;
+// masking is idempotent, so the engine re-running it is harmless.
+func (r *RTG) Masker() *Masker { return r.masker }
 
 // AnalyzeByService processes one batch with the Sequence-RTG workflow:
 // partition by service, match known patterns first, mine the unmatched

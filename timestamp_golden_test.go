@@ -1,0 +1,162 @@
+package sequence_test
+
+// The archive speaks RFC 3339 on every operator-facing surface: Entry's
+// JSON encoding (shared by pdbtool archive dump and the server's
+// /api/v1/query endpoint) and archive.FormatTime (pdbtool archive ls
+// block spans). These tests pin the wire format byte-for-byte and prove
+// the CLI and the HTTP API emit identical timestamp strings for the
+// same archive directory, so operators can join their outputs.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	sequence "repro"
+	"repro/internal/archive"
+	"repro/internal/server"
+)
+
+// TestArchiveTimestampFormat pins FormatTime and the Entry JSON wire
+// shape byte-for-byte, including UTC normalization of zoned inputs and
+// nanosecond trailing-zero trimming.
+func TestArchiveTimestampFormat(t *testing.T) {
+	cet := time.FixedZone("CET", 3600)
+	for _, tc := range []struct {
+		in   time.Time
+		want string
+	}{
+		{time.Date(2026, 3, 1, 10, 15, 0, 0, time.UTC), "2026-03-01T10:15:00Z"},
+		{time.Date(2026, 3, 1, 10, 15, 0, 500_000_000, time.UTC), "2026-03-01T10:15:00.5Z"},
+		{time.Date(2026, 3, 1, 10, 15, 0, 1, time.UTC), "2026-03-01T10:15:00.000000001Z"},
+		{time.Date(2026, 3, 1, 11, 15, 0, 123_456_789, cet), "2026-03-01T10:15:00.123456789Z"},
+	} {
+		if got := archive.FormatTime(tc.in); got != tc.want {
+			t.Errorf("FormatTime(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+
+	e := archive.Entry{
+		Time:      time.Date(2026, 3, 1, 11, 15, 42, 0, cet),
+		Service:   "sshd",
+		PatternID: "p-1",
+		Vars:      []string{"alice", "22"},
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"time":"2026-03-01T10:15:42Z","service":"sshd","pattern_id":"p-1","vars":["alice","22"]}`
+	if string(b) != want {
+		t.Fatalf("Entry JSON:\n got %s\nwant %s", b, want)
+	}
+	var back archive.Entry
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Time.Equal(e.Time) || back.Service != e.Service || back.PatternID != e.PatternID {
+		t.Fatalf("round trip mutated the entry: %+v", back)
+	}
+}
+
+// timeFieldRE extracts the "time" field values from JSON output —
+// compact pdbtool lines and the server's indented response alike.
+var timeFieldRE = regexp.MustCompile(`"time":\s*"([^"]+)"`)
+
+// TestDumpQueryTimestampAgreement builds one archive on disk, reads it
+// back through both operator surfaces — the pdbtool archive dump
+// subprocess and GET /api/v1/query — and requires the identical
+// canonical timestamp string from each.
+func TestDumpQueryTimestampAgreement(t *testing.T) {
+	bin := buildTools(t)
+	dir := t.TempDir()
+	rtg, err := sequence.Open(dir, sequence.WithArchive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rtg.Close()
+
+	learn := time.Date(2026, 3, 1, 10, 0, 0, 0, time.UTC)
+	var recs []sequence.Record
+	for i := 0; i < 6; i++ {
+		recs = append(recs, sequence.Record{
+			Service: "auth",
+			Message: fmt.Sprintf("login failed for user u%d from 10.0.0.%d", i, i+1),
+		})
+	}
+	if _, err := rtg.AnalyzeByService(recs, learn); err != nil {
+		t.Fatal(err)
+	}
+
+	// The feed batch carries a zoned, sub-second timestamp: both
+	// surfaces must render it as the same normalized UTC string.
+	feed := time.Date(2026, 3, 1, 12, 30, 0, 250_000_000, time.FixedZone("CET", 3600))
+	wantTime := archive.FormatTime(feed)
+	if wantTime != "2026-03-01T11:30:00.25Z" {
+		t.Fatalf("canonical feed timestamp = %q — test premise broke", wantTime)
+	}
+	if _, err := rtg.AnalyzeByService(recs, feed); err != nil {
+		t.Fatal(err)
+	}
+	if err := rtg.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Surface 1: the CLI subprocess over the archive directory.
+	from, to := "2026-03-01T11:00:00Z", "2026-03-01T12:00:00Z"
+	dumpOut, _ := run(t, nil, bin+"/pdbtool", "archive", "dump",
+		"-from", from, "-to", to, dir+"/archive")
+	dumpTimes := timeFieldRE.FindAllStringSubmatch(dumpOut, -1)
+	if len(dumpTimes) != len(recs) {
+		t.Fatalf("pdbtool archive dump returned %d entries, want %d:\n%s", len(dumpTimes), len(recs), dumpOut)
+	}
+	for _, m := range dumpTimes {
+		if m[1] != wantTime {
+			t.Fatalf("pdbtool archive dump timestamp %q, want %q", m[1], wantTime)
+		}
+	}
+
+	// Surface 2: the HTTP query API over the same data.
+	srv, err := server.New(rtg, server.Options{HTTP: "127.0.0.1:0", Archive: rtg.Archive()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(ctx) }()
+	defer func() { cancel(); <-done }()
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/api/v1/query?service=auth&from=%s&to=%s",
+		srv.HTTPAddr(), from, to))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d: %s", resp.StatusCode, body)
+	}
+	queryTimes := timeFieldRE.FindAllStringSubmatch(string(body), -1)
+	if len(queryTimes) != len(dumpTimes) {
+		t.Fatalf("query returned %d entries, dump returned %d:\n%s", len(queryTimes), len(dumpTimes), body)
+	}
+	for _, m := range queryTimes {
+		if m[1] != wantTime {
+			t.Fatalf("/api/v1/query timestamp %q, want %q (dump emitted %q)", m[1], wantTime, wantTime)
+		}
+	}
+	// Both surfaces accept their own output as a filter bound: the
+	// canonical string round-trips through the from/to parsers.
+	if _, err := time.Parse(time.RFC3339Nano, wantTime); err != nil {
+		t.Fatalf("canonical timestamp does not re-parse: %v", err)
+	}
+	if !strings.Contains(string(body), `"time": "`+wantTime+`"`) {
+		t.Fatalf("indented query body lacks canonical time field:\n%s", body)
+	}
+}
