@@ -10,22 +10,57 @@
 //	//seqlint:ignore guardedby construction-phase, not shared yet
 //
 // The directive covers its own line and the statement or declaration
-// beginning on the next line.
+// beginning on the next line. A directive without a reason is itself a
+// finding: every muted diagnostic must say why.
+//
+// Machine-readable output for CI is behind -json: one object with
+// "findings" (active diagnostics, the exit-code trigger) and
+// "suppressed" (muted diagnostics with their directive reasons), each
+// entry carrying file, line, col, analyzer, message, and suppressed_by.
+// The -ignores mode audits every //seqlint:ignore directive in the
+// given packages — where it is, which analyzers it mutes, its reason,
+// and whether it suppressed anything in this run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/driver"
+	"repro/internal/analysis/framework"
 	"repro/internal/analysis/load"
 )
+
+// jsonDiag is the stable -json schema for one diagnostic.
+type jsonDiag struct {
+	File         string `json:"file"`
+	Line         int    `json:"line"`
+	Col          int    `json:"col"`
+	Analyzer     string `json:"analyzer"`
+	Message      string `json:"message"`
+	SuppressedBy string `json:"suppressed_by,omitempty"`
+}
+
+// jsonIgnore is the stable -json schema for one directive in -ignores
+// mode.
+type jsonIgnore struct {
+	File      string   `json:"file"`
+	Line      int      `json:"line"`
+	Analyzers []string `json:"analyzers"`
+	Reason    string   `json:"reason"`
+	Used      bool     `json:"used"`
+}
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	debug := flag.Bool("debug", false, "print per-unit type-check diagnostics (benign for external test packages)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	ignores := flag.Bool("ignores", false, "audit //seqlint:ignore directives instead of reporting findings")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: seqlint [flags] [packages]\n\nFlags:\n")
 		flag.PrintDefaults()
@@ -41,13 +76,11 @@ func main() {
 
 	ldr, err := load.New(".")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "seqlint:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 	units, err := ldr.Load(flag.Args()...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "seqlint:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 	if *debug {
 		for _, u := range units {
@@ -57,17 +90,105 @@ func main() {
 		}
 	}
 
-	diags, err := driver.RunUnits(ldr.Fset, units, analysis.All())
+	res, err := driver.Run(ldr.Fset, units, analysis.All())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "seqlint:", err)
-		os.Exit(2)
+		fatal(err)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+
+	if *ignores {
+		reportIgnores(res, *jsonOut)
+		return
 	}
-	if len(diags) > 0 {
+
+	if *jsonOut {
+		out := struct {
+			Findings   []jsonDiag `json:"findings"`
+			Suppressed []jsonDiag `json:"suppressed"`
+		}{Findings: toJSON(res.Diags), Suppressed: toJSON(res.Suppressed)}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range res.Diags {
+			fmt.Println(d)
+		}
+	}
+	if len(res.Diags) > 0 {
 		os.Exit(1)
 	}
+}
+
+// reportIgnores prints the suppression audit. The audit always exits
+// zero: it is an inventory, not a gate.
+func reportIgnores(res *driver.Result, jsonOut bool) {
+	if jsonOut {
+		out := struct {
+			Ignores []jsonIgnore `json:"ignores"`
+		}{Ignores: []jsonIgnore{}}
+		for _, ig := range res.Ignores {
+			out.Ignores = append(out.Ignores, jsonIgnore{
+				File:      relPath(ig.Pos.Filename),
+				Line:      ig.Pos.Line,
+				Analyzers: ig.Analyzers,
+				Reason:    ig.Reason,
+				Used:      ig.Used,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	for _, ig := range res.Ignores {
+		status := "unused this run"
+		if ig.Used {
+			status = "used"
+		}
+		reason := ig.Reason
+		if reason == "" {
+			reason = "(no reason given)"
+		}
+		fmt.Printf("%s:%d: %s: %s [%s]\n",
+			relPath(ig.Pos.Filename), ig.Pos.Line, strings.Join(ig.Analyzers, ","), reason, status)
+	}
+}
+
+func toJSON(diags []framework.Diagnostic) []jsonDiag {
+	out := []jsonDiag{} // non-nil: -json always emits arrays, never null
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:         relPath(d.Pos.Filename),
+			Line:         d.Pos.Line,
+			Col:          d.Pos.Column,
+			Analyzer:     d.Analyzer,
+			Message:      d.Message,
+			SuppressedBy: d.SuppressedBy,
+		})
+	}
+	return out
+}
+
+// relPath makes file names repo-relative when possible so that CI can
+// turn them into source annotations without path surgery.
+func relPath(name string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return name
+	}
+	rel, err := filepath.Rel(wd, name)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return name
+	}
+	return filepath.ToSlash(rel)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "seqlint:", err)
+	os.Exit(2)
 }
 
 func printAnalyzers(w *os.File) {

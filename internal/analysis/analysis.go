@@ -12,6 +12,7 @@ import (
 	"repro/internal/analysis/journalcodec"
 	"repro/internal/analysis/maskbound"
 	"repro/internal/analysis/metricnames"
+	"repro/internal/analysis/noalloc"
 	"repro/internal/analysis/persisterr"
 	"repro/internal/analysis/vfsonly"
 )
@@ -24,6 +25,7 @@ func All() []*framework.Analyzer {
 		journalcodec.Analyzer,
 		maskbound.Analyzer,
 		metricnames.Analyzer,
+		noalloc.Analyzer,
 		persisterr.Analyzer,
 		vfsonly.Analyzer,
 	}

@@ -165,10 +165,15 @@ func unquotePrefix(s string) (val, rest string, err error) {
 	return "", "", fmt.Errorf("unterminated string %q", s)
 }
 
-// Run loads each fixture package from testdata/src/<path>, applies the
-// analyzer through the production driver, and checks its diagnostics
-// against the fixtures' // want comments.
-func Run(t *testing.T, a *framework.Analyzer, pkgPaths ...string) {
+// LoadFixture parses and type-checks the fixture packages under
+// testdata/src/<path> and returns the shared FileSet plus the loader
+// units, in argument order. All packages are checked against one
+// importer, so cross-fixture imports resolve within the returned set —
+// the same program view Run hands the driver. Tests use it to drive an
+// analyzer through a non-standard harness, e.g. a Program-less pass
+// that pins what an analyzer's intraprocedural fast path does (and
+// does not) see.
+func LoadFixture(t *testing.T, pkgPaths ...string) (*token.FileSet, []*load.Unit) {
 	t.Helper()
 	src, err := filepath.Abs(filepath.Join("testdata", "src"))
 	if err != nil {
@@ -181,7 +186,6 @@ func Run(t *testing.T, a *framework.Analyzer, pkgPaths ...string) {
 	fi := &fixtureImporter{fset: ldr.Fset, src: src, base: ldr.Importer(), pkgs: make(map[string]*types.Package)}
 
 	var units []*load.Unit
-	var wants []*expectation
 	for _, path := range pkgPaths {
 		dir := filepath.Join(src, filepath.FromSlash(path))
 		files, err := parseFixtureDir(ldr.Fset, dir)
@@ -199,12 +203,25 @@ func Run(t *testing.T, a *framework.Analyzer, pkgPaths ...string) {
 			t.FailNow()
 		}
 		units = append(units, &load.Unit{Path: path, Dir: dir, Files: files, Pkg: pkg, Info: info})
-		for _, f := range files {
-			wants = append(wants, parseWants(t, ldr.Fset, f)...)
+	}
+	return ldr.Fset, units
+}
+
+// Run loads each fixture package from testdata/src/<path>, applies the
+// analyzer through the production driver, and checks its diagnostics
+// against the fixtures' // want comments.
+func Run(t *testing.T, a *framework.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	fset, units := LoadFixture(t, pkgPaths...)
+
+	var wants []*expectation
+	for _, u := range units {
+		for _, f := range u.Files {
+			wants = append(wants, parseWants(t, fset, f)...)
 		}
 	}
 
-	diags, err := driver.RunUnits(ldr.Fset, units, []*framework.Analyzer{a})
+	diags, err := driver.RunUnits(fset, units, []*framework.Analyzer{a})
 	if err != nil {
 		t.Fatalf("analysistest: %s failed: %v", a.Name, err)
 	}

@@ -1,0 +1,35 @@
+// Package app is the calling half of the callgraph fixture.
+package app
+
+import "cg/util"
+
+// Direct makes a plain cross-package call.
+func Direct() { util.Helper() }
+
+// Method calls a method on a concrete receiver.
+func Method() {
+	var b util.Buf
+	b.Flush()
+}
+
+// Closure calls util.Helper from inside a function literal; the edge
+// belongs to Closure (literals are inlined into their declaration).
+// The call of the literal itself (f()) is dynamic and yields no edge.
+func Closure() {
+	f := func() { util.Helper() }
+	f()
+}
+
+// run exists so TakesRef can pass a function value without calling it.
+func run(f func()) { f() }
+
+// TakesRef passes util.Helper as a value: a reference edge, and Helper
+// becomes Referenced.
+func TakesRef() { run(util.Helper) }
+
+// leaf and caller pin same-package resolution.
+func leaf() {}
+
+func caller() { leaf() }
+
+var _ = caller

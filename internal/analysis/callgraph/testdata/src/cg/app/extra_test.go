@@ -1,0 +1,7 @@
+package app
+
+// helperInTest lives in a _test.go file, so its node must carry the
+// TestFile flag even though the fixture unit itself is not a test unit.
+func helperInTest() { leaf() }
+
+var _ = helperInTest

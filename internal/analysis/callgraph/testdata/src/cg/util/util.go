@@ -1,0 +1,22 @@
+// Package util is the imported half of the callgraph fixture: the app
+// package calls into it through the fixture importer, so its functions
+// are seen both as syntax (this unit) and as imported objects (app's
+// type info) — the identity split callgraph.Key resolves.
+package util
+
+// Helper is called directly, from a closure, and referenced as a value
+// by the app package.
+func Helper() {}
+
+// Buf carries the concrete-receiver method call case.
+type Buf struct{ n int }
+
+// Flush is invoked through a concrete receiver in app.
+func (b *Buf) Flush() { b.n = 0 }
+
+// Flusher is dispatched dynamically; no static edge should appear.
+type Flusher interface{ Flush() }
+
+// Dynamic calls through an interface: the graph must not claim an edge
+// to Buf.Flush here.
+func Dynamic(f Flusher) { f.Flush() }

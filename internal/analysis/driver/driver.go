@@ -31,14 +31,15 @@ type ignoreRegion struct {
 	from, to  int // line range, inclusive
 	reason    string
 	directive token.Pos
+	used      bool
 }
 
 var ignoreRE = regexp.MustCompile(`^//seqlint:ignore\s+([\w,]+)\s*(.*)$`)
 
 // collectIgnores scans a unit's comments for //seqlint:ignore
 // directives and resolves each one's suppression region.
-func collectIgnores(fset *token.FileSet, files []*ast.File) []ignoreRegion {
-	var regions []ignoreRegion
+func collectIgnores(fset *token.FileSet, files []*ast.File) []*ignoreRegion {
+	var regions []*ignoreRegion
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -47,7 +48,7 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) []ignoreRegion {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				r := ignoreRegion{
+				r := &ignoreRegion{
 					file:      pos.Filename,
 					names:     make(map[string]bool),
 					from:      pos.Line,
@@ -89,13 +90,64 @@ func (r *ignoreRegion) covers(name string, pos token.Position) bool {
 	return r.names[name] && r.file == pos.Filename && r.from <= pos.Line && pos.Line <= r.to
 }
 
-// RunUnits applies every analyzer to every unit and returns the
-// surviving diagnostics sorted by position. An analyzer returning an
-// error (an internal failure, not a finding) aborts the run.
-func RunUnits(fset *token.FileSet, units []*load.Unit, analyzers []*framework.Analyzer) ([]framework.Diagnostic, error) {
-	var diags []framework.Diagnostic
+// Ignore is one //seqlint:ignore directive found in the run, for the
+// `seqlint -ignores` audit.
+type Ignore struct {
+	Pos       token.Position
+	Analyzers []string // sorted
+	Reason    string
+	// Used reports whether the directive suppressed at least one
+	// diagnostic in this run.
+	Used bool
+}
+
+// Result is the full outcome of one driver run.
+type Result struct {
+	// Diags are the surviving (unsuppressed) diagnostics in position
+	// order, deduplicated.
+	Diags []framework.Diagnostic
+	// Suppressed are the diagnostics muted by an //seqlint:ignore
+	// directive, each carrying the directive's reason in SuppressedBy.
+	Suppressed []framework.Diagnostic
+	// Ignores inventories every directive seen in the run.
+	Ignores []Ignore
+}
+
+// Run applies every analyzer to every unit and returns the complete
+// result: surviving diagnostics, suppressed diagnostics, and the
+// directive inventory. An analyzer returning an error (an internal
+// failure, not a finding) aborts the run.
+//
+// A //seqlint:ignore directive with no reason is itself a diagnostic
+// (attributed to the pseudo-analyzer "seqlint"), and it cannot be
+// suppressed: every muted finding must say why.
+func Run(fset *token.FileSet, units []*load.Unit, analyzers []*framework.Analyzer) (*Result, error) {
+	res := &Result{}
+	program := make([]*framework.ProgramUnit, len(units))
+	for i, u := range units {
+		program[i] = &framework.ProgramUnit{
+			Path:      u.Path,
+			Files:     u.Files,
+			Pkg:       u.Pkg,
+			TypesInfo: u.Info,
+			Test:      u.Test,
+		}
+	}
+	facts := framework.NewFacts()
+
+	var allRegions []*ignoreRegion
 	for _, u := range units {
 		regions := collectIgnores(fset, u.Files)
+		allRegions = append(allRegions, regions...)
+		for _, r := range regions {
+			if r.reason == "" {
+				res.Diags = append(res.Diags, framework.Diagnostic{
+					Pos:      fset.Position(r.directive),
+					Analyzer: "seqlint",
+					Message:  "//seqlint:ignore directive requires a reason: state why the finding is safe to mute",
+				})
+			}
+		}
 		for _, a := range analyzers {
 			a := a
 			pass := &framework.Pass{
@@ -106,21 +158,66 @@ func RunUnits(fset *token.FileSet, units []*load.Unit, analyzers []*framework.An
 				Pkg:        u.Pkg,
 				TypesInfo:  u.Info,
 				TypeErrors: u.TypeErrors,
+				Program:    program,
+				Facts:      facts,
 			}
 			pass.Report = func(pos token.Pos, message string) {
 				p := fset.Position(pos)
-				for i := range regions {
-					if regions[i].covers(a.Name, p) {
+				for _, r := range regions {
+					if r.covers(a.Name, p) {
+						r.used = true
+						res.Suppressed = append(res.Suppressed, framework.Diagnostic{
+							Pos: p, Analyzer: a.Name, Message: message, SuppressedBy: suppressedBy(r),
+						})
 						return
 					}
 				}
-				diags = append(diags, framework.Diagnostic{Pos: p, Analyzer: a.Name, Message: message})
+				res.Diags = append(res.Diags, framework.Diagnostic{Pos: p, Analyzer: a.Name, Message: message})
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, err
 			}
 		}
 	}
+
+	res.Diags = dedupSort(res.Diags)
+	res.Suppressed = dedupSort(res.Suppressed)
+	for _, r := range allRegions {
+		names := make([]string, 0, len(r.names))
+		for n := range r.names {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		res.Ignores = append(res.Ignores, Ignore{
+			Pos:       fset.Position(r.directive),
+			Analyzers: names,
+			Reason:    r.reason,
+			Used:      r.used,
+		})
+	}
+	sort.Slice(res.Ignores, func(i, j int) bool {
+		a, b := res.Ignores[i], res.Ignores[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return res, nil
+}
+
+func suppressedBy(r *ignoreRegion) string {
+	if r.reason == "" {
+		return "(no reason given)"
+	}
+	return r.reason
+}
+
+// dedupSort orders diagnostics by position and drops exact duplicates.
+// A file can reach the driver through more than one unit (a package
+// listed under two overlapping patterns, or fixture setups that reuse
+// files); identical findings from those duplicate loads collapse to
+// one.
+func dedupSort(diags []framework.Diagnostic) []framework.Diagnostic {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -132,7 +229,29 @@ func RunUnits(fset *token.FileSet, units []*load.Unit, analyzers []*framework.An
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return diags, nil
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 {
+			p := diags[i-1]
+			if p.Pos == d.Pos && p.Analyzer == d.Analyzer && p.Message == d.Message {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// RunUnits is the historical surface: surviving diagnostics only.
+func RunUnits(fset *token.FileSet, units []*load.Unit, analyzers []*framework.Analyzer) ([]framework.Diagnostic, error) {
+	res, err := Run(fset, units, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return res.Diags, nil
 }

@@ -84,3 +84,166 @@ func TestIgnoreIsPerAnalyzer(t *testing.T) {
 		t.Fatalf("got %d diagnostics, want 3 (no suppression):\n%s", len(diags), strings.Join(msgs, "\n"))
 	}
 }
+
+// parseUnit builds a one-file unit from source for Run-level tests.
+func parseUnit(t *testing.T, fset *token.FileSet, path, source string) *load.Unit {
+	t.Helper()
+	f, err := parser.ParseFile(fset, path+".go", source, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return &load.Unit{Path: path, Files: []*ast.File{f}, Info: load.NewInfo()}
+}
+
+func analyzer(name string) *framework.Analyzer {
+	return &framework.Analyzer{Name: name, Doc: "test analyzer", Run: reportAssigns}
+}
+
+// TestBareDirectiveIsDiagnostic checks that //seqlint:ignore without a
+// reason is itself reported (by the pseudo-analyzer "seqlint") while
+// the directive still suppresses, with "(no reason given)" recorded as
+// the suppression reason.
+func TestBareDirectiveIsDiagnostic(t *testing.T) {
+	const src = `package p
+
+func b() int {
+	//seqlint:ignore testcheck
+	x := 1
+	return x
+}
+`
+	fset := token.NewFileSet()
+	unit := parseUnit(t, fset, "bare", src)
+	res, err := Run(fset, []*load.Unit{unit}, []*framework.Analyzer{analyzer("testcheck")})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Diags) != 1 || res.Diags[0].Analyzer != "seqlint" || res.Diags[0].Pos.Line != 4 {
+		t.Fatalf("diagnostics = %v, want one seqlint finding on line 4", res.Diags)
+	}
+	if !strings.Contains(res.Diags[0].Message, "requires a reason") {
+		t.Fatalf("bare-directive message = %q, want it to demand a reason", res.Diags[0].Message)
+	}
+	if len(res.Suppressed) != 1 || res.Suppressed[0].SuppressedBy != "(no reason given)" {
+		t.Fatalf("suppressed = %v, want the assignment muted with no-reason marker", res.Suppressed)
+	}
+	if len(res.Ignores) != 1 || res.Ignores[0].Reason != "" || !res.Ignores[0].Used {
+		t.Fatalf("ignores = %+v, want one used entry with empty reason", res.Ignores)
+	}
+}
+
+// TestBareDirectiveCannotBeSuppressed checks the bare-reason finding is
+// not mutable by another directive naming "seqlint": every muted
+// finding must say why, including attempts to mute the enforcement.
+func TestBareDirectiveCannotBeSuppressed(t *testing.T) {
+	const src = `package p
+
+func b() int {
+	//seqlint:ignore seqlint silencing the silencer
+	//seqlint:ignore testcheck
+	x := 1
+	return x
+}
+`
+	fset := token.NewFileSet()
+	unit := parseUnit(t, fset, "meta", src)
+	res, err := Run(fset, []*load.Unit{unit}, []*framework.Analyzer{analyzer("testcheck")})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Diags) != 1 || res.Diags[0].Analyzer != "seqlint" {
+		t.Fatalf("diagnostics = %v, want the bare-directive finding to survive", res.Diags)
+	}
+}
+
+// TestMultipleAnalyzersOneDirective checks a single directive line
+// naming several analyzers (comma list) mutes each of them on the
+// covered region, and the audit entry records the full sorted set.
+func TestMultipleAnalyzersOneDirective(t *testing.T) {
+	const src = `package p
+
+func m() int {
+	x := 1 //seqlint:ignore beta,alpha both analyzers misfire on generated code
+	y := 2
+	z := 3
+	return x + y + z
+}
+`
+	fset := token.NewFileSet()
+	unit := parseUnit(t, fset, "multi", src)
+	res, err := Run(fset, []*load.Unit{unit},
+		[]*framework.Analyzer{analyzer("alpha"), analyzer("beta")})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// The directive covers its own line (4) and the statement on the
+	// next line (5) for both analyzers; line 6 survives for both.
+	if len(res.Suppressed) != 4 || len(res.Diags) != 2 {
+		t.Fatalf("got %d suppressed / %d surviving, want 4 / 2:\n%v\n%v",
+			len(res.Suppressed), len(res.Diags), res.Suppressed, res.Diags)
+	}
+	for _, d := range res.Diags {
+		if d.Pos.Line != 6 {
+			t.Fatalf("surviving diagnostic on line %d, want 6: %v", d.Pos.Line, d)
+		}
+	}
+	if len(res.Ignores) != 1 {
+		t.Fatalf("ignores = %+v, want exactly one entry", res.Ignores)
+	}
+	ig := res.Ignores[0]
+	if len(ig.Analyzers) != 2 || ig.Analyzers[0] != "alpha" || ig.Analyzers[1] != "beta" {
+		t.Fatalf("ignore analyzers = %v, want sorted [alpha beta]", ig.Analyzers)
+	}
+	if !ig.Used || ig.Reason == "" {
+		t.Fatalf("ignore = %+v, want used with its reason recorded", ig)
+	}
+}
+
+// TestUnusedDirectiveInAudit checks the inventory flags directives that
+// suppressed nothing this run.
+func TestUnusedDirectiveInAudit(t *testing.T) {
+	const src = `package p
+
+//seqlint:ignore testcheck guards a finding that no longer fires
+const k = 1
+`
+	fset := token.NewFileSet()
+	unit := parseUnit(t, fset, "unused", src)
+	res, err := Run(fset, []*load.Unit{unit}, []*framework.Analyzer{analyzer("testcheck")})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Ignores) != 1 || res.Ignores[0].Used {
+		t.Fatalf("ignores = %+v, want one unused entry", res.Ignores)
+	}
+}
+
+// TestDedupAcrossUnits checks that identical findings from a file
+// reaching the driver through two units (overlapping patterns, or a
+// file shared between in-package and external test loads) collapse to
+// one.
+func TestDedupAcrossUnits(t *testing.T) {
+	const src = `package p
+
+func d() int {
+	x := 1
+	return x
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "shared.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	units := []*load.Unit{
+		{Path: "p", Files: []*ast.File{f}, Info: load.NewInfo()},
+		{Path: "p_test", Files: []*ast.File{f}, Info: load.NewInfo(), Test: true},
+	}
+	res, err := Run(fset, units, []*framework.Analyzer{analyzer("testcheck")})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 after dedup:\n%v", len(res.Diags), res.Diags)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"reflect"
 	"strings"
 )
 
@@ -52,6 +53,99 @@ type Pass struct {
 	TypeErrors []error
 	// Report delivers one diagnostic.
 	Report func(pos token.Pos, message string)
+	// Program is every unit loaded in this run, the pass's own
+	// included, in deterministic (path-sorted) order. Interprocedural
+	// analyzers walk it to see across package boundaries; a nil Program
+	// (ad-hoc single-unit runs) degrades them to their intraprocedural
+	// fast path.
+	Program []*ProgramUnit
+	// Facts is the run-wide fact store shared by every pass of one
+	// driver run. Nil only when Program is nil.
+	Facts *Facts
+}
+
+// ProgramUnit is the read-only view of one loaded unit that
+// interprocedural analyzers see through Pass.Program.
+type ProgramUnit struct {
+	Path      string
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Test marks an external test unit (package foo_test).
+	Test bool
+}
+
+// Fact is a datum an analyzer attaches to a types.Object in one unit
+// and retrieves while analyzing another — the go/analysis facts
+// mechanism, minus the serialization (all units of a seqlint run live
+// in one process). Implementations are pointer types with an AFact
+// marker method.
+type Fact interface{ AFact() }
+
+// Facts stores object facts and memoized whole-program artifacts for
+// one driver run. It is shared across units and analyzers; the driver
+// is single-threaded, so no locking.
+type Facts struct {
+	objects map[factKey]Fact
+	memos   map[string]any
+}
+
+type factKey struct {
+	obj types.Object
+	typ reflect.Type
+}
+
+// NewFacts returns an empty fact store for one run.
+func NewFacts() *Facts {
+	return &Facts{objects: make(map[factKey]Fact), memos: make(map[string]any)}
+}
+
+// ExportObjectFact associates fact (a pointer) with obj, replacing any
+// existing fact of the same type.
+func (f *Facts) ExportObjectFact(obj types.Object, fact Fact) {
+	if obj == nil {
+		panic("framework: ExportObjectFact on nil object")
+	}
+	f.objects[factKey{obj, reflect.TypeOf(fact)}] = fact
+}
+
+// ImportObjectFact copies the fact of fact's type previously exported
+// for obj into fact and reports whether one existed.
+func (f *Facts) ImportObjectFact(obj types.Object, fact Fact) bool {
+	stored, ok := f.objects[factKey{obj, reflect.TypeOf(fact)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}
+
+// Memo returns the artifact cached under key, building it on first
+// request. The call graph is memoized here so every interprocedural
+// analyzer of a run shares one graph.
+func (f *Facts) Memo(key string, build func() any) any {
+	if v, ok := f.memos[key]; ok {
+		return v
+	}
+	v := build()
+	f.memos[key] = v
+	return v
+}
+
+// ExportObjectFact exports fact for obj into the run's fact store.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.Facts == nil {
+		panic("framework: ExportObjectFact without a fact store (nil Program run)")
+	}
+	p.Facts.ExportObjectFact(obj, fact)
+}
+
+// ImportObjectFact retrieves a fact exported for obj, if any.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.Facts == nil {
+		return false
+	}
+	return p.Facts.ImportObjectFact(obj, fact)
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -85,6 +179,9 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// SuppressedBy is the reason text of the //seqlint:ignore directive
+	// that muted this finding; empty for surviving diagnostics.
+	SuppressedBy string
 }
 
 func (d Diagnostic) String() string {

@@ -1,29 +1,42 @@
 // Package guardedby machine-checks the repo's lock-annotation comments.
 // A struct field carrying a `// guarded by mu` comment may only be
-// touched in functions that visibly acquire that mutex on the same
-// receiver first; `// guarded by mu (send)` restricts only channel
-// sends (receives and len are the lock-free side of the protocol).
+// touched in functions that visibly acquire that mutex first;
+// `// guarded by mu (send)` restricts only channel sends (receives and
+// len are the lock-free side of the protocol).
 //
-// The check is intraprocedural and position-ordered: an access is legal
-// if, earlier in the same function body, one of
+// The check has two tiers:
 //
-//   - base.mu.Lock() or base.mu.RLock() on the same base variable,
-//   - a base.lock()/base.rlock() helper call (which acquires whichever
-//     mutex the type wraps), or
-//   - a lockAll() call (which locks every shard, so it clears accesses
-//     on any base for the rest of the function)
+//   - The lexical tier (v1, used whenever the pass has no whole-program
+//     view): an access is legal if, earlier in the same function body,
+//     base.mu.Lock()/RLock() on the same base, a base.lock()/rlock()
+//     helper, or a lockAll() sweep appears. Functions whose name ends
+//     in "Locked" are exempt by convention — the suffix is the
+//     documented contract that the caller holds the lock.
 //
-// appears. Functions whose name ends in "Locked" are exempt by
-// convention — the suffix is the documented contract that the caller
-// holds the lock. Unlock is deliberately not tracked: the analyzer
-// over-approximates the critical section to the rest of the function,
-// trading false positives for zero false "unguarded" noise; release-
-// then-touch bugs are the race detector's jurisdiction. Only accesses
-// through a plain identifier base (s.field, sh.field) are checked.
+//   - The interprocedural tier (v2): the *Locked naming convention is
+//     verified instead of trusted. A function whose body touches a
+//     guarded field without acquiring the lock itself is legal only if
+//     every production call path into it (per the static call graph)
+//     acquires the named mutex before the call. Call sites that reach
+//     the guarded access lock-free are reported at the frontier — the
+//     outermost call the graph can see — so an annotation-only lock
+//     claim (a *Locked helper with a non-locking caller) is flagged at
+//     the caller that should have locked. The contract is trusted only
+//     where callers are invisible: exported functions, functions whose
+//     value escapes (callbacks), and functions with no production
+//     callers at all.
+//
+// Unlock is deliberately not tracked: the analyzer over-approximates
+// the critical section to the rest of the function, trading false
+// positives for zero false "unguarded" noise; release-then-touch bugs
+// are the race detector's jurisdiction. Only accesses through a plain
+// identifier base (s.field, sh.field) are checked, and caller-side
+// lock matching is by mutex name (receivers differ across frames).
 // Test files are skipped.
 package guardedby
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -31,52 +44,235 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/analysis/callgraph"
 	"repro/internal/analysis/framework"
 )
 
 var Analyzer = &framework.Analyzer{
 	Name: "guardedby",
 	Doc: "fields annotated `// guarded by <mu>` may only be accessed in " +
-		"functions that acquire <mu> on the same receiver first " +
-		"(`(send)` mode restricts channel sends only); functions named " +
-		"*Locked are exempt",
+		"functions that acquire <mu> first (`(send)` mode restricts " +
+		"channel sends only); with a whole-program view, *Locked " +
+		"functions are verified against their call paths instead of " +
+		"trusted by name",
 	Run: run,
 }
 
 var annotRE = regexp.MustCompile(`guarded by ([A-Za-z_]\w*)(?:\s*\((send)\))?`)
 
 type annot struct {
-	mu   string
-	send bool
+	mu    string
+	send  bool
+	owner string // enclosing type name, "" for anonymous structs
 }
 
 func run(pass *framework.Pass) error {
-	guarded := collectAnnotations(pass)
-	if len(guarded) == 0 {
+	g := callgraph.For(pass)
+	if g == nil {
+		runLexical(pass)
 		return nil
 	}
-	for _, f := range pass.Files {
-		if pass.InTestFile(f.Pos()) {
-			continue
-		}
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || strings.HasSuffix(fd.Name.Name, "Locked") {
-				continue
-			}
-			checkFunc(pass, fd, guarded)
-		}
+	st := stateFor(pass, g)
+	for _, f := range st.findings[pass.Path] {
+		pass.Report(f.pos, f.msg)
 	}
 	return nil
 }
 
+// ---- interprocedural tier ----
+
+type finding struct {
+	pos token.Pos
+	msg string
+}
+
+type reportKey struct {
+	pos token.Pos
+	mu  string
+}
+
+type state struct {
+	g *callgraph.Graph
+	// findings per unit path: each pass emits only positions in its own
+	// unit, so frontier reports land in the caller's package.
+	findings map[string][]finding
+	lockEvs  map[*callgraph.Node][]lockEv
+	reported map[reportKey]bool
+}
+
+// lockEv is a caller-side lock acquisition, matched by mutex name; "*"
+// grants every mutex (lock()/rlock() helpers, lockAll sweeps).
+type lockEv struct {
+	pos token.Pos
+	mu  string
+}
+
+func stateFor(pass *framework.Pass, g *callgraph.Graph) *state {
+	return pass.Facts.Memo("guardedby.state", func() any {
+		st := &state{
+			g:        g,
+			findings: make(map[string][]finding),
+			lockEvs:  make(map[*callgraph.Node][]lockEv),
+			reported: make(map[reportKey]bool),
+		}
+		st.build(pass.Program)
+		return st
+	}).(*state)
+}
+
+func (st *state) build(program []*framework.ProgramUnit) {
+	byUnit := make(map[*framework.ProgramUnit]map[types.Object]annot)
+	for _, u := range program {
+		if g := collectAnnotations(u.TypesInfo, u.Files); len(g) > 0 {
+			byUnit[u] = g
+		}
+	}
+	for _, n := range st.g.Nodes() {
+		guarded := byUnit[n.Unit]
+		if len(guarded) == 0 || n.TestFile || n.Decl.Body == nil {
+			continue
+		}
+		for _, a := range unguardedAccesses(n.Unit.TypesInfo, n.Decl, guarded) {
+			st.handle(n, a)
+		}
+	}
+}
+
+// handle dispatches one intraprocedurally-unguarded access of n.
+func (st *state) handle(n *callgraph.Node, a access) {
+	switch {
+	case st.inheritEligible(n):
+		// Callers are fully visible: verify every path locks, reporting
+		// the lock-free call sites at the frontier.
+		st.frontier(n, a, map[*callgraph.Node]bool{n: true})
+	case isLockedName(n.Func.Name()):
+		// Exported, referenced, or caller-less *Locked function: the
+		// suffix is the documented contract and there is nothing to
+		// check it against.
+	default:
+		st.add(n.Unit.Path, a.pos, lexicalMessage(a, n.Decl.Name.Name))
+	}
+}
+
+// inheritEligible reports whether n's lock obligation can be discharged
+// by its callers: all of them are visible to the graph.
+func (st *state) inheritEligible(n *callgraph.Node) bool {
+	if ast.IsExported(n.Func.Name()) || n.Referenced {
+		return false
+	}
+	for _, e := range n.In {
+		if !e.Ref && !e.Caller.TestFile {
+			return true
+		}
+	}
+	return false
+}
+
+// frontier walks n's production call sites; each one must acquire the
+// mutex before the call or inherit the obligation from its own callers.
+// Lock-free sites at the visibility boundary are reported. Cycles are
+// treated as covered.
+func (st *state) frontier(n *callgraph.Node, a access, visited map[*callgraph.Node]bool) {
+	for _, e := range n.In {
+		if e.Ref || e.Caller.TestFile {
+			continue
+		}
+		c := e.Caller
+		if st.lockedBefore(c, e.Pos, a.mu) {
+			continue
+		}
+		if st.inheritEligible(c) {
+			if !visited[c] {
+				visited[c] = true
+				st.frontier(c, a, visited)
+			}
+			continue
+		}
+		if isLockedName(c.Func.Name()) {
+			continue // documented contract with invisible callers
+		}
+		key := reportKey{e.Pos, a.mu}
+		if st.reported[key] {
+			continue
+		}
+		st.reported[key] = true
+		st.add(c.Unit.Path, e.Pos, fmt.Sprintf(
+			"call to %s reaches %s (annotated `guarded by %s`) without holding %s: every path into a guarded access must acquire the lock first",
+			n.Name(), a.fieldDesc(), a.mu, a.mu))
+	}
+}
+
+func (st *state) add(unitPath string, pos token.Pos, msg string) {
+	st.findings[unitPath] = append(st.findings[unitPath], finding{pos, msg})
+}
+
+// lockedBefore reports whether caller acquires mu (by name; "*" helpers
+// and lockAll grant all) earlier in its body than pos.
+func (st *state) lockedBefore(caller *callgraph.Node, pos token.Pos, mu string) bool {
+	evs, ok := st.lockEvs[caller]
+	if !ok {
+		evs = nameLockEvents(caller.Decl)
+		st.lockEvs[caller] = evs
+	}
+	for _, ev := range evs {
+		if ev.pos < pos && (ev.mu == mu || ev.mu == "*") {
+			return true
+		}
+	}
+	return false
+}
+
+// nameLockEvents collects a function's lock acquisitions purely
+// syntactically — cross-frame matching is by mutex name, so no type
+// information is needed.
+func nameLockEvents(fd *ast.FuncDecl) []lockEv {
+	if fd == nil || fd.Body == nil {
+		return nil
+	}
+	var evs []lockEv
+	ast.Inspect(fd.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "lockAll", "lock", "rlock":
+			evs = append(evs, lockEv{call.Pos(), "*"})
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			if muSel, ok := sel.X.(*ast.SelectorExpr); ok {
+				evs = append(evs, lockEv{call.Pos(), muSel.Sel.Name})
+			}
+		}
+		return true
+	})
+	return evs
+}
+
+func isLockedName(name string) bool { return strings.HasSuffix(name, "Locked") }
+
+// ---- shared intraprocedural machinery ----
+
 // collectAnnotations maps annotated field objects to their guard.
-func collectAnnotations(pass *framework.Pass) map[types.Object]annot {
+func collectAnnotations(info *types.Info, files []*ast.File) map[types.Object]annot {
 	guarded := make(map[types.Object]annot)
-	for _, f := range pass.Files {
+	for _, f := range files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			st, ok := n.(*ast.StructType)
-			if !ok {
+			owner := ""
+			var st *ast.StructType
+			switch n := n.(type) {
+			case *ast.TypeSpec:
+				s, ok := n.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				owner, st = n.Name.Name, s
+			case *ast.StructType:
+				st = n // anonymous struct
+			default:
 				return true
 			}
 			for _, field := range st.Fields.List {
@@ -91,12 +287,15 @@ func collectAnnotations(pass *framework.Pass) map[types.Object]annot {
 				if m == nil {
 					continue
 				}
-				a := annot{mu: m[1], send: m[2] == "send"}
+				a := annot{mu: m[1], send: m[2] == "send", owner: owner}
 				for _, name := range field.Names {
-					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					if obj := info.Defs[name]; obj != nil {
 						guarded[obj] = a
 					}
 				}
+			}
+			if owner != "" {
+				return false // fields already handled; skip re-visiting the struct
 			}
 			return true
 		})
@@ -121,7 +320,29 @@ type event struct {
 	node  ast.Node
 }
 
-func checkFunc(pass *framework.Pass, fd *ast.FuncDecl, guarded map[types.Object]annot) {
+// access is one guarded-field access no lock event covers inside its
+// own function.
+type access struct {
+	pos      token.Pos
+	mu       string
+	send     bool
+	baseName string // receiver variable at the access ("c")
+	name     string // field name ("m")
+	owner    string // declaring type name ("Cache")
+}
+
+func (a access) fieldDesc() string {
+	if a.owner != "" {
+		return a.owner + "." + a.name
+	}
+	return a.baseName + "." + a.name
+}
+
+// unguardedAccesses walks one function body (closures included) and
+// returns the guarded-field accesses with no covering lock acquisition
+// earlier in the body, using the v1 position-ordered, base-matched
+// model.
+func unguardedAccesses(info *types.Info, fd *ast.FuncDecl, guarded map[types.Object]annot) []access {
 	var events []event
 
 	// sendChans records expressions appearing as the channel of a send;
@@ -137,7 +358,7 @@ func checkFunc(pass *framework.Pass, fd *ast.FuncDecl, guarded map[types.Object]
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			if ev, ok := lockCall(pass, n); ok {
+			if ev, ok := lockCall(info, n); ok {
 				events = append(events, ev)
 			}
 		case *ast.SelectorExpr:
@@ -145,7 +366,7 @@ func checkFunc(pass *framework.Pass, fd *ast.FuncDecl, guarded map[types.Object]
 			if !ok {
 				return true
 			}
-			sel, ok := pass.TypesInfo.Selections[n]
+			sel, ok := info.Selections[n]
 			if !ok || sel.Kind() != types.FieldVal {
 				return true
 			}
@@ -157,7 +378,7 @@ func checkFunc(pass *framework.Pass, fd *ast.FuncDecl, guarded map[types.Object]
 			if a.send && !sendChans[n] {
 				return true
 			}
-			if baseObj := objOf(pass, base); baseObj != nil {
+			if baseObj := objOf(info, base); baseObj != nil {
 				events = append(events, event{pos: n.Pos(), kind: accessEvent, base: baseObj, mu: a.mu, field: fieldObj, node: n})
 			}
 		}
@@ -172,6 +393,7 @@ func checkFunc(pass *framework.Pass, fd *ast.FuncDecl, guarded map[types.Object]
 	}
 	held := make(map[heldKey]bool)
 	allLocked := false
+	var out []access
 	for _, ev := range events {
 		switch ev.kind {
 		case lockEvent:
@@ -183,12 +405,48 @@ func checkFunc(pass *framework.Pass, fd *ast.FuncDecl, guarded map[types.Object]
 				continue
 			}
 			sel := ev.node.(*ast.SelectorExpr)
-			what := "accessed"
-			if a := ev.field; guarded[a].send {
-				what = "sent to"
+			a := guarded[ev.field]
+			out = append(out, access{
+				pos:      ev.pos,
+				mu:       ev.mu,
+				send:     a.send,
+				baseName: exprString(sel.X),
+				name:     sel.Sel.Name,
+				owner:    a.owner,
+			})
+		}
+	}
+	return out
+}
+
+func lexicalMessage(a access, funcName string) string {
+	what := "accessed"
+	if a.send {
+		what = "sent to"
+	}
+	return fmt.Sprintf("%s.%s %s in %s without holding %s (annotated `guarded by %s`)",
+		a.baseName, a.name, what, funcName, a.mu, a.mu)
+}
+
+// ---- lexical tier (v1), used when the pass has no program view ----
+
+func runLexical(pass *framework.Pass) {
+	guarded := collectAnnotations(pass.TypesInfo, pass.Files)
+	if len(guarded) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || isLockedName(fd.Name.Name) {
+				continue
 			}
-			pass.Reportf(ev.pos, "%s.%s %s in %s without holding %s (annotated `guarded by %s`)",
-				exprString(sel.X), sel.Sel.Name, what, fd.Name.Name, ev.mu, ev.mu)
+			for _, a := range unguardedAccesses(pass.TypesInfo, fd, guarded) {
+				pass.Report(a.pos, lexicalMessage(a, fd.Name.Name))
+			}
 		}
 	}
 }
@@ -196,7 +454,7 @@ func checkFunc(pass *framework.Pass, fd *ast.FuncDecl, guarded map[types.Object]
 // lockCall classifies a call expression as a lock acquisition:
 // base.mu.Lock(), base.mu.RLock(), the base.lock()/base.rlock()
 // helpers, or a lockAll() sweep.
-func lockCall(pass *framework.Pass, call *ast.CallExpr) (event, bool) {
+func lockCall(info *types.Info, call *ast.CallExpr) (event, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return event{}, false
@@ -217,7 +475,7 @@ func lockCall(pass *framework.Pass, call *ast.CallExpr) (event, bool) {
 		if !ok {
 			return event{}, false
 		}
-		if baseObj := objOf(pass, base); baseObj != nil {
+		if baseObj := objOf(info, base); baseObj != nil {
 			return event{pos: call.Pos(), kind: lockEvent, base: baseObj, mu: muSel.Sel.Name}, true
 		}
 	case "lock", "rlock":
@@ -226,18 +484,18 @@ func lockCall(pass *framework.Pass, call *ast.CallExpr) (event, bool) {
 		if !ok {
 			return event{}, false
 		}
-		if baseObj := objOf(pass, base); baseObj != nil {
+		if baseObj := objOf(info, base); baseObj != nil {
 			return event{pos: call.Pos(), kind: lockEvent, base: baseObj, mu: "*"}, true
 		}
 	}
 	return event{}, false
 }
 
-func objOf(pass *framework.Pass, id *ast.Ident) types.Object {
-	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
 		return obj
 	}
-	return pass.TypesInfo.Defs[id]
+	return info.Defs[id]
 }
 
 func exprString(e ast.Expr) string {

@@ -1,0 +1,9 @@
+package load
+
+// TestHookVisible exists so the external test file can reference an
+// identifier that is present when the test binary compiles (this file
+// is part of the test build) but absent from the package's export data.
+// When the loader loads its own package, the external test unit
+// type-checks against export data and records a benign error for the
+// reference — the edge path TestLoadExternalTestUnit pins.
+var TestHookVisible = 1

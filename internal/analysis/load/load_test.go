@@ -1,0 +1,118 @@
+package load_test
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/load"
+)
+
+// The reference below compiles in the test build (export_test.go is
+// part of it) but is invisible in export data, so the loader's view of
+// this very file carries a benign type error.
+var _ = load.TestHookVisible
+
+// loadSelf loads the load package itself: one main unit folding in the
+// in-package test files, plus one external test unit.
+func loadSelf(t *testing.T) (*token.FileSet, []*load.Unit) {
+	t.Helper()
+	ldr, err := load.New(".")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	units, err := ldr.Load("repro/internal/analysis/load")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return ldr.Fset, units
+}
+
+// TestLoadExternalTestUnit checks the unit split: the main unit holds
+// GoFiles plus in-package test files and type-checks cleanly; the
+// external test files form a separate "_test" unit that still parses
+// and type-checks, with the export-data gap recorded as a benign
+// (non-fatal) error rather than failing the load.
+func TestLoadExternalTestUnit(t *testing.T) {
+	fset, units := loadSelf(t)
+	if len(units) != 2 {
+		var paths []string
+		for _, u := range units {
+			paths = append(paths, u.Path)
+		}
+		t.Fatalf("got units %v, want the package and its external test unit", paths)
+	}
+
+	main, xtest := units[0], units[1]
+	if main.Path != "repro/internal/analysis/load" || main.Test {
+		t.Fatalf("first unit = %s (Test=%v), want the main package", main.Path, main.Test)
+	}
+	if xtest.Path != "repro/internal/analysis/load_test" || !xtest.Test {
+		t.Fatalf("second unit = %s (Test=%v), want the external test unit", xtest.Path, xtest.Test)
+	}
+
+	// In-package test files fold into the main unit, which stays clean.
+	if !hasFile(fset, main, "export_test.go") {
+		t.Fatalf("main unit misses export_test.go: in-package test files must fold in")
+	}
+	if len(main.TypeErrors) != 0 {
+		t.Fatalf("main unit has type errors: %v", main.TypeErrors)
+	}
+
+	// The external unit carries this file, a benign type error for the
+	// export-data gap, and a usable package object regardless.
+	if !hasFile(fset, xtest, "load_test.go") {
+		t.Fatalf("external unit misses load_test.go")
+	}
+	if hasFile(fset, xtest, "export_test.go") {
+		t.Fatalf("external unit contains export_test.go: in-package test files leaked into the _test unit")
+	}
+	if len(xtest.TypeErrors) == 0 {
+		t.Fatalf("external unit has no type errors; expected a benign one for TestHookVisible")
+	}
+	found := false
+	for _, te := range xtest.TypeErrors {
+		if strings.Contains(te.Error(), "TestHookVisible") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no type error mentions TestHookVisible: %v", xtest.TypeErrors)
+	}
+	if xtest.Pkg == nil || len(xtest.Files) == 0 {
+		t.Fatalf("external unit unusable despite benign errors: Pkg=%v files=%d", xtest.Pkg, len(xtest.Files))
+	}
+}
+
+// TestLoadDedupsOverlappingPatterns checks that naming the same package
+// through two patterns yields each unit once: go list collapses the
+// duplicates before the loader ever sees them, so a file cannot reach
+// the driver twice through overlapping arguments.
+func TestLoadDedupsOverlappingPatterns(t *testing.T) {
+	ldr, err := load.New(".")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	units, err := ldr.Load("repro/internal/analysis/load", "repro/internal/analysis/load")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	seen := make(map[string]int)
+	for _, u := range units {
+		seen[u.Path]++
+	}
+	for path, n := range seen {
+		if n != 1 {
+			t.Fatalf("unit %s loaded %d times, want once", path, n)
+		}
+	}
+}
+
+func hasFile(fset *token.FileSet, u *load.Unit, name string) bool {
+	for _, f := range u.Files {
+		if tf := fset.File(f.Pos()); tf != nil && strings.HasSuffix(tf.Name(), name) {
+			return true
+		}
+	}
+	return false
+}

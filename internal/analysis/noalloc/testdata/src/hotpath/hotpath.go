@@ -1,0 +1,128 @@
+// Fixture: every construct the noalloc analyzer rules on — the legal
+// reuse idioms the real hot paths depend on, and each allocating shape,
+// including the evasion case of an annotated function whose allocation
+// hides inside an unannotated helper.
+package hotpath
+
+import "fmt"
+
+type rec struct {
+	b []byte
+	n int
+}
+
+var interned = map[string]int{}
+
+//seqrtg:noalloc
+func goodReuse(dst []byte, src []byte) []byte {
+	dst = append(dst[:0], src...)
+	for _, c := range src {
+		if c == ' ' {
+			dst = append(dst, '_')
+		}
+	}
+	return dst
+}
+
+//seqrtg:noalloc
+func goodValueLiteral(dst []rec, b []byte) []rec {
+	return append(dst, rec{b: b, n: len(b)})
+}
+
+//seqrtg:noalloc
+func goodInternedLookup(b []byte, s string) int {
+	if string(b) == s { // comparison form: compiler-optimized, no alloc
+		return -1
+	}
+	return interned[string(b)] // map-index form: compiler-optimized
+}
+
+//seqrtg:noalloc
+func goodFieldAppend(r *rec, src []byte) {
+	r.b = append(r.b, src...)
+}
+
+//seqrtg:noalloc
+func badMake(n int) []byte {
+	return make([]byte, n) // want `make allocates in //seqrtg:noalloc function badMake`
+}
+
+//seqrtg:noalloc
+func badNew() *rec {
+	return new(rec) // want `new allocates`
+}
+
+//seqrtg:noalloc
+func badFreshAppend(src []byte) []byte {
+	return append([]byte{}, src...) // want `slice literal allocates` `append to a fresh slice allocates`
+}
+
+//seqrtg:noalloc
+func badMapLiteral() map[string]int {
+	return map[string]int{"a": 1} // want `map literal allocates`
+}
+
+//seqrtg:noalloc
+func badPointerLiteral() *rec {
+	return &rec{} // want `&composite literal escapes to the heap`
+}
+
+//seqrtg:noalloc
+func badConcat(a, b string) string {
+	return a + b // want `non-constant string concatenation allocates`
+}
+
+//seqrtg:noalloc
+func badStringConv(b []byte) string {
+	return string(b) // want `string conversion allocates outside a map index or comparison`
+}
+
+//seqrtg:noalloc
+func badBytesConv(s string) []byte {
+	return []byte(s) // want `\[\]byte/\[\]rune conversion of a string allocates`
+}
+
+//seqrtg:noalloc
+func badClosure(xs []int) func() int {
+	return func() int { return len(xs) } // want `closure captures xs and allocates`
+}
+
+//seqrtg:noalloc
+func badGo() {
+	go func() {}() // want `go statement allocates a goroutine`
+}
+
+//seqrtg:noalloc
+func badFmt(n int) {
+	fmt.Println(n) // want `calls fmt\.Println \(fmt always allocates\)` `boxes and allocates`
+}
+
+//seqrtg:noalloc
+func badBoxing(n int) {
+	sink(n) // want `passing a non-pointer int in an interface parameter boxes and allocates`
+}
+
+func sink(v any) { _ = v }
+
+// growBuffer is not annotated, so nothing is reported here — but the
+// summary records that it allocates.
+func growBuffer(n int) []byte { return make([]byte, n) }
+
+// The evasion shape: the annotated function contains no allocating
+// construct of its own; the allocation hides one call away. A purely
+// lexical check of the body passes; the bottom-up summary does not.
+//
+//seqrtg:noalloc
+func badViaHelper(n int) []byte {
+	return growBuffer(n) // want `calls growBuffer, which allocates: make allocates`
+}
+
+// Recursion terminates with the optimistic cycle default.
+//
+//seqrtg:noalloc
+func goodRecursive(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return n * goodRecursive(n-1)
+}

@@ -125,6 +125,7 @@ func newMemBlock(service string, bucket int64) *memBlock {
 	}
 }
 
+//seqrtg:noalloc
 func (b *memBlock) append(patternID string, ns int64, vars [][]byte) {
 	idx, ok := b.patIdx[patternID]
 	if !ok {
@@ -243,6 +244,7 @@ func parseBlockName(name string) (bucket, seq int64, ok bool) {
 	return bucket, seq, true
 }
 
+//seqrtg:noalloc
 func (a *Archive) shardFor(service string) *shard {
 	// Inline FNV-1a over the string: hash/fnv would force a []byte
 	// conversion (an allocation) on the zero-alloc append path.
@@ -261,6 +263,8 @@ func (a *Archive) shardFor(service string) *shard {
 // bucketFor truncates a unix-nanosecond timestamp to its bucket start
 // (unix seconds), flooring so pre-epoch timestamps land in the bucket
 // that contains them.
+//
+//seqrtg:noalloc
 func (a *Archive) bucketFor(ns int64) int64 {
 	sec := ns / int64(1e9)
 	if ns%int64(1e9) < 0 {

@@ -473,6 +473,8 @@ func (e *Engine) Purge(minCount int64, olderThan time.Time) (int, error) {
 // stores. The element/token index alignment is the one Pattern.Match
 // and Pattern.Extract establish: element i consumed token i, up to the
 // TailAny marker.
+//
+//seqrtg:noalloc
 func appendVarSpans(dst [][]byte, p *patterns.Pattern, toks []token.Token) [][]byte {
 	for i := range p.Elements {
 		e := &p.Elements[i]

@@ -36,6 +36,7 @@ var secretPrefixes = []string{
 	"xoxb-", "xoxp-", "xoxa-", "xoxr-", "xoxs-",
 }
 
+//seqrtg:noalloc
 func (m *Masker) detect(st *state, toks []token.Token) {
 	c := &m.cfg
 	bearer := false
@@ -323,25 +324,12 @@ func cardRun(toks []token.Token, i int) int {
 // span/run is non-nil.
 func luhn(span []byte, run []token.Token) bool {
 	var digits [cardMaxDigits]byte
-	n := 0
-	collect := func(b []byte) bool {
-		for _, c := range b {
-			if !isDigit(c) {
-				continue
-			}
-			if n >= len(digits) {
-				return false
-			}
-			digits[n] = c - '0'
-			n++
-		}
-		return true
-	}
-	if !collect(span) {
+	n, ok := collectDigits(&digits, 0, span)
+	if !ok {
 		return false
 	}
 	for i := range run {
-		if !collect(run[i].Span) {
+		if n, ok = collectDigits(&digits, n, run[i].Span); !ok {
 			return false
 		}
 	}
@@ -361,4 +349,22 @@ func luhn(span []byte, run []token.Token) bool {
 		double = !double
 	}
 	return sum%10 == 0
+}
+
+// collectDigits appends b's digit bytes (separators skipped) to digits
+// at n, returning the new count; ok is false on overflow. A plain
+// function rather than a closure so the card path stays within the
+// scanner's noalloc contract.
+func collectDigits(digits *[cardMaxDigits]byte, n int, b []byte) (int, bool) {
+	for _, c := range b {
+		if !isDigit(c) {
+			continue
+		}
+		if n >= len(digits) {
+			return n, false
+		}
+		digits[n] = c - '0'
+		n++
+	}
+	return n, true
 }

@@ -183,6 +183,8 @@ var statePool = sync.Pool{New: func() any { return new(state) }}
 // searching. The bounds check rejects spans that do not alias the
 // buffer (there are none today; this keeps a future scanner change from
 // corrupting a rewrite).
+//
+//seqrtg:noalloc
 func (st *state) offset(span []byte) (int, bool) {
 	off := cap(st.buf) - cap(span)
 	if off < 0 || off+len(span) > len(st.buf) {
@@ -191,6 +193,7 @@ func (st *state) offset(span []byte) (int, bool) {
 	return off, true
 }
 
+//seqrtg:noalloc
 func (st *state) add(f finding) {
 	if f.end > f.start {
 		st.finds = append(st.finds, f)
@@ -285,6 +288,8 @@ func (m *Masker) builtinsEnabled() bool {
 // so the rewrite can resolve overlaps with a single left-to-right pass.
 // Insertion sort: the list is tiny and mostly sorted (token findings
 // arrive in span order), and it allocates nothing.
+//
+//seqrtg:noalloc
 func sortFindings(f []finding) {
 	for i := 1; i < len(f); i++ {
 		for j := i; j > 0; j-- {

@@ -160,7 +160,11 @@ func (p *Parser) Replace(pats []*patterns.Pattern) {
 			h.Write([]byte(pat.Service))
 			idx = int(h.Sum32() % uint32(len(fresh)))
 		}
+		// fresh shards are still thread-private, but the uncontended
+		// lock keeps the guardedby discipline machine-checkable.
+		fresh[idx].mu.Lock()
 		fresh[idx].addLocked(pat)
+		fresh[idx].mu.Unlock()
 	}
 	var total int64
 	for i, sh := range p.shards {

@@ -126,6 +126,7 @@ func (v2Codec) AppendRecord(buf []byte, r *Record) ([]byte, error) {
 	return buf, nil
 }
 
+//seqrtg:noalloc
 func appendPattern(buf []byte, p *patterns.Pattern) []byte {
 	if p == nil {
 		// Presence byte: a v1 journal can hold {"op":"upsert"} with no
@@ -166,13 +167,19 @@ func appendPattern(buf []byte, p *patterns.Pattern) []byte {
 	return buf
 }
 
+//seqrtg:noalloc
 func appendUvarint(buf []byte, v uint64) []byte { return binary.AppendUvarint(buf, v) }
-func appendSvarint(buf []byte, v int64) []byte  { return binary.AppendVarint(buf, v) }
+
+//seqrtg:noalloc
+func appendSvarint(buf []byte, v int64) []byte { return binary.AppendVarint(buf, v) }
+
+//seqrtg:noalloc
 func appendString(buf []byte, s string) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(s)))
 	return append(buf, s...)
 }
 
+//seqrtg:noalloc
 func appendTime(buf []byte, t time.Time) []byte {
 	if t.IsZero() {
 		return append(buf, timeZero)

@@ -256,15 +256,18 @@ func OpenOptions(dir string, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	//seqlint:ignore guardedby construction phase: the store is not yet shared
 	for _, sh := range s.shards {
 		f, err := s.fs.OpenAppend(filepath.Join(dir, journalName(sh.id)))
 		if err != nil {
 			s.closeJournals()
 			return nil, fmt.Errorf("store: open journal: %w", err)
 		}
+		// The store is not shared yet, but the uncontended lock keeps
+		// the guardedby discipline uniform and machine-checkable.
+		sh.mu.Lock()
 		sh.journal = f
 		sh.jw = bufio.NewWriter(f)
+		sh.mu.Unlock()
 	}
 	if migrate {
 		// The journals held records (possibly written under a different
@@ -287,11 +290,12 @@ func OpenOptions(dir string, opts Options) (*Store, error) {
 }
 
 func (s *Store) closeJournals() {
-	//seqlint:ignore guardedby only called from OpenOptions before the store is shared
 	for _, sh := range s.shards {
+		sh.mu.Lock()
 		if sh.journal != nil {
 			sh.journal.Close()
 		}
+		sh.mu.Unlock()
 	}
 }
 
@@ -345,7 +349,10 @@ func (s *Store) loadSnapshot() error {
 	}
 	s.epoch.Store(snap.Epoch)
 	for _, p := range snap.Patterns {
-		s.shardFor(p.Service).insertLocked(p)
+		sh := s.shardFor(p.Service)
+		sh.mu.Lock()
+		sh.insertLocked(p)
+		sh.mu.Unlock()
 	}
 	s.m.StorePatterns.Set(s.count.Load())
 	return nil
@@ -418,10 +425,9 @@ func (s *Store) replayJournals() (migrate bool, stray []string, err error) {
 	return migrate, stray, nil
 }
 
-// replayFile replays one journal file. Replay happens before the store
-// is shared, so records are applied without locking; records are routed
-// by content (service hash for upserts, ID probe for touch/delete), so
-// any writer layout replays correctly.
+// replayFile replays one journal file. Records are routed by content
+// (service hash for upserts, ID probe for touch/delete), so any writer
+// layout replays correctly.
 func (s *Store) replayFile(name string) error {
 	f, err := s.fs.Open(name)
 	if errors.Is(err, fs.ErrNotExist) {
@@ -454,21 +460,32 @@ func (s *Store) replayFile(name string) error {
 }
 
 // applyReplay routes one replayed record to its shard by content.
+// Replay runs before the store is shared; the per-shard locks are
+// uncontended and keep the guardedby discipline uniform.
 func (s *Store) applyReplay(r record) {
 	switch r.Op {
 	case "upsert":
 		if r.Pattern != nil {
-			s.shardFor(r.Pattern.Service).mergeLocked(r.Pattern)
+			sh := s.shardFor(r.Pattern.Service)
+			sh.mu.Lock()
+			sh.mergeLocked(r.Pattern)
+			sh.mu.Unlock()
 		}
 	case "touch":
 		for _, sh := range s.shards {
-			if sh.touchLocked(r) {
+			sh.mu.Lock()
+			hit := sh.touchLocked(r)
+			sh.mu.Unlock()
+			if hit {
 				return
 			}
 		}
 	case "delete":
 		for _, sh := range s.shards {
-			if sh.deleteLocked(r.ID) {
+			sh.mu.Lock()
+			hit := sh.deleteLocked(r.ID)
+			sh.mu.Unlock()
+			if hit {
 				return
 			}
 		}

@@ -74,6 +74,8 @@ func (s *Scanner) Release() {
 // Multi-line messages are processed only up to the first line break, per
 // the Sequence-RTG design: a TailAny marker token is appended so that the
 // resulting pattern matches the first line and ignores the rest.
+//
+//seqrtg:noalloc
 func (s *Scanner) ScanBytes(msg []byte) []Token {
 	s.buf = s.scanInto(s.buf[:0], msg)
 	return s.buf
@@ -85,6 +87,8 @@ func (s *Scanner) ScanBytes(msg []byte) []Token {
 // spans alias that buffer. The returned slice is valid until the next
 // call to Scan or ScanBytes on the same Scanner; callers that retain
 // tokens must copy them (ScanCopy does this).
+//
+//seqrtg:noalloc
 func (s *Scanner) Scan(msg string) []Token {
 	s.src = append(s.src[:0], msg...)
 	s.buf = s.scanInto(s.buf[:0], s.src)
@@ -102,6 +106,8 @@ func (s *Scanner) ScanCopy(msg string) []Token {
 
 // scanInto runs the scanner FSMs over src, appending tokens (whose spans
 // alias src) to dst.
+//
+//seqrtg:noalloc
 func (s *Scanner) scanInto(dst []Token, src []byte) []Token {
 	i := 0
 	spaceBefore := false
@@ -177,6 +183,8 @@ func (s *Scanner) scanInto(dst []Token, src []byte) []Token {
 // resulting token(s). Trailing sentence punctuation (.,:!?) is split off
 // into its own literal tokens; an IPv4:port word is split into three
 // tokens.
+//
+//seqrtg:noalloc
 func (s *Scanner) emitWord(dst []Token, word []byte, spaceBefore bool) []Token {
 	// Split trailing sentence punctuation: "failed:" -> "failed", ":".
 	// The punctuation bytes stay where they are in the buffer; tail is
@@ -199,6 +207,7 @@ func (s *Scanner) emitWord(dst []Token, word []byte, spaceBefore bool) []Token {
 	return dst
 }
 
+//seqrtg:noalloc
 func (s *Scanner) classifyAndAppend(dst []Token, word []byte, spaceBefore bool) []Token {
 	switch {
 	case isIntegerWord(word):
